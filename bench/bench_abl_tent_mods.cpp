@@ -1,0 +1,91 @@
+// ABL-TENT: ablation of the tent modifications (design decision 3 in
+// DESIGN.md).
+//
+// Fig. 3's inside-temperature drops are attributed to the R/I/B/F
+// interventions; this ablation isolates each modification's standalone and
+// cumulative effect on the steady-state tent-minus-outside delta at a fixed
+// operating point (9 hosts, -10 degC, moderate wind) and on solar pickup.
+#include "bench_common.hpp"
+#include "experiment/report.hpp"
+#include "thermal/enclosure.hpp"
+
+namespace {
+
+using namespace zerodeg;
+using core::Celsius;
+using core::Duration;
+using core::MetersPerSecond;
+using core::RelHumidity;
+using core::Watts;
+using core::WattsPerSquareMeter;
+
+weather::WeatherSample operating_point(double irradiance = 0.0) {
+    weather::WeatherSample s;
+    s.temperature = Celsius{-10.0};
+    s.humidity = RelHumidity{85.0};
+    s.wind = MetersPerSecond{4.0};
+    s.irradiance = WattsPerSquareMeter{irradiance};
+    return s;
+}
+
+double settle_delta(std::initializer_list<thermal::TentMod> mods, double irradiance = 0.0) {
+    thermal::TentModel tent(thermal::TentConfig{}, Celsius{-10.0});
+    for (const auto m : mods) tent.apply_modification(m);
+    tent.set_equipment_power(Watts{850.0});  // nine machines, mixed load
+    const auto outside = operating_point(irradiance);
+    for (int i = 0; i < 12 * 48; ++i) tent.step(Duration::minutes(10), outside);
+    return tent.air().temperature.value() - outside.temperature.value();
+}
+
+void report() {
+    std::cout << "\nSteady-state tent-minus-outside delta, 850 W equipment, -10 degC,\n"
+                 "4 m/s wind, night (no sun):\n\n";
+    experiment::TablePrinter table(std::cout, {"configuration", "dT (K)", "vs closed"},
+                                   {44, 8, 10});
+    const double closed = settle_delta({});
+    const auto row = [&](const char* name, std::initializer_list<thermal::TentMod> mods) {
+        const double d = settle_delta(mods);
+        table.row({name, experiment::fmt(d, 1),
+                   experiment::fmt_pct(d / closed - 1.0, 0)});
+    };
+    row("closed tent (baseline)", {});
+    row("I only (inner tent removed)", {thermal::TentMod::kInnerTentRemoved});
+    row("B only (bottom opened)", {thermal::TentMod::kBottomOpened});
+    row("F only (fan installed)", {thermal::TentMod::kFanInstalled});
+    row("D only (front door half-open)", {thermal::TentMod::kFrontDoorHalfOpen});
+    row("I+B (paper, mid-March)",
+        {thermal::TentMod::kInnerTentRemoved, thermal::TentMod::kBottomOpened});
+    row("I+B+D+F (paper, end state)",
+        {thermal::TentMod::kInnerTentRemoved, thermal::TentMod::kBottomOpened,
+         thermal::TentMod::kFrontDoorHalfOpen, thermal::TentMod::kFanInstalled});
+
+    std::cout << "\nSolar pickup at 450 W/m^2 (midday, scattered cloud):\n\n";
+    experiment::TablePrinter sun(std::cout, {"configuration", "dT night (K)", "dT sunny (K)",
+                                             "solar pickup (K)"},
+                                 {34, 13, 13, 16});
+    const double bare_night = settle_delta({});
+    const double bare_sun = settle_delta({}, 450.0);
+    const double foil_night = settle_delta({thermal::TentMod::kReflectiveFoil});
+    const double foil_sun = settle_delta({thermal::TentMod::kReflectiveFoil}, 450.0);
+    sun.row({"no foil", experiment::fmt(bare_night, 1), experiment::fmt(bare_sun, 1),
+             experiment::fmt(bare_sun - bare_night, 1)});
+    sun.row({"R (reflective foil cover)", experiment::fmt(foil_night, 1),
+             experiment::fmt(foil_sun, 1), experiment::fmt(foil_sun - foil_night, 1)});
+
+    std::cout << "\npaper shape: every ventilation modification cuts the retained heat, the\n"
+                 "fan most of all; the rescue foil \"measurably decreases the internal\n"
+                 "temperatures\" by cutting solar pickup roughly 3x.\n\n";
+}
+
+void bm_settle_tent(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(settle_delta({thermal::TentMod::kBottomOpened}));
+    }
+}
+BENCHMARK(bm_settle_tent)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return zerodeg::benchutil::run(argc, argv, "ABL-TENT: tent modification ablation", report);
+}

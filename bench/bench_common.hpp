@@ -1,0 +1,29 @@
+// Shared scaffolding for the bench binaries.
+//
+// Every bench regenerates its paper artifact (table rows / figure series)
+// on stdout first, then runs its google-benchmark timings of the underlying
+// computation.  This keeps `for b in build/bench/*; do $b; done` both the
+// reproduction harness and the performance harness.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+namespace zerodeg::benchutil {
+
+/// Call from main(): print the reproduction report, then run benchmarks.
+template <typename ReportFn>
+int run(int argc, char** argv, const char* title, ReportFn&& report) {
+    std::cout << "==========================================================================\n"
+              << title << '\n'
+              << "==========================================================================\n";
+    report();
+    std::cout.flush();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+}  // namespace zerodeg::benchutil

@@ -1,0 +1,98 @@
+// FIG-1: "Schematic for tent shielding the computer hardware from rain and
+// snow."
+//
+// Fig. 1 is a diagram, not data; we regenerate it as an annotated ASCII
+// schematic plus the tent model's actual thermal parameters in each
+// modification state — the quantities the diagram's features map to.
+#include "bench_common.hpp"
+#include "experiment/report.hpp"
+#include "thermal/enclosure.hpp"
+
+namespace {
+
+using namespace zerodeg;
+using core::MetersPerSecond;
+
+void report() {
+    std::cout << R"(
+                   reflective rescue-foil cover (mod R)
+                 ~~~~~~~~~~~~~~~~~~~~~~~~~~~~~~~~~~~~~~~
+                /  outer polyester fly                  \
+               /   ..............................        \
+              /   :  inner tent (cut open, mod I) :       \
+    front    /    :   +--------+  +--------+      :        \
+    door    |     :   | tower  |  | tower  | ...  :         |   wind -->
+    half-   |     :   |  PCs   |  |  2U    |      :         |   through
+    open    |     :   +--------+  +--------+      :         |   floor gap
+    (D)      \    :   [tabletop fan, mod F]       :        /
+              \   :...............................:      /
+               \    bottom tarpaulin opened (mod B)      /
+                +---------------------------------------+
+               elevated roof terrace (cool air underneath)
+)";
+    std::cout << "\nThermal-network view of the schematic (TentModel parameters):\n\n";
+
+    const thermal::TentConfig cfg;
+    experiment::TablePrinter table(
+        std::cout, {"configuration", "envelope G (W/K), calm", "G at 6 m/s wind",
+                    "solar aperture (m^2)"},
+        {40, 24, 18, 20});
+
+    const auto row = [&table](const char* name, std::initializer_list<thermal::TentMod> mods) {
+        thermal::TentModel tent;
+        for (const auto m : mods) tent.apply_modification(m);
+        const bool foil = tent.has_modification(thermal::TentMod::kReflectiveFoil);
+        table.row({name,
+                   experiment::fmt(tent.effective_conductance(MetersPerSecond{0.0}).value(), 1),
+                   experiment::fmt(tent.effective_conductance(MetersPerSecond{6.0}).value(), 1),
+                   experiment::fmt(foil ? tent.config().solar_aperture_foil_m2
+                                        : tent.config().solar_aperture_m2,
+                                   2)});
+    };
+    row("as pitched (no modifications)", {});
+    row("+ R: reflective foil", {thermal::TentMod::kReflectiveFoil});
+    row("+ I: inner tent removed",
+        {thermal::TentMod::kReflectiveFoil, thermal::TentMod::kInnerTentRemoved});
+    row("+ B: bottom tarpaulin opened",
+        {thermal::TentMod::kReflectiveFoil, thermal::TentMod::kInnerTentRemoved,
+         thermal::TentMod::kBottomOpened});
+    row("+ D: front door half-open",
+        {thermal::TentMod::kReflectiveFoil, thermal::TentMod::kInnerTentRemoved,
+         thermal::TentMod::kBottomOpened, thermal::TentMod::kFrontDoorHalfOpen});
+    row("+ F: tabletop fan (all mods)",
+        {thermal::TentMod::kReflectiveFoil, thermal::TentMod::kInnerTentRemoved,
+         thermal::TentMod::kBottomOpened, thermal::TentMod::kFrontDoorHalfOpen,
+         thermal::TentMod::kFanInstalled});
+    std::cout << "\nheat capacity of tent air + contents: "
+              << experiment::fmt(cfg.heat_capacity.value() / 1000.0, 0) << " kJ/K\n\n";
+}
+
+void bm_tent_step(benchmark::State& state) {
+    thermal::TentModel tent;
+    tent.set_equipment_power(core::Watts{700.0});
+    weather::WeatherSample outside;
+    outside.temperature = core::Celsius{-15.0};
+    outside.humidity = core::RelHumidity{85.0};
+    outside.wind = MetersPerSecond{4.0};
+    for (auto _ : state) {
+        tent.step(core::Duration::minutes(10), outside);
+        benchmark::DoNotOptimize(tent.air().temperature.value());
+    }
+}
+BENCHMARK(bm_tent_step);
+
+void bm_effective_conductance(benchmark::State& state) {
+    thermal::TentModel tent;
+    tent.apply_modification(thermal::TentMod::kBottomOpened);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tent.effective_conductance(MetersPerSecond{5.0}).value());
+    }
+}
+BENCHMARK(bm_effective_conductance);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return zerodeg::benchutil::run(argc, argv,
+                                   "FIG-1: tent schematic and thermal parameters", report);
+}

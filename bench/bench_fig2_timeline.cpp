@@ -1,0 +1,61 @@
+// FIG-2: "Dates of when servers were installed."
+//
+// Regenerates the installation timeline of Fig. 2 — the tent hosts' Fig.-2
+// numbering, their basement twins, the prototype marker, and the #15 -> #19
+// replacement — from the machine-readable install plan.
+#include "bench_common.hpp"
+#include "experiment/config.hpp"
+#include "experiment/report.hpp"
+#include "hardware/fleet.hpp"
+
+namespace {
+
+using namespace zerodeg;
+
+void report() {
+    std::cout << "\nFirst prototype: 2010-02-12 (generic PC between two plastic boxes)\n";
+    std::cout << "Start of testing: 2010-02-19\n\n";
+
+    experiment::TablePrinter table(std::cout,
+                                   {"date", "tent host", "vendor", "basement twin"},
+                                   {12, 10, 26, 14});
+    for (const hardware::InstallEvent& ev : hardware::paper_install_plan()) {
+        if (ev.placement != hardware::Placement::kTent) continue;
+        table.row({ev.date.date_string(), "#" + std::to_string(ev.host_id),
+                   hardware::to_string(ev.vendor), "#" + std::to_string(ev.pair_id)});
+    }
+    std::cout << "\nReplacement of machine #15: retired ~2010-03-17 after its second\n"
+                 "failure; replacement host #19 (same vendor-B series) installed\n"
+                 "~2010-03-26 (paper Fig. 2's final mark).\n";
+
+    const hardware::Fleet fleet = hardware::make_paper_fleet(1);
+    std::cout << "\nFleet check: " << fleet.size() << " hosts installed initially ("
+              << fleet.count_vendor(hardware::Vendor::kA) << " vendor A, "
+              << fleet.count_vendor(hardware::Vendor::kB) << " vendor B, "
+              << fleet.count_vendor(hardware::Vendor::kC) << " vendor C; "
+              << fleet.count(hardware::Placement::kTent) << " tent / "
+              << fleet.count(hardware::Placement::kBasement) << " basement)\n"
+              << "paper: 10 A + 4 B + 4 C, nine per group, 19 computers in total\n\n";
+}
+
+void bm_build_fleet(benchmark::State& state) {
+    for (auto _ : state) {
+        hardware::Fleet fleet = hardware::make_paper_fleet(1);
+        benchmark::DoNotOptimize(fleet.size());
+    }
+}
+BENCHMARK(bm_build_fleet);
+
+void bm_install_plan(benchmark::State& state) {
+    for (auto _ : state) {
+        auto plan = hardware::paper_install_plan();
+        benchmark::DoNotOptimize(plan.data());
+    }
+}
+BENCHMARK(bm_install_plan);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return zerodeg::benchutil::run(argc, argv, "FIG-2: server installation timeline", report);
+}

@@ -1,0 +1,80 @@
+// FIG-4: "Relative humidities inside and outside the tent."
+//
+// Regenerates the two RH curves and the two properties the paper reads off
+// the figure: (1) the tent retains more stable relative humidities than the
+// outside air, and (2) as airflow is increased to dump heat, the inside RH
+// begins to vary more intensely.
+#include "bench_common.hpp"
+#include "experiment/report.hpp"
+#include "experiment/runner.hpp"
+#include "monitoring/outlier_filter.hpp"
+#include "weather/psychrometrics.hpp"
+
+namespace {
+
+using namespace zerodeg;
+using core::TimePoint;
+
+void report() {
+    experiment::ExperimentConfig cfg;
+    experiment::ExperimentRunner run(cfg);
+    run.run();
+
+    core::TimeSeries inside = run.tent_logger().humidity_series();
+    const std::size_t removed =
+        monitoring::remove_readout_outliers(inside, run.tent_logger().readouts());
+    const core::TimeSeries& outside = run.station().humidity_series();
+
+    std::cout << "\n(removed " << removed
+              << " indoor-readout outliers; inside data starts "
+              << cfg.logger_start.date_string() << " -- delayed logger arrival)\n\n";
+    experiment::ascii_plot(std::cout, inside, &outside);
+
+    // Stability comparison: sliding-day RH standard deviation.
+    const auto windowed_stddev = [](const core::TimeSeries& s, TimePoint from, TimePoint to) {
+        return s.stats_between(from, to).stddev;
+    };
+
+    // Phase 1: early, tent mostly closed (logger start .. mod B).
+    const TimePoint mod_b = cfg.tent_mods[2].when;
+    std::cout << "\nRH variability (standard deviation, % RH):\n";
+    experiment::TablePrinter table(std::cout,
+                                   {"window", "outside RH stddev", "tent RH stddev"},
+                                   {42, 18, 16});
+    table.row({"closed tent (" + cfg.logger_start.date_string() + " .. " +
+                   mod_b.date_string() + ")",
+               experiment::fmt(windowed_stddev(outside, cfg.logger_start, mod_b), 1),
+               experiment::fmt(windowed_stddev(inside, cfg.logger_start, mod_b), 1)});
+    table.row({"ventilated tent (" + mod_b.date_string() + " .. " + cfg.end.date_string() + ")",
+               experiment::fmt(windowed_stddev(outside, mod_b, cfg.end), 1),
+               experiment::fmt(windowed_stddev(inside, mod_b, cfg.end), 1)});
+
+    std::cout << "\npaper shape: tent RH is more stable than outside while the envelope is\n"
+                 "closed, and the variability grows once airflow is increased (mods B/D/F).\n"
+                 "Sharp outside drops still show through, RH spans roughly 20..100%.\n\n";
+}
+
+void bm_rebase_humidity(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(weather::rebase_humidity(core::Celsius{-12.0},
+                                                          core::RelHumidity{85.0},
+                                                          core::Celsius{3.0})
+                                     .value());
+    }
+}
+BENCHMARK(bm_rebase_humidity);
+
+void bm_dew_point(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            weather::dew_point(core::Celsius{-5.0}, core::RelHumidity{80.0}).value());
+    }
+}
+BENCHMARK(bm_dew_point);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return zerodeg::benchutil::run(
+        argc, argv, "FIG-4: relative humidities inside and outside the tent", report);
+}

@@ -1,0 +1,108 @@
+// TAB-FAULTS: the fault census of Section 4 / 4.2.1.
+//
+// Paper: of 18 hosts, one (the known-flaky vendor-B host #15, in the tent)
+// had two transient system failures and was retired indoors -- a 5.6% host
+// failure rate, vs Intel's 4.46% in their air-economizer PoC; the control
+// group had zero failures; one sensor chip went erratic (-111 degC) after
+// extreme cold and recovered on a warm reboot; both defective loaner
+// switches died of their inherent defect.
+//
+// One physical season is one sample; the census is regenerated as a Monte
+// Carlo mean over seeds plus one narrated example season.
+#include "bench_common.hpp"
+#include "experiment/census.hpp"
+#include "experiment/report.hpp"
+#include "experiment/runner.hpp"
+#include "faults/hazard.hpp"
+
+namespace {
+
+using namespace zerodeg;
+
+constexpr int kSeeds = 10;
+
+void report() {
+    std::vector<experiment::FaultCensus> censuses;
+    for (int i = 0; i < kSeeds; ++i) {
+        experiment::ExperimentConfig cfg;
+        cfg.master_seed = 20100219 + static_cast<std::uint64_t>(i);
+        experiment::ExperimentRunner run(cfg);
+        run.run();
+        censuses.push_back(experiment::take_census(run));
+    }
+    const experiment::CensusSummary s = experiment::summarize(censuses);
+
+    experiment::print_comparison(
+        std::cout, "Fault census over " + std::to_string(kSeeds) + " simulated seasons",
+        {
+            {"fleet host-failure rate", "5.6% (1/18)",
+             experiment::fmt_pct(s.mean_fleet_failure_rate), "mean over seeds"},
+            {"Intel economizer comparator", "4.46%", "(fixed reference)", "from [1]"},
+            {"tent-group host-failure rate", "11% (1/9)",
+             experiment::fmt_pct(s.mean_tent_failure_rate),
+             "failures concentrate in the tent"},
+            {"system failures per season", "2 (both host #15)",
+             experiment::fmt(s.mean_system_failures, 2), "mostly the flaky B series"},
+            {"seasons with a sensor-chip incident", "1 of 1 (-111 degC episode)",
+             experiment::fmt_pct(s.frac_runs_with_sensor_incident, 0),
+             "longest-exposed host, deep cold"},
+            {"seasons with switch failures", "1 of 1 (both loaners died)",
+             experiment::fmt_pct(s.frac_runs_with_switch_failures, 0),
+             "inherent defect, environment-independent"},
+        });
+
+    // One season narrated, like Section 4.2.1.
+    experiment::ExperimentConfig cfg;
+    experiment::ExperimentRunner run(cfg);
+    run.run();
+    const experiment::FaultCensus c = experiment::take_census(run);
+    std::cout << "\nExample season (seed " << cfg.master_seed << "):\n"
+              << "  system failures: " << c.system_failures << " (" << c.transient_failures
+              << " transient / " << c.permanent_failures << " permanent), tent hosts failed: "
+              << c.tent_hosts_failed << ", basement hosts failed: " << c.basement_hosts_failed
+              << "\n  sensor incidents: " << c.sensor_incidents
+              << ", switch failures: " << c.switch_failures << "\n\nFault log:\n";
+    for (const faults::FaultRecord& r : run.fault_log().records()) {
+        std::cout << "  " << r.time.to_string() << "  " << r.source << "  "
+                  << faults::to_string(r.component) << " (" << faults::to_string(r.severity)
+                  << ") " << (r.in_tent ? "[tent]" : "[basement]") << "  " << r.description
+                  << '\n';
+    }
+
+    // Common-cause check (research question 3): nothing should cluster.
+    const auto clusters = faults::CommonCauseDetector().analyze(run.fault_log());
+    std::cout << "\nCommon-cause clusters (>=3 hosts, same component, 24 h window): "
+              << clusters.size()
+              << "   (paper found none -- no component type failed en masse)\n\n";
+}
+
+void bm_hazard_eval(benchmark::State& state) {
+    const faults::HostHazardModel model;
+    faults::StressState stress;
+    stress.intake = core::Celsius{-15.0};
+    stress.humidity = core::RelHumidity{85.0};
+    stress.age_hours = 22000.0;
+    stress.cycling_rate_k_per_h = 1.5;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.hazard_per_hour(stress));
+    }
+}
+BENCHMARK(bm_hazard_eval);
+
+void bm_full_season(benchmark::State& state) {
+    for (auto _ : state) {
+        experiment::ExperimentConfig cfg;
+        cfg.load.corpus.total_bytes = 64 * 1024;
+        cfg.load.target_blocks = 20;
+        experiment::ExperimentRunner run(cfg);
+        run.run();
+        benchmark::DoNotOptimize(run.fault_log().count());
+    }
+}
+BENCHMARK(bm_full_season)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return zerodeg::benchutil::run(argc, argv, "TAB-FAULTS: system-failure census", report);
+}

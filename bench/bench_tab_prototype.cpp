@@ -1,0 +1,48 @@
+// TAB-PROTO: the prototype weekend of Section 3.1 (Feb 12-15, 2010).
+//
+// Paper: outside minimum -10.2 degC, average -9.2 degC; lm-sensors showed
+// the CPU as cold as -4 degC; S.M.A.R.T. stayed clean; the PC survived.
+#include "bench_common.hpp"
+#include "experiment/prototype.hpp"
+#include "experiment/report.hpp"
+
+namespace {
+
+using namespace zerodeg;
+
+void report() {
+    const experiment::PrototypeResult r = experiment::run_prototype();
+
+    experiment::print_comparison(
+        std::cout, "Prototype weekend, Feb 12-15 2010 (paper Section 3.1)",
+        {
+            {"outside minimum", "-10.2 degC", experiment::fmt(r.outside_min.value(), 1) + " degC",
+             "synthetic weather, same regime"},
+            {"outside average", "-9.2 degC", experiment::fmt(r.outside_mean.value(), 1) + " degC",
+             "climatology anchor on Feb 13"},
+            {"coldest CPU reading (lm-sensors)", "-4 degC",
+             experiment::fmt(r.cpu_min_reported.value(), 1) + " degC",
+             "near-idle CPU a few K above intake"},
+            {"machine survived the weekend", "yes", r.survived ? "yes" : "NO", ""},
+            {"S.M.A.R.T. clean", "yes", r.smart_ok ? "yes" : "NO",
+             "long self-test passes afterwards"},
+        });
+
+    std::cout << "\nBox-internal minimum: " << experiment::fmt(r.box_min.value(), 1)
+              << " degC (the plastic boxes \"did not really impede air flow or contain\n"
+                 "any heat\" -- they only kept snow out)\n\n";
+}
+
+void bm_prototype_weekend(benchmark::State& state) {
+    for (auto _ : state) {
+        const experiment::PrototypeResult r = experiment::run_prototype();
+        benchmark::DoNotOptimize(r.outside_min.value());
+    }
+}
+BENCHMARK(bm_prototype_weekend)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return zerodeg::benchutil::run(argc, argv, "TAB-PROTO: the prototype weekend", report);
+}

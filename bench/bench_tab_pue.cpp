@@ -1,0 +1,74 @@
+// TAB-PUE: the Section 5 PUE arithmetic.
+//
+// Paper: the new cluster runs 75 kW of IT; three CRACs draw 6.9 kW, the
+// chilled-water plant 44.7 kW, the roof liquid-cooling unit 3.8 kW.  Summing
+// nameplates gives "a rather efficient 1.74" -- and the paper immediately
+// notes reality is worse because pre-existing CRACs carry part of the load.
+#include "bench_common.hpp"
+#include "energy/economizer.hpp"
+#include "energy/pue.hpp"
+#include "experiment/report.hpp"
+
+namespace {
+
+using namespace zerodeg;
+using core::Watts;
+
+void report() {
+    const energy::CoolingPlant plant = energy::helsinki_cluster_plant();
+
+    std::cout << "\nCooling chain nameplates (Section 5):\n";
+    experiment::TablePrinter units(std::cout, {"unit", "power draw (kW)", "capacity (kW)"},
+                                   {38, 16, 14});
+    for (const energy::CoolingUnit& u : plant.units()) {
+        units.row({u.name, experiment::fmt(u.power_draw.kilowatts(), 1),
+                   experiment::fmt(u.cooling_capacity.kilowatts(), 1)});
+    }
+
+    const energy::PueBreakdown optimistic = energy::helsinki_cluster_pue();
+    const energy::PueBreakdown realistic = energy::helsinki_cluster_pue_with_legacy_cracs();
+
+    // What the same room would look like free-air cooled, for contrast.
+    const energy::AirEconomizer eco;
+    const Watts winter_cooling =
+        eco.cooling_power(energy::helsinki_cluster_it_load(), core::Celsius{-5.0});
+    const double eco_pue =
+        (energy::helsinki_cluster_it_load() + winter_cooling) / energy::helsinki_cluster_it_load();
+
+    experiment::print_comparison(
+        std::cout, "PUE of the new 75 kW cluster",
+        {
+            {"IT load", "75 kW", experiment::fmt(optimistic.it_load.kilowatts(), 1) + " kW", ""},
+            {"cooling power (sum of nameplates)", "55.4 kW",
+             experiment::fmt(optimistic.cooling.kilowatts(), 1) + " kW",
+             "6.9 + 44.7 + 3.8"},
+            {"optimistic PUE", "1.74", experiment::fmt(optimistic.pue, 2),
+             "\"if we could just sum those figures\""},
+            {"with legacy CRACs sharing the load", "worse (no figure given)",
+             experiment::fmt(realistic.pue, 2), "\"more energy is wasted\""},
+            {"free-air-cooled equivalent (winter)", "(the paper's proposal)",
+             experiment::fmt(eco_pue, 2), "fans only at -5 degC outside"},
+        });
+    std::cout << '\n';
+}
+
+void bm_pue_compute(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(energy::helsinki_cluster_pue().pue);
+    }
+}
+BENCHMARK(bm_pue_compute);
+
+void bm_power_to_cool(benchmark::State& state) {
+    const energy::CoolingPlant plant = energy::helsinki_cluster_plant();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(plant.power_to_cool(Watts::from_kilowatts(60.0)).value());
+    }
+}
+BENCHMARK(bm_power_to_cool);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return zerodeg::benchutil::run(argc, argv, "TAB-PUE: Section 5 PUE arithmetic", report);
+}

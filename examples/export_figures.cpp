@@ -1,0 +1,31 @@
+// Run the full paper season and export every figure series as CSV plus the
+// operational/fault logs — the raw material for replotting Figs. 3 and 4
+// with an external tool.
+//
+//   ./build/examples/export_figures [output_dir]   (default: ./figures_out)
+#include <filesystem>
+#include <iostream>
+
+#include "experiment/figures.hpp"
+
+int main(int argc, char** argv) {
+    using namespace zerodeg;
+
+    const std::string dir = argc > 1 ? argv[1] : "figures_out";
+    std::filesystem::create_directories(dir);
+
+    experiment::ExperimentConfig cfg;
+    std::cout << "running the season " << cfg.start.date_string() << " .. "
+              << cfg.end.date_string() << " ...\n";
+    experiment::ExperimentRunner run(cfg);
+    run.run();
+
+    const auto written = experiment::export_figure_data(run, dir);
+    std::cout << "wrote:\n";
+    for (const std::string& path : written) std::cout << "  " << path << '\n';
+    std::cout << "\nreplot e.g. with gnuplot:\n"
+              << "  set datafile separator ','\n"
+              << "  plot '" << dir << "/fig3_outside_temp.csv' using 0:2 with lines, \\\n"
+              << "       '" << dir << "/fig3_tent_temp.csv' using 0:2 with lines\n";
+    return 0;
+}

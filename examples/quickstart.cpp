@@ -1,0 +1,59 @@
+// Quickstart: put one server in a tent on a Helsinki roof in February 2010,
+// run it for a week, and see what the cold does to it.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <iostream>
+
+#include "core/units.hpp"
+#include "hardware/server.hpp"
+#include "thermal/enclosure.hpp"
+#include "weather/weather_model.hpp"
+
+int main() {
+    using namespace zerodeg;
+    using core::Celsius;
+    using core::Duration;
+    using core::TimePoint;
+
+    // 1. Synthetic Helsinki winter weather (the SMEAR III stand-in).
+    weather::WeatherModel sky(weather::helsinki_2010_config(), /*seed=*/42);
+
+    // 2. A camping tent and one decommissioned desktop inside it.
+    thermal::TentModel tent;
+    hardware::Server pc(1, "host-01", hardware::vendor_a_spec(), /*seed=*/42);
+
+    const TimePoint start = TimePoint::from_date(2010, 2, 19);
+    const TimePoint end = start + Duration::days(7);
+    const Duration tick = Duration::minutes(10);
+
+    pc.power_on(Celsius{-5.0});
+    pc.set_cpu_load(0.3);
+
+    Celsius coldest_outside{100.0};
+    Celsius coldest_cpu{100.0};
+    for (TimePoint t = start; t <= end; t += tick) {
+        const weather::WeatherSample outside = sky.advance_to(t);
+        tent.set_equipment_power(pc.wall_power());
+        tent.step(tick, outside);
+        pc.step(tick, tent.air().temperature);
+
+        coldest_outside = std::min(coldest_outside, outside.temperature);
+        if (const auto cpu = pc.read_cpu_sensor()) {
+            coldest_cpu = std::min(coldest_cpu, *cpu);
+        }
+        if (t.seconds_of_day() == 0) {  // midnight report
+            std::cout << t.date_string() << "  outside " << core::to_string(outside.temperature)
+                      << "  tent " << core::to_string(tent.air().temperature) << "  tent RH "
+                      << core::to_string(tent.air().humidity) << "  CPU "
+                      << core::to_string(pc.cpu_temperature()) << '\n';
+        }
+    }
+
+    std::cout << "\ncoldest outside air:   " << core::to_string(coldest_outside) << '\n';
+    std::cout << "coldest CPU reading:   " << core::to_string(coldest_cpu) << '\n';
+    std::cout << "machine state:         " << hardware::to_string(pc.state()) << '\n';
+    std::cout << "sensor chip:           " << hardware::to_string(pc.sensor_chip().state())
+              << '\n';
+    return 0;
+}

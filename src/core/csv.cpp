@@ -1,0 +1,111 @@
+#include "core/csv.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "core/error.hpp"
+#include "core/timeseries.hpp"
+
+namespace zerodeg::core {
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+    std::vector<std::string> fields;
+    std::string cur;
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cur.push_back('"');
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push_back(c);
+            }
+        } else if (c == '"') {
+            in_quotes = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(cur));
+            cur.clear();
+        } else if (c == '\r') {
+            // tolerate CRLF
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (in_quotes) throw CorruptData("parse_csv_line: unterminated quote");
+    fields.push_back(std::move(cur));
+    return fields;
+}
+
+std::string csv_escape(const std::string& field) {
+    if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+    std::string out = "\"";
+    for (const char c : field) {
+        if (c == '"') out += "\"\"";
+        else out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i) out_ << ',';
+        out_ << csv_escape(fields[i]);
+    }
+    out_ << '\n';
+}
+
+bool CsvReader::read_row(std::vector<std::string>& fields) {
+    std::string line;
+    while (std::getline(in_, line)) {
+        if (line.empty() || line == "\r") continue;
+        fields = parse_csv_line(line);
+        return true;
+    }
+    return false;
+}
+
+void write_series_csv(std::ostream& out, const TimeSeries& series) {
+    CsvWriter w(out);
+    w.write_row({"time", series.name().empty() ? "value" : series.name()});
+    for (const Sample& s : series) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6g", s.value);
+        w.write_row({s.time.to_string(), buf});
+    }
+}
+
+namespace {
+
+TimePoint parse_time(const std::string& s) {
+    CivilDateTime c;
+    if (std::sscanf(s.c_str(), "%d-%d-%d %d:%d:%d", &c.year, &c.month, &c.day, &c.hour, &c.minute,
+                    &c.second) != 6) {
+        throw CorruptData("read_series_csv: bad timestamp '" + s + "'");
+    }
+    return TimePoint::from_civil(c);
+}
+
+}  // namespace
+
+TimeSeries read_series_csv(std::istream& in) {
+    CsvReader r(in);
+    std::vector<std::string> row;
+    if (!r.read_row(row) || row.size() < 2) {
+        throw CorruptData("read_series_csv: missing header");
+    }
+    TimeSeries series(row[1]);
+    while (r.read_row(row)) {
+        if (row.size() < 2) throw CorruptData("read_series_csv: short row");
+        series.append(parse_time(row[0]), std::stod(row[1]));
+    }
+    return series;
+}
+
+}  // namespace zerodeg::core

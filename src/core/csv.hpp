@@ -1,0 +1,51 @@
+// Minimal CSV reader/writer.
+//
+// Used for weather trace import/export and for dumping figure series, so a
+// real SMEAR III extract can be substituted for the synthetic weather (the
+// substitution documented in DESIGN.md).  Handles quoting per RFC 4180.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace zerodeg::core {
+
+class TimeSeries;
+
+/// Parse one CSV line into fields (handles double-quoted fields with commas
+/// and escaped quotes).  Newlines inside quoted fields are not supported —
+/// the project's own files never produce them.
+[[nodiscard]] std::vector<std::string> parse_csv_line(const std::string& line);
+
+/// Quote a field if it needs it.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+class CsvWriter {
+public:
+    explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+    void write_row(const std::vector<std::string>& fields);
+
+private:
+    std::ostream& out_;
+};
+
+class CsvReader {
+public:
+    explicit CsvReader(std::istream& in) : in_(in) {}
+
+    /// Read the next row; false at end of input.  Skips blank lines.
+    bool read_row(std::vector<std::string>& fields);
+
+private:
+    std::istream& in_;
+};
+
+/// Write series as `time_iso,<name>` rows with a header.
+void write_series_csv(std::ostream& out, const TimeSeries& series);
+
+/// Read a series written by write_series_csv.
+[[nodiscard]] TimeSeries read_series_csv(std::istream& in);
+
+}  // namespace zerodeg::core

@@ -1,0 +1,45 @@
+// Error types shared across the zerodeg libraries.
+//
+// Following the C++ Core Guidelines (E.2, E.14) we throw exceptions derived
+// from a single project base so callers can catch per-domain or project-wide.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace zerodeg::core {
+
+/// Base class of every exception thrown by a zerodeg library.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad argument, bad state).
+class InvalidArgument : public Error {
+public:
+    explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An I/O operation (trace file, CSV, corpus) failed.
+class IoError : public Error {
+public:
+    explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Data failed an integrity check (bad magic, CRC mismatch, short read).
+class CorruptData : public Error {
+public:
+    explicit CorruptData(const std::string& what) : Error(what) {}
+};
+
+}  // namespace zerodeg::core
+
+namespace zerodeg {
+// The error types are spelled without the nested namespace often enough that
+// project-level aliases are warranted.
+using core::CorruptData;
+using core::Error;
+using core::InvalidArgument;
+using core::IoError;
+}  // namespace zerodeg

@@ -1,0 +1,91 @@
+#include "core/event_queue.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace zerodeg::core {
+
+EventId Simulator::schedule_at(TimePoint when, Callback fn, std::string label) {
+    if (when < now_) throw InvalidArgument("Simulator::schedule_at: time is in the past");
+    if (!fn) throw InvalidArgument("Simulator::schedule_at: empty callback");
+    Event ev;
+    ev.when = when;
+    ev.seq = next_seq_++;
+    ev.id = next_id_++;
+    ev.fn = std::move(fn);
+    ev.label = std::move(label);
+    const EventId id = ev.id;
+    queue_.push(std::move(ev));
+    return id;
+}
+
+EventId Simulator::schedule_every(TimePoint first, Duration period, Callback fn,
+                                  std::string label) {
+    if (period.count() <= 0) {
+        throw InvalidArgument("Simulator::schedule_every: period must be positive");
+    }
+    if (first < now_) throw InvalidArgument("Simulator::schedule_every: time is in the past");
+    if (!fn) throw InvalidArgument("Simulator::schedule_every: empty callback");
+    Event ev;
+    ev.when = first;
+    ev.seq = next_seq_++;
+    ev.id = next_id_++;
+    ev.fn = std::move(fn);
+    ev.period = period;
+    ev.label = std::move(label);
+    const EventId id = ev.id;
+    queue_.push(std::move(ev));
+    return id;
+}
+
+bool Simulator::cancel(EventId id) {
+    if (id == 0 || id >= next_id_) return false;
+    if (is_cancelled(id)) return false;
+    cancelled_.push_back(id);
+    return true;
+}
+
+bool Simulator::is_cancelled(EventId id) const {
+    return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
+}
+
+void Simulator::forget_cancelled(EventId id) {
+    cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), id), cancelled_.end());
+}
+
+bool Simulator::step() {
+    while (!queue_.empty()) {
+        Event ev = queue_.top();
+        queue_.pop();
+        if (is_cancelled(ev.id)) {
+            forget_cancelled(ev.id);
+            continue;
+        }
+        now_ = ev.when;
+        ++executed_;
+        if (ev.period.count() > 0) {
+            Event next = ev;  // copies the shared callback
+            next.when = ev.when + ev.period;
+            next.seq = next_seq_++;
+            queue_.push(std::move(next));
+        }
+        ev.fn();
+        return true;
+    }
+    return false;
+}
+
+void Simulator::run_until(TimePoint until) {
+    while (!queue_.empty() && queue_.top().when <= until) {
+        if (!step()) break;
+    }
+    if (until > now_) now_ = until;
+}
+
+std::size_t Simulator::pending_events() const {
+    // Cancelled events still sit in the heap; subtract them.
+    return queue_.size() - cancelled_.size();
+}
+
+}  // namespace zerodeg::core

@@ -1,0 +1,52 @@
+#include "core/log.hpp"
+
+#include <ostream>
+
+namespace zerodeg::core {
+
+const char* to_string(LogLevel level) {
+    switch (level) {
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarning: return "WARN";
+        case LogLevel::kFault: return "FAULT";
+    }
+    return "?";
+}
+
+void EventLog::record(TimePoint t, LogLevel level, std::string source, std::string message) {
+    entries_.push_back({t, level, std::move(source), std::move(message)});
+}
+
+std::size_t EventLog::count(LogLevel level) const {
+    std::size_t n = 0;
+    for (const LogEntry& e : entries_) {
+        if (e.level == level) ++n;
+    }
+    return n;
+}
+
+std::vector<LogEntry> EventLog::from_source(const std::string& source) const {
+    std::vector<LogEntry> out;
+    for (const LogEntry& e : entries_) {
+        if (e.source == source) out.push_back(e);
+    }
+    return out;
+}
+
+std::vector<LogEntry> EventLog::at_level(LogLevel level) const {
+    std::vector<LogEntry> out;
+    for (const LogEntry& e : entries_) {
+        if (e.level == level) out.push_back(e);
+    }
+    return out;
+}
+
+void EventLog::print(std::ostream& out) const {
+    for (const LogEntry& e : entries_) {
+        out << e.time.to_string() << " [" << to_string(e.level) << "] " << e.source << ": "
+            << e.message << '\n';
+    }
+}
+
+}  // namespace zerodeg::core

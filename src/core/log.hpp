@@ -1,0 +1,46 @@
+// Structured event log.
+//
+// Everything notable that happens during a simulated experiment — faults,
+// operator interventions, collection failures — is recorded here with its
+// simulated timestamp, so reports can replay "what happened when" exactly as
+// Section 4.2 of the paper narrates its incidents.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/sim_time.hpp"
+
+namespace zerodeg::core {
+
+enum class LogLevel { kDebug, kInfo, kWarning, kFault };
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+struct LogEntry {
+    TimePoint time;
+    LogLevel level = LogLevel::kInfo;
+    std::string source;   ///< e.g. "host-15", "switch-1", "tent"
+    std::string message;
+};
+
+class EventLog {
+public:
+    void record(TimePoint t, LogLevel level, std::string source, std::string message);
+
+    [[nodiscard]] const std::vector<LogEntry>& entries() const { return entries_; }
+    [[nodiscard]] std::size_t count(LogLevel level) const;
+    [[nodiscard]] std::vector<LogEntry> from_source(const std::string& source) const;
+    [[nodiscard]] std::vector<LogEntry> at_level(LogLevel level) const;
+
+    void clear() { entries_.clear(); }
+
+    /// Human-readable dump, one line per entry.
+    void print(std::ostream& out) const;
+
+private:
+    std::vector<LogEntry> entries_;
+};
+
+}  // namespace zerodeg::core

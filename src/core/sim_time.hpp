@@ -1,0 +1,106 @@
+// Simulated time and calendar.
+//
+// The experiment runs on real 2010 dates (Fig. 2 of the paper: prototype
+// Feb 12, main phase from Feb 19, host #15 replaced Mar 17/26, ...), so the
+// clock is a thin wrapper over "seconds since the Unix epoch" plus civil
+// calendar conversion (Howard Hinnant's days-from-civil algorithm, which is
+// exact over the simulated range and needs no OS timezone machinery; all
+// times are local Helsinki wall-clock by convention).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace zerodeg::core {
+
+/// A span of simulated time, in seconds.
+class Duration {
+public:
+    constexpr Duration() = default;
+    constexpr explicit Duration(std::int64_t seconds) : seconds_(seconds) {}
+
+    [[nodiscard]] static constexpr Duration seconds(std::int64_t s) { return Duration{s}; }
+    [[nodiscard]] static constexpr Duration minutes(std::int64_t m) { return Duration{m * 60}; }
+    [[nodiscard]] static constexpr Duration hours(std::int64_t h) { return Duration{h * 3600}; }
+    [[nodiscard]] static constexpr Duration days(std::int64_t d) { return Duration{d * 86400}; }
+
+    [[nodiscard]] constexpr std::int64_t count() const { return seconds_; }
+    [[nodiscard]] constexpr double total_hours() const { return seconds_ / 3600.0; }
+    [[nodiscard]] constexpr double total_days() const { return seconds_ / 86400.0; }
+
+    constexpr auto operator<=>(const Duration&) const = default;
+    constexpr Duration operator+(Duration rhs) const { return Duration{seconds_ + rhs.seconds_}; }
+    constexpr Duration operator-(Duration rhs) const { return Duration{seconds_ - rhs.seconds_}; }
+    constexpr Duration operator*(std::int64_t k) const { return Duration{seconds_ * k}; }
+    constexpr Duration operator/(std::int64_t k) const { return Duration{seconds_ / k}; }
+
+private:
+    std::int64_t seconds_ = 0;
+};
+
+/// Calendar date + wall-clock fields, for reports and configuration.
+struct CivilDateTime {
+    int year = 1970;
+    int month = 1;  ///< 1..12
+    int day = 1;    ///< 1..31
+    int hour = 0;
+    int minute = 0;
+    int second = 0;
+
+    auto operator<=>(const CivilDateTime&) const = default;
+};
+
+/// An instant of simulated time (seconds since 1970-01-01 00:00:00).
+class TimePoint {
+public:
+    constexpr TimePoint() = default;
+    constexpr explicit TimePoint(std::int64_t seconds_since_epoch)
+        : seconds_(seconds_since_epoch) {}
+
+    /// Construct from a civil date, e.g. {2010, 2, 19, 12, 0, 0}.
+    [[nodiscard]] static TimePoint from_civil(const CivilDateTime& c);
+    /// Shorthand for midnight of a civil date.
+    [[nodiscard]] static TimePoint from_date(int year, int month, int day) {
+        return from_civil({year, month, day, 0, 0, 0});
+    }
+
+    [[nodiscard]] constexpr std::int64_t seconds_since_epoch() const { return seconds_; }
+    [[nodiscard]] CivilDateTime to_civil() const;
+
+    /// Seconds elapsed since the previous midnight, in [0, 86400).
+    [[nodiscard]] constexpr int seconds_of_day() const {
+        const std::int64_t r = seconds_ % 86400;
+        return static_cast<int>(r < 0 ? r + 86400 : r);
+    }
+    /// Fraction of the day elapsed, in [0, 1).
+    [[nodiscard]] constexpr double day_fraction() const { return seconds_of_day() / 86400.0; }
+    /// Day of the year, 1-based (Jan 1 = 1).  Needed by the solar model.
+    [[nodiscard]] int day_of_year() const;
+    /// ISO weekday, 1 = Monday .. 7 = Sunday.
+    [[nodiscard]] int iso_weekday() const;
+
+    /// "2010-03-07 04:40:00"
+    [[nodiscard]] std::string to_string() const;
+    /// "2010-03-07"
+    [[nodiscard]] std::string date_string() const;
+
+    constexpr auto operator<=>(const TimePoint&) const = default;
+    constexpr TimePoint operator+(Duration d) const { return TimePoint{seconds_ + d.count()}; }
+    constexpr TimePoint operator-(Duration d) const { return TimePoint{seconds_ - d.count()}; }
+    constexpr Duration operator-(TimePoint rhs) const { return Duration{seconds_ - rhs.seconds_}; }
+    constexpr TimePoint& operator+=(Duration d) {
+        seconds_ += d.count();
+        return *this;
+    }
+
+private:
+    std::int64_t seconds_ = 0;
+};
+
+/// Days since the epoch for a civil date (proleptic Gregorian).
+[[nodiscard]] std::int64_t days_from_civil(int year, int month, int day);
+/// Inverse of days_from_civil.
+void civil_from_days(std::int64_t days, int& year, int& month, int& day);
+
+}  // namespace zerodeg::core

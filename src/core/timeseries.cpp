@@ -1,0 +1,114 @@
+#include "core/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+
+namespace zerodeg::core {
+
+void TimeSeries::append(TimePoint t, double value) {
+    if (!samples_.empty() && t < samples_.back().time) {
+        throw InvalidArgument("TimeSeries::append: samples must be time-ordered (series '" +
+                              name_ + "')");
+    }
+    samples_.push_back({t, value});
+}
+
+std::optional<double> TimeSeries::interpolate(TimePoint t) const {
+    if (samples_.empty() || t < samples_.front().time || t > samples_.back().time) {
+        return std::nullopt;
+    }
+    const auto it = std::lower_bound(
+        samples_.begin(), samples_.end(), t,
+        [](const Sample& s, TimePoint tp) { return s.time < tp; });
+    if (it->time == t) return it->value;
+    const Sample& hi = *it;
+    const Sample& lo = *(it - 1);
+    const double span = static_cast<double>((hi.time - lo.time).count());
+    if (span <= 0.0) return lo.value;
+    const double w = static_cast<double>((t - lo.time).count()) / span;
+    return lo.value + w * (hi.value - lo.value);
+}
+
+std::optional<double> TimeSeries::value_at_or_before(TimePoint t) const {
+    if (samples_.empty() || t < samples_.front().time) return std::nullopt;
+    const auto it = std::upper_bound(
+        samples_.begin(), samples_.end(), t,
+        [](TimePoint tp, const Sample& s) { return tp < s.time; });
+    return (it - 1)->value;
+}
+
+SeriesStats TimeSeries::stats() const {
+    if (samples_.empty()) return {};
+    return stats_between(samples_.front().time, samples_.back().time);
+}
+
+SeriesStats TimeSeries::stats_between(TimePoint from, TimePoint to) const {
+    RunningStats acc;
+    for (const Sample& s : samples_) {
+        if (s.time < from || s.time > to) continue;
+        acc.add(s.value);
+    }
+    SeriesStats out;
+    out.count = acc.count();
+    if (out.count == 0) return out;
+    out.min = acc.min();
+    out.max = acc.max();
+    out.mean = acc.mean();
+    out.stddev = acc.stddev();
+    return out;
+}
+
+TimeSeries TimeSeries::resample(TimePoint from, TimePoint to, Duration step) const {
+    if (step.count() <= 0) throw InvalidArgument("TimeSeries::resample: step must be positive");
+    TimeSeries out(name_);
+    for (TimePoint t = from; t <= to; t += step) {
+        if (const auto v = interpolate(t)) out.append(t, *v);
+    }
+    return out;
+}
+
+TimeSeries TimeSeries::slice(TimePoint from, TimePoint to) const {
+    TimeSeries out(name_);
+    for (const Sample& s : samples_) {
+        if (s.time >= from && s.time <= to) out.samples_.push_back(s);
+    }
+    return out;
+}
+
+std::size_t TimeSeries::remove_if(const std::function<bool(const Sample&)>& pred) {
+    const auto it = std::remove_if(samples_.begin(), samples_.end(), pred);
+    const std::size_t removed = static_cast<std::size_t>(samples_.end() - it);
+    samples_.erase(it, samples_.end());
+    return removed;
+}
+
+void TimeSeries::transform(const std::function<double(double)>& fn) {
+    for (Sample& s : samples_) s.value = fn(s.value);
+}
+
+TimeSeries TimeSeries::daily(DailyReduce how) const {
+    TimeSeries out(name_);
+    std::size_t i = 0;
+    while (i < samples_.size()) {
+        const std::int64_t day = samples_[i].time.seconds_since_epoch() / 86400;
+        RunningStats acc;
+        std::size_t j = i;
+        while (j < samples_.size() && samples_[j].time.seconds_since_epoch() / 86400 == day) {
+            acc.add(samples_[j].value);
+            ++j;
+        }
+        const TimePoint midnight{day * 86400};
+        switch (how) {
+            case DailyReduce::kMin: out.append(midnight, acc.min()); break;
+            case DailyReduce::kMax: out.append(midnight, acc.max()); break;
+            case DailyReduce::kMean: out.append(midnight, acc.mean()); break;
+        }
+        i = j;
+    }
+    return out;
+}
+
+}  // namespace zerodeg::core

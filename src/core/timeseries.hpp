@@ -1,0 +1,86 @@
+// Time-series container used by every sensor, logger and report generator.
+//
+// Samples are (TimePoint, double) pairs appended in nondecreasing time order.
+// Figures 3 and 4 of the paper are, concretely, four of these objects
+// resampled to a common grid.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sim_time.hpp"
+
+namespace zerodeg::core {
+
+struct Sample {
+    TimePoint time;
+    double value = 0.0;
+
+    bool operator==(const Sample&) const = default;
+};
+
+struct SeriesStats {
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    std::size_t count = 0;
+};
+
+class TimeSeries {
+public:
+    TimeSeries() = default;
+    explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    void set_name(std::string n) { name_ = std::move(n); }
+
+    /// Append a sample; time must be >= the last sample's time.
+    void append(TimePoint t, double value);
+
+    [[nodiscard]] bool empty() const { return samples_.empty(); }
+    [[nodiscard]] std::size_t size() const { return samples_.size(); }
+    [[nodiscard]] const Sample& operator[](std::size_t i) const { return samples_[i]; }
+    [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+    [[nodiscard]] const Sample& front() const { return samples_.front(); }
+    [[nodiscard]] const Sample& back() const { return samples_.back(); }
+
+    [[nodiscard]] auto begin() const { return samples_.begin(); }
+    [[nodiscard]] auto end() const { return samples_.end(); }
+
+    /// Linear interpolation at `t`; nullopt outside the covered interval.
+    [[nodiscard]] std::optional<double> interpolate(TimePoint t) const;
+
+    /// Value of the last sample at or before `t` (step interpolation).
+    [[nodiscard]] std::optional<double> value_at_or_before(TimePoint t) const;
+
+    /// Min / max / mean / stddev over all samples (or a sub-interval).
+    [[nodiscard]] SeriesStats stats() const;
+    [[nodiscard]] SeriesStats stats_between(TimePoint from, TimePoint to) const;
+
+    /// New series sampled on a regular grid via linear interpolation.
+    /// Grid points outside the covered interval are skipped.
+    [[nodiscard]] TimeSeries resample(TimePoint from, TimePoint to, Duration step) const;
+
+    /// New series with samples in [from, to] only.
+    [[nodiscard]] TimeSeries slice(TimePoint from, TimePoint to) const;
+
+    /// Remove samples for which `pred(sample)` is true; returns the number
+    /// removed.  (This implements the paper's outlier-removal step.)
+    std::size_t remove_if(const std::function<bool(const Sample&)>& pred);
+
+    /// Element-wise transformation of the values.
+    void transform(const std::function<double(double)>& fn);
+
+    /// Daily aggregates (midnight-to-midnight) of the given reducer.
+    enum class DailyReduce { kMin, kMax, kMean };
+    [[nodiscard]] TimeSeries daily(DailyReduce how) const;
+
+private:
+    std::string name_;
+    std::vector<Sample> samples_;
+};
+
+}  // namespace zerodeg::core

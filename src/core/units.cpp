@@ -1,0 +1,31 @@
+#include "core/units.hpp"
+
+#include <cstdio>
+
+namespace zerodeg::core {
+
+namespace {
+
+std::string format(double v, const char* suffix) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.2f%s", v, suffix);
+    return buf;
+}
+
+}  // namespace
+
+std::string to_string(Celsius t) { return format(t.value(), " degC"); }
+std::string to_string(Kelvin t) { return format(t.value(), " K"); }
+std::string to_string(RelHumidity rh) { return format(rh.value(), "% RH"); }
+
+std::string to_string(Watts p) {
+    if (p.value() >= 1000.0 || p.value() <= -1000.0) return format(p.kilowatts(), " kW");
+    return format(p.value(), " W");
+}
+
+std::string to_string(Joules e) {
+    if (e.value() >= 3.6e6 || e.value() <= -3.6e6) return format(e.kilowatt_hours(), " kWh");
+    return format(e.value(), " J");
+}
+
+}  // namespace zerodeg::core

@@ -1,0 +1,202 @@
+// Strong unit types for the physical quantities the simulation trades in.
+//
+// Psychrometric and thermal code mixes temperatures in two scales, powers,
+// energies, pressures and velocities; implicit double-to-double conversions
+// are how real bugs happen (the paper itself reports a sensor chip emitting
+// -111 degC garbage).  Each quantity below is a distinct type; conversions are
+// explicit, constexpr and unit-tested.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <string>
+
+namespace zerodeg::core {
+
+namespace detail {
+
+/// CRTP base providing arithmetic and ordering for a scalar-backed unit.
+/// Derived types are regular value types (C.10): copyable, comparable,
+/// default-constructed to zero.
+template <typename Derived>
+class ScalarUnit {
+public:
+    constexpr ScalarUnit() = default;
+    constexpr explicit ScalarUnit(double v) : value_(v) {}
+
+    [[nodiscard]] constexpr double value() const { return value_; }
+
+    constexpr auto operator<=>(const ScalarUnit&) const = default;
+
+    constexpr Derived operator+(Derived rhs) const { return Derived{value_ + rhs.value()}; }
+    constexpr Derived operator-(Derived rhs) const { return Derived{value_ - rhs.value()}; }
+    constexpr Derived operator-() const { return Derived{-value_}; }
+    constexpr Derived operator*(double k) const { return Derived{value_ * k}; }
+    constexpr Derived operator/(double k) const { return Derived{value_ / k}; }
+    /// Dimensionless ratio of two like quantities.
+    constexpr double operator/(Derived rhs) const { return value_ / rhs.value(); }
+
+    constexpr Derived& operator+=(Derived rhs) {
+        value_ += rhs.value();
+        return self();
+    }
+    constexpr Derived& operator-=(Derived rhs) {
+        value_ -= rhs.value();
+        return self();
+    }
+    constexpr Derived& operator*=(double k) {
+        value_ *= k;
+        return self();
+    }
+
+private:
+    constexpr Derived& self() { return static_cast<Derived&>(*this); }
+    double value_ = 0.0;
+};
+
+template <typename Derived>
+constexpr Derived operator*(double k, const ScalarUnit<Derived>& u) {
+    return Derived{k * u.value()};
+}
+
+}  // namespace detail
+
+class Kelvin;
+
+/// Temperature on the Celsius scale.  The paper's headline quantity.
+class Celsius : public detail::ScalarUnit<Celsius> {
+public:
+    using ScalarUnit::ScalarUnit;
+    [[nodiscard]] constexpr Kelvin to_kelvin() const;
+};
+
+/// Absolute temperature.  Used by the Arrhenius and psychrometric models,
+/// where Celsius arithmetic would be silently wrong.
+class Kelvin : public detail::ScalarUnit<Kelvin> {
+public:
+    using ScalarUnit::ScalarUnit;
+    [[nodiscard]] constexpr Celsius to_celsius() const { return Celsius{value() - 273.15}; }
+};
+
+constexpr Kelvin Celsius::to_kelvin() const { return Kelvin{value() + 273.15}; }
+
+/// Relative humidity in percent, 0..100 (super-saturation >100 is permitted
+/// transiently by the weather model and clamped at the sensor).
+class RelHumidity : public detail::ScalarUnit<RelHumidity> {
+public:
+    using ScalarUnit::ScalarUnit;
+    [[nodiscard]] constexpr double fraction() const { return value() / 100.0; }
+    [[nodiscard]] static constexpr RelHumidity from_fraction(double f) {
+        return RelHumidity{f * 100.0};
+    }
+    [[nodiscard]] constexpr RelHumidity clamped() const {
+        return RelHumidity{value() < 0.0 ? 0.0 : (value() > 100.0 ? 100.0 : value())};
+    }
+};
+
+/// Electrical or thermal power.
+class Watts : public detail::ScalarUnit<Watts> {
+public:
+    using ScalarUnit::ScalarUnit;
+    [[nodiscard]] constexpr double kilowatts() const { return value() / 1000.0; }
+    [[nodiscard]] static constexpr Watts from_kilowatts(double kw) { return Watts{kw * 1000.0}; }
+};
+
+/// Energy.  Accumulated by integrating Watts over simulated seconds.
+class Joules : public detail::ScalarUnit<Joules> {
+public:
+    using ScalarUnit::ScalarUnit;
+    [[nodiscard]] constexpr double kilowatt_hours() const { return value() / 3.6e6; }
+    [[nodiscard]] static constexpr Joules from_kilowatt_hours(double kwh) {
+        return Joules{kwh * 3.6e6};
+    }
+};
+
+/// Energy dissipated by power `p` over `seconds` (p * t).  Deliberately a
+/// named function: an operator* would shadow Watts' scalar multiply.
+constexpr Joules energy(Watts p, double seconds) { return Joules{p.value() * seconds}; }
+
+/// Water vapour (partial) pressure.
+class Pascals : public detail::ScalarUnit<Pascals> {
+public:
+    using ScalarUnit::ScalarUnit;
+    [[nodiscard]] constexpr double hectopascals() const { return value() / 100.0; }
+    [[nodiscard]] static constexpr Pascals from_hectopascals(double hpa) {
+        return Pascals{hpa * 100.0};
+    }
+};
+
+/// Wind / airflow speed.
+class MetersPerSecond : public detail::ScalarUnit<MetersPerSecond> {
+public:
+    using ScalarUnit::ScalarUnit;
+};
+
+/// Solar irradiance on a surface.
+class WattsPerSquareMeter : public detail::ScalarUnit<WattsPerSquareMeter> {
+public:
+    using ScalarUnit::ScalarUnit;
+    constexpr Watts over_area(double square_meters) const {
+        return Watts{value() * square_meters};
+    }
+};
+
+/// Thermal conductance of an enclosure boundary (heat flow per degree).
+class WattsPerKelvin : public detail::ScalarUnit<WattsPerKelvin> {
+public:
+    using ScalarUnit::ScalarUnit;
+};
+
+/// heat flow across a boundary = conductance * temperature difference
+constexpr Watts operator*(WattsPerKelvin g, Celsius delta) {
+    return Watts{g.value() * delta.value()};
+}
+
+/// Heat capacity of a thermal node.
+class JoulesPerKelvin : public detail::ScalarUnit<JoulesPerKelvin> {
+public:
+    using ScalarUnit::ScalarUnit;
+};
+
+/// Absolute humidity: mass of water vapour per volume of air.
+class GramsPerCubicMeter : public detail::ScalarUnit<GramsPerCubicMeter> {
+public:
+    using ScalarUnit::ScalarUnit;
+};
+
+// --- user-defined literals -------------------------------------------------
+
+namespace literals {
+
+constexpr Celsius operator""_degC(long double v) { return Celsius{static_cast<double>(v)}; }
+constexpr Celsius operator""_degC(unsigned long long v) { return Celsius{static_cast<double>(v)}; }
+constexpr Kelvin operator""_K(long double v) { return Kelvin{static_cast<double>(v)}; }
+constexpr Kelvin operator""_K(unsigned long long v) { return Kelvin{static_cast<double>(v)}; }
+constexpr RelHumidity operator""_rh(long double v) { return RelHumidity{static_cast<double>(v)}; }
+constexpr RelHumidity operator""_rh(unsigned long long v) {
+    return RelHumidity{static_cast<double>(v)};
+}
+constexpr Watts operator""_W(long double v) { return Watts{static_cast<double>(v)}; }
+constexpr Watts operator""_W(unsigned long long v) { return Watts{static_cast<double>(v)}; }
+constexpr Watts operator""_kW(long double v) { return Watts{static_cast<double>(v) * 1000.0}; }
+constexpr Watts operator""_kW(unsigned long long v) {
+    return Watts{static_cast<double>(v) * 1000.0};
+}
+constexpr MetersPerSecond operator""_mps(long double v) {
+    return MetersPerSecond{static_cast<double>(v)};
+}
+constexpr MetersPerSecond operator""_mps(unsigned long long v) {
+    return MetersPerSecond{static_cast<double>(v)};
+}
+
+}  // namespace literals
+
+// --- formatting --------------------------------------------------------------
+
+[[nodiscard]] std::string to_string(Celsius t);
+[[nodiscard]] std::string to_string(Kelvin t);
+[[nodiscard]] std::string to_string(RelHumidity rh);
+[[nodiscard]] std::string to_string(Watts p);
+[[nodiscard]] std::string to_string(Joules e);
+
+}  // namespace zerodeg::core

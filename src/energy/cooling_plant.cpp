@@ -1,0 +1,61 @@
+#include "energy/cooling_plant.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace zerodeg::energy {
+
+void CoolingPlant::add_unit(CoolingUnit unit) {
+    if (unit.power_draw.value() < 0.0 || unit.cooling_capacity.value() < 0.0) {
+        throw core::InvalidArgument("CoolingPlant: negative nameplate");
+    }
+    units_.push_back(std::move(unit));
+}
+
+Watts CoolingPlant::total_power_draw() const {
+    Watts total{0.0};
+    for (const CoolingUnit& u : units_) total += u.power_draw;
+    return total;
+}
+
+Watts CoolingPlant::total_capacity() const {
+    if (units_.empty()) return Watts{0.0};
+    Watts bottleneck = units_.front().cooling_capacity;
+    for (const CoolingUnit& u : units_) bottleneck = std::min(bottleneck, u.cooling_capacity);
+    return bottleneck;
+}
+
+bool CoolingPlant::sufficient_for(Watts it_load) const {
+    return total_capacity() >= it_load;
+}
+
+Watts CoolingPlant::power_to_cool(Watts it_load, double standby_fraction) const {
+    if (it_load.value() < 0.0) throw core::InvalidArgument("power_to_cool: negative load");
+    if (standby_fraction < 0.0 || standby_fraction > 1.0) {
+        throw core::InvalidArgument("power_to_cool: standby fraction out of [0,1]");
+    }
+    const Watts capacity = total_capacity();
+    if (capacity.value() <= 0.0) return Watts{0.0};
+    const double fraction = std::min(1.0, it_load / capacity);
+    const Watts nameplate = total_power_draw();
+    return nameplate * (standby_fraction + (1.0 - standby_fraction) * fraction);
+}
+
+CoolingPlant helsinki_cluster_plant() {
+    CoolingPlant plant;
+    // Nameplates from Section 5.  Capacities: the plant was sized for the
+    // 75 kW cluster; the CRACs move the room air, the chilled-water unit
+    // provides the cold water, the roof unit rejects to ambient — each stage
+    // must carry the full thermal load.
+    plant.add_unit({"CRAC x3", Watts::from_kilowatts(6.9), Watts::from_kilowatts(75.0)});
+    plant.add_unit({"chilled-water plant (HVAC area)", Watts::from_kilowatts(44.7),
+                    Watts::from_kilowatts(75.0)});
+    plant.add_unit({"roof liquid-cooling unit", Watts::from_kilowatts(3.8),
+                    Watts::from_kilowatts(75.0)});
+    return plant;
+}
+
+Watts helsinki_cluster_it_load() { return Watts::from_kilowatts(75.0); }
+
+}  // namespace zerodeg::energy

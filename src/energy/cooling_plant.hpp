@@ -1,0 +1,57 @@
+// The conventional cooling chain of Section 5.
+//
+// The department's new cluster: 75 kW of IT load cooled by three CRAC units
+// (6.9 kW total), a chilled-water plant in the HVAC area (44.7 kW) and a
+// roof liquid-cooling unit (3.8 kW).  Summing the nameplates gives the
+// paper's optimistic PUE of 1.74 — and the paper notes reality is worse,
+// because the pre-existing CRACs carry part of the thermal load too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace zerodeg::energy {
+
+using core::Celsius;
+using core::Watts;
+
+/// A named cooling component with a nameplate electrical draw and the
+/// thermal load it can reject.
+struct CoolingUnit {
+    std::string name;
+    Watts power_draw{0.0};
+    Watts cooling_capacity{0.0};
+};
+
+/// The complete conventional chain for a machine room.
+class CoolingPlant {
+public:
+    void add_unit(CoolingUnit unit);
+
+    [[nodiscard]] Watts total_power_draw() const;
+    /// The chain is a series of stages (room air -> chilled water -> roof);
+    /// every stage must carry the full thermal load, so the plant's capacity
+    /// is the *bottleneck* stage, not the sum.
+    [[nodiscard]] Watts total_capacity() const;
+    [[nodiscard]] const std::vector<CoolingUnit>& units() const { return units_; }
+
+    /// Can the plant reject this much heat?
+    [[nodiscard]] bool sufficient_for(Watts it_load) const;
+
+    /// Electrical power to cool `it_load`, assuming draw scales with the
+    /// load fraction down to a standby floor.
+    [[nodiscard]] Watts power_to_cool(Watts it_load, double standby_fraction = 0.35) const;
+
+private:
+    std::vector<CoolingUnit> units_;
+};
+
+/// The plant of Section 5, exactly as specified in the paper.
+[[nodiscard]] CoolingPlant helsinki_cluster_plant();
+
+/// The IT load of Section 5 (peak).
+[[nodiscard]] Watts helsinki_cluster_it_load();
+
+}  // namespace zerodeg::energy

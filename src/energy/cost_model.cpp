@@ -1,0 +1,59 @@
+#include "energy/cost_model.hpp"
+
+#include "core/error.hpp"
+
+namespace zerodeg::energy {
+
+namespace {
+constexpr double kHoursPerYear = 8766.0;
+}
+
+CoolingCostModel::CoolingCostModel(CostModelConfig config) : config_(config) {
+    if (config.electricity_eur_per_kwh <= 0.0 || config.server_replacement_eur < 0.0) {
+        throw core::InvalidArgument("CoolingCostModel: bad prices");
+    }
+    if (config.economizer_fraction > config.conventional_fraction) {
+        throw core::InvalidArgument(
+            "CoolingCostModel: economizer must not cost more energy than CRACs");
+    }
+}
+
+double CoolingCostModel::energy_cost(double it_load_kw, double fraction) const {
+    return it_load_kw * fraction * kHoursPerYear * config_.electricity_eur_per_kwh;
+}
+
+CoolingCostBreakdown CoolingCostModel::conventional(double it_load_kw, int servers,
+                                                    double base_afr) const {
+    if (it_load_kw < 0.0 || servers < 0 || base_afr < 0.0) {
+        throw core::InvalidArgument("CoolingCostModel::conventional: bad inputs");
+    }
+    CoolingCostBreakdown b;
+    b.energy_eur_per_year = energy_cost(it_load_kw, config_.conventional_fraction);
+    b.capex_eur_per_year = it_load_kw * config_.crac_capex_eur_per_kw_year;
+    b.replacement_eur_per_year = servers * base_afr * config_.server_replacement_eur;
+    return b;
+}
+
+CoolingCostBreakdown CoolingCostModel::free_air(double it_load_kw, int servers,
+                                                double free_air_afr) const {
+    if (it_load_kw < 0.0 || servers < 0 || free_air_afr < 0.0) {
+        throw core::InvalidArgument("CoolingCostModel::free_air: bad inputs");
+    }
+    CoolingCostBreakdown b;
+    b.energy_eur_per_year = energy_cost(it_load_kw, config_.economizer_fraction);
+    b.capex_eur_per_year = it_load_kw * config_.economizer_capex_eur_per_kw_year;
+    b.replacement_eur_per_year = servers * free_air_afr * config_.server_replacement_eur;
+    return b;
+}
+
+double CoolingCostModel::break_even_excess_afr(double it_load_kw, int servers,
+                                               double base_afr) const {
+    if (servers <= 0 || config_.server_replacement_eur <= 0.0) return 0.0;
+    const double conventional_total = conventional(it_load_kw, servers, base_afr).total();
+    const double free_air_at_base = free_air(it_load_kw, servers, base_afr).total();
+    const double margin = conventional_total - free_air_at_base;
+    if (margin <= 0.0) return 0.0;
+    return margin / (servers * config_.server_replacement_eur);
+}
+
+}  // namespace zerodeg::energy

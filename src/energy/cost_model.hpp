@@ -1,0 +1,69 @@
+// The financial question of Section 3 ("research question 2"):
+//
+// "If the outside air technique is feasible but causes a higher equipment
+// failure rate than by using familiar air conditioning, the projected costs
+// must be carefully considered.  If the failure rate rises only a little or
+// not at all, replacement costs must be balanced with the purchase and
+// energy costs of air conditioning."
+//
+// This model does exactly that balance: annual cooling-energy cost of a
+// conventional plant vs. an economizer, the capex difference, and the
+// replacement cost implied by an elevated failure rate — including the
+// break-even excess AFR below which free cooling wins outright.
+#pragma once
+
+#include "core/units.hpp"
+
+namespace zerodeg::energy {
+
+struct CostModelConfig {
+    double electricity_eur_per_kwh = 0.11;   // 2010 Finnish industrial rate
+    double server_replacement_eur = 1200.0;  // commodity 1U/desktop, installed
+    /// Conventional plant: capex per kW of IT load, amortized per year.
+    double crac_capex_eur_per_kw_year = 110.0;
+    /// Economizer (fans, filters, dampers): much cheaper per kW-year.
+    double economizer_capex_eur_per_kw_year = 35.0;
+    /// Conventional cooling electrical power per watt of IT load.
+    double conventional_fraction = 0.5;
+    /// Economizer annual-average power per watt of IT load (fans, plus the
+    /// few compressor hours a cold climate needs).
+    double economizer_fraction = 0.09;
+};
+
+struct CoolingCostBreakdown {
+    double energy_eur_per_year = 0.0;
+    double capex_eur_per_year = 0.0;
+    double replacement_eur_per_year = 0.0;
+
+    [[nodiscard]] double total() const {
+        return energy_eur_per_year + capex_eur_per_year + replacement_eur_per_year;
+    }
+};
+
+class CoolingCostModel {
+public:
+    explicit CoolingCostModel(CostModelConfig config = CostModelConfig());
+
+    /// Annual cost of conventionally cooling `it_load_kw` of IT serving
+    /// `servers` machines at baseline AFR `base_afr`.
+    [[nodiscard]] CoolingCostBreakdown conventional(double it_load_kw, int servers,
+                                                    double base_afr) const;
+
+    /// Annual cost with free-air cooling at AFR `free_air_afr` (>= base).
+    [[nodiscard]] CoolingCostBreakdown free_air(double it_load_kw, int servers,
+                                                double free_air_afr) const;
+
+    /// The largest *excess* AFR (free-air AFR minus baseline) at which free
+    /// cooling still costs no more per year than the conventional plant.
+    [[nodiscard]] double break_even_excess_afr(double it_load_kw, int servers,
+                                               double base_afr) const;
+
+    [[nodiscard]] const CostModelConfig& config() const { return config_; }
+
+private:
+    CostModelConfig config_;
+
+    [[nodiscard]] double energy_cost(double it_load_kw, double fraction) const;
+};
+
+}  // namespace zerodeg::energy

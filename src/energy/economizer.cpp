@@ -1,0 +1,118 @@
+#include "energy/economizer.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "weather/psychrometrics.hpp"
+
+namespace zerodeg::energy {
+
+AirEconomizer::AirEconomizer(EconomizerConfig config) : config_(config) {
+    if (config.fan_fraction < 0.0 || config.compressor_fraction < config.fan_fraction) {
+        throw core::InvalidArgument("AirEconomizer: inconsistent power fractions");
+    }
+    if (config.trim_band.value() < 0.0) {
+        throw core::InvalidArgument("AirEconomizer: negative trim band");
+    }
+}
+
+bool AirEconomizer::free_cooling(Celsius outside) const {
+    return outside + config_.duct_rise <= config_.max_supply - config_.trim_band;
+}
+
+Watts AirEconomizer::cooling_power(Watts it_load, Celsius outside) const {
+    if (it_load.value() < 0.0) throw core::InvalidArgument("cooling_power: negative IT load");
+    const Celsius supply = outside + config_.duct_rise;
+    if (supply <= config_.max_supply - config_.trim_band) {
+        // Pure free cooling: fans only.
+        return it_load * config_.fan_fraction;
+    }
+    if (supply >= config_.max_supply) {
+        // Too warm outside: full mechanical cooling.
+        return it_load * config_.compressor_fraction;
+    }
+    // Trim band: linear blend between fans-only and full compressor.
+    const double w =
+        (supply.value() - (config_.max_supply.value() - config_.trim_band.value())) /
+        config_.trim_band.value();
+    const double fraction =
+        config_.fan_fraction + w * (config_.compressor_fraction - config_.fan_fraction);
+    return it_load * fraction;
+}
+
+WetSideEconomizer::WetSideEconomizer(WetSideConfig config) : config_(config) {
+    if (config.tower_fraction < 0.0 || config.chiller_fraction < config.tower_fraction) {
+        throw core::InvalidArgument("WetSideEconomizer: inconsistent power fractions");
+    }
+    if (config.trim_band.value() < 0.0) {
+        throw core::InvalidArgument("WetSideEconomizer: negative trim band");
+    }
+}
+
+bool WetSideEconomizer::free_cooling(Celsius outside_dry, core::RelHumidity outside_rh) const {
+    const Celsius water = weather::wet_bulb(outside_dry, outside_rh) + config_.tower_approach;
+    return water <= config_.max_water_supply - config_.trim_band;
+}
+
+Watts WetSideEconomizer::cooling_power(Watts it_load, Celsius outside_dry,
+                                       core::RelHumidity outside_rh) const {
+    if (it_load.value() < 0.0) throw core::InvalidArgument("cooling_power: negative IT load");
+    const Celsius water = weather::wet_bulb(outside_dry, outside_rh) + config_.tower_approach;
+    if (water <= config_.max_water_supply - config_.trim_band) {
+        return it_load * config_.tower_fraction;
+    }
+    if (water >= config_.max_water_supply) {
+        return it_load * config_.chiller_fraction;
+    }
+    const double w =
+        (water.value() - (config_.max_water_supply.value() - config_.trim_band.value())) /
+        config_.trim_band.value();
+    const double fraction =
+        config_.tower_fraction + w * (config_.chiller_fraction - config_.tower_fraction);
+    return it_load * fraction;
+}
+
+SeasonCoolingSummary compare_cooling(const std::vector<weather::WeatherSample>& trace,
+                                     Watts it_load, const AirEconomizer& economizer,
+                                     double conventional_fraction) {
+    if (trace.size() < 2) throw core::InvalidArgument("compare_cooling: trace too short");
+    SeasonCoolingSummary summary;
+    for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+        const double dt = static_cast<double>((trace[i + 1].time - trace[i].time).count());
+        if (dt <= 0.0) continue;
+        summary.hours += dt / 3600.0;
+        if (economizer.free_cooling(trace[i].temperature)) {
+            summary.free_cooling_hours += dt / 3600.0;
+        }
+        summary.economizer_energy +=
+            core::energy(economizer.cooling_power(it_load, trace[i].temperature), dt);
+        summary.conventional_energy +=
+            core::energy(it_load * conventional_fraction, dt);
+    }
+    return summary;
+}
+
+SeasonCoolingSummary compare_cooling_wet_side(const std::vector<weather::WeatherSample>& trace,
+                                              Watts it_load,
+                                              const WetSideEconomizer& economizer,
+                                              double conventional_fraction) {
+    if (trace.size() < 2) {
+        throw core::InvalidArgument("compare_cooling_wet_side: trace too short");
+    }
+    SeasonCoolingSummary summary;
+    for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+        const double dt = static_cast<double>((trace[i + 1].time - trace[i].time).count());
+        if (dt <= 0.0) continue;
+        summary.hours += dt / 3600.0;
+        if (economizer.free_cooling(trace[i].temperature, trace[i].humidity)) {
+            summary.free_cooling_hours += dt / 3600.0;
+        }
+        summary.economizer_energy += core::energy(
+            economizer.cooling_power(it_load, trace[i].temperature, trace[i].humidity), dt);
+        summary.conventional_energy += core::energy(it_load * conventional_fraction, dt);
+    }
+    return summary;
+}
+
+}  // namespace zerodeg::energy
+

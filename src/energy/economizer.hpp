@@ -1,0 +1,111 @@
+// Air-side economizer model.
+//
+// The alternative the paper argues for: when outside air is colder than the
+// allowed supply temperature, fans alone move the heat out; compressors run
+// only for the hours the climate is too warm.  Intel's proof of concept [1]
+// reports up to 67% cooling-energy savings, HP's Wynyard design [3] about
+// 40% — the TAB-SAVINGS bench reproduces that bracket from this model and
+// the weather statistics.
+#pragma once
+
+#include "core/units.hpp"
+#include "weather/weather_model.hpp"
+
+namespace zerodeg::energy {
+
+using core::Celsius;
+using core::Watts;
+
+struct EconomizerConfig {
+    /// Highest acceptable supply (intake) temperature for the IT equipment.
+    Celsius max_supply{27.0};
+    /// Supply air is outside air warmed by fan work & duct gains.
+    Celsius duct_rise{2.0};
+    /// Fan power per watt of IT load when economizing (air transport only).
+    double fan_fraction = 0.06;
+    /// Compressor-mode power per watt of IT load (a DX/CRAC coefficient of
+    /// performance ~3.3 plus air transport).
+    double compressor_fraction = 0.36;
+    /// Partial economization band: between (max_supply - band) and
+    /// max_supply the economizer mixes with mechanical trim.
+    Celsius trim_band{6.0};
+};
+
+class AirEconomizer {
+public:
+    explicit AirEconomizer(EconomizerConfig config = EconomizerConfig());
+
+    /// Cooling power needed for `it_load` with outside air at `outside`.
+    [[nodiscard]] Watts cooling_power(Watts it_load, Celsius outside) const;
+
+    /// True if the hour is free-cooling only (no compressor).
+    [[nodiscard]] bool free_cooling(Celsius outside) const;
+
+    [[nodiscard]] const EconomizerConfig& config() const { return config_; }
+
+private:
+    EconomizerConfig config_;
+};
+
+/// Wet-side (evaporative / water-side) economizer, the alternative of the
+/// paper's reference [2] (Intel argued for wet-side over air-side in 2007
+/// before their 2008 air-side PoC).  Cooling towers produce chilled water a
+/// few degrees above the *wet-bulb* temperature, so the free-cooling window
+/// extends into warmer-but-dry weather; the price is pump/tower power above
+/// a bare fan's, and no benefit in humid heat.
+struct WetSideConfig {
+    /// Chilled water approach over ambient wet-bulb.
+    Celsius tower_approach{4.0};
+    /// Highest chilled-water temperature the coils can work with.
+    Celsius max_water_supply{20.0};
+    /// Tower + pump power per watt of IT load when free cooling.
+    double tower_fraction = 0.11;
+    /// Chiller-backed operation per watt of IT load.
+    double chiller_fraction = 0.33;
+    /// Partial free cooling band below max_water_supply.
+    Celsius trim_band{3.0};
+};
+
+class WetSideEconomizer {
+public:
+    explicit WetSideEconomizer(WetSideConfig config = WetSideConfig());
+
+    /// Cooling power for `it_load` with the given outdoor air state.
+    [[nodiscard]] Watts cooling_power(Watts it_load, Celsius outside_dry,
+                                      core::RelHumidity outside_rh) const;
+
+    [[nodiscard]] bool free_cooling(Celsius outside_dry, core::RelHumidity outside_rh) const;
+
+    [[nodiscard]] const WetSideConfig& config() const { return config_; }
+
+private:
+    WetSideConfig config_;
+};
+
+/// Season summary driven by a weather trace.
+struct SeasonCoolingSummary {
+    double hours = 0.0;
+    double free_cooling_hours = 0.0;
+    core::Joules economizer_energy{0.0};
+    core::Joules conventional_energy{0.0};
+
+    /// Fraction of conventional cooling energy saved.
+    [[nodiscard]] double savings_fraction() const {
+        if (conventional_energy.value() <= 0.0) return 0.0;
+        return 1.0 - economizer_energy.value() / conventional_energy.value();
+    }
+};
+
+/// Integrate both cooling strategies over a weather trace.
+/// `conventional_fraction` is the always-on mechanical plant's power per
+/// watt of IT load.
+[[nodiscard]] SeasonCoolingSummary compare_cooling(
+    const std::vector<weather::WeatherSample>& trace, Watts it_load,
+    const AirEconomizer& economizer, double conventional_fraction = 0.5);
+
+/// Same comparison for a wet-side economizer.
+[[nodiscard]] SeasonCoolingSummary compare_cooling_wet_side(
+    const std::vector<weather::WeatherSample>& trace, Watts it_load,
+    const WetSideEconomizer& economizer, double conventional_fraction = 0.5);
+
+}  // namespace zerodeg::energy

@@ -1,0 +1,56 @@
+#include "energy/pue.hpp"
+
+#include "core/error.hpp"
+
+namespace zerodeg::energy {
+
+PueCalculator::PueCalculator(core::Watts it_load) : it_load_(it_load) {
+    if (it_load.value() <= 0.0) throw core::InvalidArgument("PueCalculator: IT load must be > 0");
+}
+
+PueCalculator& PueCalculator::add_cooling(core::Watts p) {
+    if (p.value() < 0.0) throw core::InvalidArgument("PueCalculator: negative cooling power");
+    cooling_ += p;
+    return *this;
+}
+
+PueCalculator& PueCalculator::add_cooling(const CoolingPlant& plant) {
+    return add_cooling(plant.total_power_draw());
+}
+
+PueCalculator& PueCalculator::add_distribution(core::Watts p) {
+    if (p.value() < 0.0) throw core::InvalidArgument("PueCalculator: negative distribution");
+    distribution_ += p;
+    return *this;
+}
+
+PueBreakdown PueCalculator::compute() const {
+    PueBreakdown b;
+    b.it_load = it_load_;
+    b.cooling = cooling_;
+    b.distribution = distribution_;
+    b.pue = (it_load_ + cooling_ + distribution_) / it_load_;
+    return b;
+}
+
+PueBreakdown helsinki_cluster_pue() {
+    return PueCalculator(helsinki_cluster_it_load())
+        .add_cooling(helsinki_cluster_plant())
+        .compute();
+}
+
+PueBreakdown helsinki_cluster_pue_with_legacy_cracs(double legacy_load_fraction,
+                                                    double legacy_power_per_watt) {
+    if (legacy_load_fraction < 0.0 || legacy_load_fraction > 1.0) {
+        throw core::InvalidArgument("legacy_load_fraction out of [0,1]");
+    }
+    const core::Watts it = helsinki_cluster_it_load();
+    const core::Watts legacy_cooling =
+        it * legacy_load_fraction * legacy_power_per_watt;
+    return PueCalculator(it)
+        .add_cooling(helsinki_cluster_plant())
+        .add_cooling(legacy_cooling)
+        .compute();
+}
+
+}  // namespace zerodeg::energy

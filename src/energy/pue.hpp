@@ -1,0 +1,49 @@
+// Power Usage Effectiveness accounting (Section 5).
+//
+// PUE = total facility power / IT power.  The paper computes the new
+// cluster's optimistic PUE by summing the nameplates — 75 kW IT against
+// 6.9 + 44.7 + 3.8 kW of cooling, giving 1.74 — and cautions that the real
+// figure is worse because pre-existing CRACs also carry part of the load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+#include "energy/cooling_plant.hpp"
+
+namespace zerodeg::energy {
+
+struct PueBreakdown {
+    core::Watts it_load{0.0};
+    core::Watts cooling{0.0};
+    core::Watts distribution{0.0};  ///< UPS/PDU losses, lighting, etc.
+    double pue = 0.0;
+};
+
+class PueCalculator {
+public:
+    explicit PueCalculator(core::Watts it_load);
+
+    PueCalculator& add_cooling(core::Watts p);
+    PueCalculator& add_cooling(const CoolingPlant& plant);
+    PueCalculator& add_distribution(core::Watts p);
+
+    [[nodiscard]] PueBreakdown compute() const;
+
+private:
+    core::Watts it_load_;
+    core::Watts cooling_{0.0};
+    core::Watts distribution_{0.0};
+};
+
+/// The paper's Section 5 calculation, verbatim: returns ~1.74.
+[[nodiscard]] PueBreakdown helsinki_cluster_pue();
+
+/// The same room with part of the thermal load falling on pre-existing
+/// CRACs — the "unfortunately, such is not the case" correction.  The extra
+/// load is cooled at the legacy units' (worse) efficiency.
+[[nodiscard]] PueBreakdown helsinki_cluster_pue_with_legacy_cracs(
+    double legacy_load_fraction = 0.15, double legacy_power_per_watt = 0.45);
+
+}  // namespace zerodeg::energy

@@ -1,0 +1,121 @@
+#include "experiment/census.hpp"
+
+#include <set>
+
+namespace zerodeg::experiment {
+
+double FaultCensus::tent_failure_rate() const {
+    if (tent_hosts == 0) return 0.0;
+    return static_cast<double>(tent_hosts_failed) / static_cast<double>(tent_hosts);
+}
+
+double FaultCensus::fleet_failure_rate() const {
+    const std::size_t total = tent_hosts + basement_hosts;
+    if (total == 0) return 0.0;
+    return static_cast<double>(tent_hosts_failed + basement_hosts_failed) /
+           static_cast<double>(total);
+}
+
+double FaultCensus::page_fault_ratio() const {
+    if (page_ops_non_ecc == 0) return 0.0;
+    return static_cast<double>(wrong_hashes) / static_cast<double>(page_ops_non_ecc);
+}
+
+FaultCensus take_census(const ExperimentRunner& run) {
+    FaultCensus census;
+    const hardware::Fleet& fleet = run.fleet();
+    const faults::FaultLog& log = run.fault_log();
+
+    std::set<int> tent_ids;
+    std::set<int> basement_ids;
+    for (const hardware::HostRecord& rec : fleet.hosts()) {
+        // A host that was moved indoors (host #15) still counts as a tent
+        // host for census purposes — its failures happened in the tent.
+        const bool tent = rec.placement == hardware::Placement::kTent ||
+                          rec.placement == hardware::Placement::kIndoors;
+        (tent ? tent_ids : basement_ids).insert(rec.server->id());
+    }
+    census.tent_hosts = tent_ids.size();
+    census.basement_hosts = basement_ids.size();
+
+    std::set<int> tent_failed;
+    std::set<int> basement_failed;
+    for (const faults::FaultRecord& r : log.records()) {
+        switch (r.component) {
+            case faults::FaultComponent::kSystem:
+                ++census.system_failures;
+                if (r.severity == faults::FaultSeverity::kTransient) {
+                    ++census.transient_failures;
+                } else {
+                    ++census.permanent_failures;
+                }
+                if (tent_ids.contains(r.host_id)) tent_failed.insert(r.host_id);
+                if (basement_ids.contains(r.host_id)) basement_failed.insert(r.host_id);
+                break;
+            case faults::FaultComponent::kSensorChip:
+                ++census.sensor_incidents;
+                break;
+            case faults::FaultComponent::kSwitch:
+                ++census.switch_failures;
+                break;
+            case faults::FaultComponent::kFan:
+                ++census.fan_faults;
+                break;
+            case faults::FaultComponent::kDisk:
+                ++census.disk_faults;
+                break;
+            default:
+                break;
+        }
+    }
+    census.tent_hosts_failed = tent_failed.size();
+    census.basement_hosts_failed = basement_failed.size();
+
+    const workload::LoadScheduler& load = run.load();
+    census.load_runs = load.total_runs();
+    census.wrong_hashes = load.total_wrong_hashes();
+    census.page_ops = load.total_page_ops();
+    for (const hardware::HostRecord& rec : fleet.hosts()) {
+        if (!rec.server->spec().ecc_memory) {
+            census.page_ops_non_ecc += load.stats(rec.server->id()).page_ops;
+        }
+    }
+    for (const workload::WrongHashIncident& inc : load.incidents()) {
+        if (tent_ids.contains(inc.host_id)) {
+            ++census.wrong_hashes_tent;
+        } else {
+            ++census.wrong_hashes_basement;
+        }
+    }
+    return census;
+}
+
+CensusSummary summarize(const std::vector<FaultCensus>& censuses) {
+    CensusSummary s;
+    s.seeds = censuses.size();
+    if (censuses.empty()) return s;
+    std::size_t with_sensor = 0;
+    std::size_t with_switch = 0;
+    for (const FaultCensus& c : censuses) {
+        s.mean_tent_failure_rate += c.tent_failure_rate();
+        s.mean_fleet_failure_rate += c.fleet_failure_rate();
+        s.mean_system_failures += static_cast<double>(c.system_failures);
+        s.mean_wrong_hashes += static_cast<double>(c.wrong_hashes);
+        s.mean_runs += static_cast<double>(c.load_runs);
+        s.mean_page_fault_ratio += c.page_fault_ratio();
+        if (c.sensor_incidents > 0) ++with_sensor;
+        if (c.switch_failures > 0) ++with_switch;
+    }
+    const auto n = static_cast<double>(censuses.size());
+    s.mean_tent_failure_rate /= n;
+    s.mean_fleet_failure_rate /= n;
+    s.mean_system_failures /= n;
+    s.mean_wrong_hashes /= n;
+    s.mean_runs /= n;
+    s.mean_page_fault_ratio /= n;
+    s.frac_runs_with_sensor_incident = static_cast<double>(with_sensor) / n;
+    s.frac_runs_with_switch_failures = static_cast<double>(with_switch) / n;
+    return s;
+}
+
+}  // namespace zerodeg::experiment

@@ -1,0 +1,60 @@
+// The fault census of Section 4: who failed, where, how often — and the
+// comparison against Intel's 4.46% air-economizer failure rate [1].
+#pragma once
+
+#include <vector>
+
+#include "experiment/runner.hpp"
+
+namespace zerodeg::experiment {
+
+struct FaultCensus {
+    std::size_t tent_hosts = 0;
+    std::size_t basement_hosts = 0;
+    std::size_t tent_hosts_failed = 0;      ///< distinct tent hosts with >= 1 system failure
+    std::size_t basement_hosts_failed = 0;
+    std::size_t system_failures = 0;        ///< total system-failure events
+    std::size_t transient_failures = 0;
+    std::size_t permanent_failures = 0;
+    std::size_t sensor_incidents = 0;
+    std::size_t switch_failures = 0;
+    std::size_t fan_faults = 0;
+    std::size_t disk_faults = 0;  ///< whole-drive deaths + media events
+    std::uint64_t load_runs = 0;
+    std::uint64_t wrong_hashes = 0;
+    std::uint64_t wrong_hashes_tent = 0;
+    std::uint64_t wrong_hashes_basement = 0;
+    std::uint64_t page_ops = 0;
+    /// Page operations on hosts without ECC — the denominator of the
+    /// paper's "one in 570 million" ratio (ECC hosts absorb their flips).
+    std::uint64_t page_ops_non_ecc = 0;
+
+    /// Fraction of tent hosts with >= 1 system failure (the paper's 5.6%:
+    /// one of eighteen installed hosts).
+    [[nodiscard]] double tent_failure_rate() const;
+    [[nodiscard]] double fleet_failure_rate() const;
+    /// Wrong hashes per page operation (the paper: ~1 per 570 million).
+    [[nodiscard]] double page_fault_ratio() const;
+    /// Intel's reported comparator.
+    static constexpr double kIntelFailureRate = 0.0446;
+};
+
+/// Build the census from a finished run.
+[[nodiscard]] FaultCensus take_census(const ExperimentRunner& run);
+
+/// Aggregate census over many seeds (the Monte Carlo view the bench prints).
+struct CensusSummary {
+    double mean_tent_failure_rate = 0.0;
+    double mean_fleet_failure_rate = 0.0;
+    double mean_system_failures = 0.0;
+    double mean_wrong_hashes = 0.0;
+    double mean_runs = 0.0;
+    double mean_page_fault_ratio = 0.0;
+    double frac_runs_with_sensor_incident = 0.0;
+    double frac_runs_with_switch_failures = 0.0;
+    std::size_t seeds = 0;
+};
+
+[[nodiscard]] CensusSummary summarize(const std::vector<FaultCensus>& censuses);
+
+}  // namespace zerodeg::experiment

@@ -1,0 +1,17 @@
+#include "experiment/config.hpp"
+
+namespace zerodeg::experiment {
+
+TimePoint next_operator_visit(TimePoint t, int operator_hour) {
+    core::CivilDateTime c = t.to_civil();
+    c.hour = operator_hour;
+    c.minute = 0;
+    c.second = 0;
+    TimePoint visit = TimePoint::from_civil(c);
+    if (visit <= t) visit += Duration::days(1);
+    // Skip the weekend: Saturday -> Monday, Sunday -> Monday.
+    while (visit.iso_weekday() > 5) visit += Duration::days(1);
+    return visit;
+}
+
+}  // namespace zerodeg::experiment

@@ -1,0 +1,66 @@
+#include "experiment/figures.hpp"
+
+#include <fstream>
+
+#include "core/csv.hpp"
+#include "core/error.hpp"
+#include "monitoring/outlier_filter.hpp"
+
+namespace zerodeg::experiment {
+
+namespace {
+
+std::string write_series(const std::string& directory, const std::string& file,
+                         const core::TimeSeries& series) {
+    const std::string path = directory + "/" + file;
+    std::ofstream out(path);
+    if (!out) throw core::IoError("export_figure_data: cannot create " + path);
+    core::write_series_csv(out, series);
+    return path;
+}
+
+}  // namespace
+
+std::vector<std::string> export_figure_data(const ExperimentRunner& run,
+                                            const std::string& directory,
+                                            const FigureFiles& files) {
+    std::vector<std::string> written;
+
+    written.push_back(
+        write_series(directory, files.outside_temperature, run.station().temperature_series()));
+    written.push_back(
+        write_series(directory, files.outside_humidity, run.station().humidity_series()));
+
+    // Tent series get the paper's outlier-removal treatment.
+    core::TimeSeries tent_temp = run.tent_logger().temperature_series();
+    core::TimeSeries tent_rh = run.tent_logger().humidity_series();
+    (void)monitoring::remove_readout_outliers(tent_temp, run.tent_logger().readouts());
+    (void)monitoring::remove_readout_outliers(tent_rh, run.tent_logger().readouts());
+    written.push_back(write_series(directory, files.tent_temperature, tent_temp));
+    written.push_back(write_series(directory, files.tent_humidity, tent_rh));
+
+    written.push_back(
+        write_series(directory, files.tent_power, run.tent_meter().power_series()));
+
+    {
+        const std::string path = directory + "/" + files.events;
+        std::ofstream out(path);
+        if (!out) throw core::IoError("export_figure_data: cannot create " + path);
+        run.event_log().print(out);
+        written.push_back(path);
+    }
+    {
+        const std::string path = directory + "/" + files.fault_log;
+        std::ofstream out(path);
+        if (!out) throw core::IoError("export_figure_data: cannot create " + path);
+        for (const faults::FaultRecord& r : run.fault_log().records()) {
+            out << r.time.to_string() << '\t' << r.source << '\t'
+                << faults::to_string(r.component) << '\t' << faults::to_string(r.severity)
+                << '\t' << (r.in_tent ? "tent" : "basement") << '\t' << r.description << '\n';
+        }
+        written.push_back(path);
+    }
+    return written;
+}
+
+}  // namespace zerodeg::experiment

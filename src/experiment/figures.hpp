@@ -1,0 +1,30 @@
+// Figure-data export: dump a finished run's series as CSV so the paper's
+// figures can be replotted with any external tool (gnuplot, matplotlib, R).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiment/runner.hpp"
+
+namespace zerodeg::experiment {
+
+/// Files written by export_figure_data, relative to `directory`.
+struct FigureFiles {
+    std::string outside_temperature = "fig3_outside_temp.csv";
+    std::string tent_temperature = "fig3_tent_temp.csv";      ///< outliers removed
+    std::string outside_humidity = "fig4_outside_rh.csv";
+    std::string tent_humidity = "fig4_tent_rh.csv";           ///< outliers removed
+    std::string tent_power = "tent_power_w.csv";
+    std::string events = "events.log";
+    std::string fault_log = "faults.log";
+};
+
+/// Write all figure series and logs of a finished run into `directory`
+/// (which must exist).  Returns the list of file paths written.
+/// Throws IoError if any file cannot be created.
+std::vector<std::string> export_figure_data(const ExperimentRunner& run,
+                                            const std::string& directory,
+                                            const FigureFiles& files = FigureFiles());
+
+}  // namespace zerodeg::experiment

@@ -1,0 +1,69 @@
+#include "experiment/prototype.hpp"
+
+#include <algorithm>
+
+#include "core/event_queue.hpp"
+#include "core/stats.hpp"
+#include "hardware/server.hpp"
+#include "thermal/enclosure.hpp"
+#include "weather/weather_model.hpp"
+
+namespace zerodeg::experiment {
+
+PrototypeResult run_prototype(PrototypeConfig config) {
+    weather::WeatherConfig wx = weather::helsinki_2010_config();
+    if (config.calm_weekend) {
+        wx.synoptic_sigma = core::Celsius{0.8};
+        wx.jitter_sigma = core::Celsius{0.3};
+        wx.diurnal_amplitude_winter = core::Celsius{0.8};
+        wx.cold_snaps.clear();  // the deep front came the following week
+    }
+    weather::WeatherModel model(wx, config.master_seed);
+    thermal::PrototypeBoxModel boxes(model.deterministic_temperature(config.start));
+    hardware::Server pc(0, "prototype-pc", hardware::vendor_a_spec(), config.master_seed);
+
+    PrototypeResult result;
+    result.outside_series.set_name("outside_temp_degC");
+    result.cpu_series.set_name("cpu_temp_degC");
+
+    core::RunningStats outside_stats;
+    core::Celsius box_min{1000.0};
+    core::Celsius cpu_min{1000.0};
+
+    bool first = true;
+    for (core::TimePoint t = config.start; t <= config.end; t += config.tick) {
+        const weather::WeatherSample outside = model.advance_to(t);
+        boxes.set_equipment_power(pc.wall_power());
+        boxes.step(config.tick, outside);
+        const thermal::EnclosureAir air = boxes.air();
+
+        if (first) {
+            pc.power_on(air.temperature);
+            pc.set_cpu_load(0.1);  // a mostly idle generic PC
+            first = false;
+        }
+        pc.step(config.tick, air.temperature);
+
+        outside_stats.add(outside.temperature.value());
+        result.outside_series.append(t, outside.temperature.value());
+        box_min = std::min(box_min, air.temperature);
+
+        if (const auto reading = pc.read_cpu_sensor()) {
+            cpu_min = std::min(cpu_min, *reading);
+            result.cpu_series.append(t, reading->value());
+        }
+    }
+
+    result.outside_min = core::Celsius{outside_stats.min()};
+    result.outside_mean = core::Celsius{outside_stats.mean()};
+    result.box_min = box_min;
+    result.cpu_min_reported = cpu_min;
+    result.survived = pc.operational();
+    result.smart_ok = true;
+    for (const hardware::HardDrive& d : pc.storage().drives()) {
+        result.smart_ok = result.smart_ok && d.smart().overall_health_ok();
+    }
+    return result;
+}
+
+}  // namespace zerodeg::experiment

@@ -1,0 +1,113 @@
+#include "experiment/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "core/error.hpp"
+
+namespace zerodeg::experiment {
+
+std::string fmt(double v, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+}
+
+std::string fmt_pct(double fraction, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+TablePrinter::TablePrinter(std::ostream& out, std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : out_(out), headers_(std::move(headers)), widths_(std::move(widths)) {
+    if (headers_.size() != widths_.size()) {
+        throw core::InvalidArgument("TablePrinter: headers/widths mismatch");
+    }
+    row(headers_);
+    rule();
+}
+
+void TablePrinter::row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths_.size(); ++i) {
+        const std::string cell = i < cells.size() ? cells[i] : "";
+        char buf[256];
+        std::snprintf(buf, sizeof buf, "%-*s", widths_[i], cell.c_str());
+        out_ << buf << (i + 1 < widths_.size() ? "  " : "");
+    }
+    out_ << '\n';
+}
+
+void TablePrinter::rule() {
+    for (std::size_t i = 0; i < widths_.size(); ++i) {
+        out_ << std::string(static_cast<std::size_t>(widths_[i]), '-')
+             << (i + 1 < widths_.size() ? "  " : "");
+    }
+    out_ << '\n';
+}
+
+void print_comparison(std::ostream& out, const std::string& title,
+                      const std::vector<ComparisonRow>& rows) {
+    out << "\n== " << title << " ==\n";
+    TablePrinter table(out, {"quantity", "paper", "this repro", "note"}, {44, 20, 20, 40});
+    for (const ComparisonRow& r : rows) {
+        table.row({r.quantity, r.paper, r.measured, r.note});
+    }
+}
+
+void ascii_plot(std::ostream& out, const core::TimeSeries& a, const core::TimeSeries* b,
+                int width, int height) {
+    if (a.empty()) {
+        out << "(no data)\n";
+        return;
+    }
+    core::TimePoint from = a.front().time;
+    core::TimePoint to = a.back().time;
+    double lo = a.stats().min;
+    double hi = a.stats().max;
+    if (b != nullptr && !b->empty()) {
+        from = std::min(from, b->front().time);
+        to = std::max(to, b->back().time);
+        lo = std::min(lo, b->stats().min);
+        hi = std::max(hi, b->stats().max);
+    }
+    if (hi <= lo) hi = lo + 1.0;
+
+    std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+    const auto plot_series = [&](const core::TimeSeries& s, char mark) {
+        const double span = static_cast<double>((to - from).count());
+        for (int x = 0; x < width; ++x) {
+            const core::TimePoint t =
+                from + core::Duration{static_cast<std::int64_t>(span * x / (width - 1))};
+            const auto v = s.interpolate(t);
+            if (!v) continue;
+            const int y = static_cast<int>(std::lround((hi - *v) / (hi - lo) * (height - 1)));
+            if (y >= 0 && y < height) {
+                grid[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = mark;
+            }
+        }
+    };
+    plot_series(a, '*');
+    if (b != nullptr) plot_series(*b, 'o');
+
+    char label[32];
+    std::snprintf(label, sizeof label, "%8.1f |", hi);
+    out << label << grid.front() << '\n';
+    for (int y = 1; y + 1 < height; ++y) {
+        out << "         |" << grid[static_cast<std::size_t>(y)] << '\n';
+    }
+    std::snprintf(label, sizeof label, "%8.1f |", lo);
+    out << label << grid.back() << '\n';
+    out << "          " << from.date_string() << std::string(
+               static_cast<std::size_t>(std::max(0, width - 20)), ' ')
+        << to.date_string() << '\n';
+    out << "          legend: * = " << a.name();
+    if (b != nullptr) out << ", o = " << b->name();
+    out << '\n';
+}
+
+}  // namespace zerodeg::experiment

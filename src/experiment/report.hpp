@@ -1,0 +1,49 @@
+// Report/figure emitters shared by the bench binaries and examples: fixed-
+// width tables, ASCII series plots, and the paper-vs-measured comparison row
+// format used throughout EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/timeseries.hpp"
+
+namespace zerodeg::experiment {
+
+/// Fixed-width table printer.
+class TablePrinter {
+public:
+    TablePrinter(std::ostream& out, std::vector<std::string> headers,
+                 std::vector<int> widths);
+
+    void row(const std::vector<std::string>& cells);
+    void rule();  ///< horizontal rule
+
+private:
+    std::ostream& out_;
+    std::vector<std::string> headers_;
+    std::vector<int> widths_;
+};
+
+/// "paper said X, we measured Y" comparison row.
+struct ComparisonRow {
+    std::string quantity;
+    std::string paper;
+    std::string measured;
+    std::string note;
+};
+
+void print_comparison(std::ostream& out, const std::string& title,
+                      const std::vector<ComparisonRow>& rows);
+
+/// ASCII line plot of one or two series on a shared daily-resampled grid —
+/// enough to eyeball the Fig. 3/4 shapes in a terminal.
+void ascii_plot(std::ostream& out, const core::TimeSeries& a, const core::TimeSeries* b,
+                int width = 100, int height = 18);
+
+/// Format helpers.
+[[nodiscard]] std::string fmt(double v, int decimals = 2);
+[[nodiscard]] std::string fmt_pct(double fraction, int decimals = 1);
+
+}  // namespace zerodeg::experiment

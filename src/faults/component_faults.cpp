@@ -1,0 +1,120 @@
+#include "faults/component_faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace zerodeg::faults {
+
+namespace {
+constexpr double kHoursPerYear = 8766.0;
+}
+
+const char* to_string(ComponentEventKind k) {
+    switch (k) {
+        case ComponentEventKind::kFanSeized: return "fan seized";
+        case ComponentEventKind::kDiskFailed: return "disk failed";
+        case ComponentEventKind::kDiskMediaError: return "disk media error";
+    }
+    return "?";
+}
+
+ComponentFaultProcess::ComponentFaultProcess(int host_id, int fans, int disks,
+                                             ComponentFaultParams params, core::RngStream rng)
+    : host_id_(host_id), params_(params), rng_(rng) {
+    if (fans < 0 || disks < 0) {
+        throw core::InvalidArgument("ComponentFaultProcess: negative component count");
+    }
+    const auto fresh = [this] {
+        Risk r;
+        r.threshold = rng_.exponential(1.0);
+        return r;
+    };
+    for (int i = 0; i < fans; ++i) fans_.push_back(fresh());
+    for (int i = 0; i < disks; ++i) {
+        disks_.push_back(fresh());
+        media_.push_back(fresh());
+    }
+}
+
+double ComponentFaultProcess::fan_hazard_per_hour(Celsius intake) const {
+    double accel = 1.0;
+    if (intake < Celsius{0.0}) {
+        accel += params_.fan_cold_per_deg * -intake.value();
+    }
+    return params_.fan_afr / kHoursPerYear * accel;
+}
+
+double ComponentFaultProcess::disk_hazard_per_hour(Celsius hdd_temp) const {
+    const double away = hdd_temp.value() - params_.disk_sweet_spot.value();
+    const double accel = 1.0 + params_.disk_temp_coeff * away * away;
+    return params_.disk_afr / kHoursPerYear * accel;
+}
+
+double ComponentFaultProcess::media_hazard_per_hour(RelHumidity rh) const {
+    double accel = 1.0;
+    if (rh > params_.media_humidity_knee) {
+        accel = std::pow(std::max(rh.value(), 1.0) / params_.media_peck_reference.value(),
+                         params_.media_peck_exponent);
+    }
+    return params_.media_events_per_year / kHoursPerYear * accel;
+}
+
+std::vector<ComponentEvent> ComponentFaultProcess::advance(core::Duration dt, Celsius intake,
+                                                           Celsius hdd_temp, RelHumidity rh) {
+    if (dt.count() < 0) throw core::InvalidArgument("ComponentFaultProcess: negative dt");
+    const double hours = static_cast<double>(dt.count()) / 3600.0;
+    std::vector<ComponentEvent> events;
+
+    const double fan_h = fan_hazard_per_hour(intake) * hours;
+    for (std::size_t i = 0; i < fans_.size(); ++i) {
+        Risk& r = fans_[i];
+        if (r.dead) continue;
+        r.cumulative += fan_h;
+        if (r.cumulative >= r.threshold) {
+            r.dead = true;
+            events.push_back({ComponentEventKind::kFanSeized, static_cast<int>(i), 0});
+        }
+    }
+
+    const double disk_h = disk_hazard_per_hour(hdd_temp) * hours;
+    for (std::size_t i = 0; i < disks_.size(); ++i) {
+        Risk& r = disks_[i];
+        if (r.dead) continue;
+        r.cumulative += disk_h;
+        if (r.cumulative >= r.threshold) {
+            r.dead = true;
+            events.push_back({ComponentEventKind::kDiskFailed, static_cast<int>(i), 0});
+        }
+    }
+
+    const double media_h = media_hazard_per_hour(rh) * hours;
+    for (std::size_t i = 0; i < media_.size(); ++i) {
+        if (disks_[i].dead) continue;  // dead drives grow no new defects
+        Risk& r = media_[i];
+        r.cumulative += media_h;
+        if (r.cumulative >= r.threshold) {
+            // Renewing process: re-arm after each event.
+            r.cumulative = 0.0;
+            r.threshold = rng_.exponential(1.0);
+            const int sectors =
+                static_cast<int>(rng_.uniform_int(1, params_.media_max_sectors));
+            events.push_back(
+                {ComponentEventKind::kDiskMediaError, static_cast<int>(i), sectors});
+        }
+    }
+    return events;
+}
+
+int ComponentFaultProcess::live_fans() const {
+    return static_cast<int>(std::count_if(fans_.begin(), fans_.end(),
+                                          [](const Risk& r) { return !r.dead; }));
+}
+
+int ComponentFaultProcess::live_disks() const {
+    return static_cast<int>(std::count_if(disks_.begin(), disks_.end(),
+                                          [](const Risk& r) { return !r.dead; }));
+}
+
+}  // namespace zerodeg::faults

@@ -1,0 +1,96 @@
+// Component-level fault processes: fans, disks, and disk media.
+//
+// Research question 3 of the paper: "which components will fail first...
+// If the extreme temperature and humidity shifts indeed cause certain
+// components to regularly fail, we should be able to detect this as a
+// common-cause failure on multiple hosts nearly simultaneously."  These
+// processes give the census something to detect (or, as in the paper,
+// fail to detect): per-component hazards with their own physics —
+// mechanical wear for fans and spindles (cold thickens lubricants), Peck
+// humidity stress for media, Arrhenius for electronics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/sim_time.hpp"
+#include "faults/hazard.hpp"
+
+namespace zerodeg::faults {
+
+enum class ComponentEventKind {
+    kFanSeized,
+    kDiskFailed,
+    kDiskMediaError,  ///< grown defects: pending sectors, not a dead drive
+};
+
+[[nodiscard]] const char* to_string(ComponentEventKind k);
+
+struct ComponentEvent {
+    ComponentEventKind kind;
+    int component_index = 0;  ///< which fan / which drive
+    int detail = 0;           ///< media error: number of pending sectors
+};
+
+struct ComponentFaultParams {
+    /// Fan bearing AFR at reference conditions (sleeve bearings in recycled
+    /// machines are the classic first casualty).
+    double fan_afr = 0.02;
+    /// Cold thickens bearing lubricant: multiplier per degree below zero
+    /// intake (linear, mild).
+    double fan_cold_per_deg = 0.015;
+
+    /// Disk (whole-drive) AFR at reference temperature.
+    double disk_afr = 0.025;
+    /// Google-style temperature sensitivity: hazard grows away from the
+    /// 25..30 degC sweet spot; this is the per-deg^2 coefficient.
+    double disk_temp_coeff = 0.002;
+    Celsius disk_sweet_spot{28.0};
+
+    /// Grown-defect (media) events per drive-year at reference.
+    double media_events_per_year = 0.4;
+    /// Humidity acceleration for media events above the knee.
+    double media_peck_exponent = 2.0;
+    RelHumidity media_humidity_knee{80.0};
+    RelHumidity media_peck_reference{50.0};
+    /// Pending sectors per media event, 1..this.
+    int media_max_sectors = 8;
+};
+
+/// Per-host component fault generator (competing risks per component).
+class ComponentFaultProcess {
+public:
+    ComponentFaultProcess(int host_id, int fans, int disks, ComponentFaultParams params,
+                          core::RngStream rng);
+
+    /// Advance all surviving components; returns the events that fired.
+    /// `intake` is enclosure air, `hdd_temp` the drive temperature, `rh`
+    /// the enclosure humidity.
+    [[nodiscard]] std::vector<ComponentEvent> advance(core::Duration dt, Celsius intake,
+                                                      Celsius hdd_temp, RelHumidity rh);
+
+    [[nodiscard]] int host_id() const { return host_id_; }
+    [[nodiscard]] int live_fans() const;
+    [[nodiscard]] int live_disks() const;
+
+private:
+    struct Risk {
+        double cumulative = 0.0;
+        double threshold = 0.0;
+        bool dead = false;
+    };
+
+    int host_id_;
+    ComponentFaultParams params_;
+    core::RngStream rng_;
+    std::vector<Risk> fans_;
+    std::vector<Risk> disks_;
+    std::vector<Risk> media_;  ///< per-disk media-event processes (renewing)
+
+    [[nodiscard]] double fan_hazard_per_hour(Celsius intake) const;
+    [[nodiscard]] double disk_hazard_per_hour(Celsius hdd_temp) const;
+    [[nodiscard]] double media_hazard_per_hour(RelHumidity rh) const;
+};
+
+}  // namespace zerodeg::faults

@@ -1,0 +1,60 @@
+#include "faults/distributions.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace zerodeg::faults {
+
+Exponential::Exponential(double rate) : rate_(rate) {
+    if (rate <= 0.0) throw core::InvalidArgument("Exponential: rate must be positive");
+}
+
+double Exponential::cdf(double t) const { return t <= 0.0 ? 0.0 : 1.0 - std::exp(-rate_ * t); }
+
+double Exponential::sample(core::RngStream& rng) const { return rng.exponential(rate_); }
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+    if (shape <= 0.0 || scale <= 0.0) {
+        throw core::InvalidArgument("Weibull: shape and scale must be positive");
+    }
+}
+
+double Weibull::hazard(double t) const {
+    if (t < 0.0) return 0.0;
+    if (t == 0.0) {
+        // h(0) diverges for shape < 1; report the 1-second-in hazard instead
+        // of infinity so integrators stay finite.
+        t = 1.0 / 3600.0;
+    }
+    return shape_ / scale_ * std::pow(t / scale_, shape_ - 1.0);
+}
+
+double Weibull::cdf(double t) const {
+    return t <= 0.0 ? 0.0 : 1.0 - std::exp(-std::pow(t / scale_, shape_));
+}
+
+double Weibull::mean() const { return scale_ * std::tgamma(1.0 + 1.0 / shape_); }
+
+double Weibull::sample(core::RngStream& rng) const {
+    double u = rng.uniform01();
+    while (u <= 0.0) u = rng.uniform01();
+    return scale_ * std::pow(-std::log(u), 1.0 / shape_);
+}
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+    if (sigma <= 0.0) throw core::InvalidArgument("LogNormal: sigma must be positive");
+}
+
+double LogNormal::median() const { return std::exp(mu_); }
+
+double LogNormal::cdf(double t) const {
+    if (t <= 0.0) return 0.0;
+    return 0.5 * (1.0 + std::erf((std::log(t) - mu_) / (sigma_ * std::sqrt(2.0))));
+}
+
+double LogNormal::sample(core::RngStream& rng) const {
+    return std::exp(mu_ + sigma_ * rng.normal());
+}
+
+}  // namespace zerodeg::faults

@@ -1,0 +1,61 @@
+// Failure-time distributions.
+//
+// Used directly for components with environment-independent lifetimes (the
+// defective switches) and, via their hazard functions, as building blocks of
+// the time-varying models in hazard.hpp.
+#pragma once
+
+#include "core/rng.hpp"
+
+namespace zerodeg::faults {
+
+/// Exponential(rate): constant hazard, memoryless — the useful-life floor of
+/// the bathtub curve.
+class Exponential {
+public:
+    explicit Exponential(double rate);
+
+    [[nodiscard]] double rate() const { return rate_; }
+    [[nodiscard]] double hazard(double /*t*/) const { return rate_; }
+    [[nodiscard]] double mean() const { return 1.0 / rate_; }
+    [[nodiscard]] double cdf(double t) const;
+    [[nodiscard]] double sample(core::RngStream& rng) const;
+
+private:
+    double rate_;
+};
+
+/// Weibull(shape k, scale lambda): k < 1 gives infant mortality, k > 1 gives
+/// wear-out; hazard h(t) = (k/lambda) (t/lambda)^(k-1).
+class Weibull {
+public:
+    Weibull(double shape, double scale);
+
+    [[nodiscard]] double shape() const { return shape_; }
+    [[nodiscard]] double scale() const { return scale_; }
+    [[nodiscard]] double hazard(double t) const;
+    [[nodiscard]] double cdf(double t) const;
+    [[nodiscard]] double mean() const;
+    [[nodiscard]] double sample(core::RngStream& rng) const;
+
+private:
+    double shape_;
+    double scale_;
+};
+
+/// LogNormal(mu, sigma) of the underlying normal; classic for electronics
+/// wear mechanisms (electromigration, corrosion).
+class LogNormal {
+public:
+    LogNormal(double mu, double sigma);
+
+    [[nodiscard]] double median() const;
+    [[nodiscard]] double cdf(double t) const;
+    [[nodiscard]] double sample(core::RngStream& rng) const;
+
+private:
+    double mu_;
+    double sigma_;
+};
+
+}  // namespace zerodeg::faults

@@ -1,0 +1,108 @@
+#include "faults/fault_log.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace zerodeg::faults {
+
+const char* to_string(FaultComponent c) {
+    switch (c) {
+        case FaultComponent::kSystem: return "system";
+        case FaultComponent::kSensorChip: return "sensor chip";
+        case FaultComponent::kMemory: return "memory";
+        case FaultComponent::kDisk: return "disk";
+        case FaultComponent::kPsu: return "PSU";
+        case FaultComponent::kFan: return "fan";
+        case FaultComponent::kSwitch: return "network switch";
+    }
+    return "?";
+}
+
+const char* to_string(FaultSeverity s) {
+    switch (s) {
+        case FaultSeverity::kTransient: return "transient";
+        case FaultSeverity::kPermanent: return "permanent";
+    }
+    return "?";
+}
+
+void FaultLog::record(FaultRecord r) { records_.push_back(std::move(r)); }
+
+std::size_t FaultLog::count_component(FaultComponent c) const {
+    return static_cast<std::size_t>(std::count_if(
+        records_.begin(), records_.end(),
+        [c](const FaultRecord& r) { return r.component == c; }));
+}
+
+std::size_t FaultLog::count_severity(FaultSeverity s) const {
+    return static_cast<std::size_t>(std::count_if(
+        records_.begin(), records_.end(),
+        [s](const FaultRecord& r) { return r.severity == s; }));
+}
+
+std::vector<FaultRecord> FaultLog::for_host(int host_id) const {
+    std::vector<FaultRecord> out;
+    for (const FaultRecord& r : records_) {
+        if (r.host_id == host_id) out.push_back(r);
+    }
+    return out;
+}
+
+std::size_t FaultLog::count_in_tent(bool in_tent) const {
+    return static_cast<std::size_t>(std::count_if(
+        records_.begin(), records_.end(),
+        [in_tent](const FaultRecord& r) { return r.in_tent == in_tent; }));
+}
+
+std::size_t FaultLog::hosts_affected(FaultComponent c) const {
+    std::set<int> hosts;
+    for (const FaultRecord& r : records_) {
+        if (r.component == c && r.host_id != 0) hosts.insert(r.host_id);
+    }
+    return hosts.size();
+}
+
+CommonCauseDetector::CommonCauseDetector(core::Duration window, std::size_t min_hosts)
+    : window_(window), min_hosts_(min_hosts) {}
+
+std::vector<CommonCauseCluster> CommonCauseDetector::analyze(const FaultLog& log) const {
+    // Group per component, sort by time, then sweep a window.
+    std::vector<CommonCauseCluster> clusters;
+    const FaultComponent kinds[] = {
+        FaultComponent::kSystem, FaultComponent::kSensorChip, FaultComponent::kMemory,
+        FaultComponent::kDisk,   FaultComponent::kPsu,        FaultComponent::kFan,
+        FaultComponent::kSwitch,
+    };
+    for (const FaultComponent kind : kinds) {
+        std::vector<const FaultRecord*> recs;
+        for (const FaultRecord& r : log.records()) {
+            if (r.component == kind && r.host_id != 0) recs.push_back(&r);
+        }
+        std::sort(recs.begin(), recs.end(),
+                  [](const FaultRecord* a, const FaultRecord* b) { return a->time < b->time; });
+
+        std::size_t i = 0;
+        while (i < recs.size()) {
+            std::size_t j = i;
+            std::set<int> hosts;
+            while (j < recs.size() && recs[j]->time - recs[i]->time <= window_) {
+                hosts.insert(recs[j]->host_id);
+                ++j;
+            }
+            if (hosts.size() >= min_hosts_) {
+                CommonCauseCluster c;
+                c.component = kind;
+                c.first = recs[i]->time;
+                c.last = recs[j - 1]->time;
+                c.host_ids.assign(hosts.begin(), hosts.end());
+                clusters.push_back(std::move(c));
+                i = j;  // skip past this cluster
+            } else {
+                ++i;
+            }
+        }
+    }
+    return clusters;
+}
+
+}  // namespace zerodeg::faults

@@ -1,0 +1,86 @@
+// Fault records, the census over them, and the common-cause detector.
+//
+// Section 3's third research question: if temperature/humidity swings break
+// a particular component type, it should show up as near-simultaneous
+// failures of that component across multiple hosts.  CommonCauseDetector
+// implements that test: cluster fault records by component within a time
+// window and flag clusters spanning several hosts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/sim_time.hpp"
+
+namespace zerodeg::faults {
+
+enum class FaultComponent {
+    kSystem,      ///< whole-machine crash/hang (the paper's "system failure")
+    kSensorChip,
+    kMemory,
+    kDisk,
+    kPsu,
+    kFan,
+    kSwitch,
+};
+
+[[nodiscard]] const char* to_string(FaultComponent c);
+
+enum class FaultSeverity {
+    kTransient,  ///< recovered by reset (host #15's first failure)
+    kPermanent,  ///< requires replacement / retirement
+};
+
+[[nodiscard]] const char* to_string(FaultSeverity s);
+
+struct FaultRecord {
+    core::TimePoint time;
+    int host_id = 0;            ///< 0 for non-host equipment (switches)
+    std::string source;         ///< "host-15", "switch-1", ...
+    FaultComponent component = FaultComponent::kSystem;
+    FaultSeverity severity = FaultSeverity::kTransient;
+    std::string description;
+    bool in_tent = false;
+};
+
+class FaultLog {
+public:
+    void record(FaultRecord r);
+
+    [[nodiscard]] const std::vector<FaultRecord>& records() const { return records_; }
+    [[nodiscard]] std::size_t count() const { return records_.size(); }
+    [[nodiscard]] std::size_t count_component(FaultComponent c) const;
+    [[nodiscard]] std::size_t count_severity(FaultSeverity s) const;
+    [[nodiscard]] std::vector<FaultRecord> for_host(int host_id) const;
+    [[nodiscard]] std::size_t count_in_tent(bool in_tent) const;
+
+    /// Distinct hosts with at least one fault of the given component.
+    [[nodiscard]] std::size_t hosts_affected(FaultComponent c) const;
+
+private:
+    std::vector<FaultRecord> records_;
+};
+
+/// A cluster of same-component faults on different hosts within a window.
+struct CommonCauseCluster {
+    FaultComponent component = FaultComponent::kSystem;
+    core::TimePoint first;
+    core::TimePoint last;
+    std::vector<int> host_ids;
+};
+
+class CommonCauseDetector {
+public:
+    /// @param window     faults within this span count as "simultaneous"
+    /// @param min_hosts  minimum distinct hosts to call it common-cause
+    explicit CommonCauseDetector(core::Duration window = core::Duration::hours(24),
+                                 std::size_t min_hosts = 3);
+
+    [[nodiscard]] std::vector<CommonCauseCluster> analyze(const FaultLog& log) const;
+
+private:
+    core::Duration window_;
+    std::size_t min_hosts_;
+};
+
+}  // namespace zerodeg::faults

@@ -1,0 +1,39 @@
+#include "faults/memory_faults.hpp"
+
+#include "core/error.hpp"
+
+namespace zerodeg::faults {
+
+MemoryFaultModel::MemoryFaultModel(MemoryFaultParams params, core::RngStream rng)
+    : params_(params), rng_(rng) {
+    if (params.flip_probability_per_page_op < 0.0 || params.flip_probability_per_page_op > 1.0) {
+        throw core::InvalidArgument("MemoryFaultModel: probability out of [0,1]");
+    }
+    if (params.multi_bit_fraction < 0.0 || params.multi_bit_fraction > 1.0) {
+        throw core::InvalidArgument("MemoryFaultModel: multi-bit fraction out of [0,1]");
+    }
+}
+
+MemoryFaultOutcome MemoryFaultModel::run(std::uint64_t page_ops, bool ecc) {
+    MemoryFaultOutcome out;
+    // The per-op probability is tiny; the count over a job is Poisson with
+    // mean p * n to excellent accuracy.
+    const double mean = params_.flip_probability_per_page_op * static_cast<double>(page_ops);
+    out.raw_flips = rng_.poisson(mean);
+    for (std::uint64_t i = 0; i < out.raw_flips; ++i) {
+        const bool multi_bit = rng_.chance(params_.multi_bit_fraction);
+        if (ecc && !multi_bit) {
+            ++out.corrected;
+        } else {
+            ++out.corrupting_flips;
+        }
+    }
+    return out;
+}
+
+double MemoryFaultModel::expected_corruptions(std::uint64_t page_ops, bool ecc) const {
+    const double mean = params_.flip_probability_per_page_op * static_cast<double>(page_ops);
+    return ecc ? mean * params_.multi_bit_fraction : mean;
+}
+
+}  // namespace zerodeg::faults

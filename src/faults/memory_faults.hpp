@@ -1,0 +1,52 @@
+// Memory soft-error model (Section 4.2.2).
+//
+// The paper's wrong-hash forensics: five corrupted archives out of 27 627
+// runs, each traceable to a single flipped bit in one bzip2 block; with an
+// estimated ~3.2 billion memory-page operations over the experiment, that is
+// a fault ratio "around one in 570 million" page operations — and every
+// affected host had non-ECC memory.  This model reproduces that pipeline:
+// page operations accumulate per job, bit flips arrive as a Bernoulli/Poisson
+// process over them, and ECC absorbs single-bit events.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+
+namespace zerodeg::faults {
+
+struct MemoryFaultParams {
+    /// Probability of a bit flip per memory-page operation — the paper's
+    /// headline "one in 570 million".
+    double flip_probability_per_page_op = 1.0 / 570e6;
+    /// Fraction of raw events that flip more than one bit in a word (ECC
+    /// corrects single-bit errors, detects-but-may-not-correct doubles).
+    double multi_bit_fraction = 0.02;
+};
+
+struct MemoryFaultOutcome {
+    std::uint64_t raw_flips = 0;        ///< events before ECC
+    std::uint64_t corrected = 0;        ///< absorbed by ECC (ECC hosts only)
+    std::uint64_t corrupting_flips = 0; ///< reached data; archive hash wrong
+};
+
+class MemoryFaultModel {
+public:
+    MemoryFaultModel(MemoryFaultParams params, core::RngStream rng);
+
+    /// Simulate `page_ops` memory-page operations on a host with or without
+    /// ECC, returning what got through.
+    [[nodiscard]] MemoryFaultOutcome run(std::uint64_t page_ops, bool ecc);
+
+    [[nodiscard]] const MemoryFaultParams& params() const { return params_; }
+
+    /// Closed-form expectation of corrupting flips for `page_ops` ops —
+    /// for tests and the TAB-HASHES comparison row.
+    [[nodiscard]] double expected_corruptions(std::uint64_t page_ops, bool ecc) const;
+
+private:
+    MemoryFaultParams params_;
+    core::RngStream rng_;
+};
+
+}  // namespace zerodeg::faults

@@ -1,0 +1,109 @@
+#include "hardware/components.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace zerodeg::hardware {
+
+Cpu::Cpu(std::string model, Watts idle, Watts max)
+    : model_(std::move(model)), idle_(idle), max_(max) {
+    if (max.value() < idle.value()) {
+        throw core::InvalidArgument("Cpu: max power below idle power");
+    }
+}
+
+void Cpu::set_load(double load) {
+    if (load < 0.0 || load > 1.0) throw core::InvalidArgument("Cpu::set_load: load not in [0,1]");
+    load_ = load;
+}
+
+Watts Cpu::power() const { return idle_ + (max_ - idle_) * load_; }
+
+HardDrive::HardDrive(std::string model) : model_(std::move(model)) {}
+
+const char* to_string(RaidLayout layout) {
+    switch (layout) {
+        case RaidLayout::kNone: return "single drive";
+        case RaidLayout::kSoftwareMirror: return "Linux md RAID-1";
+        case RaidLayout::kMirrorPlusParity: return "HW mirror + parity stripe";
+    }
+    return "?";
+}
+
+RaidArray::RaidArray(RaidLayout layout, std::vector<HardDrive> drives)
+    : layout_(layout), drives_(std::move(drives)) {
+    const std::size_t need = layout == RaidLayout::kNone              ? 1
+                             : layout == RaidLayout::kSoftwareMirror ? 2
+                                                                     : 5;
+    if (drives_.size() != need) {
+        throw core::InvalidArgument("RaidArray: wrong drive count for layout");
+    }
+}
+
+std::size_t RaidArray::failed_drives() const {
+    return static_cast<std::size_t>(
+        std::count_if(drives_.begin(), drives_.end(),
+                      [](const HardDrive& d) { return d.failed(); }));
+}
+
+bool RaidArray::data_available() const {
+    switch (layout_) {
+        case RaidLayout::kNone:
+            return !drives_[0].failed();
+        case RaidLayout::kSoftwareMirror:
+            return !(drives_[0].failed() && drives_[1].failed());
+        case RaidLayout::kMirrorPlusParity: {
+            // Drives 0-1: mirror (system); drives 2-4: RAID-5 stripe (data).
+            const bool mirror_ok = !(drives_[0].failed() && drives_[1].failed());
+            const int stripe_failed = static_cast<int>(drives_[2].failed()) +
+                                      static_cast<int>(drives_[3].failed()) +
+                                      static_cast<int>(drives_[4].failed());
+            return mirror_ok && stripe_failed <= 1;
+        }
+    }
+    return false;
+}
+
+bool RaidArray::degraded() const {
+    if (!data_available()) return true;
+    switch (layout_) {
+        case RaidLayout::kNone:
+            return true;  // a single drive is always one failure from loss
+        case RaidLayout::kSoftwareMirror:
+            return drives_[0].failed() || drives_[1].failed();
+        case RaidLayout::kMirrorPlusParity: {
+            const bool mirror_degraded = drives_[0].failed() || drives_[1].failed();
+            const int stripe_failed = static_cast<int>(drives_[2].failed()) +
+                                      static_cast<int>(drives_[3].failed()) +
+                                      static_cast<int>(drives_[4].failed());
+            return mirror_degraded || stripe_failed >= 1;
+        }
+    }
+    return true;
+}
+
+Watts RaidArray::power() const {
+    Watts p{0.0};
+    for (const HardDrive& d : drives_) p += d.power();
+    return p;
+}
+
+PowerSupply::PowerSupply(Watts rating, double efficiency_at_half_load)
+    : rating_(rating), efficiency_(efficiency_at_half_load) {
+    if (rating.value() <= 0.0) throw core::InvalidArgument("PowerSupply: non-positive rating");
+    if (efficiency_at_half_load <= 0.0 || efficiency_at_half_load > 1.0) {
+        throw core::InvalidArgument("PowerSupply: efficiency not in (0,1]");
+    }
+}
+
+Watts PowerSupply::input_for(Watts dc_load) const {
+    if (dc_load.value() < 0.0) throw core::InvalidArgument("PowerSupply: negative load");
+    // Efficiency sags away from the 50%-load sweet spot by up to ~6 points
+    // at the extremes — the familiar 80 PLUS bathtub, linearized.
+    const double load_fraction = std::clamp(dc_load / rating_, 0.0, 1.0);
+    const double eff = efficiency_ - 0.12 * std::abs(load_fraction - 0.5);
+    return Watts{dc_load.value() / eff};
+}
+
+}  // namespace zerodeg::hardware

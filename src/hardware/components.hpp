@@ -1,0 +1,137 @@
+// Component models: CPU, memory modules, hard drives, PSU, fans, and the
+// RAID arrangements of Section 3.4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sim_time.hpp"
+#include "core/units.hpp"
+#include "hardware/smart.hpp"
+
+namespace zerodeg::hardware {
+
+using core::Celsius;
+using core::Duration;
+using core::Watts;
+
+/// CPU power model: idle floor plus a load-proportional span.
+class Cpu {
+public:
+    Cpu(std::string model, Watts idle, Watts max);
+
+    /// Load in [0, 1].
+    void set_load(double load);
+    [[nodiscard]] double load() const { return load_; }
+    [[nodiscard]] Watts power() const;
+    [[nodiscard]] const std::string& model() const { return model_; }
+
+private:
+    std::string model_;
+    Watts idle_;
+    Watts max_;
+    double load_ = 0.0;
+};
+
+/// A DIMM.  ECC is the property Section 4.2.2 turns on: "all three hosts
+/// that have reported faulty hashes contain memory chips without
+/// error-correcting parities".
+class MemoryModule {
+public:
+    MemoryModule(std::size_t megabytes, bool ecc) : megabytes_(megabytes), ecc_(ecc) {}
+
+    [[nodiscard]] std::size_t megabytes() const { return megabytes_; }
+    [[nodiscard]] bool has_ecc() const { return ecc_; }
+
+private:
+    std::size_t megabytes_;
+    bool ecc_;
+};
+
+/// A hard drive: SMART state plus an operational flag the fault engine and
+/// RAID layer manipulate.
+class HardDrive {
+public:
+    explicit HardDrive(std::string model);
+
+    void accrue(Duration dt, Celsius temperature) { smart_.accrue(dt, temperature); }
+    void power_cycle() { smart_.power_cycle(); }
+
+    void fail() { failed_ = true; }
+    [[nodiscard]] bool failed() const { return failed_; }
+
+    [[nodiscard]] SmartData& smart() { return smart_; }
+    [[nodiscard]] const SmartData& smart() const { return smart_; }
+    [[nodiscard]] const std::string& model() const { return model_; }
+    [[nodiscard]] Watts power() const { return failed_ ? Watts{0.0} : Watts{7.0}; }
+
+private:
+    std::string model_;
+    SmartData smart_;
+    bool failed_ = false;
+};
+
+/// RAID layouts from Section 3.4.
+enum class RaidLayout {
+    kNone,            ///< vendor B: single drive, no redundancy
+    kSoftwareMirror,  ///< vendor A: Linux md RAID-1 over two drives
+    kMirrorPlusParity ///< vendor C: HW mirror (2) + parity stripe (3)
+};
+
+[[nodiscard]] const char* to_string(RaidLayout layout);
+
+/// Redundancy calculator over a drive set.
+class RaidArray {
+public:
+    RaidArray(RaidLayout layout, std::vector<HardDrive> drives);
+
+    /// Data still accessible given the current per-drive failure states?
+    [[nodiscard]] bool data_available() const;
+    /// Would one more (worst-placed) drive failure lose data?
+    [[nodiscard]] bool degraded() const;
+    [[nodiscard]] std::size_t failed_drives() const;
+
+    [[nodiscard]] RaidLayout layout() const { return layout_; }
+    [[nodiscard]] std::vector<HardDrive>& drives() { return drives_; }
+    [[nodiscard]] const std::vector<HardDrive>& drives() const { return drives_; }
+    [[nodiscard]] Watts power() const;
+
+private:
+    RaidLayout layout_;
+    std::vector<HardDrive> drives_;
+};
+
+/// Power supply with a simple efficiency curve; its loss is heat the
+/// enclosure must reject (and part of the power-meter reading).
+class PowerSupply {
+public:
+    PowerSupply(Watts rating, double efficiency_at_half_load);
+
+    /// Wall power drawn to deliver `dc_load` to the components.
+    [[nodiscard]] Watts input_for(Watts dc_load) const;
+    [[nodiscard]] Watts rating() const { return rating_; }
+
+private:
+    Watts rating_;
+    double efficiency_;
+};
+
+/// Case fan: moves air, draws a little power; the fault engine can seize it.
+class FanUnit {
+public:
+    explicit FanUnit(int nominal_rpm) : nominal_rpm_(nominal_rpm) {}
+
+    void seize() { seized_ = true; }
+    [[nodiscard]] bool seized() const { return seized_; }
+    [[nodiscard]] int rpm() const { return seized_ ? 0 : nominal_rpm_; }
+    [[nodiscard]] Watts power() const { return seized_ ? Watts{0.0} : Watts{2.5}; }
+    /// Relative airflow contribution (1.0 nominal, 0 when seized).
+    [[nodiscard]] double airflow() const { return seized_ ? 0.0 : 1.0; }
+
+private:
+    int nominal_rpm_;
+    bool seized_ = false;
+};
+
+}  // namespace zerodeg::hardware

@@ -1,0 +1,138 @@
+#include "hardware/fleet.hpp"
+
+#include <cstdio>
+
+#include "core/error.hpp"
+
+namespace zerodeg::hardware {
+
+const char* to_string(Placement p) {
+    switch (p) {
+        case Placement::kTent: return "tent";
+        case Placement::kBasement: return "basement";
+        case Placement::kIndoors: return "indoors";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string host_name(int id) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "host-%02d", id);
+    return buf;
+}
+
+}  // namespace
+
+Server& Fleet::add_host(int id, Vendor vendor, Placement placement, core::TimePoint install_date,
+                        int pair_id, std::uint64_t master_seed, int replaces_id) {
+    if (find(id) != nullptr) throw core::InvalidArgument("Fleet::add_host: duplicate host id");
+    HostRecord rec;
+    rec.server = std::make_unique<Server>(id, host_name(id), spec_for(vendor), master_seed);
+    rec.placement = placement;
+    rec.install_date = install_date;
+    rec.pair_id = pair_id;
+    rec.replaces_id = replaces_id;
+    hosts_.push_back(std::move(rec));
+    return *hosts_.back().server;
+}
+
+Server* Fleet::find(int id) {
+    for (HostRecord& h : hosts_) {
+        if (h.server->id() == id) return h.server.get();
+    }
+    return nullptr;
+}
+
+const Server* Fleet::find(int id) const { return const_cast<Fleet*>(this)->find(id); }
+
+HostRecord* Fleet::record(int id) {
+    for (HostRecord& h : hosts_) {
+        if (h.server->id() == id) return &h;
+    }
+    return nullptr;
+}
+
+const HostRecord* Fleet::record(int id) const { return const_cast<Fleet*>(this)->record(id); }
+
+std::size_t Fleet::count(Placement p) const {
+    std::size_t n = 0;
+    for (const HostRecord& h : hosts_) {
+        if (h.placement == p) ++n;
+    }
+    return n;
+}
+
+std::size_t Fleet::count_vendor(Vendor v) const {
+    std::size_t n = 0;
+    for (const HostRecord& h : hosts_) {
+        if (h.server->spec().vendor == v) ++n;
+    }
+    return n;
+}
+
+core::Watts Fleet::wall_power(Placement p) const {
+    core::Watts total{0.0};
+    for (const HostRecord& h : hosts_) {
+        if (h.placement == p) total += h.server->wall_power();
+    }
+    return total;
+}
+
+void Fleet::set_placement(int id, Placement p) {
+    HostRecord* rec = record(id);
+    if (rec == nullptr) throw core::InvalidArgument("Fleet::set_placement: unknown host");
+    rec->placement = p;
+}
+
+std::vector<Server*> Fleet::installed_at(Placement p, core::TimePoint now) {
+    std::vector<Server*> out;
+    for (HostRecord& h : hosts_) {
+        if (h.placement == p && h.install_date <= now) out.push_back(h.server.get());
+    }
+    return out;
+}
+
+std::vector<InstallEvent> paper_install_plan() {
+    const auto d = [](int month, int day) { return core::TimePoint::from_date(2010, month, day); };
+    // Tent hosts carry the Fig. 2 numbers; each line installs a tent host and
+    // its basement twin on the same date.  Ten A + four B + four C = 18.
+    return {
+        // Feb 19: the first three vendor-A pairs ("start of testing").
+        {1, Vendor::kA, Placement::kTent, d(2, 19), 4},
+        {4, Vendor::kA, Placement::kBasement, d(2, 19), 1},
+        {2, Vendor::kA, Placement::kTent, d(2, 19), 5},
+        {5, Vendor::kA, Placement::kBasement, d(2, 19), 2},
+        {3, Vendor::kA, Placement::kTent, d(2, 19), 7},
+        {7, Vendor::kA, Placement::kBasement, d(2, 19), 3},
+        // Feb 24/25: two more vendor-A pairs.
+        {6, Vendor::kA, Placement::kTent, d(2, 24), 8},
+        {8, Vendor::kA, Placement::kBasement, d(2, 24), 6},
+        {10, Vendor::kA, Placement::kTent, d(2, 25), 9},
+        {9, Vendor::kA, Placement::kBasement, d(2, 25), 10},
+        // Mar 05: a vendor-B pair and a vendor-C pair.
+        {11, Vendor::kB, Placement::kTent, d(3, 5), 12},
+        {12, Vendor::kB, Placement::kBasement, d(3, 5), 11},
+        {14, Vendor::kC, Placement::kTent, d(3, 5), 13},
+        {13, Vendor::kC, Placement::kBasement, d(3, 5), 14},
+        // Mar 10: the second vendor-B pair (tent host #15, the one that
+        // later failed twice).
+        {15, Vendor::kB, Placement::kTent, d(3, 10), 16},
+        {16, Vendor::kB, Placement::kBasement, d(3, 10), 15},
+        // Mar 13: the last pair (vendor C) — "the last of the hosts was
+        // installed March 13th".
+        {18, Vendor::kC, Placement::kTent, d(3, 13), 17},
+        {17, Vendor::kC, Placement::kBasement, d(3, 13), 18},
+    };
+}
+
+Fleet make_paper_fleet(std::uint64_t master_seed) {
+    Fleet fleet;
+    for (const InstallEvent& ev : paper_install_plan()) {
+        fleet.add_host(ev.host_id, ev.vendor, ev.placement, ev.date, ev.pair_id, master_seed);
+    }
+    return fleet;
+}
+
+}  // namespace zerodeg::hardware

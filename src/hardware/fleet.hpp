@@ -1,0 +1,84 @@
+// The experiment's machine population and placement (Sections 3.4, Fig. 2).
+//
+// Machines are installed pairwise: for every host put in the tent, an
+// identical unit goes into the basement control group.  The tent hosts carry
+// the paper's Fig. 2 numbering (01, 02, 03, 06, 10, 11, 14, 15, 18, plus the
+// replacement 19); their basement twins take the remaining numbers.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sim_time.hpp"
+#include "hardware/server.hpp"
+
+namespace zerodeg::hardware {
+
+enum class Placement {
+    kTent,     ///< roof terrace, unconditioned outside air
+    kBasement, ///< control group, office-type air conditioning
+    kIndoors,  ///< pulled from the experiment, running inside (host #15's fate)
+};
+
+[[nodiscard]] const char* to_string(Placement p);
+
+struct HostRecord {
+    std::unique_ptr<Server> server;
+    Placement placement = Placement::kTent;
+    core::TimePoint install_date;
+    /// Fig. 2 pairing: id of the identical twin in the other group (0 = none,
+    /// e.g. the replacement host).
+    int pair_id = 0;
+    /// Set when this host replaces a failed one (host #19 replacing #15).
+    int replaces_id = 0;
+};
+
+class Fleet {
+public:
+    Server& add_host(int id, Vendor vendor, Placement placement, core::TimePoint install_date,
+                     int pair_id, std::uint64_t master_seed, int replaces_id = 0);
+
+    [[nodiscard]] Server* find(int id);
+    [[nodiscard]] const Server* find(int id) const;
+    [[nodiscard]] HostRecord* record(int id);
+    [[nodiscard]] const HostRecord* record(int id) const;
+
+    [[nodiscard]] std::vector<HostRecord>& hosts() { return hosts_; }
+    [[nodiscard]] const std::vector<HostRecord>& hosts() const { return hosts_; }
+
+    [[nodiscard]] std::size_t count(Placement p) const;
+    [[nodiscard]] std::size_t count_vendor(Vendor v) const;
+    [[nodiscard]] std::size_t size() const { return hosts_.size(); }
+
+    /// Sum of wall power of running hosts at a placement (what heats the
+    /// enclosure and what the Technoline meter reads).
+    [[nodiscard]] core::Watts wall_power(Placement p) const;
+
+    void set_placement(int id, Placement p);
+
+    /// Hosts whose install date has arrived and that are in placement `p`.
+    [[nodiscard]] std::vector<Server*> installed_at(Placement p, core::TimePoint now);
+
+private:
+    std::vector<HostRecord> hosts_;
+};
+
+/// Build the paper's fleet: 10 vendor-A, 4 vendor-B, 4 vendor-C machines,
+/// nine per group, installed on the Fig. 2 dates (the last on March 13).
+/// The replacement host #19 is NOT included; the experiment runner adds it
+/// when #15 is retired.
+[[nodiscard]] Fleet make_paper_fleet(std::uint64_t master_seed);
+
+/// Install dates used by make_paper_fleet, exposed for Fig. 2 regeneration.
+struct InstallEvent {
+    int host_id;
+    Vendor vendor;
+    Placement placement;
+    core::TimePoint date;
+    int pair_id;
+};
+[[nodiscard]] std::vector<InstallEvent> paper_install_plan();
+
+}  // namespace zerodeg::hardware

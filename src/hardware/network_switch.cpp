@@ -1,0 +1,23 @@
+#include "hardware/network_switch.hpp"
+
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace zerodeg::hardware {
+
+NetworkSwitch::NetworkSwitch(std::string name, SwitchConfig config, core::RngStream rng)
+    : name_(std::move(name)), config_(config) {
+    fail_at_hours_ = config_.inherent_defect
+                         ? rng.exponential(1.0 / config_.defect_mean_hours_to_failure)
+                         : std::numeric_limits<double>::infinity();
+}
+
+void NetworkSwitch::step(core::Duration dt) {
+    if (dt.count() < 0) throw core::InvalidArgument("NetworkSwitch::step: negative dt");
+    if (failed_) return;
+    hours_ += static_cast<double>(dt.count()) / 3600.0;
+    if (hours_ >= fail_at_hours_) failed_ = true;
+}
+
+}  // namespace zerodeg::hardware

@@ -1,0 +1,49 @@
+// The 8-port network switches of Section 4.2.1.
+//
+// The department loaned two switches "known to contain cosmetic errors, i.e.,
+// an annoying whining sound"; both failed after about a week in the tent, and
+// a third identical unit that never left the building then failed the same
+// way — proving the defect inherent, not weather-induced.  We model that as a
+// per-unit latent defect with an operating-hours budget that is independent
+// of environment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/rng.hpp"
+#include "core/sim_time.hpp"
+
+namespace zerodeg::hardware {
+
+struct SwitchConfig {
+    int ports = 8;
+    /// Latent defect present at manufacture?
+    bool inherent_defect = false;
+    /// Mean operating hours to failure for a defective unit (exponential).
+    double defect_mean_hours_to_failure = 170.0;
+};
+
+class NetworkSwitch {
+public:
+    NetworkSwitch(std::string name, SwitchConfig config, core::RngStream rng);
+
+    /// Advance operating time.  Environment is deliberately NOT an input:
+    /// the paper's conclusion is that these failures were inherent.
+    void step(core::Duration dt);
+
+    [[nodiscard]] bool operational() const { return !failed_; }
+    [[nodiscard]] bool whining() const { return config_.inherent_defect && !failed_; }
+    [[nodiscard]] int ports() const { return config_.ports; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] double operating_hours() const { return hours_; }
+
+private:
+    std::string name_;
+    SwitchConfig config_;
+    bool failed_ = false;
+    double hours_ = 0.0;
+    double fail_at_hours_;
+};
+
+}  // namespace zerodeg::hardware

@@ -1,0 +1,65 @@
+#include "hardware/sensor_chip.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace zerodeg::hardware {
+
+const char* to_string(SensorChipState s) {
+    switch (s) {
+        case SensorChipState::kHealthy: return "healthy";
+        case SensorChipState::kErratic: return "erratic";
+        case SensorChipState::kUndetected: return "undetected";
+    }
+    return "?";
+}
+
+SensorChip::SensorChip(SensorChipConfig config, core::RngStream rng)
+    : config_(config), rng_(rng), glitch_at_hours_(rng_.exponential(
+                                      1.0 / std::max(config.mean_hours_to_glitch, 1e-9))) {}
+
+void SensorChip::step(core::Duration dt, core::Celsius die_temp) {
+    if (dt.count() < 0) throw core::InvalidArgument("SensorChip::step: negative dt");
+    if (state_ != SensorChipState::kHealthy) return;
+    if (die_temp < config_.cold_threshold) {
+        cold_hours_ += static_cast<double>(dt.count()) / 3600.0;
+        if (cold_hours_ >= glitch_at_hours_) state_ = SensorChipState::kErratic;
+    }
+}
+
+std::optional<core::Celsius> SensorChip::read(core::Celsius die_temp) {
+    switch (state_) {
+        case SensorChipState::kUndetected:
+            return std::nullopt;
+        case SensorChipState::kErratic:
+            return config_.erratic_reading;
+        case SensorChipState::kHealthy: {
+            const core::Celsius reading =
+                die_temp + core::Celsius{config_.noise_sigma.value() * rng_.normal()};
+            if (!coldest_reported_ || reading < *coldest_reported_) {
+                coldest_reported_ = reading;
+            }
+            return reading;
+        }
+    }
+    return std::nullopt;
+}
+
+void SensorChip::attempt_redetect() {
+    // Re-probing a healthy chip is harmless; re-probing an erratic one is
+    // what made the paper's chip disappear from the bus.
+    if (state_ == SensorChipState::kErratic) state_ = SensorChipState::kUndetected;
+}
+
+void SensorChip::warm_reboot() {
+    // Power-on reset of the chip restores normal operation (and in the paper
+    // no further problems were detected on that host).
+    state_ = SensorChipState::kHealthy;
+    cold_hours_ = 0.0;
+    // A recovered front end is assumed re-characterized: give it a fresh,
+    // independent exposure budget.
+    glitch_at_hours_ = rng_.exponential(1.0 / std::max(config_.mean_hours_to_glitch, 1e-9));
+}
+
+}  // namespace zerodeg::hardware

@@ -1,0 +1,75 @@
+// Motherboard sensor chip (lm-sensors) emulation.
+//
+// Section 4.2.1 describes a specific incident on the longest-running host:
+// after an initial period below -20 degC outside, the chip first reported a
+// plausible sub-zero CPU temperature (below -4 degC), then clearly erroneous
+// -111 degC readings; a bus re-detect made the chip vanish entirely, and only
+// a warm reboot a week later brought it back.  This class is that state
+// machine, with a cold-exposure accumulator deciding when the glitch arms.
+#pragma once
+
+#include <optional>
+
+#include "core/rng.hpp"
+#include "core/sim_time.hpp"
+#include "core/units.hpp"
+
+namespace zerodeg::hardware {
+
+enum class SensorChipState {
+    kHealthy,
+    kErratic,     ///< emits garbage like -111 degC
+    kUndetected,  ///< vanished from the bus after a re-detect attempt
+};
+
+[[nodiscard]] const char* to_string(SensorChipState s);
+
+struct SensorChipConfig {
+    /// Below this die temperature the chip's analog front end is out of its
+    /// characterized range and damage/drift accumulates.
+    core::Celsius cold_threshold{-2.0};
+    /// Expected hours below threshold before the chip goes erratic (the
+    /// exposure is exponential with this mean, per-chip).
+    double mean_hours_to_glitch = 22.0;
+    /// The bogus value the erratic state reports (from the paper).
+    core::Celsius erratic_reading{-111.0};
+    /// Gaussian measurement noise when healthy.
+    core::Celsius noise_sigma{0.5};
+};
+
+class SensorChip {
+public:
+    SensorChip(SensorChipConfig config, core::RngStream rng);
+
+    /// Advance exposure accounting; `die_temp` is the true CPU temperature.
+    void step(core::Duration dt, core::Celsius die_temp);
+
+    /// A read through lm-sensors: noisy truth when healthy, the -111 degC
+    /// garbage when erratic, nullopt when the chip is off the bus.
+    [[nodiscard]] std::optional<core::Celsius> read(core::Celsius die_temp);
+
+    /// The operator's "redetect the sensor chip" attempt: on an erratic chip
+    /// this is what knocked it off the bus in the paper.
+    void attempt_redetect();
+
+    /// A warm reboot re-initializes the chip; in the paper this restored it.
+    void warm_reboot();
+
+    [[nodiscard]] SensorChipState state() const { return state_; }
+    [[nodiscard]] double cold_exposure_hours() const { return cold_hours_; }
+    /// Coldest value ever reported over the bus (the paper quotes "below
+    /// -4 degC" from the prototype run).
+    [[nodiscard]] std::optional<core::Celsius> coldest_reported() const {
+        return coldest_reported_;
+    }
+
+private:
+    SensorChipConfig config_;
+    core::RngStream rng_;
+    SensorChipState state_ = SensorChipState::kHealthy;
+    double cold_hours_ = 0.0;
+    double glitch_at_hours_;  ///< sampled exposure budget
+    std::optional<core::Celsius> coldest_reported_;
+};
+
+}  // namespace zerodeg::hardware

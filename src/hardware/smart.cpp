@@ -1,0 +1,122 @@
+#include "hardware/smart.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace zerodeg::hardware {
+
+const char* to_string(SmartId id) {
+    switch (id) {
+        case SmartId::kReallocatedSectors: return "Reallocated_Sector_Ct";
+        case SmartId::kPowerOnHours: return "Power_On_Hours";
+        case SmartId::kPowerCycles: return "Power_Cycle_Count";
+        case SmartId::kAirflowTemperature: return "Airflow_Temperature_Cel";
+        case SmartId::kTemperature: return "Temperature_Celsius";
+        case SmartId::kPendingSectors: return "Current_Pending_Sector";
+        case SmartId::kUncorrectableSectors: return "Offline_Uncorrectable";
+    }
+    return "Unknown_Attribute";
+}
+
+const char* to_string(SelfTestResult r) {
+    switch (r) {
+        case SelfTestResult::kPassed: return "Completed without error";
+        case SelfTestResult::kFailedReadElement: return "Completed: read failure";
+        case SelfTestResult::kFailedServo: return "Completed: servo/seek failure";
+        case SelfTestResult::kAborted: return "Aborted by host";
+    }
+    return "?";
+}
+
+SmartData::SmartData() {
+    attrs_ = {
+        {SmartId::kReallocatedSectors, 100, 100, 36, 0},
+        {SmartId::kPowerOnHours, 100, 100, 0, 0},
+        {SmartId::kPowerCycles, 100, 100, 20, 0},
+        {SmartId::kAirflowTemperature, 100, 100, 45, 0},
+        {SmartId::kTemperature, 100, 100, 0, 0},
+        {SmartId::kPendingSectors, 100, 100, 0, 0},
+        {SmartId::kUncorrectableSectors, 100, 100, 0, 0},
+    };
+}
+
+SmartAttribute& SmartData::attr(SmartId id) {
+    for (SmartAttribute& a : attrs_) {
+        if (a.id == id) return a;
+    }
+    throw core::InvalidArgument("SmartData: unknown attribute");
+}
+
+const SmartAttribute& SmartData::attribute(SmartId id) const {
+    return const_cast<SmartData*>(this)->attr(id);
+}
+
+void SmartData::accrue(core::Duration dt, core::Celsius t) {
+    poh_seconds_ += static_cast<double>(dt.count());
+    min_temp_ = std::min(min_temp_, t);
+    max_temp_ = std::max(max_temp_, t);
+
+    attr(SmartId::kPowerOnHours).raw = static_cast<std::int64_t>(poh_seconds_ / 3600.0);
+    // Normalized POH decays one point per ~600 h, floor 1 — vendor-style.
+    attr(SmartId::kPowerOnHours).value =
+        std::max(1, 100 - static_cast<int>(poh_seconds_ / 3600.0 / 600.0));
+
+    auto& temp = attr(SmartId::kTemperature);
+    temp.raw = static_cast<std::int64_t>(t.value());
+    auto& airflow = attr(SmartId::kAirflowTemperature);
+    airflow.raw = static_cast<std::int64_t>(t.value());
+    // Airflow temperature's normalized value is 100 - raw (capped), as many
+    // vendors report it.
+    airflow.value = std::clamp(100 - static_cast<int>(t.value()), 1, 253);
+    airflow.worst = std::min(airflow.worst, airflow.value);
+}
+
+void SmartData::power_cycle() {
+    auto& a = attr(SmartId::kPowerCycles);
+    ++a.raw;
+    a.value = std::max(1, 100 - static_cast<int>(a.raw / 100));
+    a.worst = std::min(a.worst, a.value);
+}
+
+void SmartData::add_reallocated_sectors(int n) {
+    if (n < 0) throw core::InvalidArgument("add_reallocated_sectors: negative count");
+    auto& a = attr(SmartId::kReallocatedSectors);
+    a.raw += n;
+    a.value = std::max(1, 100 - static_cast<int>(a.raw / 8));
+    a.worst = std::min(a.worst, a.value);
+}
+
+void SmartData::add_pending_sectors(int n) {
+    if (n < 0) throw core::InvalidArgument("add_pending_sectors: negative count");
+    auto& a = attr(SmartId::kPendingSectors);
+    a.raw += n;
+    a.value = std::max(1, 100 - static_cast<int>(a.raw / 4));
+    a.worst = std::min(a.worst, a.value);
+}
+
+SelfTestResult SmartData::run_long_test() {
+    auto& pending = attr(SmartId::kPendingSectors);
+    if (pending.raw > 0) {
+        // The surface scan resolves pending sectors: they either read fine
+        // (dropped from the list) or get reallocated.  We credit half each
+        // way, which is the common field outcome.
+        const std::int64_t realloc = pending.raw / 2;
+        add_reallocated_sectors(static_cast<int>(realloc));
+        pending.raw = 0;
+        pending.value = 100;
+    }
+    auto& uncorrectable = attr(SmartId::kUncorrectableSectors);
+    if (uncorrectable.raw > 0) return SelfTestResult::kFailedReadElement;
+    if (attr(SmartId::kReallocatedSectors).failed_threshold()) {
+        return SelfTestResult::kFailedServo;
+    }
+    return SelfTestResult::kPassed;
+}
+
+bool SmartData::overall_health_ok() const {
+    return std::none_of(attrs_.begin(), attrs_.end(),
+                        [](const SmartAttribute& a) { return a.failed_threshold(); });
+}
+
+}  // namespace zerodeg::hardware

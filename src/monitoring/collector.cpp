@@ -1,0 +1,81 @@
+#include "monitoring/collector.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace zerodeg::monitoring {
+
+Collector::Collector(core::Simulator& sim, Network& net, int monitor_node, core::Duration cadence)
+    : sim_(sim), net_(net), monitor_node_(monitor_node), cadence_(cadence) {
+    if (cadence.count() <= 0) throw core::InvalidArgument("Collector: bad cadence");
+}
+
+void Collector::add_host(HostBinding binding, core::TimePoint first_sweep) {
+    if (hosts_.contains(binding.host_id)) {
+        throw core::InvalidArgument("Collector::add_host: duplicate host");
+    }
+    if (!binding.reachable || !binding.pending_bytes) {
+        throw core::InvalidArgument("Collector::add_host: missing callbacks");
+    }
+    const int id = binding.host_id;
+    const core::TimePoint start = first_sweep < sim_.now() ? sim_.now() : first_sweep;
+    hosts_.emplace(id, HostState{std::move(binding), start, false});
+    HostCollectionStats st;
+    st.last_success = start;
+    stats_.emplace(id, st);
+
+    if (!sweep_scheduled_) {
+        sweep_scheduled_ = true;
+        sim_.schedule_every(start, cadence_, [this] { sweep(); }, "collector-sweep");
+    }
+}
+
+void Collector::remove_host(int host_id) {
+    const auto it = hosts_.find(host_id);
+    if (it == hosts_.end()) throw core::InvalidArgument("Collector::remove_host: unknown host");
+    it->second.removed = true;
+}
+
+void Collector::sweep() {
+    const core::TimePoint now = sim_.now();
+    for (auto& [id, host] : hosts_) {
+        if (host.removed || host.installed > now) continue;
+        HostCollectionStats& st = stats_.at(id);
+        ++st.attempts;
+
+        CollectionAttempt attempt;
+        attempt.time = now;
+        attempt.host_id = id;
+
+        const bool path = net_.path_up(monitor_node_, id);
+        const bool up = host.binding.reachable();
+        if (path && up) {
+            attempt.ok = true;
+            attempt.bytes = host.binding.pending_bytes(st.last_success);
+            ++st.successes;
+            st.bytes += attempt.bytes;
+            st.longest_gap = std::max(st.longest_gap, now - st.last_success);
+            st.last_success = now;
+            st.ever_succeeded = true;
+        } else {
+            ++st.failures;
+            st.longest_gap = std::max(st.longest_gap, now - st.last_success);
+        }
+        log_.push_back(attempt);
+    }
+}
+
+const HostCollectionStats& Collector::stats(int host_id) const {
+    const auto it = stats_.find(host_id);
+    if (it == stats_.end()) throw core::InvalidArgument("Collector::stats: unknown host");
+    return it->second;
+}
+
+std::uint64_t Collector::total_failures() const {
+    std::uint64_t n = 0;
+    for (const auto& [id, st] : stats_) n += st.failures;
+    return n;
+}
+
+}  // namespace zerodeg::monitoring

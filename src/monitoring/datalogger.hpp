@@ -1,0 +1,70 @@
+// The Lascar EL-USB-2-LCD data logger (Section 3.3).
+//
+// Datasheet error: +/-0.5 degC and +/-3.0% RH typical (+/-2 degC, +/-6% RH
+// maximum).  The device is machine-readable "although only by manually
+// inserting the device into an USB port" — each readout meant carrying it
+// indoors, which polluted the record with warm-indoor outliers the authors
+// then removed from the graphs.  Both the pollution and the removal are
+// modeled (the filter lives in outlier_filter.hpp).
+#pragma once
+
+#include <vector>
+
+#include "core/event_queue.hpp"
+#include "core/rng.hpp"
+#include "core/timeseries.hpp"
+#include "core/units.hpp"
+#include "thermal/enclosure.hpp"
+
+namespace zerodeg::monitoring {
+
+struct LascarConfig {
+    core::Celsius temp_sigma{0.25};   ///< noise giving ~+/-0.5 degC typical
+    double rh_sigma = 1.5;            ///< noise giving ~+/-3% RH typical
+    core::Duration cadence = core::Duration::minutes(10);
+    /// Indoor conditions recorded while the logger rides to the office.
+    core::Celsius indoor_temp{21.5};
+    core::RelHumidity indoor_rh{30.0};
+};
+
+/// A USB readout trip: between [start, start+duration] the logger sees the
+/// office, not the tent.
+struct ReadoutTrip {
+    core::TimePoint start;
+    core::Duration duration = core::Duration::minutes(25);
+
+    [[nodiscard]] bool covers(core::TimePoint t) const {
+        return t >= start && t <= start + duration;
+    }
+};
+
+class LascarLogger {
+public:
+    /// Starts sampling `enclosure` at `first_sample` (the paper's logger
+    /// "arrived late": start it after the experiment begins and the early
+    /// inside data is simply missing, as in Figs. 3-4).
+    LascarLogger(core::Simulator& sim, const thermal::Enclosure& enclosure,
+                 core::TimePoint first_sample, LascarConfig config, core::RngStream rng);
+
+    /// Register a manual USB readout (data carried indoors).
+    void schedule_readout(ReadoutTrip trip);
+
+    [[nodiscard]] const core::TimeSeries& temperature_series() const { return temperature_; }
+    [[nodiscard]] const core::TimeSeries& humidity_series() const { return humidity_; }
+    [[nodiscard]] const std::vector<ReadoutTrip>& readouts() const { return readouts_; }
+    [[nodiscard]] core::TimePoint first_sample_time() const { return first_sample_; }
+
+private:
+    core::Simulator& sim_;
+    const thermal::Enclosure& enclosure_;
+    LascarConfig config_;
+    core::RngStream rng_;
+    core::TimePoint first_sample_;
+    core::TimeSeries temperature_{"tent_temp_degC"};
+    core::TimeSeries humidity_{"tent_rh_pct"};
+    std::vector<ReadoutTrip> readouts_;
+
+    void take_sample();
+};
+
+}  // namespace zerodeg::monitoring

@@ -1,0 +1,109 @@
+#include "monitoring/netsim.hpp"
+
+#include <algorithm>
+
+namespace zerodeg::monitoring {
+
+std::size_t Network::add_switch(hardware::NetworkSwitch sw) {
+    switches_.push_back(std::make_unique<hardware::NetworkSwitch>(std::move(sw)));
+    return switches_.size() - 1;
+}
+
+void Network::replace_switch(std::size_t index, hardware::NetworkSwitch sw) {
+    if (index >= switches_.size()) throw core::InvalidArgument("Network: bad switch index");
+    *switches_[index] = std::move(sw);
+}
+
+void Network::attach(NetNode node, std::size_t switch_index) {
+    if (switch_index >= switches_.size()) {
+        throw core::InvalidArgument("Network::attach: bad switch index");
+    }
+    if (node_switch_.contains(node.id)) {
+        throw core::InvalidArgument("Network::attach: node already attached");
+    }
+    const std::size_t used = port_use_[switch_index];
+    if (used >= static_cast<std::size_t>(switches_[switch_index]->ports())) {
+        throw core::InvalidArgument("Network::attach: switch out of ports");
+    }
+    ++port_use_[switch_index];
+    node_switch_[node.id] = switch_index;
+}
+
+void Network::uplink(std::size_t from_switch, std::size_t to_switch) {
+    if (from_switch >= switches_.size() || to_switch >= switches_.size()) {
+        throw core::InvalidArgument("Network::uplink: bad switch index");
+    }
+    if (from_switch == to_switch) throw core::InvalidArgument("Network::uplink: self-link");
+    if (uplinks_.contains(from_switch)) {
+        throw core::InvalidArgument("Network::uplink: switch already uplinked");
+    }
+    // Both ends consume a port.
+    ++port_use_[from_switch];
+    ++port_use_[to_switch];
+    uplinks_[from_switch] = to_switch;
+    // Reject cycles: walking up from `to_switch` must not revisit
+    // `from_switch`.
+    std::size_t cur = to_switch;
+    while (uplinks_.contains(cur)) {
+        cur = uplinks_.at(cur);
+        if (cur == from_switch) {
+            uplinks_.erase(from_switch);
+            throw core::InvalidArgument("Network::uplink: would create a cycle");
+        }
+    }
+}
+
+void Network::step(core::Duration dt) {
+    for (const auto& sw : switches_) sw->step(dt);
+}
+
+std::vector<std::size_t> Network::path_to_root(std::size_t sw) const {
+    std::vector<std::size_t> path{sw};
+    std::size_t cur = sw;
+    while (uplinks_.contains(cur)) {
+        cur = uplinks_.at(cur);
+        path.push_back(cur);
+    }
+    return path;
+}
+
+bool Network::path_up(int node_a, int node_b) const {
+    const auto it_a = node_switch_.find(node_a);
+    const auto it_b = node_switch_.find(node_b);
+    if (it_a == node_switch_.end() || it_b == node_switch_.end()) return false;
+
+    const std::vector<std::size_t> path_a = path_to_root(it_a->second);
+    const std::vector<std::size_t> path_b = path_to_root(it_b->second);
+
+    // Find the lowest common ancestor; every switch up to and including it
+    // on both sides must be operational.
+    for (std::size_t i = 0; i < path_a.size(); ++i) {
+        const auto pos = std::find(path_b.begin(), path_b.end(), path_a[i]);
+        if (pos == path_b.end()) continue;
+        for (std::size_t k = 0; k <= i; ++k) {
+            if (!switches_[path_a[k]]->operational()) return false;
+        }
+        for (auto it = path_b.begin(); it != pos; ++it) {
+            if (!switches_[*it]->operational()) return false;
+        }
+        return switches_[*pos]->operational();
+    }
+    return false;  // disjoint trees
+}
+
+hardware::NetworkSwitch& Network::switch_at(std::size_t index) {
+    if (index >= switches_.size()) throw core::InvalidArgument("Network: bad switch index");
+    return *switches_[index];
+}
+
+const hardware::NetworkSwitch& Network::switch_at(std::size_t index) const {
+    if (index >= switches_.size()) throw core::InvalidArgument("Network: bad switch index");
+    return *switches_[index];
+}
+
+std::size_t Network::ports_used(std::size_t switch_index) const {
+    const auto it = port_use_.find(switch_index);
+    return it == port_use_.end() ? 0 : it->second;
+}
+
+}  // namespace zerodeg::monitoring

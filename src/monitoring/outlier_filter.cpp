@@ -1,0 +1,59 @@
+#include "monitoring/outlier_filter.hpp"
+
+#include <cmath>
+
+namespace zerodeg::monitoring {
+
+std::size_t remove_readout_outliers(core::TimeSeries& series,
+                                    const std::vector<ReadoutTrip>& trips,
+                                    core::Duration guard) {
+    return series.remove_if([&](const core::Sample& s) {
+        for (const ReadoutTrip& trip : trips) {
+            if (s.time >= trip.start - guard && s.time <= trip.start + trip.duration + guard) {
+                return true;
+            }
+        }
+        return false;
+    });
+}
+
+std::size_t remove_jump_outliers(core::TimeSeries& series, const JumpFilterConfig& config) {
+    const auto& samples = series.samples();
+    if (samples.size() < 3) return 0;
+
+    std::vector<bool> drop(samples.size(), false);
+    std::size_t i = 1;
+    while (i < samples.size()) {
+        const double step = std::abs(samples[i].value - samples[i - 1].value);
+        if (step <= config.jump_threshold) {
+            ++i;
+            continue;
+        }
+        // Jump: mark forward until the series returns near the pre-jump
+        // level or the window times out.
+        const double base = samples[i - 1].value;
+        const core::TimePoint jump_time = samples[i].time;
+        std::size_t j = i;
+        bool returned = false;
+        while (j < samples.size()) {
+            if (samples[j].time - jump_time > config.max_excursion) break;
+            if (std::abs(samples[j].value - base) <= config.return_tolerance) {
+                returned = true;
+                break;
+            }
+            ++j;
+        }
+        if (returned) {
+            for (std::size_t k = i; k < j; ++k) drop[k] = true;
+            i = j + 1;
+        } else {
+            // Sustained excursion: keep it (weather, not a USB trip).
+            ++i;
+        }
+    }
+
+    std::size_t idx = 0;
+    return series.remove_if([&](const core::Sample&) { return drop[idx++]; });
+}
+
+}  // namespace zerodeg::monitoring

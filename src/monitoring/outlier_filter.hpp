@@ -1,0 +1,41 @@
+// The outlier-removal step of Section 3.3.
+//
+// "we have been forced to remove a number of outliers in the measurements
+// caused by removing the data logger and carrying it indoors.  These
+// outliers have been removed from the graphs."  Two strategies are offered:
+// removal by the known readout windows (ground truth available in the sim),
+// and blind removal by jump detection (what the authors actually had to do —
+// an indoor trip shows up as a sudden implausible step toward office
+// conditions and back).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/timeseries.hpp"
+#include "monitoring/datalogger.hpp"
+
+namespace zerodeg::monitoring {
+
+/// Remove samples that fall inside any of the given readout trips (with a
+/// guard band on both sides).  Returns the number removed.
+std::size_t remove_readout_outliers(core::TimeSeries& series,
+                                    const std::vector<ReadoutTrip>& trips,
+                                    core::Duration guard = core::Duration::minutes(10));
+
+struct JumpFilterConfig {
+    /// A step of more than this many units between consecutive samples
+    /// opens a suspect window...
+    double jump_threshold = 8.0;
+    /// ...and samples stay suspect until the series returns within this
+    /// distance of the pre-jump level.
+    double return_tolerance = 4.0;
+    /// Give up and keep the data if the excursion lasts longer than this
+    /// (a real weather front is not an outlier!).
+    core::Duration max_excursion = core::Duration::hours(2);
+};
+
+/// Blind jump-detection filter; returns the number of samples removed.
+std::size_t remove_jump_outliers(core::TimeSeries& series, const JumpFilterConfig& config = {});
+
+}  // namespace zerodeg::monitoring

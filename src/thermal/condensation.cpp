@@ -1,0 +1,40 @@
+#include "thermal/condensation.hpp"
+
+#include <algorithm>
+
+#include "weather/psychrometrics.hpp"
+
+namespace zerodeg::thermal {
+
+CondensationAnalyzer::CondensationAnalyzer(core::Celsius safety_margin)
+    : safety_margin_(safety_margin) {}
+
+void CondensationAnalyzer::observe(core::TimePoint t, core::Celsius surface,
+                                   core::Celsius air_temp, core::RelHumidity air_rh) {
+    const core::Celsius margin = weather::condensation_margin(surface, air_temp, air_rh);
+    margins_.append(t, margin.value());
+    if (margin <= core::Celsius{0.0}) condensed_ = true;
+
+    const bool risky = margin <= safety_margin_;
+    if (risky && !in_event_) {
+        in_event_ = true;
+        open_ = {t, t, margin};
+    } else if (risky && in_event_) {
+        open_.end = t;
+        open_.worst_margin = std::min(open_.worst_margin, margin);
+    } else if (!risky && in_event_) {
+        open_.end = t;
+        events_.push_back(open_);
+        in_event_ = false;
+    }
+}
+
+void CondensationAnalyzer::finish(core::TimePoint t) {
+    if (in_event_) {
+        open_.end = t;
+        events_.push_back(open_);
+        in_event_ = false;
+    }
+}
+
+}  // namespace zerodeg::thermal

@@ -1,0 +1,60 @@
+// Condensation-risk analyzer (the Section 5 question).
+//
+// "A central question concerns whether water can condense in the hardware" —
+// the paper argues it cannot as long as the cases are warmer than the air's
+// dew point, which their internal dissipation guarantees except when outside
+// air suddenly becomes warmer than the (cold-soaked) cases.  The analyzer
+// tracks the margin between a surface temperature and the ambient dew point
+// and records every excursion below a configurable safety threshold.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/sim_time.hpp"
+#include "core/timeseries.hpp"
+#include "core/units.hpp"
+
+namespace zerodeg::thermal {
+
+struct CondensationEvent {
+    core::TimePoint start;
+    core::TimePoint end;
+    core::Celsius worst_margin;  ///< most negative (or least positive) margin seen
+};
+
+class CondensationAnalyzer {
+public:
+    /// @param safety_margin  report an event whenever the surface is within
+    ///                       this many degrees of the dew point.
+    explicit CondensationAnalyzer(core::Celsius safety_margin = core::Celsius{1.0});
+
+    /// Feed one observation: the surface of interest, and the air around it.
+    void observe(core::TimePoint t, core::Celsius surface, core::Celsius air_temp,
+                 core::RelHumidity air_rh);
+
+    /// Completed below-threshold excursions (an open excursion is completed
+    /// by the first safe observation or by finish()).
+    [[nodiscard]] const std::vector<CondensationEvent>& events() const { return events_; }
+
+    /// Close any open excursion (call at the end of a run).
+    void finish(core::TimePoint t);
+
+    /// Full margin history (surface minus dew point), for the ABL-COND bench.
+    [[nodiscard]] const core::TimeSeries& margin_series() const { return margins_; }
+
+    /// True condensation (margin <= 0) observed at any point?
+    [[nodiscard]] bool condensation_occurred() const { return condensed_; }
+
+    [[nodiscard]] std::size_t observations() const { return margins_.size(); }
+
+private:
+    core::Celsius safety_margin_;
+    core::TimeSeries margins_{"condensation_margin_degC"};
+    std::vector<CondensationEvent> events_;
+    bool in_event_ = false;
+    CondensationEvent open_{};
+    bool condensed_ = false;
+};
+
+}  // namespace zerodeg::thermal

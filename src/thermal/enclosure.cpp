@@ -1,0 +1,155 @@
+#include "thermal/enclosure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace zerodeg::thermal {
+
+const char* to_string(TentMod mod) {
+    switch (mod) {
+        case TentMod::kReflectiveFoil: return "reflective foil cover (R)";
+        case TentMod::kInnerTentRemoved: return "inner tent removed (I)";
+        case TentMod::kBottomOpened: return "bottom tarpaulin opened (B)";
+        case TentMod::kFanInstalled: return "tabletop fan installed (F)";
+        case TentMod::kFrontDoorHalfOpen: return "front door half-open (D)";
+    }
+    return "?";
+}
+
+char short_code(TentMod mod) {
+    switch (mod) {
+        case TentMod::kReflectiveFoil: return 'R';
+        case TentMod::kInnerTentRemoved: return 'I';
+        case TentMod::kBottomOpened: return 'B';
+        case TentMod::kFanInstalled: return 'F';
+        case TentMod::kFrontDoorHalfOpen: return 'D';
+    }
+    return '?';
+}
+
+TentModel::TentModel(TentConfig config, Celsius initial)
+    : config_(config), inside_temp_(initial.value()), inside_rh_(75.0) {}
+
+void TentModel::apply_modification(TentMod mod) { mods_[static_cast<int>(mod)] = true; }
+
+bool TentModel::has_modification(TentMod mod) const { return mods_[static_cast<int>(mod)]; }
+
+core::WattsPerKelvin TentModel::effective_conductance(core::MetersPerSecond wind) const {
+    double g = config_.base_conductance.value();
+    if (has_modification(TentMod::kInnerTentRemoved)) g *= config_.inner_removed_factor;
+    if (has_modification(TentMod::kBottomOpened)) g *= config_.bottom_opened_factor;
+    if (has_modification(TentMod::kFanInstalled)) g *= config_.fan_factor;
+    if (has_modification(TentMod::kFrontDoorHalfOpen)) g *= config_.front_door_factor;
+    // Forced convection: wind at wind_doubling_mps doubles the heat removal.
+    // Ventilation mods make the envelope more wind-sensitive (air actually
+    // passes through instead of around).
+    double wind_gain = wind.value() / config_.wind_doubling_mps;
+    if (has_modification(TentMod::kBottomOpened) ||
+        has_modification(TentMod::kFrontDoorHalfOpen)) {
+        wind_gain *= 1.5;
+    }
+    return core::WattsPerKelvin{g * (1.0 + wind_gain)};
+}
+
+Watts TentModel::solar_gain(core::WattsPerSquareMeter ghi) const {
+    const double aperture = has_modification(TentMod::kReflectiveFoil)
+                                ? config_.solar_aperture_foil_m2
+                                : config_.solar_aperture_m2;
+    return ghi.over_area(aperture);
+}
+
+void TentModel::step(Duration dt, const WeatherSample& outside) {
+    if (dt.count() < 0) throw core::InvalidArgument("TentModel::step: negative dt");
+    if (!humidity_initialized_) {
+        inside_rh_ = weather::rebase_humidity(outside.temperature, outside.humidity,
+                                              Celsius{inside_temp_})
+                         .clamped()
+                         .value();
+        humidity_initialized_ = true;
+    }
+
+    const double g = effective_conductance(outside.wind).value();
+    const double cap = config_.heat_capacity.value();
+    const double input = equipment_power_.value() + solar_gain(outside.irradiance).value();
+
+    // Exact relaxation toward equilibrium for this step's (constant) forcing:
+    // T_eq = T_out + P/G, time constant C/G.
+    const double t_eq = outside.temperature.value() + (g > 0.0 ? input / g : 0.0);
+    const double a = g > 0.0 ? std::exp(-static_cast<double>(dt.count()) * g / cap) : 1.0;
+    inside_temp_ = t_eq + (inside_temp_ - t_eq) * a;
+
+    // Moisture: the inside vapour content tracks the outside with a lag; the
+    // instantaneous target is the outside air's RH re-based to the inside
+    // temperature.
+    const double rh_target = weather::rebase_humidity(outside.temperature, outside.humidity,
+                                                      Celsius{inside_temp_})
+                                 .clamped()
+                                 .value();
+    double tau = static_cast<double>(config_.humidity_tau.count());
+    // More airflow = faster tracking = the wider RH swings of Fig. 4's tail.
+    tau /= effective_conductance(outside.wind).value() / config_.base_conductance.value();
+    const double b = std::exp(-static_cast<double>(dt.count()) / std::max(tau, 1.0));
+    inside_rh_ = rh_target + (inside_rh_ - rh_target) * b;
+    inside_rh_ = std::clamp(inside_rh_, 0.0, 100.0);
+}
+
+EnclosureAir TentModel::air() const {
+    EnclosureAir a;
+    a.temperature = Celsius{inside_temp_};
+    a.humidity = RelHumidity{inside_rh_};
+    a.dew_point = inside_rh_ > 0.0
+                      ? weather::dew_point(a.temperature, a.humidity)
+                      : Celsius{-100.0};
+    return a;
+}
+
+PrototypeBoxModel::PrototypeBoxModel(Celsius initial) : inside_temp_(initial.value()) {}
+
+void PrototypeBoxModel::step(Duration dt, const WeatherSample& outside) {
+    if (dt.count() < 0) throw core::InvalidArgument("PrototypeBoxModel::step: negative dt");
+    const double t_eq = outside.temperature.value() + equipment_power_.value() / kConductance;
+    const double a = std::exp(-static_cast<double>(dt.count()) * kConductance / kCapacity);
+    inside_temp_ = t_eq + (inside_temp_ - t_eq) * a;
+    inside_rh_ = weather::rebase_humidity(outside.temperature, outside.humidity,
+                                          Celsius{inside_temp_})
+                     .clamped()
+                     .value();
+}
+
+EnclosureAir PrototypeBoxModel::air() const {
+    EnclosureAir a;
+    a.temperature = Celsius{inside_temp_};
+    a.humidity = RelHumidity{inside_rh_};
+    a.dew_point = inside_rh_ > 0.0 ? weather::dew_point(a.temperature, a.humidity)
+                                   : Celsius{-100.0};
+    return a;
+}
+
+BasementModel::BasementModel(Celsius setpoint, RelHumidity humidity)
+    : setpoint_(setpoint), humidity_(humidity), temp_(setpoint.value()) {}
+
+void BasementModel::set_equipment_power(Watts p) {
+    if (p.value() < 0.0) throw core::InvalidArgument("BasementModel: negative power");
+    equipment_power_ = p;
+}
+
+void BasementModel::step(Duration dt, const WeatherSample& /*outside*/) {
+    if (dt.count() < 0) throw core::InvalidArgument("BasementModel::step: negative dt");
+    // Office-type air conditioning holds the setpoint with a small excursion
+    // proportional to the IT load (1 K per 2 kW is typical for a small room).
+    temp_ = setpoint_.value() + equipment_power_.value() / 2000.0;
+    // All equipment heat must be pumped out; meter it for energy accounting.
+    cooling_energy_ += core::energy(equipment_power_, static_cast<double>(dt.count()));
+}
+
+EnclosureAir BasementModel::air() const {
+    EnclosureAir a;
+    a.temperature = Celsius{temp_};
+    a.humidity = humidity_;
+    a.dew_point = weather::dew_point(a.temperature, a.humidity);
+    return a;
+}
+
+}  // namespace zerodeg::thermal

@@ -1,0 +1,165 @@
+// Enclosure models: the tent on the roof terrace, the plastic-box prototype
+// shelter, and the basement control room.
+//
+// An Enclosure turns the outdoor state plus the equipment's power draw into
+// the air condition the machines actually inhale.  The tent is the paper's
+// centerpiece: Section 3.2 lists the four factors that set its internal
+// temperature — outside air, sunlight/wind, equipment power, and which flaps
+// are open — and Section 4.1's Figure 3 annotates the four modifications
+// (R: reflective foil, I: inner tent removed, B: bottom tarpaulin removed,
+// F: table fan installed) the authors made to dump heat.  Each modification
+// maps to a parameter change on the tent's RC node.
+#pragma once
+
+#include <string>
+
+#include "core/units.hpp"
+#include "weather/psychrometrics.hpp"
+#include "weather/weather_model.hpp"
+
+namespace zerodeg::thermal {
+
+using core::Celsius;
+using core::Duration;
+using core::RelHumidity;
+using core::Watts;
+using weather::WeatherSample;
+
+/// Air condition inside an enclosure.
+struct EnclosureAir {
+    Celsius temperature;
+    RelHumidity humidity;
+    Celsius dew_point;
+};
+
+/// Interface shared by the tent, prototype boxes and basement.
+class Enclosure {
+public:
+    virtual ~Enclosure() = default;
+
+    /// Total electrical power currently dissipated inside.
+    virtual void set_equipment_power(Watts p) = 0;
+
+    /// Advance internal state by dt under the given outdoor conditions.
+    virtual void step(Duration dt, const WeatherSample& outside) = 0;
+
+    [[nodiscard]] virtual EnclosureAir air() const = 0;
+    [[nodiscard]] virtual const std::string& name() const = 0;
+};
+
+/// Named tent modifications from Fig. 3.
+enum class TentMod {
+    kReflectiveFoil,   ///< R: rescue-foil cover reduces solar gain
+    kInnerTentRemoved, ///< I: inner fabric cut open
+    kBottomOpened,     ///< B: bottom tarpaulin partially removed
+    kFanInstalled,     ///< F: tabletop motorized fan
+    kFrontDoorHalfOpen ///< ongoing operational tweak from Section 3.2
+};
+
+[[nodiscard]] const char* to_string(TentMod mod);
+[[nodiscard]] char short_code(TentMod mod);  ///< 'R', 'I', 'B', 'F', 'D'
+
+struct TentConfig {
+    /// Envelope conductance with everything closed, per the heat-retention
+    /// surprise of Section 3.2 (a camping tent is built to keep warmth in).
+    core::WattsPerKelvin base_conductance{26.0};
+
+    /// Multipliers applied to the envelope conductance by each modification.
+    double inner_removed_factor = 1.6;
+    double bottom_opened_factor = 1.5;
+    double fan_factor = 1.9;
+    double front_door_factor = 1.25;
+
+    /// Wind doubles heat removal at about this speed (forced convection).
+    double wind_doubling_mps = 6.0;
+
+    /// Effective solar aperture (m^2) without and with the foil cover.
+    double solar_aperture_m2 = 1.35;
+    double solar_aperture_foil_m2 = 0.4;
+
+    /// Thermal mass of tent air + contents (J/K).  ~6 m^3 of air plus the
+    /// machines' metal gives a time constant of tens of minutes.
+    core::JoulesPerKelvin heat_capacity{90000.0};
+
+    /// Moisture buffering: tent RH relaxes toward the rebased outside RH
+    /// with this time constant (fabric and snow on the ground buffer vapor).
+    Duration humidity_tau = Duration::minutes(50);
+};
+
+class TentModel final : public Enclosure {
+public:
+    explicit TentModel(TentConfig config = {}, Celsius initial = Celsius{0.0});
+
+    void apply_modification(TentMod mod);
+    [[nodiscard]] bool has_modification(TentMod mod) const;
+
+    void set_equipment_power(Watts p) override { equipment_power_ = p; }
+    void step(Duration dt, const WeatherSample& outside) override;
+    [[nodiscard]] EnclosureAir air() const override;
+    [[nodiscard]] const std::string& name() const override { return name_; }
+
+    /// Envelope conductance with current modifications and wind.
+    [[nodiscard]] core::WattsPerKelvin effective_conductance(
+        core::MetersPerSecond wind) const;
+
+    /// Solar heat input with current modifications.
+    [[nodiscard]] Watts solar_gain(core::WattsPerSquareMeter ghi) const;
+
+    [[nodiscard]] const TentConfig& config() const { return config_; }
+
+private:
+    std::string name_ = "tent";
+    TentConfig config_;
+    Watts equipment_power_{0.0};
+    double inside_temp_;   ///< degC
+    double inside_rh_;     ///< %
+    bool mods_[5] = {};
+    bool humidity_initialized_ = false;
+};
+
+/// The prototype shelter from Section 3.1: two hard plastic boxes that "did
+/// not really impede air flow or contain any heat" — i.e. a high-conductance
+/// envelope with no solar aperture worth modeling.
+class PrototypeBoxModel final : public Enclosure {
+public:
+    explicit PrototypeBoxModel(Celsius initial = Celsius{0.0});
+
+    void set_equipment_power(Watts p) override { equipment_power_ = p; }
+    void step(Duration dt, const WeatherSample& outside) override;
+    [[nodiscard]] EnclosureAir air() const override;
+    [[nodiscard]] const std::string& name() const override { return name_; }
+
+private:
+    std::string name_ = "prototype-boxes";
+    Watts equipment_power_{0.0};
+    double inside_temp_;
+    double inside_rh_ = 80.0;
+    static constexpr double kConductance = 55.0;   ///< W/K — nearly open air
+    static constexpr double kCapacity = 15000.0;   ///< J/K
+};
+
+/// The basement control room: protection-shelter space with "stable,
+/// office-type air conditioning", operating within equipment specs.
+class BasementModel final : public Enclosure {
+public:
+    explicit BasementModel(Celsius setpoint = Celsius{21.0},
+                           RelHumidity humidity = RelHumidity{35.0});
+
+    void set_equipment_power(Watts p) override;
+    void step(Duration dt, const WeatherSample& outside) override;
+    [[nodiscard]] EnclosureAir air() const override;
+    [[nodiscard]] const std::string& name() const override { return name_; }
+
+    /// HVAC work done removing the equipment heat (for energy accounting).
+    [[nodiscard]] core::Joules cooling_energy() const { return cooling_energy_; }
+
+private:
+    std::string name_ = "basement";
+    Celsius setpoint_;
+    RelHumidity humidity_;
+    Watts equipment_power_{0.0};
+    double temp_;  ///< degC; small excursion proportional to load
+    core::Joules cooling_energy_{0.0};
+};
+
+}  // namespace zerodeg::thermal

@@ -1,0 +1,77 @@
+#include "thermal/envelope.hpp"
+
+#include "core/error.hpp"
+
+namespace zerodeg::thermal {
+
+EnvelopeSpec ashrae_recommended() {
+    EnvelopeSpec s;
+    s.name = "ASHRAE 2008 recommended";
+    s.min_temp = core::Celsius{18.0};
+    s.max_temp = core::Celsius{27.0};
+    s.min_rh = core::RelHumidity{25.0};
+    s.max_rh = core::RelHumidity{60.0};
+    s.max_dew_point = core::Celsius{15.0};
+    return s;
+}
+
+EnvelopeSpec ashrae_allowable() {
+    EnvelopeSpec s;
+    s.name = "ASHRAE 2008 allowable (class 1/2)";
+    s.min_temp = core::Celsius{15.0};
+    s.max_temp = core::Celsius{32.0};
+    s.min_rh = core::RelHumidity{20.0};
+    s.max_rh = core::RelHumidity{80.0};
+    s.max_dew_point = core::Celsius{17.0};
+    return s;
+}
+
+EnvelopeSpec ashrae_a4_like() {
+    EnvelopeSpec s;
+    s.name = "A4-like free-air class";
+    s.min_temp = core::Celsius{5.0};
+    s.max_temp = core::Celsius{45.0};
+    s.min_rh = core::RelHumidity{8.0};
+    s.max_rh = core::RelHumidity{90.0};
+    s.max_dew_point = core::Celsius{24.0};
+    return s;
+}
+
+const char* to_string(EnvelopeVerdict v) {
+    switch (v) {
+        case EnvelopeVerdict::kWithin: return "within envelope";
+        case EnvelopeVerdict::kTooCold: return "below temperature minimum";
+        case EnvelopeVerdict::kTooHot: return "above temperature maximum";
+        case EnvelopeVerdict::kTooDry: return "below humidity minimum";
+        case EnvelopeVerdict::kTooHumid: return "above humidity maximum";
+        case EnvelopeVerdict::kDewPointHigh: return "dew point too high";
+    }
+    return "?";
+}
+
+EnvelopeVerdict classify(const EnvelopeSpec& spec, core::Celsius temp, core::RelHumidity rh,
+                         core::Celsius dew_point) {
+    if (temp < spec.min_temp) return EnvelopeVerdict::kTooCold;
+    if (temp > spec.max_temp) return EnvelopeVerdict::kTooHot;
+    if (rh < spec.min_rh) return EnvelopeVerdict::kTooDry;
+    if (rh > spec.max_rh) return EnvelopeVerdict::kTooHumid;
+    if (dew_point > spec.max_dew_point) return EnvelopeVerdict::kDewPointHigh;
+    return EnvelopeVerdict::kWithin;
+}
+
+EnvelopeTracker::EnvelopeTracker(EnvelopeSpec spec) : spec_(spec) {}
+
+void EnvelopeTracker::observe(core::Duration dt, core::Celsius temp, core::RelHumidity rh,
+                              core::Celsius dew_point) {
+    if (dt.count() < 0) throw core::InvalidArgument("EnvelopeTracker: negative dt");
+    const double h = static_cast<double>(dt.count()) / 3600.0;
+    hours_total_ += h;
+    hours_[static_cast<std::size_t>(classify(spec_, temp, rh, dew_point))] += h;
+}
+
+double EnvelopeTracker::fraction_within() const {
+    if (hours_total_ <= 0.0) return 0.0;
+    return hours_[0] / hours_total_;
+}
+
+}  // namespace zerodeg::thermal

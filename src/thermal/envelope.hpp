@@ -1,0 +1,74 @@
+// Operating-envelope classification (the "industry tribal knowledge" meter).
+//
+// Data-center practice judges intake air against an allowable envelope
+// (ASHRAE's classes; in 2010 the common allowable was roughly 15..32 degC
+// and 20..80% RH).  The paper's whole point is that its tent spent most of
+// the season far outside any such envelope — "sub-zero temperatures or
+// relative humidities above 80% or 90% are not a certified cause for server
+// failures" — so we meter exactly how far outside, for the census to set
+// against the (flat) failure rate.
+#pragma once
+
+#include <cstddef>
+
+#include "core/sim_time.hpp"
+#include "core/units.hpp"
+
+namespace zerodeg::thermal {
+
+struct EnvelopeSpec {
+    const char* name = "custom";
+    core::Celsius min_temp{15.0};
+    core::Celsius max_temp{32.0};
+    core::RelHumidity min_rh{20.0};
+    core::RelHumidity max_rh{80.0};
+    core::Celsius max_dew_point{17.0};
+};
+
+/// The 2008 ASHRAE "recommended" envelope (tightest).
+[[nodiscard]] EnvelopeSpec ashrae_recommended();
+/// The 2008 "allowable class 1/2"-style envelope the paper's era used.
+[[nodiscard]] EnvelopeSpec ashrae_allowable();
+/// The widest modern free-air class (A4-like), for contrast.
+[[nodiscard]] EnvelopeSpec ashrae_a4_like();
+
+enum class EnvelopeVerdict {
+    kWithin,
+    kTooCold,
+    kTooHot,
+    kTooDry,
+    kTooHumid,
+    kDewPointHigh,
+};
+
+[[nodiscard]] const char* to_string(EnvelopeVerdict v);
+
+/// Classify one air state (first violated limit wins, cold before humidity —
+/// matching how operators narrate it).
+[[nodiscard]] EnvelopeVerdict classify(const EnvelopeSpec& spec, core::Celsius temp,
+                                       core::RelHumidity rh, core::Celsius dew_point);
+
+/// Accumulates time-in/out-of-envelope over a run.
+class EnvelopeTracker {
+public:
+    explicit EnvelopeTracker(EnvelopeSpec spec);
+
+    void observe(core::Duration dt, core::Celsius temp, core::RelHumidity rh,
+                 core::Celsius dew_point);
+
+    [[nodiscard]] double hours_total() const { return hours_total_; }
+    [[nodiscard]] double hours_within() const { return hours_[0]; }
+    [[nodiscard]] double hours(EnvelopeVerdict v) const {
+        return hours_[static_cast<std::size_t>(v)];
+    }
+    /// Fraction of observed time inside the envelope.
+    [[nodiscard]] double fraction_within() const;
+    [[nodiscard]] const EnvelopeSpec& spec() const { return spec_; }
+
+private:
+    EnvelopeSpec spec_;
+    double hours_total_ = 0.0;
+    double hours_[6] = {};
+};
+
+}  // namespace zerodeg::thermal

@@ -1,0 +1,71 @@
+#include "thermal/server_thermal.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace zerodeg::thermal {
+
+ServerThermalConfig tower_thermal_config() {
+    return {};  // defaults are the medium-tower vendor-A clone
+}
+
+ServerThermalConfig sff_thermal_config() {
+    ServerThermalConfig c;
+    // The known-unreliable small-form-factor series: cramped case, poor
+    // airflow, so everything runs hotter per watt.
+    c.cpu_resistance_k_per_w = 0.55;
+    c.case_resistance_k_per_w = 0.085;
+    c.hdd_rise_k = 7.0;
+    return c;
+}
+
+ServerThermalConfig rack_2u_thermal_config() {
+    ServerThermalConfig c;
+    // 2U servers move a lot of air: low resistances, faster response.
+    c.cpu_resistance_k_per_w = 0.28;
+    c.case_resistance_k_per_w = 0.03;
+    c.hdd_rise_k = 5.0;  // five spindles packed together
+    c.cpu_tau = core::Duration::seconds(60);
+    c.case_tau = core::Duration::minutes(6);
+    return c;
+}
+
+ServerThermalModel::ServerThermalModel(ServerThermalConfig config, core::Celsius initial_intake)
+    : config_(config),
+      cpu_(initial_intake.value()),
+      case_air_(initial_intake.value()),
+      hdd_(initial_intake.value()) {}
+
+double ServerThermalModel::relax(double current, double target, double dt_s, double tau_s) {
+    const double a = std::exp(-dt_s / tau_s);
+    return target + (current - target) * a;
+}
+
+void ServerThermalModel::step(core::Duration dt, core::Celsius intake, core::Watts cpu_power,
+                              core::Watts total_power, double airflow) {
+    if (dt.count() < 0) throw core::InvalidArgument("ServerThermalModel::step: negative dt");
+    if (airflow <= 0.0) throw core::InvalidArgument("ServerThermalModel::step: airflow <= 0");
+    const double dt_s = static_cast<double>(dt.count());
+    const double flow_factor = std::pow(airflow, config_.airflow_exponent);
+
+    const double case_target =
+        intake.value() + total_power.value() * config_.case_resistance_k_per_w / flow_factor;
+    case_air_ = relax(case_air_, case_target,
+                      dt_s, static_cast<double>(config_.case_tau.count()));
+
+    const double cpu_target =
+        intake.value() + cpu_power.value() * config_.cpu_resistance_k_per_w / flow_factor;
+    cpu_ = relax(cpu_, cpu_target, dt_s, static_cast<double>(config_.cpu_tau.count()));
+
+    const double hdd_target = case_air_ + config_.hdd_rise_k / flow_factor;
+    hdd_ = relax(hdd_, hdd_target, dt_s, static_cast<double>(config_.hdd_tau.count()));
+}
+
+core::Celsius ServerThermalModel::case_surface_temperature(core::Celsius intake) const {
+    // The steel skin is convectively coupled to both sides; weight toward
+    // the (warm) inside because the inside flow is fan-driven.
+    return core::Celsius{0.35 * intake.value() + 0.65 * case_air_};
+}
+
+}  // namespace zerodeg::thermal

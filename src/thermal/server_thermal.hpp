@@ -1,0 +1,68 @@
+// Per-machine thermal model: intake air -> component temperatures.
+//
+// The paper's prototype observation anchors this model: with outside air
+// averaging -9.2 degC, lm-sensors reported CPU temperatures down to -4 degC —
+// i.e. a near-idle machine in a strong cold airflow runs its silicon only a
+// few kelvin above intake.  Each component is a first-order lag over intake
+// temperature plus a (power x thermal-resistance) rise; airflow (case fans +
+// any external wind reaching the case) lowers the resistance.
+#pragma once
+
+#include "core/sim_time.hpp"
+#include "core/units.hpp"
+
+namespace zerodeg::thermal {
+
+struct ServerThermalConfig {
+    /// Thermal resistance intake->CPU die at nominal airflow (K/W of CPU power).
+    double cpu_resistance_k_per_w = 0.38;
+    /// Thermal resistance intake->case air (K/W of total power).
+    double case_resistance_k_per_w = 0.045;
+    /// HDD sits in the case airflow with a small self-heating rise.
+    double hdd_rise_k = 4.0;
+    /// First-order lag time constants.
+    core::Duration cpu_tau = core::Duration::seconds(90);
+    core::Duration case_tau = core::Duration::minutes(12);
+    core::Duration hdd_tau = core::Duration::minutes(20);
+    /// Fraction by which doubling airflow reduces the resistances.
+    double airflow_exponent = 0.6;
+};
+
+/// Configurations per chassis, reflecting Section 3.4's form factors.
+/// Vendor B's small-form-factor series has the "bad air flow circulation"
+/// defect the authors deliberately included.
+[[nodiscard]] ServerThermalConfig tower_thermal_config();      // vendor A
+[[nodiscard]] ServerThermalConfig sff_thermal_config();        // vendor B (poor airflow)
+[[nodiscard]] ServerThermalConfig rack_2u_thermal_config();    // vendor C
+
+class ServerThermalModel {
+public:
+    explicit ServerThermalModel(ServerThermalConfig config, core::Celsius initial_intake);
+
+    /// Advance by dt given intake air temperature, the CPU's current power,
+    /// the machine's total power, and relative airflow (1.0 = nominal fans;
+    /// >1 when outside wind blows through an opened enclosure).
+    void step(core::Duration dt, core::Celsius intake, core::Watts cpu_power,
+              core::Watts total_power, double airflow = 1.0);
+
+    [[nodiscard]] core::Celsius cpu_temperature() const { return core::Celsius{cpu_}; }
+    [[nodiscard]] core::Celsius case_air_temperature() const { return core::Celsius{case_air_}; }
+    [[nodiscard]] core::Celsius hdd_temperature() const { return core::Celsius{hdd_}; }
+
+    /// Exterior case-surface temperature, the quantity that matters for the
+    /// Section 5 condensation question: it sits between intake air and case
+    /// air and is always warmed by the internal dissipation.
+    [[nodiscard]] core::Celsius case_surface_temperature(core::Celsius intake) const;
+
+    [[nodiscard]] const ServerThermalConfig& config() const { return config_; }
+
+private:
+    ServerThermalConfig config_;
+    double cpu_;
+    double case_air_;
+    double hdd_;
+
+    static double relax(double current, double target, double dt_s, double tau_s);
+};
+
+}  // namespace zerodeg::thermal

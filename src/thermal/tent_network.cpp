@@ -1,0 +1,111 @@
+#include "thermal/tent_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace zerodeg::thermal {
+
+namespace {
+// How the single-node envelope conductance splits across the two boundary
+// layers: inner (air -> fabric) and outer (fabric -> ambient).  Series
+// conductances G_i and G_o combine as G = G_i G_o / (G_i + G_o); with
+// G_i = G_o = 2G the series total equals G, matching the lumped model.
+constexpr double kSeriesFactor = 2.0;
+}  // namespace
+
+TentNetworkModel::TentNetworkModel(TentConfig config, Celsius initial) : config_(config) {
+    // ~6 m^3 of air is only ~7 kJ/K; most of the lumped model's 90 kJ/K is
+    // the contents.  Split the configured capacity accordingly.
+    const double total_cap = config_.heat_capacity.value();
+    air_node_ = net_.add_node("inside-air", core::JoulesPerKelvin{0.12 * total_cap}, initial);
+    fabric_node_ = net_.add_node("fabric", core::JoulesPerKelvin{0.08 * total_cap}, initial,
+                                 core::WattsPerKelvin{kSeriesFactor *
+                                                      config_.base_conductance.value()});
+    mass_node_ = net_.add_node("equipment-mass", core::JoulesPerKelvin{0.80 * total_cap},
+                               initial);
+    air_fabric_edge_ = net_.connect(
+        air_node_, fabric_node_,
+        core::WattsPerKelvin{kSeriesFactor * config_.base_conductance.value()});
+    // The machines' fans couple their steel tightly to the tent air.
+    net_.connect(air_node_, mass_node_, core::WattsPerKelvin{45.0});
+}
+
+void TentNetworkModel::apply_modification(TentMod mod) { mods_[static_cast<int>(mod)] = true; }
+
+bool TentNetworkModel::has_modification(TentMod mod) const {
+    return mods_[static_cast<int>(mod)];
+}
+
+double TentNetworkModel::envelope_multiplier() const {
+    double m = 1.0;
+    if (has_modification(TentMod::kInnerTentRemoved)) m *= config_.inner_removed_factor;
+    if (has_modification(TentMod::kBottomOpened)) m *= config_.bottom_opened_factor;
+    if (has_modification(TentMod::kFanInstalled)) m *= config_.fan_factor;
+    if (has_modification(TentMod::kFrontDoorHalfOpen)) m *= config_.front_door_factor;
+    return m;
+}
+
+void TentNetworkModel::update_conductances(core::MetersPerSecond wind) {
+    double wind_gain = wind.value() / config_.wind_doubling_mps;
+    if (has_modification(TentMod::kBottomOpened) ||
+        has_modification(TentMod::kFrontDoorHalfOpen)) {
+        wind_gain *= 1.5;
+    }
+    // Both boundary layers scale together so the series total reduces
+    // exactly to the lumped model's envelope conductance (the property the
+    // equivalence tests pin down).
+    const double g = config_.base_conductance.value() * envelope_multiplier() *
+                     (1.0 + wind_gain);
+    net_.set_edge_conductance(air_fabric_edge_, core::WattsPerKelvin{kSeriesFactor * g});
+    net_.set_ambient_conductance(fabric_node_, core::WattsPerKelvin{kSeriesFactor * g});
+}
+
+void TentNetworkModel::step(Duration dt, const WeatherSample& outside) {
+    if (dt.count() < 0) throw core::InvalidArgument("TentNetworkModel::step: negative dt");
+    if (!humidity_initialized_) {
+        inside_rh_ = weather::rebase_humidity(outside.temperature, outside.humidity,
+                                              net_.temperature(air_node_))
+                         .clamped()
+                         .value();
+        humidity_initialized_ = true;
+    }
+    update_conductances(outside.wind);
+
+    // Equipment heat enters the air; the sun loads the fabric (which is why
+    // the foil works: it shrinks the aperture before the heat reaches air).
+    net_.set_power(air_node_, equipment_power_);
+    const double aperture = has_modification(TentMod::kReflectiveFoil)
+                                ? config_.solar_aperture_foil_m2
+                                : config_.solar_aperture_m2;
+    net_.set_power(fabric_node_, outside.irradiance.over_area(aperture));
+
+    net_.step(dt, outside.temperature);
+
+    // Moisture follows the same lag law as the lumped model.
+    const double rh_target = weather::rebase_humidity(outside.temperature, outside.humidity,
+                                                      net_.temperature(air_node_))
+                                 .clamped()
+                                 .value();
+    double tau = static_cast<double>(config_.humidity_tau.count()) / envelope_multiplier();
+    const double b = std::exp(-static_cast<double>(dt.count()) / std::max(tau, 1.0));
+    inside_rh_ = std::clamp(rh_target + (inside_rh_ - rh_target) * b, 0.0, 100.0);
+}
+
+EnclosureAir TentNetworkModel::air() const {
+    EnclosureAir a;
+    a.temperature = net_.temperature(air_node_);
+    a.humidity = core::RelHumidity{inside_rh_};
+    a.dew_point = inside_rh_ > 0.0 ? weather::dew_point(a.temperature, a.humidity)
+                                   : Celsius{-100.0};
+    return a;
+}
+
+Celsius TentNetworkModel::fabric_temperature() const { return net_.temperature(fabric_node_); }
+
+Celsius TentNetworkModel::equipment_mass_temperature() const {
+    return net_.temperature(mass_node_);
+}
+
+}  // namespace zerodeg::thermal

@@ -1,0 +1,54 @@
+// Multi-node tent model built on the RC network solver.
+//
+// The single-node TentModel reproduces the figures; this three-node variant
+// (inside air / fabric shell / equipment thermal mass) resolves the effects
+// the lumped model folds away: the fabric running hotter than the air in
+// sunshine (what the rescue foil actually fixes) and the machines' steel
+// buffering fast fronts.  Same Enclosure interface, so it drops into any
+// code that takes the tent, and the ablation bench compares the two.
+#pragma once
+
+#include <string>
+
+#include "thermal/enclosure.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace zerodeg::thermal {
+
+class TentNetworkModel final : public Enclosure {
+public:
+    explicit TentNetworkModel(TentConfig config = TentConfig(),
+                              Celsius initial = Celsius{0.0});
+
+    void apply_modification(TentMod mod);
+    [[nodiscard]] bool has_modification(TentMod mod) const;
+
+    void set_equipment_power(Watts p) override { equipment_power_ = p; }
+    void step(Duration dt, const WeatherSample& outside) override;
+    [[nodiscard]] EnclosureAir air() const override;
+    [[nodiscard]] const std::string& name() const override { return name_; }
+
+    /// Extra observables the single-node model cannot provide.
+    [[nodiscard]] Celsius fabric_temperature() const;
+    [[nodiscard]] Celsius equipment_mass_temperature() const;
+
+    [[nodiscard]] const TentConfig& config() const { return config_; }
+
+private:
+    std::string name_ = "tent-network";
+    TentConfig config_;
+    Watts equipment_power_{0.0};
+    ThermalNetwork net_;
+    NodeId air_node_;
+    NodeId fabric_node_;
+    NodeId mass_node_;
+    std::size_t air_fabric_edge_;
+    double inside_rh_ = 75.0;
+    bool mods_[5] = {};
+    bool humidity_initialized_ = false;
+
+    [[nodiscard]] double envelope_multiplier() const;
+    void update_conductances(core::MetersPerSecond wind);
+};
+
+}  // namespace zerodeg::thermal

@@ -1,0 +1,96 @@
+#include "weather/psychrometrics.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace zerodeg::weather {
+
+namespace {
+
+// Magnus coefficients (Sonntag 1990): e_s in hPa, t in degC.
+constexpr double kAWater = 6.112;
+constexpr double kBWater = 17.62;
+constexpr double kCWater = 243.12;
+constexpr double kAIce = 6.112;
+constexpr double kBIce = 22.46;
+constexpr double kCIce = 272.62;
+
+}  // namespace
+
+Pascals saturation_vapor_pressure_water(Celsius t) {
+    const double tc = t.value();
+    return Pascals::from_hectopascals(kAWater * std::exp(kBWater * tc / (kCWater + tc)));
+}
+
+Pascals saturation_vapor_pressure_ice(Celsius t) {
+    const double tc = t.value();
+    return Pascals::from_hectopascals(kAIce * std::exp(kBIce * tc / (kCIce + tc)));
+}
+
+Pascals saturation_vapor_pressure(Celsius t) {
+    return t < Celsius{0.0} ? saturation_vapor_pressure_ice(t)
+                            : saturation_vapor_pressure_water(t);
+}
+
+Pascals vapor_pressure(Celsius t, RelHumidity rh) {
+    return Pascals{saturation_vapor_pressure(t).value() * rh.fraction()};
+}
+
+Celsius dew_point_from_vapor_pressure(Pascals e) {
+    if (e.value() <= 0.0) {
+        throw core::InvalidArgument("dew_point_from_vapor_pressure: non-positive pressure");
+    }
+    const double ln_ratio = std::log(e.hectopascals() / kAWater);
+    return Celsius{kCWater * ln_ratio / (kBWater - ln_ratio)};
+}
+
+Celsius dew_point(Celsius t, RelHumidity rh) {
+    return dew_point_from_vapor_pressure(vapor_pressure(t, rh));
+}
+
+Celsius frost_point_from_vapor_pressure(Pascals e) {
+    if (e.value() <= 0.0) {
+        throw core::InvalidArgument("frost_point_from_vapor_pressure: non-positive pressure");
+    }
+    const double ln_ratio = std::log(e.hectopascals() / kAIce);
+    return Celsius{kCIce * ln_ratio / (kBIce - ln_ratio)};
+}
+
+RelHumidity rebase_humidity(Celsius from_t, RelHumidity from_rh, Celsius to_t) {
+    const Pascals e = vapor_pressure(from_t, from_rh);
+    return RelHumidity::from_fraction(e.value() / saturation_vapor_pressure(to_t).value());
+}
+
+GramsPerCubicMeter absolute_humidity(Celsius t, RelHumidity rh) {
+    // rho_v = e / (R_v * T), R_v = 461.5 J/(kg K); result in g/m^3.
+    const Pascals e = vapor_pressure(t, rh);
+    const double kelvin = t.to_kelvin().value();
+    return GramsPerCubicMeter{1000.0 * e.value() / (461.5 * kelvin)};
+}
+
+Celsius wet_bulb(Celsius t, RelHumidity rh) {
+    // Stull (2011), "Wet-Bulb Temperature from Relative Humidity and Air
+    // Temperature".  RH in percent, T in degC.
+    const double tc = t.value();
+    const double r = std::max(rh.value(), 1.0);
+    const double tw = tc * std::atan(0.151977 * std::sqrt(r + 8.313659)) +
+                      std::atan(tc + r) - std::atan(r - 1.676331) +
+                      0.00391838 * std::pow(r, 1.5) * std::atan(0.023101 * r) - 4.686035;
+    // The fit can nudge above the dry-bulb at saturation; clamp.
+    return Celsius{std::min(tw, tc)};
+}
+
+bool condensation_on_surface(Celsius surface_t, Celsius air_t, RelHumidity air_rh) {
+    return condensation_margin(surface_t, air_t, air_rh) <= Celsius{0.0};
+}
+
+Celsius condensation_margin(Celsius surface_t, Celsius air_t, RelHumidity air_rh) {
+    if (air_rh.value() <= 0.0) {
+        // Perfectly dry air never condenses; report a large safe margin.
+        return Celsius{100.0};
+    }
+    return surface_t - dew_point(air_t, air_rh);
+}
+
+}  // namespace zerodeg::weather

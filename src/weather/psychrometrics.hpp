@@ -1,0 +1,64 @@
+// Psychrometrics: the humidity mathematics the paper leans on in Sections
+// 3.3, 4.1 and 5 (condensation risk, RH re-basing between outside air and
+// tent-internal temperature).
+//
+// Saturation vapour pressure uses the Magnus formula with the WMO-recommended
+// Sonntag coefficients, with a separate branch over ice — essential here,
+// since almost the whole experiment runs below freezing.
+#pragma once
+
+#include "core/units.hpp"
+
+namespace zerodeg::weather {
+
+using core::Celsius;
+using core::GramsPerCubicMeter;
+using core::Pascals;
+using core::RelHumidity;
+
+/// Saturation vapour pressure over liquid water (Magnus/Sonntag).
+/// Valid roughly -45..60 degC.
+[[nodiscard]] Pascals saturation_vapor_pressure_water(Celsius t);
+
+/// Saturation vapour pressure over ice.  Valid roughly -65..0 degC.
+[[nodiscard]] Pascals saturation_vapor_pressure_ice(Celsius t);
+
+/// Saturation pressure over the phase that matters at `t` (ice below 0 degC).
+[[nodiscard]] Pascals saturation_vapor_pressure(Celsius t);
+
+/// Actual vapour pressure of air at temperature `t` and humidity `rh`.
+[[nodiscard]] Pascals vapor_pressure(Celsius t, RelHumidity rh);
+
+/// Dew point: the temperature at which air with vapour pressure `e` would
+/// saturate (over water).  Inverse Magnus.
+[[nodiscard]] Celsius dew_point_from_vapor_pressure(Pascals e);
+
+/// Dew point of air at (t, rh).
+[[nodiscard]] Celsius dew_point(Celsius t, RelHumidity rh);
+
+/// Frost point (saturation over ice); relevant below 0 degC.
+[[nodiscard]] Celsius frost_point_from_vapor_pressure(Pascals e);
+
+/// Relative humidity of the same air parcel re-based to a new temperature
+/// (vapour pressure conserved).  This is how the tent-internal RH in Fig. 4
+/// relates to the outside RH in Fig. 4: warmer tent air holds the same
+/// moisture at a lower relative humidity.
+[[nodiscard]] RelHumidity rebase_humidity(Celsius from_t, RelHumidity from_rh, Celsius to_t);
+
+/// Absolute humidity (vapour mass per air volume) from (t, rh).
+[[nodiscard]] GramsPerCubicMeter absolute_humidity(Celsius t, RelHumidity rh);
+
+/// Wet-bulb temperature (Stull 2011 empirical fit, +/-0.3 degC for
+/// 5..99% RH, -20..50 degC).  The driving temperature of evaporative
+/// ("wet-side") economizers, per the paper's reference [2].
+[[nodiscard]] Celsius wet_bulb(Celsius t, RelHumidity rh);
+
+/// True if a surface at `surface_t` exposed to air at (air_t, air_rh) is at
+/// or below the air's dew point, i.e. water will condense on it.  This is
+/// the paper's Section 5 question: can water condense inside the cases?
+[[nodiscard]] bool condensation_on_surface(Celsius surface_t, Celsius air_t, RelHumidity air_rh);
+
+/// Dew-point margin: surface temperature minus dew point.  Positive = safe.
+[[nodiscard]] Celsius condensation_margin(Celsius surface_t, Celsius air_t, RelHumidity air_rh);
+
+}  // namespace zerodeg::weather

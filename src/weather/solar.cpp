@@ -1,0 +1,55 @@
+#include "weather/solar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zerodeg::weather {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+}
+
+double solar_declination_rad(int day_of_year) {
+    // Cooper (1969): delta = 23.45 deg * sin(360/365 * (284 + n)).
+    return 23.45 * kDegToRad *
+           std::sin(2.0 * M_PI * (284.0 + static_cast<double>(day_of_year)) / 365.0);
+}
+
+double solar_elevation_rad(TimePoint t, const Location& loc) {
+    const double decl = solar_declination_rad(t.day_of_year());
+    const double lat = loc.latitude_deg * kDegToRad;
+    // Local solar time: wall clock corrected for longitude vs. zone meridian.
+    // (The equation of time is < 17 min and irrelevant at our fidelity.)
+    const double zone_meridian_deg = loc.utc_offset_hours * 15.0;
+    const double solar_hours =
+        t.day_fraction() * 24.0 + (loc.longitude_deg - zone_meridian_deg) / 15.0;
+    const double hour_angle = (solar_hours - 12.0) * 15.0 * kDegToRad;
+    const double sin_elev =
+        std::sin(lat) * std::sin(decl) + std::cos(lat) * std::cos(decl) * std::cos(hour_angle);
+    return std::asin(std::clamp(sin_elev, -1.0, 1.0));
+}
+
+WattsPerSquareMeter clear_sky_irradiance(TimePoint t, const Location& loc) {
+    const double elev = solar_elevation_rad(t, loc);
+    if (elev <= 0.0) return WattsPerSquareMeter{0.0};
+    const double sin_elev = std::sin(elev);
+    // Haurwitz (1945): GHI = 1098 * sin(h) * exp(-0.057 / sin(h)).
+    return WattsPerSquareMeter{1098.0 * sin_elev * std::exp(-0.057 / sin_elev)};
+}
+
+WattsPerSquareMeter cloudy_irradiance(TimePoint t, const Location& loc, double cloud_fraction) {
+    const double c = std::clamp(cloud_fraction, 0.0, 1.0);
+    const double factor = 1.0 - 0.75 * std::pow(c, 3.4);
+    return WattsPerSquareMeter{clear_sky_irradiance(t, loc).value() * factor};
+}
+
+double daylight_hours(int day_of_year, const Location& loc) {
+    const double decl = solar_declination_rad(day_of_year);
+    const double lat = loc.latitude_deg * kDegToRad;
+    const double cos_h0 = -std::tan(lat) * std::tan(decl);
+    if (cos_h0 <= -1.0) return 24.0;  // midnight sun
+    if (cos_h0 >= 1.0) return 0.0;    // polar night
+    return 2.0 * std::acos(cos_h0) / (15.0 * kDegToRad);
+}
+
+}  // namespace zerodeg::weather

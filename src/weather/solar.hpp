@@ -1,0 +1,46 @@
+// Solar geometry and clear-sky irradiance.
+//
+// Sunlight is the second-largest driver of the tent's internal temperature
+// (Section 3.2: "outside air temperature, sunlight and wind speeds, power
+// draw of equipment, and which tent flaps are open"), and the reflective
+// rescue-foil modification (event R) exists purely to fight it.  The model is
+// standard: solar declination (Cooper), hour angle, elevation, and the
+// Haurwitz clear-sky global-horizontal irradiance attenuated by cloud cover.
+#pragma once
+
+#include "core/sim_time.hpp"
+#include "core/units.hpp"
+
+namespace zerodeg::weather {
+
+using core::TimePoint;
+using core::WattsPerSquareMeter;
+
+/// Geographic location; defaults are Kumpula campus, Helsinki (the roof
+/// terrace of the CS department, 60.2 N).
+struct Location {
+    double latitude_deg = 60.204;
+    double longitude_deg = 24.962;
+    /// Offset of local wall-clock from UTC in hours (Finland winter = +2).
+    double utc_offset_hours = 2.0;
+};
+
+/// Solar declination angle in radians for a given day of year (Cooper 1969).
+[[nodiscard]] double solar_declination_rad(int day_of_year);
+
+/// Solar elevation angle (radians) above the horizon; negative at night.
+/// `t` is local wall-clock time at `loc`.
+[[nodiscard]] double solar_elevation_rad(TimePoint t, const Location& loc);
+
+/// Clear-sky global horizontal irradiance (Haurwitz model).
+[[nodiscard]] WattsPerSquareMeter clear_sky_irradiance(TimePoint t, const Location& loc);
+
+/// Irradiance attenuated by fractional cloud cover in [0, 1]
+/// (Kasten & Czeplak: factor 1 - 0.75 * c^3.4).
+[[nodiscard]] WattsPerSquareMeter cloudy_irradiance(TimePoint t, const Location& loc,
+                                                    double cloud_fraction);
+
+/// Daylight length in hours for the given day (sunrise-to-sunset).
+[[nodiscard]] double daylight_hours(int day_of_year, const Location& loc);
+
+}  // namespace zerodeg::weather

@@ -1,0 +1,46 @@
+#include "weather/stochastic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace zerodeg::weather {
+
+OrnsteinUhlenbeck::OrnsteinUhlenbeck(double mean, double sigma, core::Duration tau,
+                                     core::RngStream rng)
+    : mean_(mean),
+      sigma_(sigma),
+      tau_seconds_(static_cast<double>(tau.count())),
+      rng_(rng),
+      value_(mean) {
+    if (tau.count() <= 0) throw core::InvalidArgument("OrnsteinUhlenbeck: tau must be positive");
+    if (sigma < 0.0) throw core::InvalidArgument("OrnsteinUhlenbeck: sigma must be >= 0");
+    // Start from the stationary distribution, not the mean, so short runs
+    // are not biased toward calm conditions.
+    value_ = mean_ + sigma_ * rng_.normal();
+}
+
+double OrnsteinUhlenbeck::step(core::Duration dt) {
+    // Exact discretization: X' = mu + (X - mu) a + sigma sqrt(1 - a^2) Z,
+    // with a = exp(-dt/tau).
+    const double a = std::exp(-static_cast<double>(dt.count()) / tau_seconds_);
+    value_ = mean_ + (value_ - mean_) * a + sigma_ * std::sqrt(1.0 - a * a) * rng_.normal();
+    return value_;
+}
+
+ClampedOu::ClampedOu(double mean, double sigma, core::Duration tau, double lo, double hi,
+                     core::RngStream rng)
+    : ou_(mean, sigma, tau, rng), lo_(lo), hi_(hi) {
+    if (!(lo < hi)) throw core::InvalidArgument("ClampedOu: lo must be < hi");
+    ou_.set_value(std::clamp(ou_.value(), lo_, hi_));
+}
+
+double ClampedOu::step(core::Duration dt) {
+    const double raw = ou_.step(dt);
+    const double clamped = std::clamp(raw, lo_, hi_);
+    if (clamped != raw) ou_.set_value(clamped);
+    return clamped;
+}
+
+}  // namespace zerodeg::weather

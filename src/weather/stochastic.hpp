@@ -1,0 +1,58 @@
+// Stochastic building blocks for the weather synthesis.
+//
+// Temperature anomalies, wind speed and cloud cover are all mean-reverting
+// noisy processes; we model each as an Ornstein-Uhlenbeck process advanced
+// with the exact discretization (so the step size does not change the
+// stationary distribution — a property the tests check).
+#pragma once
+
+#include "core/rng.hpp"
+#include "core/sim_time.hpp"
+
+namespace zerodeg::weather {
+
+/// Mean-reverting Gaussian process:
+///   dX = -(X - mean)/tau dt + sigma * sqrt(2/tau) dW
+/// Stationary distribution is N(mean, sigma^2) regardless of step size.
+class OrnsteinUhlenbeck {
+public:
+    /// @param mean       long-run mean
+    /// @param sigma      stationary standard deviation
+    /// @param tau        relaxation time (seconds); correlation decays e^-dt/tau
+    OrnsteinUhlenbeck(double mean, double sigma, core::Duration tau, core::RngStream rng);
+
+    /// Advance by `dt` and return the new value.
+    double step(core::Duration dt);
+
+    [[nodiscard]] double value() const { return value_; }
+    void set_value(double v) { value_ = v; }
+    void set_mean(double m) { mean_ = m; }
+    [[nodiscard]] double mean() const { return mean_; }
+
+private:
+    double mean_;
+    double sigma_;
+    double tau_seconds_;
+    core::RngStream rng_;
+    double value_;
+};
+
+/// A process clamped into [lo, hi] after each step (wind >= 0, cloud in
+/// [0,1]).  Clamping slightly distorts the stationary law near the bounds,
+/// which is acceptable — and realistic — for wind and cloud.
+class ClampedOu {
+public:
+    ClampedOu(double mean, double sigma, core::Duration tau, double lo, double hi,
+              core::RngStream rng);
+
+    double step(core::Duration dt);
+    [[nodiscard]] double value() const { return ou_.value(); }
+    void set_mean(double m) { ou_.set_mean(m); }
+
+private:
+    OrnsteinUhlenbeck ou_;
+    double lo_;
+    double hi_;
+};
+
+}  // namespace zerodeg::weather

@@ -1,0 +1,113 @@
+#include "weather/trace_io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "core/csv.hpp"
+#include "core/error.hpp"
+#include "weather/psychrometrics.hpp"
+
+namespace zerodeg::weather {
+
+namespace {
+
+std::string fmt(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+    return buf;
+}
+
+TimePoint parse_time(const std::string& s) {
+    core::CivilDateTime c;
+    if (std::sscanf(s.c_str(), "%d-%d-%d %d:%d:%d", &c.year, &c.month, &c.day, &c.hour, &c.minute,
+                    &c.second) != 6) {
+        throw core::CorruptData("weather trace: bad timestamp '" + s + "'");
+    }
+    return TimePoint::from_civil(c);
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const std::vector<WeatherSample>& samples) {
+    core::CsvWriter w(out);
+    w.write_row({"time", "temp_degC", "rh_pct", "wind_mps", "ghi_wm2", "cloud", "precip_mm_h"});
+    for (const WeatherSample& s : samples) {
+        w.write_row({s.time.to_string(), fmt(s.temperature.value()), fmt(s.humidity.value()),
+                     fmt(s.wind.value()), fmt(s.irradiance.value()), fmt(s.cloud_fraction),
+                     fmt(s.precip_mm_per_h)});
+    }
+}
+
+std::vector<WeatherSample> read_trace(std::istream& in) {
+    core::CsvReader r(in);
+    std::vector<std::string> row;
+    if (!r.read_row(row) || row.size() < 7 || row[0] != "time") {
+        throw core::CorruptData("weather trace: missing or bad header");
+    }
+    std::vector<WeatherSample> out;
+    while (r.read_row(row)) {
+        if (row.size() < 7) throw core::CorruptData("weather trace: short row");
+        WeatherSample s;
+        s.time = parse_time(row[0]);
+        s.temperature = Celsius{std::stod(row[1])};
+        s.humidity = RelHumidity{std::stod(row[2])}.clamped();
+        s.wind = MetersPerSecond{std::stod(row[3])};
+        s.irradiance = WattsPerSquareMeter{std::stod(row[4])};
+        s.cloud_fraction = std::stod(row[5]);
+        s.precip_mm_per_h = std::stod(row[6]);
+        s.dew_point = s.humidity.value() > 0.0 ? dew_point(s.temperature, s.humidity)
+                                               : Celsius{-100.0};
+        s.snowing = s.precip_mm_per_h > 0.0 && s.temperature < Celsius{0.5};
+        if (!out.empty() && s.time < out.back().time) {
+            throw core::CorruptData("weather trace: timestamps must be nondecreasing");
+        }
+        out.push_back(s);
+    }
+    if (out.empty()) throw core::CorruptData("weather trace: no samples");
+    return out;
+}
+
+std::vector<WeatherSample> generate_trace(WeatherModel& model, TimePoint from, TimePoint to,
+                                          core::Duration step) {
+    if (step.count() <= 0) throw core::InvalidArgument("generate_trace: step must be positive");
+    std::vector<WeatherSample> out;
+    for (TimePoint t = from; t <= to; t += step) {
+        out.push_back(model.advance_to(t));
+    }
+    return out;
+}
+
+TracePlayer::TracePlayer(std::vector<WeatherSample> samples) : samples_(std::move(samples)) {
+    if (samples_.empty()) throw core::InvalidArgument("TracePlayer: empty trace");
+}
+
+WeatherSample TracePlayer::at(TimePoint t) const {
+    if (t <= samples_.front().time) return samples_.front();
+    if (t >= samples_.back().time) return samples_.back();
+    const auto it = std::lower_bound(
+        samples_.begin(), samples_.end(), t,
+        [](const WeatherSample& s, TimePoint tp) { return s.time < tp; });
+    if (it->time == t) return *it;
+    const WeatherSample& hi = *it;
+    const WeatherSample& lo = *(it - 1);
+    const double span = static_cast<double>((hi.time - lo.time).count());
+    const double w = span > 0.0 ? static_cast<double>((t - lo.time).count()) / span : 0.0;
+    const auto lerp = [w](double a, double b) { return a + w * (b - a); };
+
+    WeatherSample s;
+    s.time = t;
+    s.temperature = Celsius{lerp(lo.temperature.value(), hi.temperature.value())};
+    s.humidity = RelHumidity{lerp(lo.humidity.value(), hi.humidity.value())}.clamped();
+    s.wind = MetersPerSecond{lerp(lo.wind.value(), hi.wind.value())};
+    s.irradiance = WattsPerSquareMeter{lerp(lo.irradiance.value(), hi.irradiance.value())};
+    s.cloud_fraction = lerp(lo.cloud_fraction, hi.cloud_fraction);
+    s.precip_mm_per_h = lo.precip_mm_per_h;  // step interpolation
+    s.dew_point = s.humidity.value() > 0.0 ? dew_point(s.temperature, s.humidity)
+                                           : Celsius{-100.0};
+    s.snowing = s.precip_mm_per_h > 0.0 && s.temperature < Celsius{0.5};
+    return s;
+}
+
+}  // namespace zerodeg::weather

@@ -1,0 +1,157 @@
+// Synthetic Helsinki winter/spring 2010 weather.
+//
+// Substitution (see DESIGN.md): the paper reads its outside conditions from
+// the SMEAR III station next to the department.  We generate an equivalent
+// (temperature, humidity, wind, irradiance, precipitation) process whose
+// statistics match what the paper reports: outside minimum near -22 degC
+// shortly after the main phase started, a -10.2 degC minimum / -9.2 degC mean
+// prototype weekend (Feb 12-15), and rapid spring warming through March-May.
+//
+// Structure: deterministic seasonal baseline (piecewise-linear climatology
+// anchors) + diurnal harmonic scaled by daylight + synoptic OU anomaly +
+// scripted cold-snap events; humidity via a dew-point-depression process;
+// wind and cloud as clamped OU processes.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/sim_time.hpp"
+#include "core/units.hpp"
+#include "weather/solar.hpp"
+#include "weather/stochastic.hpp"
+
+namespace zerodeg::weather {
+
+using core::Celsius;
+using core::Duration;
+using core::MetersPerSecond;
+using core::RelHumidity;
+using core::TimePoint;
+using core::WattsPerSquareMeter;
+
+/// One reading of the full outdoor state.
+struct WeatherSample {
+    TimePoint time;
+    Celsius temperature;
+    RelHumidity humidity;
+    Celsius dew_point;
+    MetersPerSecond wind;
+    WattsPerSquareMeter irradiance;
+    double cloud_fraction = 0.0;   ///< [0, 1]
+    double precip_mm_per_h = 0.0;  ///< melted-water equivalent
+    bool snowing = false;          ///< precipitation falling below ~+0.5 degC
+};
+
+/// Anything that can supply the outdoor state at nondecreasing times: the
+/// synthetic model below, or a recorded trace (weather/trace_io.hpp).  This
+/// is the seam through which real SMEAR III data plugs into the experiment.
+class WeatherSource {
+public:
+    virtual ~WeatherSource() = default;
+    virtual WeatherSample advance_to(TimePoint t) = 0;
+};
+
+/// Deterministic, scripted departure from the baseline (a weather front);
+/// ramps in and out linearly over `ramp`, holds `depth` in between.
+struct ColdSnap {
+    TimePoint start;
+    Duration duration{0};
+    Duration ramp = Duration::hours(12);
+    Celsius depth;  ///< negative = colder than baseline
+};
+
+/// Climatology anchor: baseline daily-mean temperature on a given date.
+struct ClimateAnchor {
+    TimePoint date;
+    Celsius mean;
+};
+
+struct WeatherConfig {
+    Location location;
+
+    /// Piecewise-linear daily-mean baseline.  Defaults (set by
+    /// helsinki_2010_config) span Feb 1 - May 31, 2010.
+    std::vector<ClimateAnchor> anchors;
+
+    /// Scripted fronts on top of the baseline.
+    std::vector<ColdSnap> cold_snaps;
+
+    /// Diurnal swing: amplitude grows with daylight length.
+    Celsius diurnal_amplitude_winter{1.5};
+    Celsius diurnal_amplitude_spring{4.5};
+
+    /// Synoptic (multi-day) OU anomaly.
+    Celsius synoptic_sigma{2.2};
+    Duration synoptic_tau = Duration::hours(36);
+
+    /// Fast (hour-scale) temperature jitter.
+    Celsius jitter_sigma{0.6};
+    Duration jitter_tau = Duration::minutes(45);
+
+    /// Dew-point depression (temperature minus dew point), degC.
+    double depression_mean = 2.5;
+    double depression_sigma = 2.0;
+    Duration depression_tau = Duration::hours(8);
+
+    /// Wind speed OU, m/s.
+    double wind_mean = 3.8;
+    double wind_sigma = 2.2;
+    Duration wind_tau = Duration::hours(3);
+
+    /// Cloud cover OU, fraction.
+    double cloud_mean = 0.65;
+    double cloud_sigma = 0.35;
+    Duration cloud_tau = Duration::hours(9);
+
+    /// Precipitation: chance per step scales with cloud cover above this.
+    double precip_cloud_threshold = 0.75;
+    double precip_rate_mm_per_h = 0.8;
+};
+
+/// Configuration reproducing the paper's season (Feb 1 - May 31 2010),
+/// including the cold snap that took host #1 to -22 degC.
+[[nodiscard]] WeatherConfig helsinki_2010_config();
+
+/// Full-calendar-year Helsinki climatology (the paper's future work: "more
+/// data over longer periods of time and over varying meteorological
+/// conditions").  Anchors span Jan 1 2010 - Jan 1 2011, including the humid
+/// late-summer regime that stresses the Peck term.
+[[nodiscard]] WeatherConfig helsinki_full_year_config();
+
+/// The generator.  Stateful: call advance_to() with nondecreasing times.
+class WeatherModel final : public WeatherSource {
+public:
+    WeatherModel(WeatherConfig config, std::uint64_t master_seed);
+
+    /// Advance the stochastic state to `t` (in internal sub-steps bounded by
+    /// max_step) and return the sample at `t`.
+    WeatherSample advance_to(TimePoint t) override;
+
+    [[nodiscard]] const WeatherConfig& config() const { return config_; }
+
+    /// Deterministic part only (baseline + snaps + diurnal), no noise.
+    /// Exposed for tests and for the thermal ablations.
+    [[nodiscard]] Celsius deterministic_temperature(TimePoint t) const;
+
+    /// The piecewise-linear climatology baseline alone.
+    [[nodiscard]] Celsius baseline(TimePoint t) const;
+
+private:
+    WeatherConfig config_;
+    OrnsteinUhlenbeck synoptic_;
+    OrnsteinUhlenbeck jitter_;
+    ClampedOu depression_;
+    ClampedOu wind_;
+    ClampedOu cloud_;
+    core::RngStream precip_rng_;
+    TimePoint state_time_;
+    bool started_ = false;
+    static constexpr Duration kMaxStep = Duration::minutes(10);
+
+    [[nodiscard]] Celsius snap_offset(TimePoint t) const;
+    [[nodiscard]] Celsius diurnal(TimePoint t) const;
+    [[nodiscard]] WeatherSample sample_at(TimePoint t);
+};
+
+}  // namespace zerodeg::weather

@@ -1,0 +1,28 @@
+// frost::Archive — the tar stand-in.
+//
+// The same record structure as ustar at the fidelity the workload needs:
+// 512-byte headers carrying path, size and a header checksum, file contents
+// padded to 512-byte records, and two zero records as the end marker.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "workload/corpus.hpp"
+
+namespace zerodeg::workload {
+
+constexpr std::size_t kRecordSize = 512;
+
+/// Serialize files into a single archive byte stream.
+[[nodiscard]] std::vector<std::uint8_t> write_archive(const std::vector<CorpusFile>& files);
+
+/// Parse an archive back into files.  Throws CorruptData on a bad header
+/// checksum, truncated stream, or malformed size field.
+[[nodiscard]] std::vector<CorpusFile> read_archive(std::span<const std::uint8_t> bytes);
+
+/// Cheap structural validation (header checksums only, no content copy).
+[[nodiscard]] bool archive_intact(std::span<const std::uint8_t> bytes);
+
+}  // namespace zerodeg::workload

@@ -1,0 +1,103 @@
+// frost::BlockCompressor — the bzip2 stand-in.
+//
+// Like bzip2, frost compresses independent blocks, each carrying its own
+// CRC of the original data; unlike bzip2 it uses RLE + canonical Huffman
+// instead of BWT+MTF+Huffman (ratio is not the point — the *block structure*
+// is, because Section 4.2.2's forensics depend on it: a single flipped bit
+// corrupts exactly one of ~396 blocks and the rest remain recoverable).
+//
+// Container layout (all integers little-endian):
+//   "FZ01"            4-byte stream magic
+//   u32 block_count
+//   u32 block_size    nominal uncompressed block size
+//   then per block:
+//     u32 0xB10CB10C  block magic (what recovery scans for)
+//     u32 orig_size
+//     u32 comp_size
+//     u32 crc32       CRC-32 of the ORIGINAL block bytes
+//     u8  method      0 = stored, 1 = RLE+Huffman
+//     comp_size bytes of payload
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace zerodeg::workload {
+
+struct CompressorConfig {
+    std::size_t block_size = 16 * 1024;
+};
+
+struct BlockInfo {
+    std::size_t offset = 0;     ///< of the block header in the container
+    std::uint32_t orig_size = 0;
+    std::uint32_t comp_size = 0;
+    std::uint32_t crc = 0;
+    std::uint8_t method = 0;
+};
+
+/// Compress `data` into a frost container.
+[[nodiscard]] std::vector<std::uint8_t> frost_compress(std::span<const std::uint8_t> data,
+                                                       CompressorConfig config = {});
+
+/// Decompress a container; throws CorruptData on any structural or CRC
+/// failure (bad magic, short payload, CRC mismatch).
+[[nodiscard]] std::vector<std::uint8_t> frost_decompress(std::span<const std::uint8_t> container);
+
+/// Parse the block directory without decompressing payloads.
+[[nodiscard]] std::vector<BlockInfo> frost_block_directory(
+    std::span<const std::uint8_t> container);
+
+/// Decode and CRC-check one block (throws CorruptData if it is damaged).
+/// This is the primitive the recovery utility is built on.
+[[nodiscard]] std::vector<std::uint8_t> frost_decode_block(
+    std::span<const std::uint8_t> container, const BlockInfo& info);
+
+/// Number of blocks a data size maps to under `config`.
+[[nodiscard]] std::size_t frost_block_count(std::size_t data_size, CompressorConfig config = {});
+
+// --- internals, exposed for the unit/property tests ------------------------
+namespace frost_detail {
+
+/// Escape-coded run-length encoding (runs of >= 4 bytes).
+[[nodiscard]] std::vector<std::uint8_t> rle_encode(std::span<const std::uint8_t> data);
+[[nodiscard]] std::vector<std::uint8_t> rle_decode(std::span<const std::uint8_t> data);
+
+/// LSB-first bit writer/reader.
+class BitWriter {
+public:
+    void put(std::uint32_t bits, int count);
+    [[nodiscard]] std::vector<std::uint8_t> finish();
+
+private:
+    std::vector<std::uint8_t> bytes_;
+    std::uint64_t acc_ = 0;
+    int acc_bits_ = 0;
+};
+
+class BitReader {
+public:
+    explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+    /// Read one bit; throws CorruptData past the end.
+    [[nodiscard]] int bit();
+    [[nodiscard]] bool exhausted() const;
+
+private:
+    std::span<const std::uint8_t> bytes_;
+    std::size_t pos_ = 0;
+    int bit_pos_ = 0;
+};
+
+/// Huffman code lengths for the given symbol frequencies (0 frequency =>
+/// length 0 / absent).  At least one symbol must have nonzero frequency.
+[[nodiscard]] std::vector<std::uint8_t> huffman_code_lengths(
+    const std::vector<std::uint64_t>& freq);
+
+/// Canonical codes from lengths (symbols with length 0 get no code).
+[[nodiscard]] std::vector<std::uint32_t> canonical_codes(
+    const std::vector<std::uint8_t>& lengths);
+
+}  // namespace frost_detail
+
+}  // namespace zerodeg::workload

@@ -1,0 +1,109 @@
+#include "workload/corpus.hpp"
+
+#include <cstdio>
+
+#include "core/error.hpp"
+
+namespace zerodeg::workload {
+
+namespace {
+
+const char* const kDirs[] = {"arch",  "block", "crypto", "drivers", "fs",    "kernel",
+                             "lib",   "mm",    "net",    "sound",   "init",  "ipc"};
+
+const char* const kTypes[] = {"int", "long", "void", "char *", "size_t", "u32", "u64",
+                              "struct page *", "struct inode *", "unsigned int"};
+
+const char* const kIdents[] = {
+    "buf",   "len",    "ret",   "err",   "flags", "offset", "page",  "inode", "dev",
+    "state", "lock",   "count", "index", "entry", "head",   "queue", "mask",  "addr",
+    "size",  "status", "ctx",   "req",   "tmp",   "node",   "data",  "pos"};
+
+const char* const kCalls[] = {"kmalloc", "kfree",  "spin_lock",  "spin_unlock", "memcpy",
+                              "memset",  "printk", "list_add",   "list_del",    "wait_event",
+                              "schedule", "mutex_lock", "mutex_unlock", "atomic_inc"};
+
+std::string pick(core::RngStream& rng, const char* const* list, std::size_t n) {
+    return list[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))];
+}
+
+template <std::size_t N>
+std::string pick(core::RngStream& rng, const char* const (&list)[N]) {
+    return pick(rng, list, N);
+}
+
+void emit_function(core::RngStream& rng, std::string& out, int index) {
+    char name[64];
+    std::snprintf(name, sizeof name, "%s_%s_%d", pick(rng, kIdents).c_str(),
+                  pick(rng, kCalls).c_str(), index);
+    out += "static " + pick(rng, kTypes) + " " + name + "(";
+    const int args = static_cast<int>(rng.uniform_int(0, 3));
+    for (int i = 0; i < args; ++i) {
+        if (i) out += ", ";
+        out += pick(rng, kTypes) + " " + pick(rng, kIdents);
+    }
+    out += ")\n{\n";
+    const int stmts = static_cast<int>(rng.uniform_int(3, 18));
+    for (int i = 0; i < stmts; ++i) {
+        const int kind = static_cast<int>(rng.uniform_int(0, 4));
+        switch (kind) {
+            case 0:
+                out += "\t" + pick(rng, kTypes) + " " + pick(rng, kIdents) + " = " +
+                       std::to_string(rng.uniform_int(0, 4096)) + ";\n";
+                break;
+            case 1:
+                out += "\t" + pick(rng, kIdents) + " = " + pick(rng, kCalls) + "(" +
+                       pick(rng, kIdents) + ");\n";
+                break;
+            case 2:
+                out += "\tif (" + pick(rng, kIdents) + " < " + pick(rng, kIdents) +
+                       ")\n\t\treturn -EINVAL;\n";
+                break;
+            case 3:
+                out += "\t/* " + pick(rng, kIdents) + " must hold " + pick(rng, kIdents) +
+                       " across this call */\n";
+                break;
+            default:
+                out += "\tfor (" + pick(rng, kIdents) + " = 0; " + pick(rng, kIdents) + " < " +
+                       pick(rng, kIdents) + "; ++" + pick(rng, kIdents) + ")\n\t\t" +
+                       pick(rng, kCalls) + "(" + pick(rng, kIdents) + ");\n";
+                break;
+        }
+    }
+    out += "\treturn 0;\n}\n\n";
+}
+
+}  // namespace
+
+SyntheticCorpus::SyntheticCorpus(CorpusConfig config, std::uint64_t seed) {
+    if (config.total_bytes == 0 || config.mean_file_bytes == 0) {
+        throw core::InvalidArgument("SyntheticCorpus: sizes must be positive");
+    }
+    core::RngStream rng{seed, "corpus"};
+    const std::size_t dir_count =
+        std::min(config.top_level_dirs, sizeof(kDirs) / sizeof(kDirs[0]));
+
+    int file_index = 0;
+    while (total_bytes_ < config.total_bytes) {
+        CorpusFile f;
+        const std::string dir = pick(rng, kDirs, dir_count);
+        char path[128];
+        std::snprintf(path, sizeof path, "%s/%s_%04d.c", dir.c_str(),
+                      pick(rng, kIdents).c_str(), file_index++);
+        f.path = path;
+
+        std::string text = "/* auto-generated corpus file: " + f.path + " */\n";
+        text += "#include <linux/kernel.h>\n#include <linux/module.h>\n\n";
+        // Target size jitters around the mean by +/- 50%.
+        const auto target = static_cast<std::size_t>(
+            static_cast<double>(config.mean_file_bytes) * rng.uniform(0.5, 1.5));
+        int fn = 0;
+        while (text.size() < target) emit_function(rng, text, fn++);
+
+        f.contents.assign(text.begin(), text.end());
+        total_bytes_ += f.contents.size();
+        files_.push_back(std::move(f));
+    }
+}
+
+}  // namespace zerodeg::workload

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+//
+// frost's compressed container stores a CRC per block, mirroring bzip2's
+// per-block CRCs — that is what lets the recovery utility point at exactly
+// one corrupted block out of 396 (Section 4.2.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace zerodeg::workload {
+
+class Crc32 {
+public:
+    void update(std::span<const std::uint8_t> data);
+    [[nodiscard]] std::uint32_t value() const { return ~crc_; }
+    void reset() { crc_ = 0xffffffffu; }
+
+private:
+    std::uint32_t crc_ = 0xffffffffu;
+};
+
+/// One-shot convenience.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace zerodeg::workload

@@ -1,0 +1,72 @@
+#include "workload/load_job.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "workload/archive.hpp"
+
+namespace zerodeg::workload {
+
+LoadJob::LoadJob(LoadJobConfig config, std::uint64_t seed)
+    : config_(config), flip_rng_(seed, "loadjob.flips") {
+    const SyntheticCorpus corpus(config.corpus, seed);
+    archive_ = write_archive(corpus.files());
+
+    // Pick a block size that yields ~target_blocks blocks, as the paper's
+    // corpus did under bzip2's 900k blocks (396 blocks there).
+    if (config.target_blocks == 0) throw core::InvalidArgument("LoadJob: zero target blocks");
+    comp_config_.block_size = std::max<std::size_t>(1024, archive_.size() / config.target_blocks);
+    reference_container_ = frost_compress(archive_, comp_config_);
+    reference_digest_ = md5(reference_container_);
+    block_count_ = frost_block_directory(reference_container_).size();
+
+    const std::uint64_t real_page_ops =
+        static_cast<std::uint64_t>((archive_.size() + reference_container_.size()) / 4096);
+    page_ops_per_run_ = static_cast<std::uint64_t>(static_cast<double>(real_page_ops) *
+                                                   config.page_op_multiplier);
+}
+
+JobResult LoadJob::run(faults::MemoryFaultModel& memory, bool ecc) {
+    JobResult result;
+    result.page_ops = page_ops_per_run_;
+
+    const faults::MemoryFaultOutcome outcome = memory.run(page_ops_per_run_, ecc);
+    result.raw_flips = outcome.raw_flips;
+    result.corrected_flips = outcome.corrected;
+
+    if (outcome.corrupting_flips == 0) {
+        // Clean run: the pipeline is deterministic, so the output is
+        // bit-identical to the reference container.
+        if (config_.cache_clean_runs) {
+            result.digest = reference_digest_;
+        } else {
+            const std::vector<std::uint8_t> container = frost_compress(archive_, comp_config_);
+            result.digest = md5(container);
+        }
+        result.hash_ok = result.digest == reference_digest_;
+        return result;
+    }
+
+    // A corrupting flip: run the real pipeline and damage the buffer the way
+    // a flipped DRAM bit does — one bit, somewhere in the data pages.
+    std::vector<std::uint8_t> container = frost_compress(archive_, comp_config_);
+    for (std::uint64_t i = 0; i < outcome.corrupting_flips; ++i) {
+        // Flip within payload area (skip the 12-byte stream header so the
+        // damage lands in a block, as the paper observed).
+        const auto byte_index = static_cast<std::size_t>(
+            flip_rng_.uniform_int(12, static_cast<std::int64_t>(container.size()) - 1));
+        const auto bit = static_cast<int>(flip_rng_.uniform_int(0, 7));
+        container[byte_index] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+
+    result.digest = md5(container);
+    result.hash_ok = result.digest == reference_digest_;
+    if (!result.hash_ok) {
+        // "If the results differ, the packed tarball is stored" — and later
+        // inspected with the recovery utility.
+        result.forensics = frost_recover(container);
+    }
+    return result;
+}
+
+}  // namespace zerodeg::workload

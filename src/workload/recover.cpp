@@ -1,0 +1,72 @@
+#include "workload/recover.hpp"
+
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace zerodeg::workload {
+
+namespace {
+
+constexpr std::uint32_t kBlockMagic = 0xb10cb10cu;
+
+std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t off) {
+    return static_cast<std::uint32_t>(bytes[off]) |
+           static_cast<std::uint32_t>(bytes[off + 1]) << 8 |
+           static_cast<std::uint32_t>(bytes[off + 2]) << 16 |
+           static_cast<std::uint32_t>(bytes[off + 3]) << 24;
+}
+
+/// Rebuild a block directory by scanning for block magics — what
+/// bzip2recover does when the stream structure is broken.
+std::vector<BlockInfo> rescan_for_blocks(std::span<const std::uint8_t> container) {
+    std::vector<BlockInfo> dir;
+    if (container.size() < 21) return dir;
+    std::size_t off = 12 <= container.size() ? 12 : 0;
+    while (off + 21 <= container.size()) {
+        if (get_u32(container, off) == kBlockMagic) {
+            BlockInfo info;
+            info.offset = off;
+            info.orig_size = get_u32(container, off + 4);
+            info.comp_size = get_u32(container, off + 8);
+            info.crc = get_u32(container, off + 12);
+            info.method = container[off + 16];
+            if (off + 17 + info.comp_size <= container.size()) {
+                dir.push_back(info);
+                off += 17 + info.comp_size;
+                continue;
+            }
+        }
+        ++off;
+    }
+    return dir;
+}
+
+}  // namespace
+
+RecoveryReport frost_recover(std::span<const std::uint8_t> container,
+                             std::vector<std::uint8_t>* salvaged) {
+    RecoveryReport report;
+    std::vector<BlockInfo> dir;
+    try {
+        dir = frost_block_directory(container);
+    } catch (const core::CorruptData&) {
+        report.directory_damaged = true;
+        dir = rescan_for_blocks(container);
+    }
+    report.total_blocks = dir.size();
+
+    for (std::size_t i = 0; i < dir.size(); ++i) {
+        try {
+            const std::vector<std::uint8_t> block = frost_decode_block(container, dir[i]);
+            report.salvaged_bytes += block.size();
+            if (salvaged != nullptr) salvaged->insert(salvaged->end(), block.begin(), block.end());
+        } catch (const core::CorruptData&) {
+            report.corrupt_blocks.push_back(i);
+            report.lost_bytes += dir[i].orig_size;
+        }
+    }
+    return report;
+}
+
+}  // namespace zerodeg::workload

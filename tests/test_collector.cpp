@@ -1,0 +1,156 @@
+#include "monitoring/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace zerodeg::monitoring {
+namespace {
+
+using core::Duration;
+using core::RngStream;
+using core::Simulator;
+using core::TimePoint;
+
+struct Rig {
+    Simulator sim{TimePoint::from_date(2010, 2, 19)};
+    Network net;
+    std::size_t root = 0;
+    std::size_t tent = 0;
+
+    Rig() {
+        hardware::SwitchConfig big;
+        big.ports = 24;
+        root = net.add_switch(hardware::NetworkSwitch("root", big, RngStream(1, "r")));
+        tent = net.add_switch(
+            hardware::NetworkSwitch("tent", hardware::SwitchConfig{}, RngStream(2, "t")));
+        net.uplink(tent, root);
+        net.attach({1000, "monitor"}, root);
+    }
+};
+
+Collector::HostBinding simple_host(int id, bool* up) {
+    Collector::HostBinding b;
+    b.host_id = id;
+    b.reachable = [up] { return *up; };
+    b.pending_bytes = [](TimePoint) { return std::uint64_t{2048}; };
+    return b;
+}
+
+TEST(CollectorTest, TwentyMinuteSweep) {
+    Rig rig;
+    Collector coll(rig.sim, rig.net, 1000);
+    bool up = true;
+    rig.net.attach({1, "host-01"}, rig.tent);
+    coll.add_host(simple_host(1, &up), rig.sim.now());
+    rig.sim.run_until(rig.sim.now() + Duration::hours(2) + Duration::minutes(1));
+    // t=0 plus 6 more sweeps in 2h.
+    EXPECT_EQ(coll.stats(1).attempts, 7u);
+    EXPECT_EQ(coll.stats(1).successes, 7u);
+    EXPECT_EQ(coll.stats(1).failures, 0u);
+}
+
+TEST(CollectorTest, DownHostCountsFailures) {
+    Rig rig;
+    Collector coll(rig.sim, rig.net, 1000);
+    bool up = true;
+    rig.net.attach({1, "host-01"}, rig.tent);
+    coll.add_host(simple_host(1, &up), rig.sim.now());
+    rig.sim.run_until(rig.sim.now() + Duration::hours(1));
+    up = false;
+    rig.sim.run_until(rig.sim.now() + Duration::hours(1));
+    EXPECT_GT(coll.stats(1).failures, 0u);
+    EXPECT_GT(coll.total_failures(), 0u);
+}
+
+TEST(CollectorTest, DeadSwitchBlocksCollection) {
+    // Section 4.2.1's switch failures: hosts are fine, telemetry is not.
+    Rig rig;
+    Collector coll(rig.sim, rig.net, 1000);
+    bool up = true;
+    rig.net.attach({1, "host-01"}, rig.tent);
+    coll.add_host(simple_host(1, &up), rig.sim.now());
+
+    rig.sim.run_until(rig.sim.now() + Duration::hours(1));
+    const auto ok_before = coll.stats(1).successes;
+    // Kill the tent switch by swapping in an already-failed defective unit.
+    hardware::SwitchConfig dead_cfg;
+    dead_cfg.inherent_defect = true;
+    dead_cfg.defect_mean_hours_to_failure = 1e-6;
+    hardware::NetworkSwitch dead("dead", dead_cfg, RngStream(9, "d"));
+    dead.step(Duration::hours(1));
+    ASSERT_FALSE(dead.operational());
+    rig.net.replace_switch(rig.tent, dead);
+
+    rig.sim.run_until(rig.sim.now() + Duration::hours(2));
+    EXPECT_EQ(coll.stats(1).successes, ok_before);
+    EXPECT_GT(coll.stats(1).failures, 0u);
+    EXPECT_GT(coll.stats(1).longest_gap, Duration::hours(2) - Duration::minutes(21));
+}
+
+TEST(CollectorTest, RsyncDeltaUsesLastSuccess) {
+    Rig rig;
+    Collector coll(rig.sim, rig.net, 1000);
+    bool up = true;
+    Collector::HostBinding b;
+    b.host_id = 1;
+    b.reachable = [&up] { return up; };
+    // Bytes proportional to the gap: 1 byte per second since last success.
+    b.pending_bytes = [&rig](TimePoint since) {
+        return static_cast<std::uint64_t>((rig.sim.now() - since).count());
+    };
+    rig.net.attach({1, "host-01"}, rig.tent);
+    coll.add_host(std::move(b), rig.sim.now());
+
+    rig.sim.run_until(rig.sim.now() + Duration::minutes(41));
+    // Sweeps at 0 (0 bytes), 20 (1200 s), 40 (1200 s).
+    EXPECT_EQ(coll.stats(1).bytes, 2400u);
+
+    up = false;
+    rig.sim.run_until(rig.sim.now() + Duration::minutes(40));
+    up = true;
+    rig.sim.run_until(rig.sim.now() + Duration::minutes(21));
+    // After two missed sweeps the next delta covers the whole gap.
+    EXPECT_EQ(coll.stats(1).bytes, 2400u + 3600u);
+}
+
+TEST(CollectorTest, HostsJoinAtInstallDate) {
+    Rig rig;
+    Collector coll(rig.sim, rig.net, 1000);
+    bool up = true;
+    rig.net.attach({15, "host-15"}, rig.tent);
+    coll.add_host(simple_host(15, &up), TimePoint::from_date(2010, 3, 10));
+    rig.sim.run_until(TimePoint::from_date(2010, 3, 9));
+    EXPECT_EQ(coll.stats(15).attempts, 0u);
+    rig.sim.run_until(TimePoint::from_date(2010, 3, 11));
+    EXPECT_GT(coll.stats(15).attempts, 0u);
+}
+
+TEST(CollectorTest, RemovedHostNotSwept) {
+    Rig rig;
+    Collector coll(rig.sim, rig.net, 1000);
+    bool up = true;
+    rig.net.attach({1, "host-01"}, rig.tent);
+    coll.add_host(simple_host(1, &up), rig.sim.now());
+    rig.sim.run_until(rig.sim.now() + Duration::hours(1));
+    const auto before = coll.stats(1).attempts;
+    coll.remove_host(1);
+    rig.sim.run_until(rig.sim.now() + Duration::hours(1));
+    EXPECT_EQ(coll.stats(1).attempts, before);
+}
+
+TEST(CollectorTest, Validation) {
+    Rig rig;
+    Collector coll(rig.sim, rig.net, 1000);
+    bool up = true;
+    coll.add_host(simple_host(1, &up), rig.sim.now());
+    EXPECT_THROW(coll.add_host(simple_host(1, &up), rig.sim.now()), core::InvalidArgument);
+    EXPECT_THROW(coll.remove_host(9), core::InvalidArgument);
+    EXPECT_THROW((void)coll.stats(9), core::InvalidArgument);
+    Collector::HostBinding bad;
+    bad.host_id = 2;
+    EXPECT_THROW(coll.add_host(std::move(bad), rig.sim.now()), core::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace zerodeg::monitoring

@@ -1,0 +1,157 @@
+#include "faults/component_faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace zerodeg::faults {
+namespace {
+
+using core::Duration;
+using core::RngStream;
+
+ComponentFaultProcess make(int fans = 2, int disks = 2, ComponentFaultParams p = {},
+                           std::uint64_t seed = 1) {
+    return ComponentFaultProcess(1, fans, disks, p, RngStream(seed, "cf"));
+}
+
+TEST(ComponentFaults, QuietAtPaperRatesOverOneSeason) {
+    // At the default (low) rates, a single host over ~5 weeks usually sees
+    // nothing — consistent with the paper reporting no fan/disk deaths.
+    int total_events = 0;
+    for (int seed = 0; seed < 50; ++seed) {
+        auto p = make(2, 2, {}, static_cast<std::uint64_t>(seed));
+        for (int i = 0; i < 6 * 24 * 36; ++i) {
+            total_events += static_cast<int>(
+                p.advance(Duration::minutes(10), Celsius{-5.0}, Celsius{5.0},
+                          RelHumidity{75.0})
+                    .size());
+        }
+    }
+    // 50 host-seasons: a handful of events at most.
+    EXPECT_LT(total_events, 25);
+}
+
+TEST(ComponentFaults, FansEventuallySeize) {
+    ComponentFaultParams p;
+    p.fan_afr = 50.0;  // accelerate for the test
+    auto proc = make(3, 0, p);
+    std::vector<ComponentEvent> all;
+    for (int i = 0; i < 24 * 365 && proc.live_fans() > 0; ++i) {
+        const auto ev = proc.advance(Duration::hours(1), Celsius{20.0}, Celsius{25.0},
+                                     RelHumidity{40.0});
+        all.insert(all.end(), ev.begin(), ev.end());
+    }
+    EXPECT_EQ(proc.live_fans(), 0);
+    int seized = 0;
+    for (const auto& e : all) seized += e.kind == ComponentEventKind::kFanSeized;
+    EXPECT_EQ(seized, 3);
+    // A dead fan never fires again.
+    for (const auto& e : all) {
+        EXPECT_GE(e.component_index, 0);
+        EXPECT_LT(e.component_index, 3);
+    }
+}
+
+TEST(ComponentFaults, ColdAcceleratesFans) {
+    ComponentFaultParams p;
+    p.fan_afr = 5.0;
+    int cold_seizures = 0, warm_seizures = 0;
+    for (int seed = 0; seed < 60; ++seed) {
+        auto cold = make(2, 0, p, static_cast<std::uint64_t>(seed));
+        auto warm = make(2, 0, p, static_cast<std::uint64_t>(seed));
+        for (int i = 0; i < 24 * 60; ++i) {
+            cold_seizures += static_cast<int>(
+                cold.advance(Duration::hours(1), Celsius{-20.0}, Celsius{-10.0},
+                             RelHumidity{70.0})
+                    .size());
+            warm_seizures += static_cast<int>(
+                warm.advance(Duration::hours(1), Celsius{21.0}, Celsius{30.0},
+                             RelHumidity{40.0})
+                    .size());
+        }
+    }
+    EXPECT_GT(cold_seizures, warm_seizures);
+}
+
+TEST(ComponentFaults, DiskTemperatureBathtub) {
+    ComponentFaultParams p;
+    p.disk_afr = 5.0;
+    p.media_events_per_year = 0.0;
+    const auto count_failures = [&p](double hdd_temp) {
+        int failures = 0;
+        for (int seed = 0; seed < 60; ++seed) {
+            auto proc = make(0, 2, p, static_cast<std::uint64_t>(seed));
+            for (int i = 0; i < 24 * 90; ++i) {
+                failures += static_cast<int>(proc.advance(Duration::hours(1), Celsius{20.0},
+                                                          Celsius{hdd_temp},
+                                                          RelHumidity{50.0})
+                                                 .size());
+            }
+        }
+        return failures;
+    };
+    const int sweet = count_failures(28.0);
+    const int frozen = count_failures(-10.0);
+    const int baking = count_failures(55.0);
+    EXPECT_GT(frozen, sweet);
+    EXPECT_GT(baking, sweet);
+}
+
+TEST(ComponentFaults, HumidityDrivesMediaEvents) {
+    ComponentFaultParams p;
+    p.media_events_per_year = 20.0;
+    p.disk_afr = 0.0;
+    p.fan_afr = 0.0;
+    int humid_events = 0, dry_events = 0;
+    for (int seed = 0; seed < 30; ++seed) {
+        auto humid = make(0, 1, p, static_cast<std::uint64_t>(seed));
+        auto dry = make(0, 1, p, static_cast<std::uint64_t>(seed));
+        for (int i = 0; i < 24 * 60; ++i) {
+            humid_events += static_cast<int>(humid
+                                                 .advance(Duration::hours(1), Celsius{5.0},
+                                                          Celsius{10.0}, RelHumidity{92.0})
+                                                 .size());
+            dry_events += static_cast<int>(dry.advance(Duration::hours(1), Celsius{5.0},
+                                                       Celsius{10.0}, RelHumidity{40.0})
+                                               .size());
+        }
+    }
+    EXPECT_GT(humid_events, dry_events);
+}
+
+TEST(ComponentFaults, MediaEventsRenewAndCarrySectors) {
+    ComponentFaultParams p;
+    p.media_events_per_year = 500.0;
+    p.disk_afr = 0.0;
+    p.fan_afr = 0.0;
+    auto proc = make(0, 1, p);
+    int events = 0;
+    for (int i = 0; i < 24 * 30; ++i) {
+        for (const auto& e :
+             proc.advance(Duration::hours(1), Celsius{5.0}, Celsius{10.0}, RelHumidity{85.0})) {
+            EXPECT_EQ(e.kind, ComponentEventKind::kDiskMediaError);
+            EXPECT_GE(e.detail, 1);
+            EXPECT_LE(e.detail, p.media_max_sectors);
+            ++events;
+        }
+    }
+    EXPECT_GT(events, 3);  // renewing: fires repeatedly on the same drive
+    EXPECT_EQ(proc.live_disks(), 1);
+}
+
+TEST(ComponentFaults, Validation) {
+    EXPECT_THROW(make(-1, 0), core::InvalidArgument);
+    auto proc = make();
+    EXPECT_THROW((void)proc.advance(Duration::seconds(-1), Celsius{0.0}, Celsius{0.0},
+                                    RelHumidity{50.0}),
+                 core::InvalidArgument);
+}
+
+TEST(ComponentFaults, EventNames) {
+    EXPECT_STREQ(to_string(ComponentEventKind::kFanSeized), "fan seized");
+    EXPECT_STREQ(to_string(ComponentEventKind::kDiskMediaError), "disk media error");
+}
+
+}  // namespace
+}  // namespace zerodeg::faults

@@ -1,0 +1,149 @@
+#include "hardware/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace zerodeg::hardware {
+namespace {
+
+using core::Watts;
+
+TEST(CpuTest, PowerScalesWithLoad) {
+    Cpu cpu("x86", Watts{12.0}, Watts{65.0});
+    EXPECT_DOUBLE_EQ(cpu.power().value(), 12.0);
+    cpu.set_load(1.0);
+    EXPECT_DOUBLE_EQ(cpu.power().value(), 65.0);
+    cpu.set_load(0.5);
+    EXPECT_DOUBLE_EQ(cpu.power().value(), 38.5);
+}
+
+TEST(CpuTest, LoadValidation) {
+    Cpu cpu("x86", Watts{10.0}, Watts{50.0});
+    EXPECT_THROW(cpu.set_load(-0.1), core::InvalidArgument);
+    EXPECT_THROW(cpu.set_load(1.1), core::InvalidArgument);
+    EXPECT_THROW(Cpu("bad", Watts{50.0}, Watts{10.0}), core::InvalidArgument);
+}
+
+TEST(HardDriveTest, FailureStopsPower) {
+    HardDrive d("disk");
+    EXPECT_DOUBLE_EQ(d.power().value(), 7.0);
+    d.fail();
+    EXPECT_TRUE(d.failed());
+    EXPECT_DOUBLE_EQ(d.power().value(), 0.0);
+}
+
+std::vector<HardDrive> drives(std::size_t n) {
+    std::vector<HardDrive> out;
+    for (std::size_t i = 0; i < n; ++i) out.emplace_back("d");
+    return out;
+}
+
+TEST(RaidTest, LayoutRequiresCorrectDriveCount) {
+    EXPECT_THROW(RaidArray(RaidLayout::kNone, drives(2)), core::InvalidArgument);
+    EXPECT_THROW(RaidArray(RaidLayout::kSoftwareMirror, drives(1)), core::InvalidArgument);
+    EXPECT_THROW(RaidArray(RaidLayout::kMirrorPlusParity, drives(4)), core::InvalidArgument);
+    EXPECT_NO_THROW(RaidArray(RaidLayout::kMirrorPlusParity, drives(5)));
+}
+
+TEST(RaidTest, SingleDrive) {
+    RaidArray r(RaidLayout::kNone, drives(1));
+    EXPECT_TRUE(r.data_available());
+    EXPECT_TRUE(r.degraded());  // always one failure from loss
+    r.drives()[0].fail();
+    EXPECT_FALSE(r.data_available());
+}
+
+TEST(RaidTest, SoftwareMirrorSurvivesOneLoss) {
+    RaidArray r(RaidLayout::kSoftwareMirror, drives(2));
+    EXPECT_FALSE(r.degraded());
+    r.drives()[0].fail();
+    EXPECT_TRUE(r.data_available());
+    EXPECT_TRUE(r.degraded());
+    r.drives()[1].fail();
+    EXPECT_FALSE(r.data_available());
+    EXPECT_EQ(r.failed_drives(), 2u);
+}
+
+// Truth table for the vendor-C array: drives 0-1 mirror, 2-4 parity stripe.
+struct RaidCase {
+    std::array<bool, 5> failed;
+    bool available;
+};
+
+class MirrorParityTruth : public ::testing::TestWithParam<RaidCase> {};
+
+TEST_P(MirrorParityTruth, Availability) {
+    const RaidCase c = GetParam();
+    RaidArray r(RaidLayout::kMirrorPlusParity, drives(5));
+    for (std::size_t i = 0; i < 5; ++i) {
+        if (c.failed[i]) r.drives()[i].fail();
+    }
+    EXPECT_EQ(r.data_available(), c.available);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MirrorParityTruth,
+    ::testing::Values(RaidCase{{false, false, false, false, false}, true},
+                      RaidCase{{true, false, false, false, false}, true},
+                      RaidCase{{true, true, false, false, false}, false},
+                      RaidCase{{false, false, true, false, false}, true},
+                      RaidCase{{false, false, true, true, false}, false},
+                      RaidCase{{true, false, true, false, false}, true},
+                      RaidCase{{false, true, false, false, true}, true},
+                      RaidCase{{true, true, true, true, true}, false}));
+
+TEST(RaidTest, PowerSumsWorkingDrives) {
+    RaidArray r(RaidLayout::kMirrorPlusParity, drives(5));
+    EXPECT_DOUBLE_EQ(r.power().value(), 35.0);
+    r.drives()[2].fail();
+    EXPECT_DOUBLE_EQ(r.power().value(), 28.0);
+}
+
+TEST(PsuTest, EfficiencyCurve) {
+    PowerSupply psu(Watts{400.0}, 0.85);
+    // At exactly half load, efficiency is the nominal 0.85.
+    EXPECT_NEAR(psu.input_for(Watts{200.0}).value(), 200.0 / 0.85, 1e-9);
+    // Away from half load the draw is relatively worse.
+    EXPECT_GT(psu.input_for(Watts{40.0}).value() / 40.0,
+              psu.input_for(Watts{200.0}).value() / 200.0);
+    // Input always exceeds output.
+    for (const double load : {10.0, 100.0, 300.0, 400.0}) {
+        EXPECT_GT(psu.input_for(Watts{load}).value(), load);
+    }
+}
+
+TEST(PsuTest, Validation) {
+    EXPECT_THROW(PowerSupply(Watts{0.0}, 0.8), core::InvalidArgument);
+    EXPECT_THROW(PowerSupply(Watts{100.0}, 0.0), core::InvalidArgument);
+    EXPECT_THROW(PowerSupply(Watts{100.0}, 1.2), core::InvalidArgument);
+    PowerSupply psu(Watts{100.0}, 0.8);
+    EXPECT_THROW((void)psu.input_for(Watts{-1.0}), core::InvalidArgument);
+}
+
+TEST(FanTest, SeizureStopsAirflow) {
+    FanUnit fan(2400);
+    EXPECT_EQ(fan.rpm(), 2400);
+    EXPECT_DOUBLE_EQ(fan.airflow(), 1.0);
+    EXPECT_GT(fan.power().value(), 0.0);
+    fan.seize();
+    EXPECT_EQ(fan.rpm(), 0);
+    EXPECT_DOUBLE_EQ(fan.airflow(), 0.0);
+    EXPECT_DOUBLE_EQ(fan.power().value(), 0.0);
+}
+
+TEST(MemoryTest, EccFlag) {
+    const MemoryModule ecc(8192, true);
+    const MemoryModule plain(2048, false);
+    EXPECT_TRUE(ecc.has_ecc());
+    EXPECT_FALSE(plain.has_ecc());
+    EXPECT_EQ(ecc.megabytes(), 8192u);
+}
+
+TEST(RaidTest, LayoutNames) {
+    EXPECT_STREQ(to_string(RaidLayout::kSoftwareMirror), "Linux md RAID-1");
+    EXPECT_STREQ(to_string(RaidLayout::kMirrorPlusParity), "HW mirror + parity stripe");
+}
+
+}  // namespace
+}  // namespace zerodeg::hardware

@@ -1,0 +1,77 @@
+#include "thermal/condensation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zerodeg::thermal {
+namespace {
+
+using core::Celsius;
+using core::RelHumidity;
+using core::TimePoint;
+
+TimePoint at(std::int64_t s) { return TimePoint{s}; }
+
+TEST(Condensation, SafeObservationsProduceNoEvents) {
+    CondensationAnalyzer a(Celsius{1.0});
+    for (int i = 0; i < 10; ++i) {
+        a.observe(at(i * 600), Celsius{10.0}, Celsius{0.0}, RelHumidity{70.0});
+    }
+    a.finish(at(6000));
+    EXPECT_TRUE(a.events().empty());
+    EXPECT_FALSE(a.condensation_occurred());
+    EXPECT_EQ(a.observations(), 10u);
+}
+
+TEST(Condensation, ExcursionBecomesOneEvent) {
+    CondensationAnalyzer a(Celsius{1.0});
+    a.observe(at(0), Celsius{10.0}, Celsius{5.0}, RelHumidity{70.0});   // safe
+    a.observe(at(600), Celsius{-10.0}, Celsius{8.0}, RelHumidity{90.0});   // condensing
+    a.observe(at(1200), Celsius{-12.0}, Celsius{8.0}, RelHumidity{90.0});  // worse
+    a.observe(at(1800), Celsius{15.0}, Celsius{5.0}, RelHumidity{60.0});   // safe again
+    a.finish(at(1800));
+    ASSERT_EQ(a.events().size(), 1u);
+    const CondensationEvent& e = a.events()[0];
+    EXPECT_EQ(e.start, at(600));
+    EXPECT_EQ(e.end, at(1800));
+    EXPECT_LT(e.worst_margin.value(), -10.0);
+    EXPECT_TRUE(a.condensation_occurred());
+}
+
+TEST(Condensation, OpenEventClosedByFinish) {
+    CondensationAnalyzer a(Celsius{1.0});
+    a.observe(at(0), Celsius{-10.0}, Celsius{8.0}, RelHumidity{90.0});
+    EXPECT_TRUE(a.events().empty());
+    a.finish(at(1000));
+    ASSERT_EQ(a.events().size(), 1u);
+    EXPECT_EQ(a.events()[0].end, at(1000));
+}
+
+TEST(Condensation, NearMissCountsAsEventNotCondensation) {
+    CondensationAnalyzer a(Celsius{2.0});
+    // Margin ~ +1.2: inside the 2-degree safety band but above zero.
+    a.observe(at(0), Celsius{7.0}, Celsius{8.0}, RelHumidity{85.0});
+    a.observe(at(600), Celsius{20.0}, Celsius{8.0}, RelHumidity{50.0});
+    EXPECT_EQ(a.events().size(), 1u);
+    EXPECT_FALSE(a.condensation_occurred());
+}
+
+TEST(Condensation, MarginSeriesRecordsEverything) {
+    CondensationAnalyzer a;
+    a.observe(at(0), Celsius{10.0}, Celsius{0.0}, RelHumidity{50.0});
+    a.observe(at(600), Celsius{12.0}, Celsius{0.0}, RelHumidity{50.0});
+    EXPECT_EQ(a.margin_series().size(), 2u);
+    EXPECT_GT(a.margin_series()[1].value, a.margin_series()[0].value);
+}
+
+TEST(Condensation, TwoSeparateExcursions) {
+    CondensationAnalyzer a(Celsius{1.0});
+    a.observe(at(0), Celsius{-5.0}, Celsius{5.0}, RelHumidity{90.0});
+    a.observe(at(600), Celsius{20.0}, Celsius{5.0}, RelHumidity{40.0});
+    a.observe(at(1200), Celsius{-5.0}, Celsius{5.0}, RelHumidity{90.0});
+    a.observe(at(1800), Celsius{20.0}, Celsius{5.0}, RelHumidity{40.0});
+    a.finish(at(1800));
+    EXPECT_EQ(a.events().size(), 2u);
+}
+
+}  // namespace
+}  // namespace zerodeg::thermal

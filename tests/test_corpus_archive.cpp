@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/error.hpp"
+#include "workload/archive.hpp"
+#include "workload/corpus.hpp"
+
+namespace zerodeg::workload {
+namespace {
+
+TEST(Corpus, DeterministicForSeed) {
+    const SyntheticCorpus a(CorpusConfig{}, 2010);
+    const SyntheticCorpus b(CorpusConfig{}, 2010);
+    ASSERT_EQ(a.file_count(), b.file_count());
+    for (std::size_t i = 0; i < a.file_count(); ++i) {
+        EXPECT_EQ(a.files()[i].path, b.files()[i].path);
+        EXPECT_EQ(a.files()[i].contents, b.files()[i].contents);
+    }
+}
+
+TEST(Corpus, DifferentSeedsDiffer) {
+    const SyntheticCorpus a(CorpusConfig{}, 1);
+    const SyntheticCorpus b(CorpusConfig{}, 2);
+    EXPECT_NE(a.files()[0].contents, b.files()[0].contents);
+}
+
+TEST(Corpus, MeetsSizeTarget) {
+    CorpusConfig cfg;
+    cfg.total_bytes = 512 * 1024;
+    const SyntheticCorpus c(cfg, 7);
+    EXPECT_GE(c.total_bytes(), cfg.total_bytes);
+    EXPECT_LT(c.total_bytes(), cfg.total_bytes + 2 * cfg.mean_file_bytes);
+    EXPECT_GT(c.file_count(), 10u);
+}
+
+TEST(Corpus, PathsAreUnique) {
+    const SyntheticCorpus c(CorpusConfig{}, 3);
+    std::set<std::string> paths;
+    for (const CorpusFile& f : c.files()) paths.insert(f.path);
+    EXPECT_EQ(paths.size(), c.file_count());
+}
+
+TEST(Corpus, LooksLikeSource) {
+    const SyntheticCorpus c(CorpusConfig{}, 3);
+    const std::string text(c.files()[0].contents.begin(), c.files()[0].contents.end());
+    EXPECT_NE(text.find("#include"), std::string::npos);
+    EXPECT_NE(text.find("static"), std::string::npos);
+    EXPECT_NE(text.find("return"), std::string::npos);
+}
+
+TEST(Corpus, Validation) {
+    CorpusConfig cfg;
+    cfg.total_bytes = 0;
+    EXPECT_THROW(SyntheticCorpus(cfg, 1), core::InvalidArgument);
+}
+
+CorpusConfig small_config() {
+    CorpusConfig cfg;
+    cfg.total_bytes = 64 * 1024;
+    cfg.mean_file_bytes = 8 * 1024;
+    return cfg;
+}
+
+TEST(Archive, RoundTrip) {
+    const SyntheticCorpus corpus(small_config(), 5);
+    const auto bytes = write_archive(corpus.files());
+    // Structure: multiple of the record size.
+    EXPECT_EQ(bytes.size() % kRecordSize, 0u);
+    const auto files = read_archive(bytes);
+    ASSERT_EQ(files.size(), corpus.file_count());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        EXPECT_EQ(files[i].path, corpus.files()[i].path);
+        EXPECT_EQ(files[i].contents, corpus.files()[i].contents);
+    }
+}
+
+TEST(Archive, EmptyFileList) {
+    const auto bytes = write_archive({});
+    EXPECT_EQ(bytes.size(), 2 * kRecordSize);  // just the end marker
+    EXPECT_TRUE(read_archive(bytes).empty());
+    EXPECT_TRUE(archive_intact(bytes));
+}
+
+TEST(Archive, EmptyFileContents) {
+    std::vector<CorpusFile> files{{"empty.c", {}}};
+    const auto bytes = write_archive(files);
+    const auto back = read_archive(bytes);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_TRUE(back[0].contents.empty());
+}
+
+TEST(Archive, HeaderCorruptionDetected) {
+    const SyntheticCorpus corpus(small_config(), 5);
+    auto bytes = write_archive(corpus.files());
+    bytes[5] ^= 0xff;  // inside the first header's name field
+    EXPECT_THROW((void)read_archive(bytes), core::CorruptData);
+    EXPECT_FALSE(archive_intact(bytes));
+}
+
+TEST(Archive, ContentCorruptionInvisibleToHeaders) {
+    // A flipped content byte does NOT trip the header checksums — that is
+    // exactly why the paper's md5sum step exists.
+    const SyntheticCorpus corpus(small_config(), 5);
+    auto bytes = write_archive(corpus.files());
+    bytes[kRecordSize + 10] ^= 0x01;  // first file's contents
+    EXPECT_TRUE(archive_intact(bytes));
+    EXPECT_NO_THROW((void)read_archive(bytes));
+}
+
+TEST(Archive, TruncationDetected) {
+    const SyntheticCorpus corpus(small_config(), 5);
+    auto bytes = write_archive(corpus.files());
+    bytes.resize(bytes.size() / 2);
+    EXPECT_THROW((void)read_archive(bytes), core::CorruptData);
+}
+
+TEST(Archive, MissingEndMarker) {
+    const SyntheticCorpus corpus(small_config(), 5);
+    auto bytes = write_archive(corpus.files());
+    bytes.resize(bytes.size() - 2 * kRecordSize);
+    EXPECT_THROW((void)read_archive(bytes), core::CorruptData);
+}
+
+TEST(Archive, OverlongPathRejected) {
+    std::vector<CorpusFile> files{{std::string(150, 'p'), {1, 2, 3}}};
+    EXPECT_THROW((void)write_archive(files), core::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace zerodeg::workload

@@ -1,0 +1,65 @@
+#include "workload/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace zerodeg::workload {
+namespace {
+
+std::uint32_t crc_of(const std::string& s) {
+    return crc32(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+TEST(Crc32Test, CheckValue) {
+    // The canonical CRC-32/IEEE check value.
+    EXPECT_EQ(crc_of("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, KnownVectors) {
+    EXPECT_EQ(crc_of(""), 0x00000000u);
+    EXPECT_EQ(crc_of("a"), 0xE8B7BE43u);
+    EXPECT_EQ(crc_of("abc"), 0x352441C2u);
+    EXPECT_EQ(crc_of("The quick brown fox jumps over the lazy dog"), 0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalEqualsOneShot) {
+    const std::string text = "The quick brown fox jumps over the lazy dog";
+    Crc32 c;
+    for (const char ch : text) {
+        const auto byte = static_cast<std::uint8_t>(ch);
+        c.update(std::span<const std::uint8_t>(&byte, 1));
+    }
+    EXPECT_EQ(c.value(), 0x414FA339u);
+}
+
+TEST(Crc32Test, ResetRestores) {
+    Crc32 c;
+    const std::uint8_t b = 'x';
+    c.update(std::span<const std::uint8_t>(&b, 1));
+    c.reset();
+    EXPECT_EQ(c.value(), 0x00000000u);
+}
+
+TEST(Crc32Test, SingleBitSensitivity) {
+    std::vector<std::uint8_t> data(16384, 0x55);
+    const std::uint32_t before = crc32(data);
+    for (const std::size_t pos : {0u, 1000u, 16383u}) {
+        for (const int bit : {0, 3, 7}) {
+            auto copy = data;
+            copy[pos] ^= static_cast<std::uint8_t>(1u << bit);
+            EXPECT_NE(crc32(copy), before) << pos << ":" << bit;
+        }
+    }
+}
+
+TEST(Crc32Test, ValueIsIdempotent) {
+    Crc32 c;
+    const std::uint8_t b = 'z';
+    c.update(std::span<const std::uint8_t>(&b, 1));
+    EXPECT_EQ(c.value(), c.value());
+}
+
+}  // namespace
+}  // namespace zerodeg::workload

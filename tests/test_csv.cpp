@@ -1,0 +1,98 @@
+#include "core/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/timeseries.hpp"
+
+namespace zerodeg::core {
+namespace {
+
+TEST(Csv, ParseSimpleLine) {
+    const auto fields = parse_csv_line("a,b,c");
+    EXPECT_EQ(fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Csv, ParseEmptyFields) {
+    EXPECT_EQ(parse_csv_line(",,"), (std::vector<std::string>{"", "", ""}));
+    EXPECT_EQ(parse_csv_line("a,"), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(Csv, ParseQuotedWithComma) {
+    const auto fields = parse_csv_line(R"(a,"b,c",d)");
+    EXPECT_EQ(fields, (std::vector<std::string>{"a", "b,c", "d"}));
+}
+
+TEST(Csv, ParseEscapedQuote) {
+    const auto fields = parse_csv_line(R"("say ""hi""",x)");
+    EXPECT_EQ(fields, (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(Csv, ParseToleratesCr) {
+    EXPECT_EQ(parse_csv_line("a,b\r"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+    EXPECT_THROW((void)parse_csv_line(R"(a,"oops)"), CorruptData);
+}
+
+TEST(Csv, EscapeOnlyWhenNeeded) {
+    EXPECT_EQ(csv_escape("plain"), "plain");
+    EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csv_escape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(Csv, WriterReaderRoundTrip) {
+    std::stringstream ss;
+    CsvWriter w(ss);
+    w.write_row({"time", "value, with comma", "note\"quoted\""});
+    w.write_row({"1", "2", "3"});
+
+    CsvReader r(ss);
+    std::vector<std::string> row;
+    ASSERT_TRUE(r.read_row(row));
+    EXPECT_EQ(row[1], "value, with comma");
+    EXPECT_EQ(row[2], "note\"quoted\"");
+    ASSERT_TRUE(r.read_row(row));
+    EXPECT_EQ(row, (std::vector<std::string>{"1", "2", "3"}));
+    EXPECT_FALSE(r.read_row(row));
+}
+
+TEST(Csv, ReaderSkipsBlankLines) {
+    std::stringstream ss("a,b\n\n\nc,d\n");
+    CsvReader r(ss);
+    std::vector<std::string> row;
+    ASSERT_TRUE(r.read_row(row));
+    ASSERT_TRUE(r.read_row(row));
+    EXPECT_EQ(row[0], "c");
+    EXPECT_FALSE(r.read_row(row));
+}
+
+TEST(Csv, SeriesRoundTrip) {
+    TimeSeries s("outside_temp");
+    s.append(TimePoint::from_civil({2010, 2, 19, 0, 0, 0}), -10.2);
+    s.append(TimePoint::from_civil({2010, 2, 19, 0, 10, 0}), -9.8);
+
+    std::stringstream ss;
+    write_series_csv(ss, s);
+    const TimeSeries back = read_series_csv(ss);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back.name(), "outside_temp");
+    EXPECT_EQ(back[0].time, s[0].time);
+    EXPECT_NEAR(back[0].value, -10.2, 1e-6);
+    EXPECT_NEAR(back[1].value, -9.8, 1e-6);
+}
+
+TEST(Csv, SeriesReadRejectsGarbage) {
+    std::stringstream empty("");
+    EXPECT_THROW((void)read_series_csv(empty), CorruptData);
+    std::stringstream bad_time("time,v\nnot-a-time,1\n");
+    EXPECT_THROW((void)read_series_csv(bad_time), CorruptData);
+    std::stringstream short_row("time,v\n2010-01-01 00:00:00\n");
+    EXPECT_THROW((void)read_series_csv(short_row), CorruptData);
+}
+
+}  // namespace
+}  // namespace zerodeg::core

@@ -1,0 +1,153 @@
+#include "monitoring/datalogger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "monitoring/outlier_filter.hpp"
+
+namespace zerodeg::monitoring {
+namespace {
+
+using core::Celsius;
+using core::Duration;
+using core::RngStream;
+using core::Simulator;
+using core::TimePoint;
+using core::Watts;
+
+/// An enclosure whose air we control directly.
+class FakeEnclosure final : public thermal::Enclosure {
+public:
+    void set_equipment_power(Watts) override {}
+    void step(Duration, const weather::WeatherSample&) override {}
+    [[nodiscard]] thermal::EnclosureAir air() const override {
+        thermal::EnclosureAir a;
+        a.temperature = temp;
+        a.humidity = rh;
+        a.dew_point = Celsius{temp.value() - 3.0};
+        return a;
+    }
+    [[nodiscard]] const std::string& name() const override { return name_; }
+
+    Celsius temp{-8.0};
+    core::RelHumidity rh{75.0};
+
+private:
+    std::string name_ = "fake";
+};
+
+TEST(Lascar, SamplesAtCadence) {
+    Simulator sim(TimePoint::from_date(2010, 3, 1));
+    FakeEnclosure enc;
+    LascarLogger logger(sim, enc, sim.now(), LascarConfig{}, RngStream(1, "l"));
+    sim.run_until(sim.now() + Duration::hours(2));
+    // 10-minute cadence, inclusive of t=0: 13 samples in 2h.
+    EXPECT_EQ(logger.temperature_series().size(), 13u);
+    EXPECT_EQ(logger.humidity_series().size(), 13u);
+}
+
+TEST(Lascar, NoiseWithinDatasheetSpec) {
+    Simulator sim(TimePoint::from_date(2010, 3, 1));
+    FakeEnclosure enc;
+    LascarLogger logger(sim, enc, sim.now(), LascarConfig{}, RngStream(2, "l"));
+    sim.run_until(sim.now() + Duration::days(7));
+    const auto t = logger.temperature_series().stats();
+    // Truth is -8.0; +/-2 degC is the datasheet maximum error.
+    EXPECT_NEAR(t.mean, -8.0, 0.1);
+    EXPECT_GT(t.min, -10.0);
+    EXPECT_LT(t.max, -6.0);
+    const auto h = logger.humidity_series().stats();
+    EXPECT_NEAR(h.mean, 75.0, 0.5);
+    EXPECT_GT(h.stddev, 0.1);  // there IS noise
+}
+
+TEST(Lascar, DelayedArrival) {
+    // "Because the Lascar data logger arrived late, tent-internal
+    // temperature and humidity data from the early parts of the experiment
+    // are missing."
+    Simulator sim(TimePoint::from_date(2010, 2, 19));
+    FakeEnclosure enc;
+    const TimePoint late = TimePoint::from_date(2010, 3, 1);
+    LascarLogger logger(sim, enc, late, LascarConfig{}, RngStream(3, "l"));
+    sim.run_until(TimePoint::from_date(2010, 3, 2));
+    EXPECT_EQ(logger.first_sample_time(), late);
+    EXPECT_GE(logger.temperature_series().front().time, late);
+}
+
+TEST(Lascar, ReadoutTripRecordsIndoorConditions) {
+    Simulator sim(TimePoint::from_date(2010, 3, 1));
+    FakeEnclosure enc;
+    LascarConfig cfg;
+    LascarLogger logger(sim, enc, sim.now(), cfg, RngStream(4, "l"));
+    const TimePoint trip_start = sim.now() + Duration::hours(5);
+    logger.schedule_readout({trip_start, Duration::minutes(25)});
+    sim.run_until(sim.now() + Duration::hours(10));
+
+    // Samples during the trip read ~21.5 degC instead of -8.
+    bool saw_indoor = false;
+    for (const core::Sample& s : logger.temperature_series()) {
+        if (s.time >= trip_start && s.time <= trip_start + Duration::minutes(25)) {
+            EXPECT_NEAR(s.value, cfg.indoor_temp.value(), 2.0);
+            saw_indoor = true;
+        }
+    }
+    EXPECT_TRUE(saw_indoor);
+}
+
+TEST(OutlierFilterTest, RemovesKnownReadouts) {
+    Simulator sim(TimePoint::from_date(2010, 3, 1));
+    FakeEnclosure enc;
+    LascarLogger logger(sim, enc, sim.now(), LascarConfig{}, RngStream(5, "l"));
+    logger.schedule_readout({sim.now() + Duration::hours(3)});
+    sim.run_until(sim.now() + Duration::hours(6));
+
+    core::TimeSeries series = logger.temperature_series();
+    const std::size_t before = series.size();
+    const std::size_t removed = remove_readout_outliers(series, logger.readouts());
+    EXPECT_GT(removed, 0u);
+    EXPECT_EQ(series.size(), before - removed);
+    // Everything left is tent-like.
+    for (const core::Sample& s : series) EXPECT_LT(s.value, 0.0);
+}
+
+TEST(OutlierFilterTest, JumpFilterCatchesIndoorTrip) {
+    // Build the classic trip signature by hand: stable -8, jump to +21 for
+    // two samples, back to -8.
+    core::TimeSeries series("t");
+    std::int64_t t = 0;
+    const auto add = [&](double v) {
+        series.append(TimePoint{t}, v);
+        t += 600;
+    };
+    for (int i = 0; i < 10; ++i) add(-8.0 + 0.1 * i);
+    add(21.5);
+    add(21.3);
+    for (int i = 0; i < 10; ++i) add(-7.5 - 0.05 * i);
+
+    const std::size_t removed = remove_jump_outliers(series);
+    EXPECT_EQ(removed, 2u);
+    for (const core::Sample& s : series) EXPECT_LT(s.value, 0.0);
+}
+
+TEST(OutlierFilterTest, JumpFilterKeepsRealWeatherFronts) {
+    // A sharp but *sustained* drop (the Feb 21 cold snap) must survive.
+    core::TimeSeries series("t");
+    std::int64_t t = 0;
+    const auto add = [&](double v) {
+        series.append(TimePoint{t}, v);
+        t += 600;
+    };
+    for (int i = 0; i < 5; ++i) add(-5.0);
+    for (int i = 0; i < 60; ++i) add(-19.0);  // stays cold for 10 hours
+    const std::size_t removed = remove_jump_outliers(series);
+    EXPECT_EQ(removed, 0u);
+    EXPECT_EQ(series.size(), 65u);
+}
+
+TEST(OutlierFilterTest, ShortSeriesUntouched) {
+    core::TimeSeries series("t");
+    series.append(TimePoint{0}, 1.0);
+    EXPECT_EQ(remove_jump_outliers(series), 0u);
+}
+
+}  // namespace
+}  // namespace zerodeg::monitoring

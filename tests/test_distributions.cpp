@@ -1,0 +1,85 @@
+#include "faults/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+
+namespace zerodeg::faults {
+namespace {
+
+using core::RngStream;
+using core::RunningStats;
+
+TEST(ExponentialDist, Moments) {
+    const Exponential d(0.25);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.hazard(0.0), 0.25);
+    EXPECT_DOUBLE_EQ(d.hazard(100.0), 0.25);  // memoryless
+    RngStream rng(1, "e");
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i) s.add(d.sample(rng));
+    EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+TEST(ExponentialDist, Cdf) {
+    const Exponential d(1.0);
+    EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.cdf(-1.0), 0.0);
+    EXPECT_NEAR(d.cdf(1.0), 1.0 - std::exp(-1.0), 1e-12);
+    EXPECT_THROW(Exponential(0.0), core::InvalidArgument);
+}
+
+TEST(WeibullDist, ShapeControlsHazardDirection) {
+    const Weibull infant(0.5, 100.0);
+    EXPECT_GT(infant.hazard(1.0), infant.hazard(50.0));  // decreasing: infant mortality
+    const Weibull wearout(3.0, 100.0);
+    EXPECT_LT(wearout.hazard(1.0), wearout.hazard(50.0));  // increasing: wear-out
+    const Weibull constant(1.0, 100.0);
+    EXPECT_NEAR(constant.hazard(1.0), constant.hazard(50.0), 1e-12);
+}
+
+TEST(WeibullDist, MeanAndSampling) {
+    const Weibull d(2.0, 100.0);
+    EXPECT_NEAR(d.mean(), 100.0 * std::tgamma(1.5), 1e-9);
+    RngStream rng(2, "w");
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i) s.add(d.sample(rng));
+    EXPECT_NEAR(s.mean(), d.mean(), 1.5);
+}
+
+TEST(WeibullDist, CdfMonotone) {
+    const Weibull d(1.5, 50.0);
+    double prev = -1.0;
+    for (double t = 0.0; t <= 300.0; t += 10.0) {
+        const double c = d.cdf(t);
+        EXPECT_GE(c, prev);
+        EXPECT_LE(c, 1.0);
+        prev = c;
+    }
+    EXPECT_THROW(Weibull(0.0, 1.0), core::InvalidArgument);
+    EXPECT_THROW(Weibull(1.0, 0.0), core::InvalidArgument);
+}
+
+TEST(LogNormalDist, MedianAndSampling) {
+    const LogNormal d(std::log(200.0), 0.5);
+    EXPECT_NEAR(d.median(), 200.0, 1e-9);
+    RngStream rng(3, "l");
+    std::vector<double> xs;
+    for (int i = 0; i < 20001; ++i) xs.push_back(d.sample(rng));
+    EXPECT_NEAR(core::percentile(xs, 50.0), 200.0, 8.0);
+    EXPECT_NEAR(d.cdf(200.0), 0.5, 1e-9);
+    EXPECT_THROW(LogNormal(0.0, 0.0), core::InvalidArgument);
+}
+
+TEST(LogNormalDist, CdfBounds) {
+    const LogNormal d(0.0, 1.0);
+    EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.cdf(-5.0), 0.0);
+    EXPECT_GT(d.cdf(100.0), 0.99);
+}
+
+}  // namespace
+}  // namespace zerodeg::faults

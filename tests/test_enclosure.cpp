@@ -1,0 +1,169 @@
+#include "thermal/enclosure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "weather/weather_model.hpp"
+
+namespace zerodeg::thermal {
+namespace {
+
+using core::Celsius;
+using core::Duration;
+using core::MetersPerSecond;
+using core::RelHumidity;
+using core::Watts;
+using core::WattsPerSquareMeter;
+
+weather::WeatherSample still_night(double temp_c, double rh = 80.0) {
+    weather::WeatherSample s;
+    s.temperature = Celsius{temp_c};
+    s.humidity = RelHumidity{rh};
+    s.wind = MetersPerSecond{0.0};
+    s.irradiance = WattsPerSquareMeter{0.0};
+    return s;
+}
+
+TentModel settled_tent(const weather::WeatherSample& outside, Watts power,
+                       std::initializer_list<TentMod> mods = {}) {
+    TentModel tent(TentConfig{}, outside.temperature);
+    for (const TentMod m : mods) tent.apply_modification(m);
+    tent.set_equipment_power(power);
+    for (int i = 0; i < 12 * 24; ++i) tent.step(Duration::minutes(10), outside);
+    return tent;
+}
+
+TEST(Tent, RetainsEquipmentHeat) {
+    const auto outside = still_night(-20.0);
+    const TentModel tent = settled_tent(outside, Watts{900.0});
+    // "the tent proved surprisingly good at retaining heat":
+    // dT = P/G = 900/26 ~ 34.6 K above outside.
+    EXPECT_NEAR(tent.air().temperature.value(), -20.0 + 900.0 / 26.0, 0.5);
+}
+
+TEST(Tent, NoPowerTracksOutside) {
+    const auto outside = still_night(-12.0);
+    const TentModel tent = settled_tent(outside, Watts{0.0});
+    EXPECT_NEAR(tent.air().temperature.value(), -12.0, 0.2);
+}
+
+TEST(Tent, EachModificationLowersEquilibrium) {
+    const auto outside = still_night(-10.0);
+    const Watts p{700.0};
+    const double closed = settled_tent(outside, p).air().temperature.value();
+    const double inner =
+        settled_tent(outside, p, {TentMod::kInnerTentRemoved}).air().temperature.value();
+    const double inner_bottom =
+        settled_tent(outside, p, {TentMod::kInnerTentRemoved, TentMod::kBottomOpened})
+            .air()
+            .temperature.value();
+    const double all =
+        settled_tent(outside, p,
+                     {TentMod::kInnerTentRemoved, TentMod::kBottomOpened,
+                      TentMod::kFanInstalled, TentMod::kFrontDoorHalfOpen})
+            .air()
+            .temperature.value();
+    EXPECT_LT(inner, closed);
+    EXPECT_LT(inner_bottom, inner);
+    EXPECT_LT(all, inner_bottom);
+}
+
+TEST(Tent, FoilCutsSolarGain) {
+    TentModel bare;
+    TentModel foiled;
+    foiled.apply_modification(TentMod::kReflectiveFoil);
+    const WattsPerSquareMeter sun{400.0};
+    EXPECT_GT(bare.solar_gain(sun).value(), 2.5 * foiled.solar_gain(sun).value());
+}
+
+TEST(Tent, SunWarmsTheTent) {
+    auto sunny = still_night(-5.0);
+    sunny.irradiance = WattsPerSquareMeter{500.0};
+    const double with_sun = settled_tent(sunny, Watts{300.0}).air().temperature.value();
+    const double without =
+        settled_tent(still_night(-5.0), Watts{300.0}).air().temperature.value();
+    EXPECT_GT(with_sun, without + 3.0);
+}
+
+TEST(Tent, WindIncreasesConductance) {
+    const TentModel tent;
+    const double calm = tent.effective_conductance(MetersPerSecond{0.0}).value();
+    const double windy = tent.effective_conductance(MetersPerSecond{6.0}).value();
+    EXPECT_NEAR(windy, 2.0 * calm, 1e-9);  // doubling speed by config
+}
+
+TEST(Tent, VentilationModsAmplifyWindSensitivity) {
+    TentModel closed;
+    TentModel open;
+    open.apply_modification(TentMod::kBottomOpened);
+    const double closed_gain = closed.effective_conductance(MetersPerSecond{6.0}).value() /
+                               closed.effective_conductance(MetersPerSecond{0.0}).value();
+    const double open_gain = open.effective_conductance(MetersPerSecond{6.0}).value() /
+                             open.effective_conductance(MetersPerSecond{0.0}).value();
+    EXPECT_GT(open_gain, closed_gain);
+}
+
+TEST(Tent, HumidityTracksRebasedOutside) {
+    const auto outside = still_night(-10.0, 85.0);
+    const TentModel tent = settled_tent(outside, Watts{700.0});
+    const EnclosureAir air = tent.air();
+    // Warmer inside than outside => RH strictly below outside's 85%.
+    EXPECT_LT(air.humidity.value(), 85.0);
+    EXPECT_GT(air.humidity.value(), 1.0);
+    // Dew point consistency.
+    EXPECT_LT(air.dew_point.value(), air.temperature.value());
+}
+
+TEST(Tent, ModificationFlagsReadable) {
+    TentModel tent;
+    EXPECT_FALSE(tent.has_modification(TentMod::kFanInstalled));
+    tent.apply_modification(TentMod::kFanInstalled);
+    EXPECT_TRUE(tent.has_modification(TentMod::kFanInstalled));
+}
+
+TEST(Tent, ShortCodesMatchFigure3) {
+    EXPECT_EQ(short_code(TentMod::kReflectiveFoil), 'R');
+    EXPECT_EQ(short_code(TentMod::kInnerTentRemoved), 'I');
+    EXPECT_EQ(short_code(TentMod::kBottomOpened), 'B');
+    EXPECT_EQ(short_code(TentMod::kFanInstalled), 'F');
+}
+
+TEST(PrototypeBoxes, BarelyContainHeat) {
+    weather::WeatherSample outside = still_night(-9.2);
+    PrototypeBoxModel boxes(Celsius{-9.2});
+    boxes.set_equipment_power(Watts{110.0});
+    for (int i = 0; i < 500; ++i) boxes.step(Duration::minutes(10), outside);
+    // "The boxes did not really ... contain any heat": ~2 K above outside.
+    EXPECT_NEAR(boxes.air().temperature.value(), -9.2 + 110.0 / 55.0, 0.3);
+}
+
+TEST(Basement, HoldsSetpoint) {
+    BasementModel basement(Celsius{21.0});
+    basement.set_equipment_power(Watts{1000.0});
+    basement.step(Duration::minutes(10), still_night(-20.0));
+    EXPECT_NEAR(basement.air().temperature.value(), 21.5, 1e-9);
+    basement.set_equipment_power(Watts{0.0});
+    basement.step(Duration::minutes(10), still_night(-20.0));
+    EXPECT_NEAR(basement.air().temperature.value(), 21.0, 1e-9);
+}
+
+TEST(Basement, MetersCoolingEnergy) {
+    BasementModel basement;
+    basement.set_equipment_power(Watts{1000.0});
+    basement.step(Duration::hours(1), still_night(0.0));
+    EXPECT_NEAR(basement.cooling_energy().value(), 3.6e6, 1.0);
+    EXPECT_THROW(basement.set_equipment_power(Watts{-1.0}), core::InvalidArgument);
+}
+
+TEST(Enclosures, NegativeDtThrows) {
+    TentModel tent;
+    PrototypeBoxModel boxes;
+    BasementModel basement;
+    const auto outside = still_night(0.0);
+    EXPECT_THROW(tent.step(Duration::seconds(-1), outside), core::InvalidArgument);
+    EXPECT_THROW(boxes.step(Duration::seconds(-1), outside), core::InvalidArgument);
+    EXPECT_THROW(basement.step(Duration::seconds(-1), outside), core::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace zerodeg::thermal

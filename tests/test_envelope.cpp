@@ -1,0 +1,81 @@
+#include "thermal/envelope.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace zerodeg::thermal {
+namespace {
+
+using core::Celsius;
+using core::Duration;
+using core::RelHumidity;
+
+TEST(Envelope, ClassifyOrdering) {
+    const EnvelopeSpec spec = ashrae_allowable();
+    EXPECT_EQ(classify(spec, Celsius{21.0}, RelHumidity{50.0}, Celsius{10.0}),
+              EnvelopeVerdict::kWithin);
+    EXPECT_EQ(classify(spec, Celsius{-10.0}, RelHumidity{50.0}, Celsius{-15.0}),
+              EnvelopeVerdict::kTooCold);
+    EXPECT_EQ(classify(spec, Celsius{40.0}, RelHumidity{50.0}, Celsius{10.0}),
+              EnvelopeVerdict::kTooHot);
+    EXPECT_EQ(classify(spec, Celsius{21.0}, RelHumidity{5.0}, Celsius{-20.0}),
+              EnvelopeVerdict::kTooDry);
+    EXPECT_EQ(classify(spec, Celsius{21.0}, RelHumidity{95.0}, Celsius{16.0}),
+              EnvelopeVerdict::kTooHumid);
+    EXPECT_EQ(classify(spec, Celsius{30.0}, RelHumidity{55.0}, Celsius{21.0}),
+              EnvelopeVerdict::kDewPointHigh);
+}
+
+TEST(Envelope, BoundariesAreInclusive) {
+    const EnvelopeSpec spec = ashrae_allowable();
+    EXPECT_EQ(classify(spec, spec.min_temp, RelHumidity{50.0}, Celsius{0.0}),
+              EnvelopeVerdict::kWithin);
+    EXPECT_EQ(classify(spec, spec.max_temp, spec.max_rh, spec.max_dew_point),
+              EnvelopeVerdict::kWithin);
+}
+
+TEST(Envelope, SpecsNest) {
+    // recommended within allowable within A4-like.
+    const EnvelopeSpec rec = ashrae_recommended();
+    const EnvelopeSpec allow = ashrae_allowable();
+    const EnvelopeSpec a4 = ashrae_a4_like();
+    EXPECT_GE(rec.min_temp.value(), allow.min_temp.value());
+    EXPECT_LE(rec.max_temp.value(), allow.max_temp.value());
+    EXPECT_GE(allow.min_temp.value(), a4.min_temp.value());
+    EXPECT_LE(allow.max_temp.value(), a4.max_temp.value());
+    EXPECT_LE(allow.max_rh.value(), a4.max_rh.value());
+}
+
+TEST(Envelope, TrackerAccumulates) {
+    EnvelopeTracker tracker(ashrae_allowable());
+    // 2 h inside, 1 h too cold, 1 h too humid.
+    tracker.observe(Duration::hours(2), Celsius{21.0}, RelHumidity{50.0}, Celsius{10.0});
+    tracker.observe(Duration::hours(1), Celsius{-8.0}, RelHumidity{70.0}, Celsius{-12.0});
+    tracker.observe(Duration::hours(1), Celsius{20.0}, RelHumidity{92.0}, Celsius{16.0});
+    EXPECT_DOUBLE_EQ(tracker.hours_total(), 4.0);
+    EXPECT_DOUBLE_EQ(tracker.hours_within(), 2.0);
+    EXPECT_DOUBLE_EQ(tracker.hours(EnvelopeVerdict::kTooCold), 1.0);
+    EXPECT_DOUBLE_EQ(tracker.hours(EnvelopeVerdict::kTooHumid), 1.0);
+    EXPECT_DOUBLE_EQ(tracker.fraction_within(), 0.5);
+}
+
+TEST(Envelope, EmptyTrackerFractionZero) {
+    const EnvelopeTracker tracker(ashrae_allowable());
+    EXPECT_DOUBLE_EQ(tracker.fraction_within(), 0.0);
+}
+
+TEST(Envelope, NegativeDtThrows) {
+    EnvelopeTracker tracker(ashrae_allowable());
+    EXPECT_THROW(tracker.observe(Duration::seconds(-1), Celsius{20.0}, RelHumidity{50.0},
+                                 Celsius{10.0}),
+                 core::InvalidArgument);
+}
+
+TEST(Envelope, VerdictNames) {
+    EXPECT_STREQ(to_string(EnvelopeVerdict::kWithin), "within envelope");
+    EXPECT_STREQ(to_string(EnvelopeVerdict::kTooCold), "below temperature minimum");
+}
+
+}  // namespace
+}  // namespace zerodeg::thermal

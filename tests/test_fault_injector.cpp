@@ -1,0 +1,144 @@
+#include "faults/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace zerodeg::faults {
+namespace {
+
+using core::Duration;
+using core::RngStream;
+using core::TimePoint;
+
+StressState office_stress() {
+    StressState s;
+    s.intake = Celsius{21.0};
+    s.humidity = RelHumidity{35.0};
+    s.age_hours = 22000.0;
+    return s;
+}
+
+TEST(FaultProcess, FailureCountMatchesExpectation) {
+    // With constant hazard h over time T the number of failures per host is
+    // Poisson(h*T); check the fleet-mean against the analytic rate.
+    InjectorParams params;
+    const HostHazardModel model(params.hazard);
+    const double per_hour = model.hazard_per_hour(office_stress());
+
+    constexpr int kHosts = 600;
+    const double hours = 5.0e4;  // long window so the mean is well-resolved
+    double failures = 0.0;
+    for (int i = 0; i < kHosts; ++i) {
+        HostFaultProcess p(i, false, params, RngStream(static_cast<std::uint64_t>(i), "p"));
+        for (int h = 0; h < 50; ++h) {
+            if (p.advance(Duration::hours(1000), office_stress())) (void)p.classify_failure();
+        }
+        failures += p.failures_so_far();
+    }
+    const double expected = per_hour * hours;
+    EXPECT_NEAR(failures / kHosts, expected, expected * 0.15);
+}
+
+TEST(FaultProcess, UnreliableFailsMoreOften) {
+    InjectorParams params;
+    int reliable = 0, unreliable = 0;
+    for (int i = 0; i < 200; ++i) {
+        HostFaultProcess a(i, false, params, RngStream(static_cast<std::uint64_t>(i), "a"));
+        HostFaultProcess b(i, true, params, RngStream(static_cast<std::uint64_t>(i), "b"));
+        for (int h = 0; h < 100; ++h) {
+            if (a.advance(Duration::hours(100), office_stress())) ++reliable;
+            if (b.advance(Duration::hours(100), office_stress())) ++unreliable;
+        }
+    }
+    EXPECT_GT(unreliable, 5 * reliable);
+}
+
+TEST(FaultProcess, SecondFailureIsPermanent) {
+    // The operator criterion applied to host #15.
+    InjectorParams params;
+    params.transient_probability = 1.0;  // first failure always transient
+    params.failures_to_permanent = 2;
+    HostFaultProcess p(15, true, params, RngStream(1, "p"));
+    int fired = 0;
+    std::vector<FaultSeverity> severities;
+    while (fired < 2) {
+        if (p.advance(Duration::hours(50), office_stress())) {
+            ++fired;
+            severities.push_back(p.classify_failure());
+        }
+    }
+    ASSERT_EQ(severities.size(), 2u);
+    EXPECT_EQ(severities[0], FaultSeverity::kTransient);
+    EXPECT_EQ(severities[1], FaultSeverity::kPermanent);
+}
+
+TEST(FaultProcess, NegativeDtThrows) {
+    HostFaultProcess p(1, false, InjectorParams{}, RngStream(1, "p"));
+    EXPECT_THROW((void)p.advance(Duration::seconds(-1), office_stress()),
+                 core::InvalidArgument);
+}
+
+TEST(Injector, RecordsToLog) {
+    InjectorParams params;
+    // Make failures frequent so the test is fast and deterministic-ish.
+    params.hazard.base_afr = 500.0;
+    FaultInjector injector(params, 42);
+    injector.add_host(15, true);
+    FaultLog log;
+    bool fired = false;
+    TimePoint now = TimePoint::from_date(2010, 3, 7);
+    for (int i = 0; i < 10000 && !fired; ++i) {
+        now += Duration::minutes(10);
+        fired = injector
+                    .advance_host(15, Duration::minutes(10), office_stress(), now, "host-15",
+                                  true, log)
+                    .has_value();
+    }
+    ASSERT_TRUE(fired);
+    ASSERT_EQ(log.count(), 1u);
+    EXPECT_EQ(log.records()[0].host_id, 15);
+    EXPECT_EQ(log.records()[0].component, FaultComponent::kSystem);
+    EXPECT_TRUE(log.records()[0].in_tent);
+    EXPECT_EQ(log.records()[0].source, "host-15");
+}
+
+TEST(Injector, UnknownHostThrows) {
+    FaultInjector injector(InjectorParams{}, 1);
+    FaultLog log;
+    EXPECT_THROW((void)injector.advance_host(7, Duration::minutes(10), office_stress(),
+                                             TimePoint{}, "x", false, log),
+                 core::InvalidArgument);
+}
+
+TEST(Injector, AddHostIdempotent) {
+    FaultInjector injector(InjectorParams{}, 1);
+    injector.add_host(1, false);
+    injector.add_host(1, false);  // no throw, no reset
+    EXPECT_NE(injector.process(1), nullptr);
+    EXPECT_EQ(injector.process(99), nullptr);
+}
+
+TEST(Injector, DeterministicAcrossInstances) {
+    const auto run = [] {
+        FaultInjector injector(InjectorParams{}, 77);
+        injector.add_host(15, true);
+        FaultLog log;
+        TimePoint now = TimePoint::from_date(2010, 2, 19);
+        StressState tent;
+        tent.intake = Celsius{-12.0};
+        tent.humidity = RelHumidity{85.0};
+        tent.age_hours = 22000.0;
+        tent.cycling_rate_k_per_h = 1.0;
+        for (int i = 0; i < 50000; ++i) {
+            now += Duration::minutes(10);
+            (void)injector.advance_host(15, Duration::minutes(10), tent, now, "host-15", true,
+                                        log);
+        }
+        return log.count();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace zerodeg::faults

@@ -1,0 +1,120 @@
+#include "faults/fault_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zerodeg::faults {
+namespace {
+
+using core::Duration;
+using core::TimePoint;
+
+FaultRecord rec(std::int64_t t, int host, FaultComponent c,
+                FaultSeverity s = FaultSeverity::kTransient, bool tent = true) {
+    FaultRecord r;
+    r.time = TimePoint{t};
+    r.host_id = host;
+    r.source = "host-" + std::to_string(host);
+    r.component = c;
+    r.severity = s;
+    r.in_tent = tent;
+    return r;
+}
+
+TEST(FaultLogTest, CountsByComponentAndSeverity) {
+    FaultLog log;
+    log.record(rec(0, 15, FaultComponent::kSystem));
+    log.record(rec(10, 15, FaultComponent::kSystem, FaultSeverity::kPermanent));
+    log.record(rec(20, 1, FaultComponent::kSensorChip));
+    log.record(rec(30, 0, FaultComponent::kSwitch, FaultSeverity::kPermanent));
+    EXPECT_EQ(log.count(), 4u);
+    EXPECT_EQ(log.count_component(FaultComponent::kSystem), 2u);
+    EXPECT_EQ(log.count_component(FaultComponent::kSwitch), 1u);
+    EXPECT_EQ(log.count_severity(FaultSeverity::kTransient), 2u);
+    EXPECT_EQ(log.count_severity(FaultSeverity::kPermanent), 2u);
+}
+
+TEST(FaultLogTest, PerHostView) {
+    FaultLog log;
+    log.record(rec(0, 15, FaultComponent::kSystem));
+    log.record(rec(10, 15, FaultComponent::kSystem));
+    log.record(rec(20, 1, FaultComponent::kSystem));
+    EXPECT_EQ(log.for_host(15).size(), 2u);
+    EXPECT_EQ(log.for_host(1).size(), 1u);
+    EXPECT_TRUE(log.for_host(99).empty());
+}
+
+TEST(FaultLogTest, TentVsBasement) {
+    FaultLog log;
+    log.record(rec(0, 15, FaultComponent::kSystem, FaultSeverity::kTransient, true));
+    log.record(rec(10, 16, FaultComponent::kSystem, FaultSeverity::kTransient, false));
+    EXPECT_EQ(log.count_in_tent(true), 1u);
+    EXPECT_EQ(log.count_in_tent(false), 1u);
+}
+
+TEST(FaultLogTest, HostsAffected) {
+    FaultLog log;
+    log.record(rec(0, 15, FaultComponent::kSystem));
+    log.record(rec(10, 15, FaultComponent::kSystem));
+    log.record(rec(20, 3, FaultComponent::kSystem));
+    log.record(rec(30, 0, FaultComponent::kSwitch));  // host_id 0 excluded
+    EXPECT_EQ(log.hosts_affected(FaultComponent::kSystem), 2u);
+    EXPECT_EQ(log.hosts_affected(FaultComponent::kSwitch), 0u);
+}
+
+TEST(CommonCause, DetectsSimultaneousCluster) {
+    // The paper's hypothesis test: component X failing on many hosts at
+    // nearly the same time.
+    FaultLog log;
+    log.record(rec(0, 1, FaultComponent::kPsu));
+    log.record(rec(3600, 2, FaultComponent::kPsu));
+    log.record(rec(7200, 3, FaultComponent::kPsu));
+    const CommonCauseDetector det(Duration::hours(24), 3);
+    const auto clusters = det.analyze(log);
+    ASSERT_EQ(clusters.size(), 1u);
+    EXPECT_EQ(clusters[0].component, FaultComponent::kPsu);
+    EXPECT_EQ(clusters[0].host_ids, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(CommonCause, SpreadFaultsDoNotCluster) {
+    FaultLog log;
+    log.record(rec(0, 1, FaultComponent::kPsu));
+    log.record(rec(86400 * 5, 2, FaultComponent::kPsu));
+    log.record(rec(86400 * 10, 3, FaultComponent::kPsu));
+    const CommonCauseDetector det(Duration::hours(24), 3);
+    EXPECT_TRUE(det.analyze(log).empty());
+}
+
+TEST(CommonCause, RepeatsOnOneHostDoNotCluster) {
+    FaultLog log;
+    log.record(rec(0, 15, FaultComponent::kSystem));
+    log.record(rec(600, 15, FaultComponent::kSystem));
+    log.record(rec(1200, 15, FaultComponent::kSystem));
+    const CommonCauseDetector det(Duration::hours(24), 3);
+    EXPECT_TRUE(det.analyze(log).empty());  // needs distinct hosts
+}
+
+TEST(CommonCause, DifferentComponentsStaySeparate) {
+    FaultLog log;
+    log.record(rec(0, 1, FaultComponent::kPsu));
+    log.record(rec(10, 2, FaultComponent::kFan));
+    log.record(rec(20, 3, FaultComponent::kDisk));
+    const CommonCauseDetector det(Duration::hours(24), 3);
+    EXPECT_TRUE(det.analyze(log).empty());
+}
+
+TEST(CommonCause, UnsortedInputHandled) {
+    FaultLog log;
+    log.record(rec(7200, 3, FaultComponent::kMemory));
+    log.record(rec(0, 1, FaultComponent::kMemory));
+    log.record(rec(3600, 2, FaultComponent::kMemory));
+    const CommonCauseDetector det(Duration::hours(2), 3);
+    ASSERT_EQ(det.analyze(log).size(), 1u);
+}
+
+TEST(FaultNames, Strings) {
+    EXPECT_STREQ(to_string(FaultComponent::kSensorChip), "sensor chip");
+    EXPECT_STREQ(to_string(FaultSeverity::kTransient), "transient");
+}
+
+}  // namespace
+}  // namespace zerodeg::faults

@@ -1,0 +1,87 @@
+#include "experiment/figures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/csv.hpp"
+#include "core/error.hpp"
+
+namespace zerodeg::experiment {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+    fs::path path;
+    TempDir() {
+        path = fs::temp_directory_path() /
+               ("zerodeg_figs_" + std::to_string(::getpid()));
+        fs::create_directories(path);
+    }
+    ~TempDir() {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+ExperimentConfig tiny_config() {
+    ExperimentConfig cfg;
+    cfg.end = core::TimePoint::from_date(2010, 2, 22);
+    cfg.logger_start = core::TimePoint::from_date(2010, 2, 20);
+    cfg.load.corpus.total_bytes = 64 * 1024;
+    cfg.load.target_blocks = 20;
+    return cfg;
+}
+
+TEST(Figures, ExportsAllFiles) {
+    TempDir dir;
+    ExperimentRunner run(tiny_config());
+    run.run();
+    const auto written = export_figure_data(run, dir.path.string());
+    EXPECT_EQ(written.size(), 7u);
+    for (const std::string& path : written) {
+        EXPECT_TRUE(fs::exists(path)) << path;
+        // faults.log is legitimately empty on a quiet three-day run.
+        if (path.find("faults.log") == std::string::npos) {
+            EXPECT_GT(fs::file_size(path), 0u) << path;
+        }
+    }
+}
+
+TEST(Figures, SeriesRoundTripThroughCsv) {
+    TempDir dir;
+    ExperimentRunner run(tiny_config());
+    run.run();
+    (void)export_figure_data(run, dir.path.string());
+
+    std::ifstream in(dir.path / "fig3_outside_temp.csv");
+    const core::TimeSeries series = core::read_series_csv(in);
+    EXPECT_EQ(series.size(), run.station().temperature_series().size());
+    EXPECT_NEAR(series.front().value, run.station().temperature_series().front().value, 1e-4);
+}
+
+TEST(Figures, TentSeriesHaveOutliersRemoved) {
+    TempDir dir;
+    ExperimentConfig cfg = tiny_config();
+    cfg.end = core::TimePoint::from_date(2010, 3, 2);
+    cfg.readout_interval = core::Duration::days(3);
+    ExperimentRunner run(cfg);
+    run.run();
+    (void)export_figure_data(run, dir.path.string());
+
+    std::ifstream in(dir.path / "fig3_tent_temp.csv");
+    const core::TimeSeries tent = core::read_series_csv(in);
+    EXPECT_LT(tent.size(), run.tent_logger().temperature_series().size());
+}
+
+TEST(Figures, MissingDirectoryThrows) {
+    ExperimentRunner run(tiny_config());
+    run.run();
+    EXPECT_THROW((void)export_figure_data(run, "/nonexistent/zerodeg/dir"), core::IoError);
+}
+
+}  // namespace
+}  // namespace zerodeg::experiment

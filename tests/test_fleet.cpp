@@ -1,0 +1,121 @@
+#include "hardware/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/error.hpp"
+
+namespace zerodeg::hardware {
+namespace {
+
+using core::TimePoint;
+
+TEST(FleetTest, PaperCompositionSection34) {
+    Fleet fleet = make_paper_fleet(1);
+    // "we installed ten hosts from vendor A, four from B, and four from C"
+    EXPECT_EQ(fleet.size(), 18u);
+    EXPECT_EQ(fleet.count_vendor(Vendor::kA), 10u);
+    EXPECT_EQ(fleet.count_vendor(Vendor::kB), 4u);
+    EXPECT_EQ(fleet.count_vendor(Vendor::kC), 4u);
+    // "a symmetric nine hosts in the basement and nine in the tent"
+    EXPECT_EQ(fleet.count(Placement::kTent), 9u);
+    EXPECT_EQ(fleet.count(Placement::kBasement), 9u);
+}
+
+TEST(FleetTest, PairingIsSymmetric) {
+    Fleet fleet = make_paper_fleet(1);
+    for (const HostRecord& rec : fleet.hosts()) {
+        ASSERT_NE(rec.pair_id, 0);
+        const HostRecord* twin = fleet.record(rec.pair_id);
+        ASSERT_NE(twin, nullptr);
+        EXPECT_EQ(twin->pair_id, rec.server->id());
+        // "identical units are placed into the control group": same vendor,
+        // opposite placement.
+        EXPECT_EQ(twin->server->spec().vendor, rec.server->spec().vendor);
+        EXPECT_NE(twin->placement, rec.placement);
+        // Twins install on the same day.
+        EXPECT_EQ(twin->install_date, rec.install_date);
+    }
+}
+
+TEST(FleetTest, TentHostsCarryFigure2Numbers) {
+    Fleet fleet = make_paper_fleet(1);
+    std::set<int> tent_ids;
+    for (const HostRecord& rec : fleet.hosts()) {
+        if (rec.placement == Placement::kTent) tent_ids.insert(rec.server->id());
+    }
+    EXPECT_EQ(tent_ids, (std::set<int>{1, 2, 3, 6, 10, 11, 14, 15, 18}));
+}
+
+TEST(FleetTest, InstallPlanDates) {
+    const auto plan = paper_install_plan();
+    EXPECT_EQ(plan.size(), 18u);
+    // First install: Feb 19 ("start of testing"); last: Mar 13 ("the last
+    // of the hosts was installed March 13th").
+    TimePoint first = plan[0].date, last = plan[0].date;
+    for (const InstallEvent& ev : plan) {
+        first = std::min(first, ev.date);
+        last = std::max(last, ev.date);
+    }
+    EXPECT_EQ(first, TimePoint::from_date(2010, 2, 19));
+    EXPECT_EQ(last, TimePoint::from_date(2010, 3, 13));
+    // Host #15 (the flaky one) went in on March 10, vendor B, in the tent.
+    const auto it15 = std::find_if(plan.begin(), plan.end(),
+                                   [](const InstallEvent& e) { return e.host_id == 15; });
+    ASSERT_NE(it15, plan.end());
+    EXPECT_EQ(it15->date, TimePoint::from_date(2010, 3, 10));
+    EXPECT_EQ(it15->vendor, Vendor::kB);
+    EXPECT_EQ(it15->placement, Placement::kTent);
+}
+
+TEST(FleetTest, FindAndRecord) {
+    Fleet fleet = make_paper_fleet(1);
+    EXPECT_NE(fleet.find(15), nullptr);
+    EXPECT_EQ(fleet.find(15)->name(), "host-15");
+    EXPECT_EQ(fleet.find(99), nullptr);
+    EXPECT_EQ(fleet.record(99), nullptr);
+}
+
+TEST(FleetTest, DuplicateIdThrows) {
+    Fleet fleet = make_paper_fleet(1);
+    EXPECT_THROW(fleet.add_host(15, Vendor::kB, Placement::kTent,
+                                TimePoint::from_date(2010, 3, 26), 0, 1),
+                 core::InvalidArgument);
+}
+
+TEST(FleetTest, PlacementChange) {
+    Fleet fleet = make_paper_fleet(1);
+    fleet.set_placement(15, Placement::kIndoors);
+    EXPECT_EQ(fleet.record(15)->placement, Placement::kIndoors);
+    EXPECT_EQ(fleet.count(Placement::kTent), 8u);
+    EXPECT_THROW(fleet.set_placement(99, Placement::kTent), core::InvalidArgument);
+}
+
+TEST(FleetTest, WallPowerOnlyFromRunningHosts) {
+    Fleet fleet = make_paper_fleet(1);
+    EXPECT_DOUBLE_EQ(fleet.wall_power(Placement::kTent).value(), 0.0);
+    fleet.find(1)->power_on(core::Celsius{0.0});
+    EXPECT_GT(fleet.wall_power(Placement::kTent).value(), 50.0);
+    EXPECT_DOUBLE_EQ(fleet.wall_power(Placement::kBasement).value(), 0.0);
+}
+
+TEST(FleetTest, InstalledAtRespectsDates) {
+    Fleet fleet = make_paper_fleet(1);
+    const auto feb20 = fleet.installed_at(Placement::kTent, TimePoint::from_date(2010, 2, 20));
+    EXPECT_EQ(feb20.size(), 3u);  // hosts 01, 02, 03
+    const auto mar14 = fleet.installed_at(Placement::kTent, TimePoint::from_date(2010, 3, 14));
+    EXPECT_EQ(mar14.size(), 9u);
+}
+
+TEST(FleetTest, ReplacementHost19) {
+    Fleet fleet = make_paper_fleet(1);
+    fleet.add_host(19, Vendor::kB, Placement::kTent, TimePoint::from_date(2010, 3, 26), 0, 1,
+                   /*replaces_id=*/15);
+    EXPECT_EQ(fleet.size(), 19u);
+    EXPECT_EQ(fleet.record(19)->replaces_id, 15);
+    EXPECT_EQ(fleet.count_vendor(Vendor::kB), 5u);
+}
+
+}  // namespace
+}  // namespace zerodeg::hardware

@@ -1,0 +1,66 @@
+#include "core/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace zerodeg::core {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint{s}; }
+
+TEST(EventLogTest, RecordAndCount) {
+    EventLog log;
+    log.record(at(0), LogLevel::kInfo, "host-01", "installed");
+    log.record(at(10), LogLevel::kFault, "host-15", "system failure");
+    log.record(at(20), LogLevel::kFault, "switch-1", "died");
+    EXPECT_EQ(log.entries().size(), 3u);
+    EXPECT_EQ(log.count(LogLevel::kFault), 2u);
+    EXPECT_EQ(log.count(LogLevel::kInfo), 1u);
+    EXPECT_EQ(log.count(LogLevel::kDebug), 0u);
+}
+
+TEST(EventLogTest, FilterBySource) {
+    EventLog log;
+    log.record(at(0), LogLevel::kInfo, "host-15", "a");
+    log.record(at(1), LogLevel::kWarning, "host-15", "b");
+    log.record(at(2), LogLevel::kInfo, "host-01", "c");
+    const auto entries = log.from_source("host-15");
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[1].message, "b");
+}
+
+TEST(EventLogTest, FilterByLevel) {
+    EventLog log;
+    log.record(at(0), LogLevel::kFault, "x", "a");
+    log.record(at(1), LogLevel::kInfo, "y", "b");
+    const auto faults = log.at_level(LogLevel::kFault);
+    ASSERT_EQ(faults.size(), 1u);
+    EXPECT_EQ(faults[0].source, "x");
+}
+
+TEST(EventLogTest, PrintFormat) {
+    EventLog log;
+    log.record(TimePoint::from_civil({2010, 3, 7, 4, 40, 0}), LogLevel::kFault, "host-15",
+               "system failure");
+    std::stringstream ss;
+    log.print(ss);
+    EXPECT_EQ(ss.str(), "2010-03-07 04:40:00 [FAULT] host-15: system failure\n");
+}
+
+TEST(EventLogTest, Clear) {
+    EventLog log;
+    log.record(at(0), LogLevel::kInfo, "x", "a");
+    log.clear();
+    EXPECT_TRUE(log.entries().empty());
+}
+
+TEST(EventLogTest, LevelNames) {
+    EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+    EXPECT_STREQ(to_string(LogLevel::kInfo), "INFO");
+    EXPECT_STREQ(to_string(LogLevel::kWarning), "WARN");
+    EXPECT_STREQ(to_string(LogLevel::kFault), "FAULT");
+}
+
+}  // namespace
+}  // namespace zerodeg::core

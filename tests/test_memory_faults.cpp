@@ -1,0 +1,84 @@
+#include "faults/memory_faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace zerodeg::faults {
+namespace {
+
+using core::RngStream;
+
+TEST(MemoryFaults, PaperRateExpectation) {
+    // ~3.2e9 page ops at 1-in-570M gives ~5.6 expected corruptions — the
+    // paper's five wrong hashes (they estimate six events).
+    const MemoryFaultModel m(MemoryFaultParams{}, RngStream(1, "m"));
+    EXPECT_NEAR(m.expected_corruptions(3'200'000'000ULL, false), 5.6, 0.1);
+}
+
+TEST(MemoryFaults, EccSuppressesAlmostEverything) {
+    const MemoryFaultParams p;
+    const MemoryFaultModel m(p, RngStream(1, "m"));
+    const double plain = m.expected_corruptions(1'000'000'000ULL, false);
+    const double ecc = m.expected_corruptions(1'000'000'000ULL, true);
+    EXPECT_NEAR(ecc / plain, p.multi_bit_fraction, 1e-12);
+}
+
+TEST(MemoryFaults, EmpiricalRateMatchesConfigured) {
+    MemoryFaultModel m(MemoryFaultParams{}, RngStream(7, "m"));
+    constexpr std::uint64_t kOpsPerRun = 116'000;  // the per-run cost
+    constexpr int kRuns = 300000;                  // ~10x the paper's run count
+    std::uint64_t corruptions = 0;
+    for (int i = 0; i < kRuns; ++i) corruptions += m.run(kOpsPerRun, false).corrupting_flips;
+    const double expected = kOpsPerRun * static_cast<double>(kRuns) / 570e6;
+    EXPECT_NEAR(static_cast<double>(corruptions), expected, 5.0 * std::sqrt(expected));
+}
+
+TEST(MemoryFaults, EccCorrectsSingleBitEvents) {
+    MemoryFaultParams p;
+    p.flip_probability_per_page_op = 1e-3;  // frequent, for the test
+    p.multi_bit_fraction = 0.0;             // all single-bit
+    MemoryFaultModel m(p, RngStream(3, "m"));
+    const MemoryFaultOutcome out = m.run(1'000'000, true);
+    EXPECT_GT(out.raw_flips, 0u);
+    EXPECT_EQ(out.corrupting_flips, 0u);
+    EXPECT_EQ(out.corrected, out.raw_flips);
+}
+
+TEST(MemoryFaults, NonEccPassesEverythingThrough) {
+    MemoryFaultParams p;
+    p.flip_probability_per_page_op = 1e-3;
+    MemoryFaultModel m(p, RngStream(3, "m"));
+    const MemoryFaultOutcome out = m.run(1'000'000, false);
+    EXPECT_EQ(out.corrupting_flips, out.raw_flips);
+    EXPECT_EQ(out.corrected, 0u);
+}
+
+TEST(MemoryFaults, MultiBitBeatsEcc) {
+    MemoryFaultParams p;
+    p.flip_probability_per_page_op = 1e-3;
+    p.multi_bit_fraction = 1.0;  // every event multi-bit
+    MemoryFaultModel m(p, RngStream(3, "m"));
+    const MemoryFaultOutcome out = m.run(1'000'000, true);
+    EXPECT_EQ(out.corrupting_flips, out.raw_flips);
+}
+
+TEST(MemoryFaults, ZeroOpsZeroFlips) {
+    MemoryFaultModel m(MemoryFaultParams{}, RngStream(1, "m"));
+    const MemoryFaultOutcome out = m.run(0, false);
+    EXPECT_EQ(out.raw_flips, 0u);
+}
+
+TEST(MemoryFaults, Validation) {
+    MemoryFaultParams p;
+    p.flip_probability_per_page_op = -0.1;
+    EXPECT_THROW(MemoryFaultModel(p, RngStream(1, "m")), core::InvalidArgument);
+    p.flip_probability_per_page_op = 0.5;
+    p.multi_bit_fraction = 1.5;
+    EXPECT_THROW(MemoryFaultModel(p, RngStream(1, "m")), core::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace zerodeg::faults

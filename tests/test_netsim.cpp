@@ -1,0 +1,132 @@
+#include "monitoring/netsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace zerodeg::monitoring {
+namespace {
+
+using core::Duration;
+using core::RngStream;
+
+hardware::NetworkSwitch good(const char* name, int ports = 8) {
+    hardware::SwitchConfig cfg;
+    cfg.ports = ports;
+    return hardware::NetworkSwitch(name, cfg, RngStream(1, name));
+}
+
+hardware::NetworkSwitch defective(const char* name, std::uint64_t seed) {
+    hardware::SwitchConfig cfg;
+    cfg.inherent_defect = true;
+    cfg.defect_mean_hours_to_failure = 100.0;
+    return hardware::NetworkSwitch(name, cfg, RngStream(seed, name));
+}
+
+TEST(Netsim, DirectPathThroughOneSwitch) {
+    Network net;
+    const std::size_t sw = net.add_switch(good("s0"));
+    net.attach({1, "monitor"}, sw);
+    net.attach({2, "host"}, sw);
+    EXPECT_TRUE(net.path_up(1, 2));
+    EXPECT_TRUE(net.path_up(2, 1));
+}
+
+TEST(Netsim, PathThroughUplinkTree) {
+    Network net;
+    const std::size_t root = net.add_switch(good("building", 24));
+    const std::size_t tent_a = net.add_switch(good("tent-a"));
+    const std::size_t tent_b = net.add_switch(good("tent-b"));
+    net.uplink(tent_a, root);
+    net.uplink(tent_b, root);
+    net.attach({100, "monitor"}, root);
+    net.attach({1, "host-01"}, tent_a);
+    net.attach({2, "host-02"}, tent_b);
+    EXPECT_TRUE(net.path_up(100, 1));
+    EXPECT_TRUE(net.path_up(100, 2));
+    EXPECT_TRUE(net.path_up(1, 2));  // via the root
+}
+
+TEST(Netsim, SwitchFailureSegmentsNetwork) {
+    Network net;
+    const std::size_t root = net.add_switch(good("building", 24));
+    const std::size_t tent = net.add_switch(defective("tent", 5));
+    net.uplink(tent, root);
+    net.attach({100, "monitor"}, root);
+    net.attach({1, "host-01"}, tent);
+    net.attach({2, "host-02"}, tent);
+
+    while (net.switch_at(tent).operational()) net.step(Duration::hours(1));
+    EXPECT_FALSE(net.path_up(100, 1));
+    EXPECT_FALSE(net.path_up(1, 2));   // even neighbors: their switch is dead
+    EXPECT_TRUE(net.path_up(100, 100));
+}
+
+TEST(Netsim, ReplacementRestoresPath) {
+    Network net;
+    const std::size_t root = net.add_switch(good("building", 24));
+    const std::size_t tent = net.add_switch(defective("tent", 5));
+    net.uplink(tent, root);
+    net.attach({100, "monitor"}, root);
+    net.attach({1, "host-01"}, tent);
+    while (net.switch_at(tent).operational()) net.step(Duration::hours(1));
+    ASSERT_FALSE(net.path_up(100, 1));
+    net.replace_switch(tent, good("tent-new"));
+    EXPECT_TRUE(net.path_up(100, 1));
+}
+
+TEST(Netsim, UnknownNodesHaveNoPath) {
+    Network net;
+    const std::size_t sw = net.add_switch(good("s0"));
+    net.attach({1, "a"}, sw);
+    EXPECT_FALSE(net.path_up(1, 99));
+    EXPECT_FALSE(net.path_up(98, 99));
+}
+
+TEST(Netsim, PortExhaustion) {
+    Network net;
+    hardware::SwitchConfig cfg;
+    cfg.ports = 2;
+    const std::size_t sw =
+        net.add_switch(hardware::NetworkSwitch("tiny", cfg, RngStream(1, "t")));
+    net.attach({1, "a"}, sw);
+    net.attach({2, "b"}, sw);
+    EXPECT_THROW(net.attach({3, "c"}, sw), core::InvalidArgument);
+    EXPECT_EQ(net.ports_used(sw), 2u);
+}
+
+TEST(Netsim, UplinkConsumesPorts) {
+    Network net;
+    const std::size_t a = net.add_switch(good("a"));
+    const std::size_t b = net.add_switch(good("b"));
+    net.uplink(a, b);
+    EXPECT_EQ(net.ports_used(a), 1u);
+    EXPECT_EQ(net.ports_used(b), 1u);
+}
+
+TEST(Netsim, Validation) {
+    Network net;
+    const std::size_t a = net.add_switch(good("a"));
+    const std::size_t b = net.add_switch(good("b"));
+    EXPECT_THROW(net.attach({1, "x"}, 99), core::InvalidArgument);
+    net.attach({1, "x"}, a);
+    EXPECT_THROW(net.attach({1, "x"}, b), core::InvalidArgument);  // duplicate node
+    EXPECT_THROW(net.uplink(a, a), core::InvalidArgument);
+    net.uplink(a, b);
+    EXPECT_THROW(net.uplink(a, b), core::InvalidArgument);  // already uplinked
+    EXPECT_THROW(net.uplink(b, a), core::InvalidArgument);  // cycle
+    EXPECT_THROW((void)net.switch_at(99), core::InvalidArgument);
+    EXPECT_THROW(net.replace_switch(99, good("z")), core::InvalidArgument);
+}
+
+TEST(Netsim, DisjointTreesUnreachable) {
+    Network net;
+    const std::size_t a = net.add_switch(good("a"));
+    const std::size_t b = net.add_switch(good("b"));
+    net.attach({1, "x"}, a);
+    net.attach({2, "y"}, b);
+    EXPECT_FALSE(net.path_up(1, 2));
+}
+
+}  // namespace
+}  // namespace zerodeg::monitoring

@@ -1,0 +1,132 @@
+#include "weather/psychrometrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace zerodeg::weather {
+namespace {
+
+TEST(Psychro, SaturationPressureKnownPoints) {
+    // Magnus at 0 degC gives 611.2 Pa by construction.
+    EXPECT_NEAR(saturation_vapor_pressure_water(Celsius{0.0}).value(), 611.2, 0.1);
+    // ~2.33 kPa at 20 degC (tables: 2339 Pa).
+    EXPECT_NEAR(saturation_vapor_pressure_water(Celsius{20.0}).value(), 2339.0, 15.0);
+    // ~103 Pa over ice at -20 degC.
+    EXPECT_NEAR(saturation_vapor_pressure_ice(Celsius{-20.0}).value(), 103.0, 5.0);
+}
+
+TEST(Psychro, IceBelowWaterBelowZero) {
+    // Below freezing, saturation over ice is lower than over (supercooled)
+    // water — the reason frost forms preferentially.
+    for (const double t : {-30.0, -20.0, -10.0, -2.0}) {
+        EXPECT_LT(saturation_vapor_pressure_ice(Celsius{t}).value(),
+                  saturation_vapor_pressure_water(Celsius{t}).value())
+            << "at " << t;
+    }
+}
+
+TEST(Psychro, BranchSelection) {
+    EXPECT_DOUBLE_EQ(saturation_vapor_pressure(Celsius{-5.0}).value(),
+                     saturation_vapor_pressure_ice(Celsius{-5.0}).value());
+    EXPECT_DOUBLE_EQ(saturation_vapor_pressure(Celsius{5.0}).value(),
+                     saturation_vapor_pressure_water(Celsius{5.0}).value());
+}
+
+TEST(Psychro, SaturationMonotoneInTemperature) {
+    double prev = 0.0;
+    for (double t = -40.0; t <= 40.0; t += 1.0) {
+        const double e = saturation_vapor_pressure(Celsius{t}).value();
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(Psychro, VaporPressureScalesWithRh) {
+    const Pascals full = vapor_pressure(Celsius{10.0}, RelHumidity{100.0});
+    const Pascals half = vapor_pressure(Celsius{10.0}, RelHumidity{50.0});
+    EXPECT_NEAR(half.value() * 2.0, full.value(), 1e-9);
+}
+
+TEST(Psychro, DewPointAtSaturationIsAirTemp) {
+    for (const double t : {2.0, 10.0, 25.0}) {
+        EXPECT_NEAR(dew_point(Celsius{t}, RelHumidity{100.0}).value(), t, 0.05) << t;
+    }
+}
+
+TEST(Psychro, DewPointBelowAirTempWhenUnsaturated) {
+    const Celsius dp = dew_point(Celsius{10.0}, RelHumidity{50.0});
+    EXPECT_LT(dp.value(), 10.0);
+    EXPECT_NEAR(dp.value(), 0.1, 1.0);  // tables: ~0.1 degC
+}
+
+TEST(Psychro, DewPointInverseProperty) {
+    // dew_point_from_vapor_pressure inverts vapor pressure over water.
+    for (const double t : {-5.0, 0.0, 8.0, 21.0}) {
+        const Pascals e = saturation_vapor_pressure_water(Celsius{t});
+        EXPECT_NEAR(dew_point_from_vapor_pressure(e).value(), t, 1e-6);
+    }
+}
+
+TEST(Psychro, FrostPointInverse) {
+    for (const double t : {-25.0, -10.0, -1.0}) {
+        const Pascals e = saturation_vapor_pressure_ice(Celsius{t});
+        EXPECT_NEAR(frost_point_from_vapor_pressure(e).value(), t, 1e-6);
+    }
+}
+
+TEST(Psychro, NonPositivePressureThrows) {
+    EXPECT_THROW((void)dew_point_from_vapor_pressure(Pascals{0.0}), core::InvalidArgument);
+    EXPECT_THROW((void)frost_point_from_vapor_pressure(Pascals{-1.0}), core::InvalidArgument);
+}
+
+TEST(Psychro, RebaseSameTemperatureIsIdentity) {
+    const RelHumidity rh = rebase_humidity(Celsius{5.0}, RelHumidity{70.0}, Celsius{5.0});
+    EXPECT_NEAR(rh.value(), 70.0, 1e-9);
+}
+
+TEST(Psychro, RebaseWarmerLowersRh) {
+    // The tent effect: same moisture, warmer air, lower relative humidity.
+    const RelHumidity inside = rebase_humidity(Celsius{-10.0}, RelHumidity{85.0}, Celsius{5.0});
+    EXPECT_LT(inside.value(), 85.0);
+    EXPECT_GT(inside.value(), 5.0);
+}
+
+TEST(Psychro, RebaseColderRaisesRh) {
+    const RelHumidity out = rebase_humidity(Celsius{5.0}, RelHumidity{50.0}, Celsius{-5.0});
+    EXPECT_GT(out.value(), 50.0);
+}
+
+TEST(Psychro, RebaseRoundTrip) {
+    const RelHumidity there = rebase_humidity(Celsius{-8.0}, RelHumidity{80.0}, Celsius{4.0});
+    const RelHumidity back = rebase_humidity(Celsius{4.0}, there, Celsius{-8.0});
+    EXPECT_NEAR(back.value(), 80.0, 1e-9);
+}
+
+TEST(Psychro, AbsoluteHumidityKnownPoint) {
+    // Saturated air at 20 degC holds ~17.3 g/m^3.
+    EXPECT_NEAR(absolute_humidity(Celsius{20.0}, RelHumidity{100.0}).value(), 17.3, 0.4);
+    // Saturated air at -10 degC holds ~2.1 g/m^3 (over ice).
+    EXPECT_NEAR(absolute_humidity(Celsius{-10.0}, RelHumidity{100.0}).value(), 2.1, 0.3);
+}
+
+TEST(Psychro, CondensationOnColdSurface) {
+    // Warm humid air over a freezing-cold case: condensation.
+    EXPECT_TRUE(condensation_on_surface(Celsius{-15.0}, Celsius{5.0}, RelHumidity{80.0}));
+    // A powered case warmer than its surroundings: safe.
+    EXPECT_FALSE(condensation_on_surface(Celsius{10.0}, Celsius{0.0}, RelHumidity{90.0}));
+}
+
+TEST(Psychro, CondensationMarginSigns) {
+    const Celsius safe = condensation_margin(Celsius{10.0}, Celsius{0.0}, RelHumidity{80.0});
+    EXPECT_GT(safe.value(), 0.0);
+    const Celsius wet = condensation_margin(Celsius{-20.0}, Celsius{10.0}, RelHumidity{90.0});
+    EXPECT_LT(wet.value(), 0.0);
+}
+
+TEST(Psychro, DryAirNeverCondenses) {
+    EXPECT_FALSE(condensation_on_surface(Celsius{-40.0}, Celsius{30.0}, RelHumidity{0.0}));
+}
+
+}  // namespace
+}  // namespace zerodeg::weather

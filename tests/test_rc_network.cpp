@@ -1,0 +1,120 @@
+#include "thermal/rc_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace zerodeg::thermal {
+namespace {
+
+using core::Celsius;
+using core::Duration;
+using core::JoulesPerKelvin;
+using core::Watts;
+using core::WattsPerKelvin;
+
+TEST(RcNetwork, SingleNodeRelaxesToAmbient) {
+    ThermalNetwork net;
+    const NodeId n = net.add_node("air", JoulesPerKelvin{1000.0}, Celsius{20.0},
+                                  WattsPerKelvin{10.0});
+    // Time constant C/G = 100 s; after 10 tau the node is at ambient.
+    net.step(Duration::seconds(1000), Celsius{-10.0});
+    EXPECT_NEAR(net.temperature(n).value(), -10.0, 0.05);
+}
+
+TEST(RcNetwork, PowerRaisesEquilibrium) {
+    ThermalNetwork net;
+    const NodeId n = net.add_node("tent", JoulesPerKelvin{1000.0}, Celsius{0.0},
+                                  WattsPerKelvin{26.0});
+    net.set_power(n, Watts{260.0});
+    net.step(Duration::hours(2), Celsius{-10.0});
+    // Equilibrium: ambient + P/G = -10 + 10 = 0.
+    EXPECT_NEAR(net.temperature(n).value(), 0.0, 0.05);
+    EXPECT_NEAR(net.local_equilibrium(n, Celsius{-10.0}).value(), 0.0, 1e-9);
+}
+
+TEST(RcNetwork, TwoNodesEqualize) {
+    ThermalNetwork net;
+    const NodeId a = net.add_node("a", JoulesPerKelvin{500.0}, Celsius{40.0});
+    const NodeId b = net.add_node("b", JoulesPerKelvin{500.0}, Celsius{0.0});
+    net.connect(a, b, WattsPerKelvin{5.0});
+    net.step(Duration::hours(1), Celsius{0.0});
+    // No ambient coupling: both settle at the (equal-capacity) average.
+    EXPECT_NEAR(net.temperature(a).value(), 20.0, 0.1);
+    EXPECT_NEAR(net.temperature(b).value(), 20.0, 0.1);
+}
+
+TEST(RcNetwork, ConservationWithoutAmbient) {
+    // Total thermal energy (sum C_i T_i) is invariant without ambient
+    // coupling or power.
+    ThermalNetwork net;
+    const NodeId a = net.add_node("a", JoulesPerKelvin{300.0}, Celsius{50.0});
+    const NodeId b = net.add_node("b", JoulesPerKelvin{700.0}, Celsius{-10.0});
+    net.connect(a, b, WattsPerKelvin{3.0});
+    const double before = 300.0 * 50.0 + 700.0 * -10.0;
+    net.step(Duration::minutes(30), Celsius{0.0});
+    const double after =
+        300.0 * net.temperature(a).value() + 700.0 * net.temperature(b).value();
+    EXPECT_NEAR(after, before, std::abs(before) * 0.01 + 1.0);
+}
+
+TEST(RcNetwork, ChainCpuCaseAir) {
+    // intake(ambient) -> case -> cpu, with cpu dissipating.
+    ThermalNetwork net;
+    const NodeId case_air =
+        net.add_node("case", JoulesPerKelvin{2000.0}, Celsius{0.0}, WattsPerKelvin{8.0});
+    const NodeId cpu = net.add_node("cpu", JoulesPerKelvin{50.0}, Celsius{0.0});
+    net.connect(cpu, case_air, WattsPerKelvin{2.5});
+    net.set_power(cpu, Watts{30.0});
+    net.step(Duration::hours(4), Celsius{-10.0});
+    // Case equilibrium: -10 + 30/8 = -6.25; CPU: case + 30/2.5 = +5.75.
+    EXPECT_NEAR(net.temperature(case_air).value(), -6.25, 0.1);
+    EXPECT_NEAR(net.temperature(cpu).value(), 5.75, 0.15);
+}
+
+TEST(RcNetwork, EdgeConductanceCanChange) {
+    ThermalNetwork net;
+    const NodeId a = net.add_node("a", JoulesPerKelvin{100.0}, Celsius{10.0},
+                                  WattsPerKelvin{1.0});
+    const NodeId b = net.add_node("b", JoulesPerKelvin{100.0}, Celsius{10.0});
+    const std::size_t e = net.connect(a, b, WattsPerKelvin{1.0});
+    EXPECT_DOUBLE_EQ(net.edge_conductance(e).value(), 1.0);
+    net.set_edge_conductance(e, WattsPerKelvin{5.0});
+    EXPECT_DOUBLE_EQ(net.edge_conductance(e).value(), 5.0);
+}
+
+TEST(RcNetwork, StableWithLargeSteps) {
+    // The sub-stepping must keep explicit Euler stable even when the caller
+    // steps far beyond the stiffest time constant.
+    ThermalNetwork net;
+    const NodeId n = net.add_node("stiff", JoulesPerKelvin{10.0}, Celsius{100.0},
+                                  WattsPerKelvin{100.0});  // tau = 0.1 s
+    net.step(Duration::hours(1), Celsius{0.0});
+    EXPECT_NEAR(net.temperature(n).value(), 0.0, 0.01);  // no oscillation blow-up
+}
+
+TEST(RcNetwork, HeatFlowSign) {
+    ThermalNetwork net;
+    const NodeId n = net.add_node("n", JoulesPerKelvin{100.0}, Celsius{10.0},
+                                  WattsPerKelvin{2.0});
+    EXPECT_DOUBLE_EQ(net.heat_flow_to_ambient(n, Celsius{0.0}).value(), 20.0);
+    EXPECT_DOUBLE_EQ(net.heat_flow_to_ambient(n, Celsius{20.0}).value(), -20.0);
+}
+
+TEST(RcNetwork, Validation) {
+    ThermalNetwork net;
+    EXPECT_THROW(net.add_node("bad", JoulesPerKelvin{0.0}, Celsius{0.0}),
+                 core::InvalidArgument);
+    EXPECT_THROW(net.add_node("bad", JoulesPerKelvin{1.0}, Celsius{0.0},
+                              WattsPerKelvin{-1.0}),
+                 core::InvalidArgument);
+    const NodeId a = net.add_node("a", JoulesPerKelvin{1.0}, Celsius{0.0});
+    EXPECT_THROW(net.connect(a, a, WattsPerKelvin{1.0}), core::InvalidArgument);
+    EXPECT_THROW(net.connect(a, 99, WattsPerKelvin{1.0}), core::InvalidArgument);
+    EXPECT_THROW((void)net.temperature(99), core::InvalidArgument);
+    EXPECT_THROW(net.step(Duration::seconds(-1), Celsius{0.0}), core::InvalidArgument);
+    EXPECT_THROW((void)net.local_equilibrium(a, Celsius{0.0}), core::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace zerodeg::thermal

@@ -1,0 +1,83 @@
+#include "experiment/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/timeseries.hpp"
+
+namespace zerodeg::experiment {
+namespace {
+
+TEST(Report, FmtHelpers) {
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(-22.0, 1), "-22.0");
+    EXPECT_EQ(fmt_pct(0.056), "5.6%");
+    EXPECT_EQ(fmt_pct(0.0446, 2), "4.46%");
+}
+
+TEST(Report, TablePrinterLayout) {
+    std::stringstream ss;
+    TablePrinter t(ss, {"a", "b"}, {4, 6});
+    t.row({"x", "y"});
+    const std::string out = ss.str();
+    EXPECT_NE(out.find("a     b"), std::string::npos);
+    EXPECT_NE(out.find("----  ------"), std::string::npos);
+    EXPECT_NE(out.find("x     y"), std::string::npos);
+}
+
+TEST(Report, TablePrinterMismatchThrows) {
+    std::stringstream ss;
+    EXPECT_THROW(TablePrinter(ss, {"a", "b"}, {4}), core::InvalidArgument);
+}
+
+TEST(Report, TablePrinterShortRowPadded) {
+    std::stringstream ss;
+    TablePrinter t(ss, {"a", "b", "c"}, {3, 3, 3});
+    EXPECT_NO_THROW(t.row({"x"}));  // missing cells become blanks
+}
+
+TEST(Report, ComparisonBlock) {
+    std::stringstream ss;
+    print_comparison(ss, "TAB-PUE",
+                     {{"PUE", "1.74", "1.74", "nameplate sum"}});
+    const std::string out = ss.str();
+    EXPECT_NE(out.find("== TAB-PUE =="), std::string::npos);
+    EXPECT_NE(out.find("1.74"), std::string::npos);
+    EXPECT_NE(out.find("this repro"), std::string::npos);
+}
+
+TEST(Report, AsciiPlotSmoke) {
+    core::TimeSeries a("inside");
+    core::TimeSeries b("outside");
+    for (int i = 0; i < 100; ++i) {
+        a.append(core::TimePoint{i * 3600}, 5.0 + i * 0.1);
+        b.append(core::TimePoint{i * 3600}, -10.0 + i * 0.05);
+    }
+    std::stringstream ss;
+    ascii_plot(ss, a, &b, 60, 10);
+    const std::string out = ss.str();
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('o'), std::string::npos);
+    EXPECT_NE(out.find("legend"), std::string::npos);
+    EXPECT_NE(out.find("inside"), std::string::npos);
+    EXPECT_NE(out.find("outside"), std::string::npos);
+}
+
+TEST(Report, AsciiPlotEmptySeries) {
+    std::stringstream ss;
+    ascii_plot(ss, core::TimeSeries{"x"}, nullptr);
+    EXPECT_EQ(ss.str(), "(no data)\n");
+}
+
+TEST(Report, AsciiPlotConstantSeries) {
+    core::TimeSeries a("flat");
+    a.append(core::TimePoint{0}, 1.0);
+    a.append(core::TimePoint{3600}, 1.0);
+    std::stringstream ss;
+    EXPECT_NO_THROW(ascii_plot(ss, a, nullptr, 40, 6));
+}
+
+}  // namespace
+}  // namespace zerodeg::experiment

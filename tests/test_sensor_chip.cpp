@@ -1,0 +1,112 @@
+#include "hardware/sensor_chip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace zerodeg::hardware {
+namespace {
+
+using core::Celsius;
+using core::Duration;
+using core::RngStream;
+
+SensorChip make_chip(std::uint64_t seed = 1, SensorChipConfig cfg = {}) {
+    return SensorChip(cfg, RngStream(seed, "chip"));
+}
+
+TEST(SensorChip, HealthyReadsNearTruth) {
+    SensorChip chip = make_chip();
+    for (int i = 0; i < 100; ++i) {
+        const auto r = chip.read(Celsius{35.0});
+        ASSERT_TRUE(r.has_value());
+        EXPECT_NEAR(r->value(), 35.0, 3.0);  // 6 sigma
+    }
+}
+
+TEST(SensorChip, TracksColdestReading) {
+    SensorChip chip = make_chip();
+    (void)chip.read(Celsius{10.0});
+    (void)chip.read(Celsius{-4.0});
+    (void)chip.read(Celsius{0.0});
+    ASSERT_TRUE(chip.coldest_reported().has_value());
+    EXPECT_NEAR(chip.coldest_reported()->value(), -4.0, 3.0);
+}
+
+TEST(SensorChip, WarmOperationNeverGlitches) {
+    SensorChip chip = make_chip();
+    for (int i = 0; i < 10000; ++i) chip.step(Duration::minutes(10), Celsius{30.0});
+    EXPECT_EQ(chip.state(), SensorChipState::kHealthy);
+    EXPECT_DOUBLE_EQ(chip.cold_exposure_hours(), 0.0);
+}
+
+TEST(SensorChip, ColdExposureEventuallyGlitches) {
+    // Drive far past the mean exposure budget: must go erratic.
+    SensorChip chip = make_chip(3);
+    for (int i = 0; i < 12 * 24 * 90 && chip.state() == SensorChipState::kHealthy; ++i) {
+        chip.step(Duration::minutes(10), Celsius{-10.0});
+    }
+    EXPECT_EQ(chip.state(), SensorChipState::kErratic);
+    EXPECT_GT(chip.cold_exposure_hours(), 0.0);
+}
+
+TEST(SensorChip, ErraticReportsMinus111) {
+    SensorChip chip = make_chip(3);
+    while (chip.state() == SensorChipState::kHealthy) {
+        chip.step(Duration::hours(1), Celsius{-10.0});
+    }
+    const auto r = chip.read(Celsius{-5.0});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_DOUBLE_EQ(r->value(), -111.0);  // the paper's exact garbage value
+}
+
+TEST(SensorChip, RedetectKnocksErraticChipOffBus) {
+    SensorChip chip = make_chip(3);
+    while (chip.state() == SensorChipState::kHealthy) {
+        chip.step(Duration::hours(1), Celsius{-10.0});
+    }
+    chip.attempt_redetect();
+    EXPECT_EQ(chip.state(), SensorChipState::kUndetected);
+    EXPECT_FALSE(chip.read(Celsius{0.0}).has_value());
+}
+
+TEST(SensorChip, RedetectHarmlessWhenHealthy) {
+    SensorChip chip = make_chip();
+    chip.attempt_redetect();
+    EXPECT_EQ(chip.state(), SensorChipState::kHealthy);
+    EXPECT_TRUE(chip.read(Celsius{20.0}).has_value());
+}
+
+TEST(SensorChip, WarmRebootRestores) {
+    // The paper's full arc: erratic -> redetect -> undetected -> a week
+    // later a warm reboot brings it back, and "no further problems".
+    SensorChip chip = make_chip(3);
+    while (chip.state() == SensorChipState::kHealthy) {
+        chip.step(Duration::hours(1), Celsius{-10.0});
+    }
+    chip.attempt_redetect();
+    ASSERT_EQ(chip.state(), SensorChipState::kUndetected);
+    chip.warm_reboot();
+    EXPECT_EQ(chip.state(), SensorChipState::kHealthy);
+    const auto r = chip.read(Celsius{5.0});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_NEAR(r->value(), 5.0, 3.0);
+}
+
+TEST(SensorChip, NegativeDtThrows) {
+    SensorChip chip = make_chip();
+    EXPECT_THROW(chip.step(Duration::seconds(-1), Celsius{0.0}), core::InvalidArgument);
+}
+
+TEST(SensorChip, ExposureOnlyAccruesBelowThreshold) {
+    SensorChipConfig cfg;
+    cfg.cold_threshold = Celsius{-2.0};
+    SensorChip chip(cfg, RngStream(1, "chip"));
+    chip.step(Duration::hours(5), Celsius{-1.0});
+    EXPECT_DOUBLE_EQ(chip.cold_exposure_hours(), 0.0);
+    chip.step(Duration::hours(5), Celsius{-3.0});
+    EXPECT_DOUBLE_EQ(chip.cold_exposure_hours(), 5.0);
+}
+
+}  // namespace
+}  // namespace zerodeg::hardware

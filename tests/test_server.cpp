@@ -1,0 +1,148 @@
+#include "hardware/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace zerodeg::hardware {
+namespace {
+
+using core::Celsius;
+using core::Duration;
+
+Server make_server(Vendor v = Vendor::kA) {
+    return Server(1, "host-01", spec_for(v), 42);
+}
+
+TEST(ServerTest, StartsPoweredOff) {
+    Server s = make_server();
+    EXPECT_EQ(s.state(), RunState::kPoweredOff);
+    EXPECT_FALSE(s.operational());
+    EXPECT_DOUBLE_EQ(s.wall_power().value(), 0.0);
+}
+
+TEST(ServerTest, PowerOnAndDraw) {
+    Server s = make_server();
+    s.power_on(Celsius{-5.0});
+    EXPECT_TRUE(s.operational());
+    EXPECT_GT(s.dc_power().value(), 40.0);
+    // PSU losses: wall power strictly above DC power.
+    EXPECT_GT(s.wall_power().value(), s.dc_power().value());
+}
+
+TEST(ServerTest, LoadRaisesPower) {
+    Server s = make_server();
+    s.power_on(Celsius{0.0});
+    const double idle = s.wall_power().value();
+    s.set_cpu_load(1.0);
+    EXPECT_GT(s.wall_power().value(), idle + 30.0);
+}
+
+TEST(ServerTest, CrashAndReset) {
+    Server s = make_server();
+    s.power_on(Celsius{0.0});
+    s.crash("transient");
+    EXPECT_EQ(s.state(), RunState::kCrashed);
+    EXPECT_FALSE(s.operational());
+    EXPECT_EQ(s.crash_count(), 1);
+    EXPECT_EQ(s.last_crash_reason(), "transient");
+    EXPECT_DOUBLE_EQ(s.wall_power().value(), 0.0);
+    EXPECT_TRUE(s.reset());
+    EXPECT_TRUE(s.operational());
+    EXPECT_FALSE(s.reset());  // not crashed anymore
+}
+
+TEST(ServerTest, CrashWhenOffIsIgnored) {
+    Server s = make_server();
+    s.crash("x");
+    EXPECT_EQ(s.state(), RunState::kPoweredOff);
+    EXPECT_EQ(s.crash_count(), 0);
+}
+
+TEST(ServerTest, StepTracksExposure) {
+    Server s = make_server();
+    s.power_on(Celsius{-5.0});
+    s.step(Duration::hours(1), Celsius{-22.0});
+    s.step(Duration::hours(1), Celsius{3.0});
+    EXPECT_DOUBLE_EQ(s.min_intake_seen().value(), -22.0);
+    EXPECT_DOUBLE_EQ(s.max_intake_seen().value(), 3.0);
+    EXPECT_NEAR(s.uptime_hours(), 2.0, 1e-9);
+}
+
+TEST(ServerTest, NoUptimeWhileCrashed) {
+    Server s = make_server();
+    s.power_on(Celsius{0.0});
+    s.crash("x");
+    s.step(Duration::hours(5), Celsius{0.0});
+    EXPECT_DOUBLE_EQ(s.uptime_hours(), 0.0);
+}
+
+TEST(ServerTest, ThermalsFollowIntake) {
+    Server s = make_server();
+    s.power_on(Celsius{-10.0});
+    s.set_cpu_load(0.3);
+    for (int i = 0; i < 200; ++i) s.step(Duration::minutes(10), Celsius{-10.0});
+    // CPU above intake but nowhere near office temperatures.
+    EXPECT_GT(s.cpu_temperature().value(), -10.0);
+    EXPECT_LT(s.cpu_temperature().value(), 10.0);
+    EXPECT_GT(s.hdd_temperature().value(), -10.0);
+}
+
+TEST(ServerTest, SensorReadWorksOnlyWhenRunning) {
+    Server s = make_server();
+    EXPECT_FALSE(s.read_cpu_sensor().has_value());
+    s.power_on(Celsius{10.0});
+    EXPECT_TRUE(s.read_cpu_sensor().has_value());
+}
+
+TEST(ServerTest, VendorSpecs) {
+    EXPECT_EQ(vendor_a_spec().raid, RaidLayout::kSoftwareMirror);
+    EXPECT_EQ(vendor_b_spec().raid, RaidLayout::kNone);
+    EXPECT_EQ(vendor_c_spec().raid, RaidLayout::kMirrorPlusParity);
+    EXPECT_TRUE(vendor_b_spec().known_unreliable);
+    EXPECT_FALSE(vendor_a_spec().known_unreliable);
+    EXPECT_TRUE(vendor_c_spec().ecc_memory);
+    EXPECT_FALSE(vendor_a_spec().ecc_memory);
+    EXPECT_FALSE(vendor_b_spec().ecc_memory);
+}
+
+TEST(ServerTest, DriveCountsMatchSection34) {
+    // "two hard drives formed into a Linux multiple devices software mirror"
+    EXPECT_EQ(make_server(Vendor::kA).storage().drives().size(), 2u);
+    // "Only a single hard drive can fit in the case"
+    EXPECT_EQ(make_server(Vendor::kB).storage().drives().size(), 1u);
+    // "There are five hard drives in each"
+    EXPECT_EQ(make_server(Vendor::kC).storage().drives().size(), 5u);
+}
+
+TEST(ServerTest, RackDrawsMoreThanSff) {
+    Server rack = make_server(Vendor::kC);
+    Server sff = make_server(Vendor::kB);
+    rack.power_on(Celsius{20.0});
+    sff.power_on(Celsius{20.0});
+    EXPECT_GT(rack.wall_power().value(), 2.0 * sff.wall_power().value());
+}
+
+TEST(ServerTest, ResetHealsSensorChip) {
+    Server s = make_server();
+    s.power_on(Celsius{-20.0});
+    s.set_cpu_load(0.0);
+    // Freeze the chip until it glitches.
+    for (int i = 0; i < 12 * 24 * 200 && s.sensor_chip().state() == SensorChipState::kHealthy;
+         ++i) {
+        s.step(Duration::minutes(10), Celsius{-25.0});
+    }
+    ASSERT_EQ(s.sensor_chip().state(), SensorChipState::kErratic);
+    s.crash("for reboot");
+    ASSERT_TRUE(s.reset());
+    EXPECT_EQ(s.sensor_chip().state(), SensorChipState::kHealthy);
+}
+
+TEST(ServerTest, NegativeStepThrows) {
+    Server s = make_server();
+    s.power_on(Celsius{0.0});
+    EXPECT_THROW(s.step(Duration::seconds(-1), Celsius{0.0}), core::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace zerodeg::hardware

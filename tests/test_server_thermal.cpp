@@ -1,0 +1,122 @@
+#include "thermal/server_thermal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace zerodeg::thermal {
+namespace {
+
+using core::Celsius;
+using core::Duration;
+using core::Watts;
+
+ServerThermalModel settled(ServerThermalConfig cfg, Celsius intake, Watts cpu, Watts total,
+                           double airflow = 1.0) {
+    ServerThermalModel m(cfg, intake);
+    for (int i = 0; i < 400; ++i) m.step(Duration::minutes(2), intake, cpu, total, airflow);
+    return m;
+}
+
+TEST(ServerThermal, CpuSteadyStateDelta) {
+    const ServerThermalConfig cfg = tower_thermal_config();
+    const auto m = settled(cfg, Celsius{-10.0}, Watts{28.0}, Watts{110.0});
+    EXPECT_NEAR(m.cpu_temperature().value(), -10.0 + 28.0 * cfg.cpu_resistance_k_per_w, 0.2);
+}
+
+TEST(ServerThermal, PrototypeObservation) {
+    // The paper's anchor: ~-9 degC intake, near-idle machine, CPU around
+    // -4 degC.  Idle CPU power ~12-15 W at R=0.38 gives a ~5 K rise.
+    const auto m = settled(tower_thermal_config(), Celsius{-9.2}, Watts{13.0}, Watts{80.0});
+    EXPECT_NEAR(m.cpu_temperature().value(), -4.3, 1.0);
+}
+
+TEST(ServerThermal, CaseAirFollowsTotalPower) {
+    const ServerThermalConfig cfg = tower_thermal_config();
+    const auto idle = settled(cfg, Celsius{0.0}, Watts{12.0}, Watts{80.0});
+    const auto busy = settled(cfg, Celsius{0.0}, Watts{65.0}, Watts{160.0});
+    EXPECT_GT(busy.case_air_temperature().value(), idle.case_air_temperature().value() + 3.0);
+}
+
+TEST(ServerThermal, AirflowCools) {
+    const ServerThermalConfig cfg = tower_thermal_config();
+    const auto nominal = settled(cfg, Celsius{0.0}, Watts{40.0}, Watts{120.0}, 1.0);
+    const auto breezy = settled(cfg, Celsius{0.0}, Watts{40.0}, Watts{120.0}, 2.0);
+    EXPECT_LT(breezy.cpu_temperature().value(), nominal.cpu_temperature().value());
+    const auto choked = settled(cfg, Celsius{0.0}, Watts{40.0}, Watts{120.0}, 0.3);
+    EXPECT_GT(choked.cpu_temperature().value(), nominal.cpu_temperature().value());
+}
+
+TEST(ServerThermal, SffRunsHotterThanTower) {
+    // Vendor B's cramped case is the "known unreliable" series' problem.
+    const auto tower = settled(tower_thermal_config(), Celsius{21.0}, Watts{30.0}, Watts{90.0});
+    const auto sff = settled(sff_thermal_config(), Celsius{21.0}, Watts{30.0}, Watts{90.0});
+    EXPECT_GT(sff.cpu_temperature().value(), tower.cpu_temperature().value() + 3.0);
+    EXPECT_GT(sff.hdd_temperature().value(), tower.hdd_temperature().value() + 2.0);
+}
+
+TEST(ServerThermal, RackMovesMostAir) {
+    const auto rack = settled(rack_2u_thermal_config(), Celsius{21.0}, Watts{60.0},
+                              Watts{250.0});
+    const auto tower = settled(tower_thermal_config(), Celsius{21.0}, Watts{60.0},
+                               Watts{250.0});
+    EXPECT_LT(rack.cpu_temperature().value(), tower.cpu_temperature().value());
+}
+
+TEST(ServerThermal, HddSitsAboveCaseAir) {
+    const auto m = settled(tower_thermal_config(), Celsius{5.0}, Watts{25.0}, Watts{100.0});
+    EXPECT_GT(m.hdd_temperature().value(), m.case_air_temperature().value() + 1.0);
+}
+
+TEST(ServerThermal, SurfaceBetweenIntakeAndCase) {
+    const auto m = settled(tower_thermal_config(), Celsius{-15.0}, Watts{30.0}, Watts{110.0});
+    const double surface = m.case_surface_temperature(Celsius{-15.0}).value();
+    EXPECT_GT(surface, -15.0);
+    EXPECT_LT(surface, m.case_air_temperature().value());
+}
+
+TEST(ServerThermal, RespondsWithLag) {
+    ServerThermalModel m(tower_thermal_config(), Celsius{20.0});
+    // One short step toward much colder intake: CPU moves, but nowhere near
+    // equilibrium yet.
+    m.step(Duration::seconds(30), Celsius{-20.0}, Watts{20.0}, Watts{90.0}, 1.0);
+    EXPECT_GT(m.cpu_temperature().value(), 0.0);
+    EXPECT_LT(m.cpu_temperature().value(), 20.0);
+}
+
+TEST(ServerThermal, Validation) {
+    ServerThermalModel m(tower_thermal_config(), Celsius{0.0});
+    EXPECT_THROW(m.step(Duration::seconds(-1), Celsius{0.0}, Watts{1.0}, Watts{1.0}),
+                 core::InvalidArgument);
+    EXPECT_THROW(m.step(Duration::seconds(1), Celsius{0.0}, Watts{1.0}, Watts{1.0}, 0.0),
+                 core::InvalidArgument);
+}
+
+// Property sweep: at equilibrium the CPU is always the hottest reading and
+// everything is at or above intake, across intakes and loads.
+struct ThermalCase {
+    double intake;
+    double cpu_w;
+    double total_w;
+};
+
+class ThermalOrdering : public ::testing::TestWithParam<ThermalCase> {};
+
+TEST_P(ThermalOrdering, IntakeBelowCaseBelowCpu) {
+    const ThermalCase c = GetParam();
+    const auto m = settled(tower_thermal_config(), Celsius{c.intake}, Watts{c.cpu_w},
+                           Watts{c.total_w});
+    EXPECT_GE(m.case_air_temperature().value(), c.intake - 0.01);
+    EXPECT_GE(m.cpu_temperature().value(), c.intake - 0.01);
+    EXPECT_GE(m.cpu_temperature().value(), m.case_air_temperature().value() - 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ThermalOrdering,
+                         ::testing::Values(ThermalCase{-22.0, 15.0, 80.0},
+                                           ThermalCase{-10.0, 30.0, 110.0},
+                                           ThermalCase{0.0, 65.0, 160.0},
+                                           ThermalCase{21.0, 45.0, 130.0},
+                                           ThermalCase{30.0, 95.0, 300.0}));
+
+}  // namespace
+}  // namespace zerodeg::thermal

@@ -1,0 +1,99 @@
+#include "hardware/smart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace zerodeg::hardware {
+namespace {
+
+using core::Celsius;
+using core::Duration;
+
+TEST(Smart, FreshDriveIsHealthy) {
+    const SmartData s;
+    EXPECT_TRUE(s.overall_health_ok());
+    EXPECT_EQ(s.attribute(SmartId::kPowerOnHours).raw, 0);
+    EXPECT_EQ(s.attribute(SmartId::kReallocatedSectors).raw, 0);
+}
+
+TEST(Smart, AccruesPowerOnHours) {
+    SmartData s;
+    s.accrue(Duration::hours(10), Celsius{30.0});
+    EXPECT_NEAR(s.power_on_hours(), 10.0, 1e-9);
+    EXPECT_EQ(s.attribute(SmartId::kPowerOnHours).raw, 10);
+}
+
+TEST(Smart, TracksTemperatureExtremes) {
+    SmartData s;
+    s.accrue(Duration::minutes(10), Celsius{-4.0});
+    s.accrue(Duration::minutes(10), Celsius{35.0});
+    s.accrue(Duration::minutes(10), Celsius{10.0});
+    EXPECT_DOUBLE_EQ(s.min_temperature_seen().value(), -4.0);
+    EXPECT_DOUBLE_EQ(s.max_temperature_seen().value(), 35.0);
+    EXPECT_EQ(s.attribute(SmartId::kTemperature).raw, 10);
+}
+
+TEST(Smart, AirflowNormalizedValueDropsWhenHot) {
+    SmartData s;
+    s.accrue(Duration::minutes(10), Celsius{45.0});
+    const SmartAttribute& a = s.attribute(SmartId::kAirflowTemperature);
+    EXPECT_EQ(a.value, 55);
+    EXPECT_LE(a.worst, 55);
+}
+
+TEST(Smart, PowerCycleCounts) {
+    SmartData s;
+    for (int i = 0; i < 5; ++i) s.power_cycle();
+    EXPECT_EQ(s.attribute(SmartId::kPowerCycles).raw, 5);
+}
+
+TEST(Smart, ReallocatedSectorsDegradeValue) {
+    SmartData s;
+    s.add_reallocated_sectors(200);
+    const SmartAttribute& a = s.attribute(SmartId::kReallocatedSectors);
+    EXPECT_EQ(a.raw, 200);
+    EXPECT_LT(a.value, 100);
+    EXPECT_FALSE(a.failed_threshold());  // 75 > 36
+    s.add_reallocated_sectors(400);
+    EXPECT_TRUE(s.attribute(SmartId::kReallocatedSectors).failed_threshold());
+    EXPECT_FALSE(s.overall_health_ok());
+}
+
+TEST(Smart, NegativeCountsThrow) {
+    SmartData s;
+    EXPECT_THROW(s.add_reallocated_sectors(-1), core::InvalidArgument);
+    EXPECT_THROW(s.add_pending_sectors(-1), core::InvalidArgument);
+}
+
+TEST(Smart, LongTestResolvesPendingSectors) {
+    SmartData s;
+    s.add_pending_sectors(10);
+    EXPECT_EQ(s.attribute(SmartId::kPendingSectors).raw, 10);
+    const SelfTestResult r = s.run_long_test();
+    EXPECT_EQ(r, SelfTestResult::kPassed);
+    EXPECT_EQ(s.attribute(SmartId::kPendingSectors).raw, 0);
+    EXPECT_EQ(s.attribute(SmartId::kReallocatedSectors).raw, 5);  // half reallocated
+}
+
+TEST(Smart, CleanDrivePassesLongTest) {
+    // Section 4.2.2: "the hard drives have passed their S.M.A.R.T. long
+    // test runs" — which exonerated them.
+    SmartData s;
+    s.accrue(Duration::days(30), Celsius{5.0});
+    EXPECT_EQ(s.run_long_test(), SelfTestResult::kPassed);
+}
+
+TEST(Smart, UnknownAttributeThrows) {
+    const SmartData s;
+    EXPECT_THROW((void)s.attribute(static_cast<SmartId>(99)), core::InvalidArgument);
+}
+
+TEST(Smart, AttributeNames) {
+    EXPECT_STREQ(to_string(SmartId::kReallocatedSectors), "Reallocated_Sector_Ct");
+    EXPECT_STREQ(to_string(SmartId::kTemperature), "Temperature_Celsius");
+    EXPECT_STREQ(to_string(SelfTestResult::kPassed), "Completed without error");
+}
+
+}  // namespace
+}  // namespace zerodeg::hardware

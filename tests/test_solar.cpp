@@ -1,0 +1,128 @@
+#include "weather/solar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace zerodeg::weather {
+namespace {
+
+using core::TimePoint;
+
+const Location kHelsinki{};
+
+TEST(Solar, DeclinationRange) {
+    for (int day = 1; day <= 365; ++day) {
+        const double d = solar_declination_rad(day);
+        EXPECT_LE(std::abs(d), 23.45 * M_PI / 180.0 + 1e-9);
+    }
+}
+
+TEST(Solar, DeclinationSolstices) {
+    // Summer solstice (~day 172): max positive; winter (~day 355): max negative.
+    EXPECT_NEAR(solar_declination_rad(172), 23.45 * M_PI / 180.0, 0.01);
+    EXPECT_NEAR(solar_declination_rad(355), -23.45 * M_PI / 180.0, 0.01);
+    // Equinox (~day 81): near zero.
+    EXPECT_NEAR(solar_declination_rad(81), 0.0, 0.02);
+}
+
+TEST(Solar, NightHasNoSun) {
+    // Helsinki, midnight in February.
+    const TimePoint midnight = TimePoint::from_civil({2010, 2, 20, 0, 0, 0});
+    EXPECT_LT(solar_elevation_rad(midnight, kHelsinki), 0.0);
+    EXPECT_DOUBLE_EQ(clear_sky_irradiance(midnight, kHelsinki).value(), 0.0);
+}
+
+TEST(Solar, NoonHasSunEvenInFebruary) {
+    const TimePoint noon = TimePoint::from_civil({2010, 2, 20, 12, 30, 0});
+    EXPECT_GT(solar_elevation_rad(noon, kHelsinki), 0.0);
+    EXPECT_GT(clear_sky_irradiance(noon, kHelsinki).value(), 50.0);
+}
+
+TEST(Solar, NoonIsDailyPeak) {
+    double best = -1.0;
+    int best_hour = -1;
+    for (int h = 0; h < 24; ++h) {
+        const TimePoint t = TimePoint::from_civil({2010, 3, 15, h, 0, 0});
+        const double ghi = clear_sky_irradiance(t, kHelsinki).value();
+        if (ghi > best) {
+            best = ghi;
+            best_hour = h;
+        }
+    }
+    EXPECT_GE(best_hour, 11);
+    EXPECT_LE(best_hour, 13);
+}
+
+TEST(Solar, SpringStrongerThanWinter) {
+    const TimePoint feb = TimePoint::from_civil({2010, 2, 20, 12, 0, 0});
+    const TimePoint may = TimePoint::from_civil({2010, 5, 20, 12, 0, 0});
+    EXPECT_GT(clear_sky_irradiance(may, kHelsinki).value(),
+              2.0 * clear_sky_irradiance(feb, kHelsinki).value());
+}
+
+TEST(Solar, IrradianceBounded) {
+    for (int day = 1; day <= 365; day += 7) {
+        for (int h = 0; h < 24; h += 2) {
+            const TimePoint t = TimePoint::from_date(2010, 1, 1) +
+                                core::Duration::days(day - 1) + core::Duration::hours(h);
+            const double ghi = clear_sky_irradiance(t, kHelsinki).value();
+            EXPECT_GE(ghi, 0.0);
+            EXPECT_LE(ghi, 1100.0);
+        }
+    }
+}
+
+TEST(Solar, CloudAttenuationMonotone) {
+    const TimePoint noon = TimePoint::from_civil({2010, 4, 1, 12, 0, 0});
+    double prev = cloudy_irradiance(noon, kHelsinki, 0.0).value();
+    for (double c = 0.1; c <= 1.0; c += 0.1) {
+        const double ghi = cloudy_irradiance(noon, kHelsinki, c).value();
+        EXPECT_LE(ghi, prev + 1e-9);
+        prev = ghi;
+    }
+    // Fully overcast keeps ~25% of clear-sky.
+    EXPECT_NEAR(cloudy_irradiance(noon, kHelsinki, 1.0).value() /
+                    clear_sky_irradiance(noon, kHelsinki).value(),
+                0.25, 0.01);
+}
+
+TEST(Solar, CloudFractionClamped) {
+    const TimePoint noon = TimePoint::from_civil({2010, 4, 1, 12, 0, 0});
+    EXPECT_DOUBLE_EQ(cloudy_irradiance(noon, kHelsinki, -0.5).value(),
+                     cloudy_irradiance(noon, kHelsinki, 0.0).value());
+    EXPECT_DOUBLE_EQ(cloudy_irradiance(noon, kHelsinki, 1.5).value(),
+                     cloudy_irradiance(noon, kHelsinki, 1.0).value());
+}
+
+TEST(Solar, DaylightHoursHelsinki) {
+    // Helsinki: ~9-10 h in late February, ~6 h around winter solstice,
+    // ~18-19 h in midsummer.
+    const double feb = daylight_hours(51, kHelsinki);
+    EXPECT_NEAR(feb, 9.7, 1.0);
+    const double winter = daylight_hours(355, kHelsinki);
+    EXPECT_NEAR(winter, 5.8, 1.0);
+    const double summer = daylight_hours(172, kHelsinki);
+    EXPECT_NEAR(summer, 18.8, 1.2);
+}
+
+TEST(Solar, PolarCases) {
+    const Location north_pole{89.9, 0.0, 0.0};
+    EXPECT_DOUBLE_EQ(daylight_hours(172, north_pole), 24.0);  // midnight sun
+    EXPECT_DOUBLE_EQ(daylight_hours(355, north_pole), 0.0);   // polar night
+}
+
+// Property: daylight length increases monotonically from winter solstice to
+// summer solstice at this latitude.
+class DaylightMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(DaylightMonotone, GrowsTowardSummer) {
+    const int day = GetParam();
+    EXPECT_LT(daylight_hours(day, kHelsinki), daylight_hours(day + 10, kHelsinki));
+}
+
+INSTANTIATE_TEST_SUITE_P(WinterToSummer, DaylightMonotone,
+                         ::testing::Values(10, 40, 70, 100, 130, 160));
+
+}  // namespace
+}  // namespace zerodeg::weather

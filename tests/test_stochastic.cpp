@@ -1,0 +1,106 @@
+#include "weather/stochastic.hpp"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+
+namespace zerodeg::weather {
+namespace {
+
+using core::Duration;
+using core::RngStream;
+using core::RunningStats;
+
+TEST(Ou, StationaryMoments) {
+    OrnsteinUhlenbeck ou(5.0, 2.0, Duration::hours(1), RngStream(1, "ou"));
+    RunningStats s;
+    // Skip a burn-in, then sample well-separated points.
+    for (int i = 0; i < 200; ++i) (void)ou.step(Duration::minutes(10));
+    for (int i = 0; i < 20000; ++i) s.add(ou.step(Duration::minutes(30)));
+    EXPECT_NEAR(s.mean(), 5.0, 0.15);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Ou, StepSizeInvariantDistribution) {
+    // The exact discretization: stationary stddev must not depend on dt.
+    const auto run = [](Duration dt, int steps) {
+        OrnsteinUhlenbeck ou(0.0, 1.0, Duration::hours(2), RngStream(3, "ou"));
+        RunningStats s;
+        for (int i = 0; i < steps; ++i) s.add(ou.step(dt));
+        return s.stddev();
+    };
+    const double fine = run(Duration::minutes(5), 40000);
+    const double coarse = run(Duration::hours(6), 40000);
+    EXPECT_NEAR(fine, 1.0, 0.08);
+    EXPECT_NEAR(coarse, 1.0, 0.08);
+}
+
+TEST(Ou, MeanReversion) {
+    OrnsteinUhlenbeck ou(0.0, 1.0, Duration::hours(1), RngStream(5, "ou"));
+    ou.set_value(100.0);
+    // After many time constants the excursion must be gone.
+    double v = 100.0;
+    for (int i = 0; i < 100; ++i) v = ou.step(Duration::hours(1));
+    EXPECT_LT(std::abs(v), 6.0);
+}
+
+TEST(Ou, ZeroSigmaIsDeterministicDecay) {
+    OrnsteinUhlenbeck ou(0.0, 0.0, Duration::hours(1), RngStream(7, "ou"));
+    ou.set_value(8.0);
+    const double v = ou.step(Duration::hours(1));
+    EXPECT_NEAR(v, 8.0 * std::exp(-1.0), 1e-9);
+}
+
+TEST(Ou, SetMeanShiftsProcess) {
+    OrnsteinUhlenbeck ou(0.0, 0.0, Duration::hours(1), RngStream(7, "ou"));
+    ou.set_value(0.0);
+    ou.set_mean(10.0);
+    for (int i = 0; i < 50; ++i) (void)ou.step(Duration::hours(1));
+    EXPECT_NEAR(ou.value(), 10.0, 1e-6);
+}
+
+TEST(Ou, InvalidParamsThrow) {
+    EXPECT_THROW(OrnsteinUhlenbeck(0.0, 1.0, Duration::seconds(0), RngStream(1, "x")),
+                 core::InvalidArgument);
+    EXPECT_THROW(OrnsteinUhlenbeck(0.0, -1.0, Duration::hours(1), RngStream(1, "x")),
+                 core::InvalidArgument);
+}
+
+TEST(ClampedOuTest, StaysInBounds) {
+    ClampedOu wind(4.0, 3.0, Duration::hours(3), 0.0, 30.0, RngStream(11, "wind"));
+    for (int i = 0; i < 20000; ++i) {
+        const double v = wind.step(Duration::minutes(10));
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 30.0);
+    }
+}
+
+TEST(ClampedOuTest, CloudFractionBounds) {
+    ClampedOu cloud(0.65, 0.35, Duration::hours(9), 0.0, 1.0, RngStream(13, "cloud"));
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i) s.add(cloud.step(Duration::minutes(10)));
+    EXPECT_GE(s.min(), 0.0);
+    EXPECT_LE(s.max(), 1.0);
+    EXPECT_NEAR(s.mean(), 0.65, 0.12);  // clamping shifts it a little
+}
+
+TEST(ClampedOuTest, BadBoundsThrow) {
+    EXPECT_THROW(ClampedOu(0.0, 1.0, Duration::hours(1), 1.0, 0.0, RngStream(1, "x")),
+                 core::InvalidArgument);
+}
+
+TEST(ClampedOuTest, InitialValueClamped) {
+    // Stationary init could land outside; constructor clamps.
+    for (int seed = 0; seed < 50; ++seed) {
+        ClampedOu c(0.5, 5.0, Duration::hours(1), 0.0, 1.0,
+                    RngStream(static_cast<std::uint64_t>(seed), "c"));
+        EXPECT_GE(c.value(), 0.0);
+        EXPECT_LE(c.value(), 1.0);
+    }
+}
+
+}  // namespace
+}  // namespace zerodeg::weather

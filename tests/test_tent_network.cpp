@@ -1,0 +1,122 @@
+#include "thermal/tent_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace zerodeg::thermal {
+namespace {
+
+using core::Celsius;
+using core::Duration;
+using core::MetersPerSecond;
+using core::RelHumidity;
+using core::Watts;
+using core::WattsPerSquareMeter;
+
+weather::WeatherSample conditions(double temp_c, double wind = 0.0, double sun = 0.0) {
+    weather::WeatherSample s;
+    s.temperature = Celsius{temp_c};
+    s.humidity = RelHumidity{80.0};
+    s.wind = MetersPerSecond{wind};
+    s.irradiance = WattsPerSquareMeter{sun};
+    return s;
+}
+
+template <typename Tent>
+Tent settle(Tent tent, const weather::WeatherSample& outside, Watts power) {
+    tent.set_equipment_power(power);
+    for (int i = 0; i < 12 * 48; ++i) tent.step(Duration::minutes(10), outside);
+    return tent;
+}
+
+TEST(TentNetwork, EquilibriumMatchesLumpedModel) {
+    // By construction the series conductances reduce to the lumped envelope
+    // conductance, so the two models agree at steady state.
+    const auto outside = conditions(-15.0);
+    const Watts p{800.0};
+    const TentModel lumped =
+        settle(TentModel(TentConfig{}, Celsius{-15.0}), outside, p);
+    const TentNetworkModel net =
+        settle(TentNetworkModel(TentConfig{}, Celsius{-15.0}), outside, p);
+    EXPECT_NEAR(net.air().temperature.value(), lumped.air().temperature.value(), 1.0);
+}
+
+TEST(TentNetwork, EquilibriumMatchesAcrossModifications) {
+    const auto outside = conditions(-10.0, 3.0);
+    const Watts p{850.0};
+    for (const TentMod mod : {TentMod::kInnerTentRemoved, TentMod::kBottomOpened,
+                              TentMod::kFanInstalled}) {
+        TentModel lumped(TentConfig{}, Celsius{-10.0});
+        lumped.apply_modification(mod);
+        TentNetworkModel net(TentConfig{}, Celsius{-10.0});
+        net.apply_modification(mod);
+        const double a = settle(std::move(lumped), outside, p).air().temperature.value();
+        const double b = settle(std::move(net), outside, p).air().temperature.value();
+        EXPECT_NEAR(a, b, 1.2) << to_string(mod);
+    }
+}
+
+TEST(TentNetwork, FabricHotterThanAirInSunshine) {
+    // The effect the lumped model cannot show: with the machines off, the
+    // sun loads the *fabric*, which then runs hotter than the inside air.
+    // (With equipment running, its heat must exit through the fabric, which
+    // forces air > fabric — also resolved only by the network model.)
+    const auto sunny = conditions(-5.0, 1.0, 500.0);
+    const TentNetworkModel idle =
+        settle(TentNetworkModel(TentConfig{}, Celsius{-5.0}), sunny, Watts{0.0});
+    EXPECT_GT(idle.fabric_temperature().value(), idle.air().temperature.value());
+
+    const TentNetworkModel loaded =
+        settle(TentNetworkModel(TentConfig{}, Celsius{-5.0}), sunny, Watts{600.0});
+    EXPECT_GT(loaded.air().temperature.value(), loaded.fabric_temperature().value());
+}
+
+TEST(TentNetwork, FoilProtectsAirViaFabric) {
+    const auto sunny = conditions(-5.0, 1.0, 500.0);
+    TentNetworkModel bare(TentConfig{}, Celsius{-5.0});
+    TentNetworkModel foiled(TentConfig{}, Celsius{-5.0});
+    foiled.apply_modification(TentMod::kReflectiveFoil);
+    const double bare_air =
+        settle(std::move(bare), sunny, Watts{300.0}).air().temperature.value();
+    const double foiled_air =
+        settle(std::move(foiled), sunny, Watts{300.0}).air().temperature.value();
+    EXPECT_LT(foiled_air, bare_air - 2.0);
+}
+
+TEST(TentNetwork, MassBuffersFastFronts) {
+    // After a sudden deep front, the equipment mass is still warmer than
+    // the air: the buffering the three-node model resolves.
+    TentNetworkModel tent(TentConfig{}, Celsius{0.0});
+    tent.set_equipment_power(Watts{600.0});
+    const auto mild = conditions(0.0);
+    for (int i = 0; i < 12 * 24; ++i) tent.step(Duration::minutes(10), mild);
+    const auto front = conditions(-20.0, 8.0);
+    tent.step(Duration::minutes(30), front);
+    EXPECT_GT(tent.equipment_mass_temperature().value(), tent.air().temperature.value() + 0.5);
+}
+
+TEST(TentNetwork, HumidityBehavesLikeLumpedModel) {
+    const auto outside = conditions(-10.0);
+    const TentNetworkModel tent =
+        settle(TentNetworkModel(TentConfig{}, Celsius{-10.0}), outside, Watts{700.0});
+    const EnclosureAir air = tent.air();
+    EXPECT_LT(air.humidity.value(), 80.0);  // warmer inside -> lower RH
+    EXPECT_GT(air.humidity.value(), 1.0);
+    EXPECT_LT(air.dew_point.value(), air.temperature.value());
+}
+
+TEST(TentNetwork, NegativeDtThrows) {
+    TentNetworkModel tent;
+    EXPECT_THROW(tent.step(Duration::seconds(-1), conditions(0.0)), core::InvalidArgument);
+}
+
+TEST(TentNetwork, ModificationFlags) {
+    TentNetworkModel tent;
+    EXPECT_FALSE(tent.has_modification(TentMod::kFanInstalled));
+    tent.apply_modification(TentMod::kFanInstalled);
+    EXPECT_TRUE(tent.has_modification(TentMod::kFanInstalled));
+}
+
+}  // namespace
+}  // namespace zerodeg::thermal

@@ -1,0 +1,138 @@
+#include "core/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace zerodeg::core {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint{s}; }
+
+TimeSeries make(std::initializer_list<std::pair<std::int64_t, double>> pts) {
+    TimeSeries s("test");
+    for (const auto& [t, v] : pts) s.append(at(t), v);
+    return s;
+}
+
+TEST(TimeSeries, AppendAndAccess) {
+    TimeSeries s = make({{0, 1.0}, {10, 2.0}});
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.front().value, 1.0);
+    EXPECT_EQ(s.back().value, 2.0);
+    EXPECT_EQ(s[1].time, at(10));
+}
+
+TEST(TimeSeries, RejectsOutOfOrder) {
+    TimeSeries s = make({{10, 1.0}});
+    EXPECT_THROW(s.append(at(5), 2.0), InvalidArgument);
+    EXPECT_NO_THROW(s.append(at(10), 3.0));  // equal timestamps allowed
+}
+
+TEST(TimeSeries, InterpolateExactAndBetween) {
+    TimeSeries s = make({{0, 0.0}, {10, 10.0}});
+    EXPECT_DOUBLE_EQ(*s.interpolate(at(0)), 0.0);
+    EXPECT_DOUBLE_EQ(*s.interpolate(at(10)), 10.0);
+    EXPECT_DOUBLE_EQ(*s.interpolate(at(5)), 5.0);
+    EXPECT_DOUBLE_EQ(*s.interpolate(at(7)), 7.0);
+}
+
+TEST(TimeSeries, InterpolateOutsideIsNull) {
+    TimeSeries s = make({{10, 1.0}, {20, 2.0}});
+    EXPECT_FALSE(s.interpolate(at(9)).has_value());
+    EXPECT_FALSE(s.interpolate(at(21)).has_value());
+    EXPECT_FALSE(TimeSeries{}.interpolate(at(0)).has_value());
+}
+
+TEST(TimeSeries, ValueAtOrBefore) {
+    TimeSeries s = make({{0, 1.0}, {10, 2.0}, {20, 3.0}});
+    EXPECT_FALSE(s.value_at_or_before(at(-1)).has_value());
+    EXPECT_DOUBLE_EQ(*s.value_at_or_before(at(0)), 1.0);
+    EXPECT_DOUBLE_EQ(*s.value_at_or_before(at(15)), 2.0);
+    EXPECT_DOUBLE_EQ(*s.value_at_or_before(at(100)), 3.0);
+}
+
+TEST(TimeSeries, Stats) {
+    TimeSeries s = make({{0, -10.2}, {10, -9.0}, {20, -8.4}});
+    const SeriesStats st = s.stats();
+    EXPECT_EQ(st.count, 3u);
+    EXPECT_DOUBLE_EQ(st.min, -10.2);
+    EXPECT_DOUBLE_EQ(st.max, -8.4);
+    EXPECT_NEAR(st.mean, -9.2, 1e-9);
+}
+
+TEST(TimeSeries, StatsBetween) {
+    TimeSeries s = make({{0, 1.0}, {10, 100.0}, {20, 3.0}});
+    const SeriesStats st = s.stats_between(at(5), at(15));
+    EXPECT_EQ(st.count, 1u);
+    EXPECT_DOUBLE_EQ(st.mean, 100.0);
+}
+
+TEST(TimeSeries, EmptyStats) {
+    const SeriesStats st = TimeSeries{}.stats();
+    EXPECT_EQ(st.count, 0u);
+}
+
+TEST(TimeSeries, Resample) {
+    TimeSeries s = make({{0, 0.0}, {100, 100.0}});
+    const TimeSeries r = s.resample(at(0), at(100), Duration::seconds(25));
+    ASSERT_EQ(r.size(), 5u);
+    EXPECT_DOUBLE_EQ(r[1].value, 25.0);
+    EXPECT_DOUBLE_EQ(r[4].value, 100.0);
+}
+
+TEST(TimeSeries, ResampleSkipsUncovered) {
+    TimeSeries s = make({{50, 1.0}, {60, 2.0}});
+    const TimeSeries r = s.resample(at(0), at(100), Duration::seconds(10));
+    EXPECT_EQ(r.size(), 2u);  // only t=50 and t=60 are inside coverage
+}
+
+TEST(TimeSeries, ResampleBadStepThrows) {
+    TimeSeries s = make({{0, 0.0}, {10, 1.0}});
+    EXPECT_THROW(s.resample(at(0), at(10), Duration::seconds(0)), InvalidArgument);
+}
+
+TEST(TimeSeries, Slice) {
+    TimeSeries s = make({{0, 1.0}, {10, 2.0}, {20, 3.0}, {30, 4.0}});
+    const TimeSeries sl = s.slice(at(10), at(20));
+    ASSERT_EQ(sl.size(), 2u);
+    EXPECT_DOUBLE_EQ(sl[0].value, 2.0);
+    EXPECT_DOUBLE_EQ(sl[1].value, 3.0);
+}
+
+TEST(TimeSeries, RemoveIf) {
+    TimeSeries s = make({{0, 1.0}, {10, 99.0}, {20, 2.0}, {30, 98.0}});
+    const std::size_t removed = s.remove_if([](const Sample& x) { return x.value > 50.0; });
+    EXPECT_EQ(removed, 2u);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s[1].value, 2.0);
+}
+
+TEST(TimeSeries, Transform) {
+    TimeSeries s = make({{0, 1.0}, {10, 2.0}});
+    s.transform([](double v) { return v * 10.0; });
+    EXPECT_DOUBLE_EQ(s[0].value, 10.0);
+    EXPECT_DOUBLE_EQ(s[1].value, 20.0);
+}
+
+TEST(TimeSeries, DailyAggregates) {
+    TimeSeries s("t");
+    // Day 0: values 1, 3; day 1: values 10, 20.
+    s.append(at(100), 1.0);
+    s.append(at(200), 3.0);
+    s.append(at(86400 + 100), 10.0);
+    s.append(at(86400 + 200), 20.0);
+
+    const TimeSeries mins = s.daily(TimeSeries::DailyReduce::kMin);
+    const TimeSeries maxs = s.daily(TimeSeries::DailyReduce::kMax);
+    const TimeSeries means = s.daily(TimeSeries::DailyReduce::kMean);
+    ASSERT_EQ(mins.size(), 2u);
+    EXPECT_DOUBLE_EQ(mins[0].value, 1.0);
+    EXPECT_DOUBLE_EQ(maxs[0].value, 3.0);
+    EXPECT_DOUBLE_EQ(means[1].value, 15.0);
+    EXPECT_EQ(mins[0].time, at(0));
+    EXPECT_EQ(mins[1].time, at(86400));
+}
+
+}  // namespace
+}  // namespace zerodeg::core

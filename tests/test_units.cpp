@@ -1,0 +1,111 @@
+#include "core/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zerodeg::core {
+namespace {
+
+using namespace zerodeg::core::literals;
+
+TEST(Units, CelsiusKelvinRoundTrip) {
+    const Celsius c{-22.0};
+    EXPECT_DOUBLE_EQ(c.to_kelvin().value(), 251.15);
+    EXPECT_DOUBLE_EQ(c.to_kelvin().to_celsius().value(), -22.0);
+}
+
+TEST(Units, AbsoluteZero) {
+    EXPECT_DOUBLE_EQ(Kelvin{0.0}.to_celsius().value(), -273.15);
+}
+
+TEST(Units, Arithmetic) {
+    const Celsius a{10.0};
+    const Celsius b{-4.0};
+    EXPECT_DOUBLE_EQ((a + b).value(), 6.0);
+    EXPECT_DOUBLE_EQ((a - b).value(), 14.0);
+    EXPECT_DOUBLE_EQ((-b).value(), 4.0);
+    EXPECT_DOUBLE_EQ((a * 2.0).value(), 20.0);
+    EXPECT_DOUBLE_EQ((2.0 * a).value(), 20.0);
+    EXPECT_DOUBLE_EQ((a / 2.0).value(), 5.0);
+    EXPECT_DOUBLE_EQ(a / b, -2.5);
+}
+
+TEST(Units, CompoundAssignment) {
+    Celsius t{1.0};
+    t += Celsius{2.0};
+    EXPECT_DOUBLE_EQ(t.value(), 3.0);
+    t -= Celsius{0.5};
+    EXPECT_DOUBLE_EQ(t.value(), 2.5);
+    t *= 4.0;
+    EXPECT_DOUBLE_EQ(t.value(), 10.0);
+}
+
+TEST(Units, Ordering) {
+    EXPECT_LT(Celsius{-22.0}, Celsius{-4.0});
+    EXPECT_GT(Watts{100.0}, Watts{99.0});
+    EXPECT_EQ(Celsius{0.0}, Celsius{0.0});
+}
+
+TEST(Units, DefaultIsZero) {
+    EXPECT_DOUBLE_EQ(Celsius{}.value(), 0.0);
+    EXPECT_DOUBLE_EQ(Watts{}.value(), 0.0);
+}
+
+TEST(Units, RelHumidityFraction) {
+    EXPECT_DOUBLE_EQ(RelHumidity{85.0}.fraction(), 0.85);
+    EXPECT_DOUBLE_EQ(RelHumidity::from_fraction(0.5).value(), 50.0);
+}
+
+TEST(Units, RelHumidityClamp) {
+    EXPECT_DOUBLE_EQ(RelHumidity{120.0}.clamped().value(), 100.0);
+    EXPECT_DOUBLE_EQ(RelHumidity{-5.0}.clamped().value(), 0.0);
+    EXPECT_DOUBLE_EQ(RelHumidity{55.0}.clamped().value(), 55.0);
+}
+
+TEST(Units, WattsKilowatts) {
+    EXPECT_DOUBLE_EQ(Watts::from_kilowatts(75.0).value(), 75000.0);
+    EXPECT_DOUBLE_EQ(Watts{6900.0}.kilowatts(), 6.9);
+}
+
+TEST(Units, JoulesKwh) {
+    EXPECT_DOUBLE_EQ(Joules::from_kilowatt_hours(1.0).value(), 3.6e6);
+    EXPECT_DOUBLE_EQ(Joules{3.6e6}.kilowatt_hours(), 1.0);
+}
+
+TEST(Units, EnergyFromPower) {
+    // 100 W for an hour is 0.1 kWh.
+    EXPECT_DOUBLE_EQ(energy(Watts{100.0}, 3600.0).kilowatt_hours(), 0.1);
+}
+
+TEST(Units, ConductanceTimesDelta) {
+    const Watts q = WattsPerKelvin{26.0} * Celsius{10.0};
+    EXPECT_DOUBLE_EQ(q.value(), 260.0);
+}
+
+TEST(Units, IrradianceOverArea) {
+    EXPECT_DOUBLE_EQ(WattsPerSquareMeter{500.0}.over_area(1.35).value(), 675.0);
+}
+
+TEST(Units, PascalsHectopascals) {
+    EXPECT_DOUBLE_EQ(Pascals::from_hectopascals(6.112).value(), 611.2);
+    EXPECT_DOUBLE_EQ(Pascals{611.2}.hectopascals(), 6.112);
+}
+
+TEST(Units, Literals) {
+    EXPECT_DOUBLE_EQ((-22.0_degC).value(), -22.0);
+    EXPECT_DOUBLE_EQ((80_rh).value(), 80.0);
+    EXPECT_DOUBLE_EQ((75_kW).value(), 75000.0);
+    EXPECT_DOUBLE_EQ((4.5_mps).value(), 4.5);
+    EXPECT_DOUBLE_EQ((273.15_K).to_celsius().value(), 0.0);
+}
+
+TEST(Units, ToStringFormats) {
+    EXPECT_EQ(to_string(Celsius{-22.0}), "-22.00 degC");
+    EXPECT_EQ(to_string(RelHumidity{85.5}), "85.50% RH");
+    EXPECT_EQ(to_string(Watts{500.0}), "500.00 W");
+    EXPECT_EQ(to_string(Watts{75000.0}), "75.00 kW");
+    EXPECT_EQ(to_string(Joules{7.2e6}), "2.00 kWh");
+    EXPECT_EQ(to_string(Joules{100.0}), "100.00 J");
+}
+
+}  // namespace
+}  // namespace zerodeg::core

@@ -1,0 +1,177 @@
+#include "weather/weather_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+#include "weather/trace_io.hpp"
+
+namespace zerodeg::weather {
+namespace {
+
+using core::Duration;
+using core::RunningStats;
+using core::TimePoint;
+
+TEST(WeatherModel, BaselineInterpolatesAnchors) {
+    const WeatherConfig cfg = helsinki_2010_config();
+    WeatherModel model(cfg, 1);
+    // Exactly at an anchor.
+    EXPECT_NEAR(model.baseline(TimePoint::from_date(2010, 2, 13)).value(), -9.2, 1e-9);
+    // Between anchors: bounded by the neighbors.
+    const double v = model.baseline(TimePoint::from_date(2010, 4, 17)).value();
+    EXPECT_GT(v, 3.0);
+    EXPECT_LT(v, 7.0);
+    // Outside the range: clamped to the edge anchors.
+    EXPECT_NEAR(model.baseline(TimePoint::from_date(2009, 12, 1)).value(), -11.0, 1e-9);
+    EXPECT_NEAR(model.baseline(TimePoint::from_date(2010, 7, 1)).value(), 14.0, 1e-9);
+}
+
+TEST(WeatherModel, ColdSnapDeepensDeterministicTemperature) {
+    WeatherModel model(helsinki_2010_config(), 1);
+    // Middle of the scripted Feb 21-23 snap vs. the day before it.
+    const double before =
+        model.deterministic_temperature(TimePoint::from_civil({2010, 2, 20, 14, 0, 0})).value();
+    const double during =
+        model.deterministic_temperature(TimePoint::from_civil({2010, 2, 22, 14, 0, 0})).value();
+    EXPECT_LT(during, before - 5.0);
+}
+
+TEST(WeatherModel, DiurnalCycleColdAtNight) {
+    WeatherModel model(helsinki_2010_config(), 1);
+    const double night =
+        model.deterministic_temperature(TimePoint::from_civil({2010, 3, 10, 4, 0, 0})).value();
+    const double afternoon =
+        model.deterministic_temperature(TimePoint::from_civil({2010, 3, 10, 15, 0, 0})).value();
+    EXPECT_LT(night, afternoon);
+}
+
+TEST(WeatherModel, Deterministic) {
+    WeatherModel a(helsinki_2010_config(), 99);
+    WeatherModel b(helsinki_2010_config(), 99);
+    for (int i = 0; i < 200; ++i) {
+        const TimePoint t = TimePoint::from_date(2010, 2, 19) + Duration::minutes(10 * i);
+        const WeatherSample sa = a.advance_to(t);
+        const WeatherSample sb = b.advance_to(t);
+        EXPECT_DOUBLE_EQ(sa.temperature.value(), sb.temperature.value());
+        EXPECT_DOUBLE_EQ(sa.humidity.value(), sb.humidity.value());
+        EXPECT_DOUBLE_EQ(sa.wind.value(), sb.wind.value());
+    }
+}
+
+TEST(WeatherModel, TimeBackwardsThrows) {
+    WeatherModel model(helsinki_2010_config(), 1);
+    (void)model.advance_to(TimePoint::from_date(2010, 3, 1));
+    EXPECT_THROW((void)model.advance_to(TimePoint::from_date(2010, 2, 1)),
+                 core::InvalidArgument);
+}
+
+TEST(WeatherModel, SeasonStatistics) {
+    WeatherModel model(helsinki_2010_config(), 7);
+    RunningStats feb, may;
+    for (TimePoint t = TimePoint::from_date(2010, 2, 19); t < TimePoint::from_date(2010, 3, 1);
+         t += Duration::minutes(30)) {
+        feb.add(model.advance_to(t).temperature.value());
+    }
+    for (TimePoint t = TimePoint::from_date(2010, 5, 1); t < TimePoint::from_date(2010, 5, 10);
+         t += Duration::minutes(30)) {
+        may.add(model.advance_to(t).temperature.value());
+    }
+    // February is deep winter; May is spring (the paper's "conditions are
+    // likely to shift rapidly").
+    EXPECT_LT(feb.mean(), -6.0);
+    EXPECT_GT(may.mean(), 5.0);
+    // The experiment's headline: outside air somewhere near -22 degC.
+    EXPECT_LT(feb.min(), -17.0);
+    EXPECT_GT(feb.min(), -30.0);
+}
+
+TEST(WeatherModel, HumidityBounds) {
+    WeatherModel model(helsinki_2010_config(), 3);
+    for (TimePoint t = TimePoint::from_date(2010, 2, 19); t < TimePoint::from_date(2010, 3, 5);
+         t += Duration::minutes(30)) {
+        const WeatherSample s = model.advance_to(t);
+        EXPECT_GE(s.humidity.value(), 0.0);
+        EXPECT_LE(s.humidity.value(), 100.0);
+        EXPECT_LE(s.dew_point.value(), s.temperature.value() + 0.01);
+        EXPECT_GE(s.wind.value(), 0.0);
+        EXPECT_GE(s.irradiance.value(), 0.0);
+    }
+}
+
+TEST(WeatherModel, SnowOnlyWhenCold) {
+    WeatherModel model(helsinki_2010_config(), 5);
+    for (TimePoint t = TimePoint::from_date(2010, 2, 19); t < TimePoint::from_date(2010, 5, 20);
+         t += Duration::hours(1)) {
+        const WeatherSample s = model.advance_to(t);
+        if (s.snowing) {
+            EXPECT_LT(s.temperature.value(), 0.5);
+            EXPECT_GT(s.precip_mm_per_h, 0.0);
+        }
+    }
+}
+
+TEST(WeatherModel, NeedsTwoAnchors) {
+    WeatherConfig cfg = helsinki_2010_config();
+    cfg.anchors.resize(1);
+    EXPECT_THROW(WeatherModel(cfg, 1), core::InvalidArgument);
+}
+
+TEST(WeatherModel, AnchorsMustBeOrdered) {
+    WeatherConfig cfg = helsinki_2010_config();
+    std::swap(cfg.anchors[0], cfg.anchors[1]);
+    EXPECT_THROW(WeatherModel(cfg, 1), core::InvalidArgument);
+}
+
+TEST(TraceIo, GenerateAndRoundTrip) {
+    WeatherModel model(helsinki_2010_config(), 17);
+    const auto trace = generate_trace(model, TimePoint::from_date(2010, 2, 19),
+                                      TimePoint::from_date(2010, 2, 21), Duration::hours(1));
+    ASSERT_EQ(trace.size(), 49u);
+
+    std::stringstream ss;
+    write_trace(ss, trace);
+    const auto back = read_trace(ss);
+    ASSERT_EQ(back.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(back[i].time, trace[i].time);
+        EXPECT_NEAR(back[i].temperature.value(), trace[i].temperature.value(), 0.01);
+        EXPECT_NEAR(back[i].humidity.value(), trace[i].humidity.value(), 0.1);
+    }
+}
+
+TEST(TraceIo, RejectsGarbage) {
+    std::stringstream empty;
+    EXPECT_THROW((void)read_trace(empty), core::CorruptData);
+    std::stringstream bad_header("nope,x\n");
+    EXPECT_THROW((void)read_trace(bad_header), core::CorruptData);
+    std::stringstream no_rows("time,temp_degC,rh_pct,wind_mps,ghi_wm2,cloud,precip_mm_h\n");
+    EXPECT_THROW((void)read_trace(no_rows), core::CorruptData);
+}
+
+TEST(TraceIo, PlayerInterpolates) {
+    WeatherModel model(helsinki_2010_config(), 17);
+    const auto trace = generate_trace(model, TimePoint::from_date(2010, 3, 1),
+                                      TimePoint::from_date(2010, 3, 2), Duration::hours(1));
+    const TracePlayer player(trace);
+    const TimePoint mid = TimePoint::from_civil({2010, 3, 1, 5, 30, 0});
+    const WeatherSample s = player.at(mid);
+    const double lo = std::min(trace[5].temperature.value(), trace[6].temperature.value());
+    const double hi = std::max(trace[5].temperature.value(), trace[6].temperature.value());
+    EXPECT_GE(s.temperature.value(), lo - 1e-9);
+    EXPECT_LE(s.temperature.value(), hi + 1e-9);
+    // Clamps outside the trace.
+    EXPECT_DOUBLE_EQ(player.at(TimePoint::from_date(2009, 1, 1)).temperature.value(),
+                     trace.front().temperature.value());
+    EXPECT_DOUBLE_EQ(player.at(TimePoint::from_date(2011, 1, 1)).temperature.value(),
+                     trace.back().temperature.value());
+}
+
+TEST(TraceIo, EmptyPlayerThrows) {
+    EXPECT_THROW(TracePlayer(std::vector<WeatherSample>{}), core::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace zerodeg::weather

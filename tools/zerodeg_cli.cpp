@@ -1,0 +1,209 @@
+// zerodeg — command-line front end over the library.
+//
+//   zerodeg weather   [--seed N] [--full-year] [--step-min M]
+//                     [--from YYYY-MM-DD] [--to YYYY-MM-DD]
+//       Print a synthetic weather trace as CSV (pipe to a file, feed back
+//       with `season --trace`).
+//
+//   zerodeg season    [--seed N] [--end YYYY-MM-DD] [--trace FILE]
+//                     [--export DIR]
+//       Run the paper's experiment season; print the census; optionally
+//       export figure CSVs.
+//
+//   zerodeg census    [--seeds N]
+//       Monte Carlo fault census over N seeds.
+//
+//   zerodeg prototype [--seed N]
+//       The Feb 12-15 prototype weekend.
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "experiment/census.hpp"
+#include "experiment/figures.hpp"
+#include "experiment/prototype.hpp"
+#include "experiment/report.hpp"
+#include "experiment/runner.hpp"
+#include "weather/trace_io.hpp"
+
+namespace {
+
+using namespace zerodeg;
+
+/// --key value arguments into a map; returns false on malformed input.
+bool parse_flags(int argc, char** argv, int first,
+                 std::map<std::string, std::string>& flags) {
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            std::cerr << "unexpected argument: " << arg << '\n';
+            return false;
+        }
+        const std::string key = arg.substr(2);
+        if (key == "full-year") {  // boolean flag
+            flags[key] = "1";
+            continue;
+        }
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for --" << key << '\n';
+            return false;
+        }
+        flags[key] = argv[++i];
+    }
+    return true;
+}
+
+core::TimePoint parse_date(const std::string& s) {
+    int y = 0, m = 0, d = 0;
+    if (std::sscanf(s.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+        throw core::InvalidArgument("bad date (want YYYY-MM-DD): " + s);
+    }
+    return core::TimePoint::from_date(y, m, d);
+}
+
+int cmd_weather(const std::map<std::string, std::string>& flags) {
+    const std::uint64_t seed =
+        flags.count("seed") ? std::stoull(flags.at("seed")) : 20100219ULL;
+    const bool full_year = flags.count("full-year") > 0;
+    weather::WeatherConfig cfg =
+        full_year ? weather::helsinki_full_year_config() : weather::helsinki_2010_config();
+    const core::TimePoint from = flags.count("from")
+                                     ? parse_date(flags.at("from"))
+                                     : core::TimePoint::from_date(2010, 2, 12);
+    const core::TimePoint to = flags.count("to") ? parse_date(flags.at("to"))
+                                                 : core::TimePoint::from_date(2010, 3, 27);
+    const auto step = core::Duration::minutes(
+        flags.count("step-min") ? std::stoll(flags.at("step-min")) : 10);
+    weather::WeatherModel model(cfg, seed);
+    const auto trace = weather::generate_trace(model, from, to, step);
+    weather::write_trace(std::cout, trace);
+    return 0;
+}
+
+void print_census(const experiment::FaultCensus& c) {
+    std::cout << "hosts: " << c.tent_hosts << " tent / " << c.basement_hosts << " basement\n"
+              << "system failures: " << c.system_failures << " (" << c.transient_failures
+              << " transient, " << c.permanent_failures << " permanent)\n"
+              << "hosts failed: " << c.tent_hosts_failed << " tent, "
+              << c.basement_hosts_failed << " basement  (fleet rate "
+              << experiment::fmt_pct(c.fleet_failure_rate()) << ", paper 5.6%, Intel 4.46%)\n"
+              << "sensor incidents: " << c.sensor_incidents
+              << ", switch failures: " << c.switch_failures
+              << ", fan faults: " << c.fan_faults << ", disk faults: " << c.disk_faults << '\n'
+              << "load runs: " << c.load_runs << ", wrong hashes: " << c.wrong_hashes
+              << " (tent " << c.wrong_hashes_tent << " / basement " << c.wrong_hashes_basement
+              << ")\n";
+    if (c.wrong_hashes > 0) {
+        std::cout << "page ops per corruption: "
+                  << experiment::fmt(1.0 / c.page_fault_ratio() / 1e6, 0)
+                  << " million (paper: ~570 million)\n";
+    }
+}
+
+int cmd_season(const std::map<std::string, std::string>& flags) {
+    experiment::ExperimentConfig cfg;
+    if (flags.count("seed")) cfg.master_seed = std::stoull(flags.at("seed"));
+    if (flags.count("end")) cfg.end = parse_date(flags.at("end"));
+    if (flags.count("trace")) {
+        std::ifstream in(flags.at("trace"));
+        if (!in) {
+            std::cerr << "cannot open trace file " << flags.at("trace") << '\n';
+            return 1;
+        }
+        cfg.weather_trace = weather::read_trace(in);
+    }
+    std::cout << "season " << cfg.start.date_string() << " .. " << cfg.end.date_string()
+              << " (seed " << cfg.master_seed
+              << (cfg.weather_trace.empty() ? ", synthetic weather" : ", trace-driven")
+              << ")\n";
+    experiment::ExperimentRunner run(cfg);
+    run.run();
+
+    print_census(experiment::take_census(run));
+    std::cout << "tent envelope: "
+              << experiment::fmt_pct(run.tent_envelope().fraction_within())
+              << " of the season inside ASHRAE-allowable\n";
+
+    if (flags.count("export")) {
+        std::filesystem::create_directories(flags.at("export"));
+        const auto written = experiment::export_figure_data(run, flags.at("export"));
+        std::cout << "exported " << written.size() << " files to " << flags.at("export")
+                  << '\n';
+    }
+    return 0;
+}
+
+int cmd_census(const std::map<std::string, std::string>& flags) {
+    const int seeds = flags.count("seeds") ? std::stoi(flags.at("seeds")) : 10;
+    if (seeds <= 0) {
+        std::cerr << "--seeds must be positive\n";
+        return 1;
+    }
+    std::vector<experiment::FaultCensus> censuses;
+    for (int i = 0; i < seeds; ++i) {
+        experiment::ExperimentConfig cfg;
+        cfg.master_seed = 20100219ULL + static_cast<std::uint64_t>(i);
+        experiment::ExperimentRunner run(cfg);
+        run.run();
+        censuses.push_back(experiment::take_census(run));
+        std::cout << "seed " << cfg.master_seed << ": "
+                  << censuses.back().system_failures << " system failure(s), "
+                  << censuses.back().wrong_hashes << " wrong hash(es)\n";
+    }
+    const auto s = experiment::summarize(censuses);
+    std::cout << "\nmean fleet failure rate: "
+              << experiment::fmt_pct(s.mean_fleet_failure_rate)
+              << " (paper 5.6%, Intel 4.46%)\n"
+              << "mean wrong hashes/season: " << experiment::fmt(s.mean_wrong_hashes, 1)
+              << " over " << experiment::fmt(s.mean_runs, 0) << " runs\n"
+              << "seasons with sensor incident: "
+              << experiment::fmt_pct(s.frac_runs_with_sensor_incident, 0) << '\n';
+    return 0;
+}
+
+int cmd_prototype(const std::map<std::string, std::string>& flags) {
+    experiment::PrototypeConfig cfg;
+    if (flags.count("seed")) cfg.master_seed = std::stoull(flags.at("seed"));
+    const auto r = experiment::run_prototype(cfg);
+    std::cout << "prototype weekend " << cfg.start.date_string() << " .. "
+              << cfg.end.date_string() << '\n'
+              << "outside min/mean: " << experiment::fmt(r.outside_min.value(), 1) << " / "
+              << experiment::fmt(r.outside_mean.value(), 1)
+              << " degC (paper: -10.2 / -9.2)\n"
+              << "coldest CPU reading: " << experiment::fmt(r.cpu_min_reported.value(), 1)
+              << " degC (paper: -4)\n"
+              << "survived: " << (r.survived ? "yes" : "NO")
+              << ", SMART clean: " << (r.smart_ok ? "yes" : "NO") << '\n';
+    return 0;
+}
+
+int usage() {
+    std::cerr << "usage: zerodeg <weather|season|census|prototype> [--flags]\n"
+                 "  weather   [--seed N] [--full-year] [--from D] [--to D] [--step-min M]\n"
+                 "  season    [--seed N] [--end D] [--trace FILE] [--export DIR]\n"
+                 "  census    [--seeds N]\n"
+                 "  prototype [--seed N]\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    std::map<std::string, std::string> flags;
+    if (!parse_flags(argc, argv, 2, flags)) return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "weather") return cmd_weather(flags);
+        if (cmd == "season") return cmd_season(flags);
+        if (cmd == "census") return cmd_census(flags);
+        if (cmd == "prototype") return cmd_prototype(flags);
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+    return usage();
+}
