@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_climate.dir/bench_abl_climate.cpp.o"
+  "CMakeFiles/bench_abl_climate.dir/bench_abl_climate.cpp.o.d"
+  "bench_abl_climate"
+  "bench_abl_climate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_climate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_condensation.dir/bench_abl_condensation.cpp.o"
+  "CMakeFiles/bench_abl_condensation.dir/bench_abl_condensation.cpp.o.d"
+  "bench_abl_condensation"
+  "bench_abl_condensation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_condensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

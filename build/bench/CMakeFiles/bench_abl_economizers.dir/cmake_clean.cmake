@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_economizers.dir/bench_abl_economizers.cpp.o"
+  "CMakeFiles/bench_abl_economizers.dir/bench_abl_economizers.cpp.o.d"
+  "bench_abl_economizers"
+  "bench_abl_economizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_economizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_envelope.dir/bench_abl_envelope.cpp.o"
+  "CMakeFiles/bench_abl_envelope.dir/bench_abl_envelope.cpp.o.d"
+  "bench_abl_envelope"
+  "bench_abl_envelope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_tent_mods.dir/bench_abl_tent_mods.cpp.o"
+  "CMakeFiles/bench_abl_tent_mods.dir/bench_abl_tent_mods.cpp.o.d"
+  "bench_abl_tent_mods"
+  "bench_abl_tent_mods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_tent_mods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

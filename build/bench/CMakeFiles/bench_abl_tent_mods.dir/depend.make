@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_tent_mods.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_tent_schematic.dir/bench_fig1_tent_schematic.cpp.o"
+  "CMakeFiles/bench_fig1_tent_schematic.dir/bench_fig1_tent_schematic.cpp.o.d"
+  "bench_fig1_tent_schematic"
+  "bench_fig1_tent_schematic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_tent_schematic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_temperatures.dir/bench_fig3_temperatures.cpp.o"
+  "CMakeFiles/bench_fig3_temperatures.dir/bench_fig3_temperatures.cpp.o.d"
+  "bench_fig3_temperatures"
+  "bench_fig3_temperatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_temperatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_humidity.dir/bench_fig4_humidity.cpp.o"
+  "CMakeFiles/bench_fig4_humidity.dir/bench_fig4_humidity.cpp.o.d"
+  "bench_fig4_humidity"
+  "bench_fig4_humidity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_humidity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

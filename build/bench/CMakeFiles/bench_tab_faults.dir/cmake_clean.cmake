@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_faults.dir/bench_tab_faults.cpp.o"
+  "CMakeFiles/bench_tab_faults.dir/bench_tab_faults.cpp.o.d"
+  "bench_tab_faults"
+  "bench_tab_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_hashes.dir/bench_tab_hashes.cpp.o"
+  "CMakeFiles/bench_tab_hashes.dir/bench_tab_hashes.cpp.o.d"
+  "bench_tab_hashes"
+  "bench_tab_hashes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_hashes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_prototype.dir/bench_tab_prototype.cpp.o"
+  "CMakeFiles/bench_tab_prototype.dir/bench_tab_prototype.cpp.o.d"
+  "bench_tab_prototype"
+  "bench_tab_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

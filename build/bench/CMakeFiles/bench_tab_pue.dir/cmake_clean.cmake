@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_pue.dir/bench_tab_pue.cpp.o"
+  "CMakeFiles/bench_tab_pue.dir/bench_tab_pue.cpp.o.d"
+  "bench_tab_pue"
+  "bench_tab_pue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_pue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_savings.dir/bench_tab_savings.cpp.o"
+  "CMakeFiles/bench_tab_savings.dir/bench_tab_savings.cpp.o.d"
+  "bench_tab_savings"
+  "bench_tab_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

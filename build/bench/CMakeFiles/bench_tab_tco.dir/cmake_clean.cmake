@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_tco.dir/bench_tab_tco.cpp.o"
+  "CMakeFiles/bench_tab_tco.dir/bench_tab_tco.cpp.o.d"
+  "bench_tab_tco"
+  "bench_tab_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensation_study.dir/condensation_study.cpp.o"
+  "CMakeFiles/condensation_study.dir/condensation_study.cpp.o.d"
+  "condensation_study"
+  "condensation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

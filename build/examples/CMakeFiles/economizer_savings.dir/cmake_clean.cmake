@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/economizer_savings.dir/economizer_savings.cpp.o"
+  "CMakeFiles/economizer_savings.dir/economizer_savings.cpp.o.d"
+  "economizer_savings"
+  "economizer_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/economizer_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

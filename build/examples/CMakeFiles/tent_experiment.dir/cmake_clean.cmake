@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tent_experiment.dir/tent_experiment.cpp.o"
+  "CMakeFiles/tent_experiment.dir/tent_experiment.cpp.o.d"
+  "tent_experiment"
+  "tent_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tent_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_pipeline.dir/workload_pipeline.cpp.o"
+  "CMakeFiles/workload_pipeline.dir/workload_pipeline.cpp.o.d"
+  "workload_pipeline"
+  "workload_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

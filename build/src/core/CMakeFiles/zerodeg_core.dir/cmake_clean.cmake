@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerodeg_core.dir/csv.cpp.o"
+  "CMakeFiles/zerodeg_core.dir/csv.cpp.o.d"
+  "CMakeFiles/zerodeg_core.dir/event_queue.cpp.o"
+  "CMakeFiles/zerodeg_core.dir/event_queue.cpp.o.d"
+  "CMakeFiles/zerodeg_core.dir/log.cpp.o"
+  "CMakeFiles/zerodeg_core.dir/log.cpp.o.d"
+  "CMakeFiles/zerodeg_core.dir/rng.cpp.o"
+  "CMakeFiles/zerodeg_core.dir/rng.cpp.o.d"
+  "CMakeFiles/zerodeg_core.dir/sim_time.cpp.o"
+  "CMakeFiles/zerodeg_core.dir/sim_time.cpp.o.d"
+  "CMakeFiles/zerodeg_core.dir/stats.cpp.o"
+  "CMakeFiles/zerodeg_core.dir/stats.cpp.o.d"
+  "CMakeFiles/zerodeg_core.dir/timeseries.cpp.o"
+  "CMakeFiles/zerodeg_core.dir/timeseries.cpp.o.d"
+  "CMakeFiles/zerodeg_core.dir/units.cpp.o"
+  "CMakeFiles/zerodeg_core.dir/units.cpp.o.d"
+  "libzerodeg_core.a"
+  "libzerodeg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerodeg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/cooling_plant.cpp" "src/energy/CMakeFiles/zerodeg_energy.dir/cooling_plant.cpp.o" "gcc" "src/energy/CMakeFiles/zerodeg_energy.dir/cooling_plant.cpp.o.d"
+  "/root/repo/src/energy/cost_model.cpp" "src/energy/CMakeFiles/zerodeg_energy.dir/cost_model.cpp.o" "gcc" "src/energy/CMakeFiles/zerodeg_energy.dir/cost_model.cpp.o.d"
+  "/root/repo/src/energy/economizer.cpp" "src/energy/CMakeFiles/zerodeg_energy.dir/economizer.cpp.o" "gcc" "src/energy/CMakeFiles/zerodeg_energy.dir/economizer.cpp.o.d"
+  "/root/repo/src/energy/pue.cpp" "src/energy/CMakeFiles/zerodeg_energy.dir/pue.cpp.o" "gcc" "src/energy/CMakeFiles/zerodeg_energy.dir/pue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zerodeg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/zerodeg_weather.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerodeg_energy.dir/cooling_plant.cpp.o"
+  "CMakeFiles/zerodeg_energy.dir/cooling_plant.cpp.o.d"
+  "CMakeFiles/zerodeg_energy.dir/cost_model.cpp.o"
+  "CMakeFiles/zerodeg_energy.dir/cost_model.cpp.o.d"
+  "CMakeFiles/zerodeg_energy.dir/economizer.cpp.o"
+  "CMakeFiles/zerodeg_energy.dir/economizer.cpp.o.d"
+  "CMakeFiles/zerodeg_energy.dir/pue.cpp.o"
+  "CMakeFiles/zerodeg_energy.dir/pue.cpp.o.d"
+  "libzerodeg_energy.a"
+  "libzerodeg_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerodeg_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

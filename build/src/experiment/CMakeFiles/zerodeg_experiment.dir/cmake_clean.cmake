@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerodeg_experiment.dir/census.cpp.o"
+  "CMakeFiles/zerodeg_experiment.dir/census.cpp.o.d"
+  "CMakeFiles/zerodeg_experiment.dir/config.cpp.o"
+  "CMakeFiles/zerodeg_experiment.dir/config.cpp.o.d"
+  "CMakeFiles/zerodeg_experiment.dir/figures.cpp.o"
+  "CMakeFiles/zerodeg_experiment.dir/figures.cpp.o.d"
+  "CMakeFiles/zerodeg_experiment.dir/prototype.cpp.o"
+  "CMakeFiles/zerodeg_experiment.dir/prototype.cpp.o.d"
+  "CMakeFiles/zerodeg_experiment.dir/report.cpp.o"
+  "CMakeFiles/zerodeg_experiment.dir/report.cpp.o.d"
+  "CMakeFiles/zerodeg_experiment.dir/runner.cpp.o"
+  "CMakeFiles/zerodeg_experiment.dir/runner.cpp.o.d"
+  "libzerodeg_experiment.a"
+  "libzerodeg_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerodeg_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

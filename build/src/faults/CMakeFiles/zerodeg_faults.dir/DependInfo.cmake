@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/component_faults.cpp" "src/faults/CMakeFiles/zerodeg_faults.dir/component_faults.cpp.o" "gcc" "src/faults/CMakeFiles/zerodeg_faults.dir/component_faults.cpp.o.d"
+  "/root/repo/src/faults/distributions.cpp" "src/faults/CMakeFiles/zerodeg_faults.dir/distributions.cpp.o" "gcc" "src/faults/CMakeFiles/zerodeg_faults.dir/distributions.cpp.o.d"
+  "/root/repo/src/faults/fault_injector.cpp" "src/faults/CMakeFiles/zerodeg_faults.dir/fault_injector.cpp.o" "gcc" "src/faults/CMakeFiles/zerodeg_faults.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/faults/fault_log.cpp" "src/faults/CMakeFiles/zerodeg_faults.dir/fault_log.cpp.o" "gcc" "src/faults/CMakeFiles/zerodeg_faults.dir/fault_log.cpp.o.d"
+  "/root/repo/src/faults/hazard.cpp" "src/faults/CMakeFiles/zerodeg_faults.dir/hazard.cpp.o" "gcc" "src/faults/CMakeFiles/zerodeg_faults.dir/hazard.cpp.o.d"
+  "/root/repo/src/faults/memory_faults.cpp" "src/faults/CMakeFiles/zerodeg_faults.dir/memory_faults.cpp.o" "gcc" "src/faults/CMakeFiles/zerodeg_faults.dir/memory_faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zerodeg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/zerodeg_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/zerodeg_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/zerodeg_weather.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

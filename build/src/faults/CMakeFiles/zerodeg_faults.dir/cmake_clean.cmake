@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerodeg_faults.dir/component_faults.cpp.o"
+  "CMakeFiles/zerodeg_faults.dir/component_faults.cpp.o.d"
+  "CMakeFiles/zerodeg_faults.dir/distributions.cpp.o"
+  "CMakeFiles/zerodeg_faults.dir/distributions.cpp.o.d"
+  "CMakeFiles/zerodeg_faults.dir/fault_injector.cpp.o"
+  "CMakeFiles/zerodeg_faults.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/zerodeg_faults.dir/fault_log.cpp.o"
+  "CMakeFiles/zerodeg_faults.dir/fault_log.cpp.o.d"
+  "CMakeFiles/zerodeg_faults.dir/hazard.cpp.o"
+  "CMakeFiles/zerodeg_faults.dir/hazard.cpp.o.d"
+  "CMakeFiles/zerodeg_faults.dir/memory_faults.cpp.o"
+  "CMakeFiles/zerodeg_faults.dir/memory_faults.cpp.o.d"
+  "libzerodeg_faults.a"
+  "libzerodeg_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerodeg_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hardware/components.cpp" "src/hardware/CMakeFiles/zerodeg_hardware.dir/components.cpp.o" "gcc" "src/hardware/CMakeFiles/zerodeg_hardware.dir/components.cpp.o.d"
+  "/root/repo/src/hardware/fleet.cpp" "src/hardware/CMakeFiles/zerodeg_hardware.dir/fleet.cpp.o" "gcc" "src/hardware/CMakeFiles/zerodeg_hardware.dir/fleet.cpp.o.d"
+  "/root/repo/src/hardware/network_switch.cpp" "src/hardware/CMakeFiles/zerodeg_hardware.dir/network_switch.cpp.o" "gcc" "src/hardware/CMakeFiles/zerodeg_hardware.dir/network_switch.cpp.o.d"
+  "/root/repo/src/hardware/sensor_chip.cpp" "src/hardware/CMakeFiles/zerodeg_hardware.dir/sensor_chip.cpp.o" "gcc" "src/hardware/CMakeFiles/zerodeg_hardware.dir/sensor_chip.cpp.o.d"
+  "/root/repo/src/hardware/server.cpp" "src/hardware/CMakeFiles/zerodeg_hardware.dir/server.cpp.o" "gcc" "src/hardware/CMakeFiles/zerodeg_hardware.dir/server.cpp.o.d"
+  "/root/repo/src/hardware/smart.cpp" "src/hardware/CMakeFiles/zerodeg_hardware.dir/smart.cpp.o" "gcc" "src/hardware/CMakeFiles/zerodeg_hardware.dir/smart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zerodeg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/zerodeg_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/zerodeg_weather.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerodeg_hardware.dir/components.cpp.o"
+  "CMakeFiles/zerodeg_hardware.dir/components.cpp.o.d"
+  "CMakeFiles/zerodeg_hardware.dir/fleet.cpp.o"
+  "CMakeFiles/zerodeg_hardware.dir/fleet.cpp.o.d"
+  "CMakeFiles/zerodeg_hardware.dir/network_switch.cpp.o"
+  "CMakeFiles/zerodeg_hardware.dir/network_switch.cpp.o.d"
+  "CMakeFiles/zerodeg_hardware.dir/sensor_chip.cpp.o"
+  "CMakeFiles/zerodeg_hardware.dir/sensor_chip.cpp.o.d"
+  "CMakeFiles/zerodeg_hardware.dir/server.cpp.o"
+  "CMakeFiles/zerodeg_hardware.dir/server.cpp.o.d"
+  "CMakeFiles/zerodeg_hardware.dir/smart.cpp.o"
+  "CMakeFiles/zerodeg_hardware.dir/smart.cpp.o.d"
+  "libzerodeg_hardware.a"
+  "libzerodeg_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerodeg_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitoring/collector.cpp" "src/monitoring/CMakeFiles/zerodeg_monitoring.dir/collector.cpp.o" "gcc" "src/monitoring/CMakeFiles/zerodeg_monitoring.dir/collector.cpp.o.d"
+  "/root/repo/src/monitoring/datalogger.cpp" "src/monitoring/CMakeFiles/zerodeg_monitoring.dir/datalogger.cpp.o" "gcc" "src/monitoring/CMakeFiles/zerodeg_monitoring.dir/datalogger.cpp.o.d"
+  "/root/repo/src/monitoring/netsim.cpp" "src/monitoring/CMakeFiles/zerodeg_monitoring.dir/netsim.cpp.o" "gcc" "src/monitoring/CMakeFiles/zerodeg_monitoring.dir/netsim.cpp.o.d"
+  "/root/repo/src/monitoring/outlier_filter.cpp" "src/monitoring/CMakeFiles/zerodeg_monitoring.dir/outlier_filter.cpp.o" "gcc" "src/monitoring/CMakeFiles/zerodeg_monitoring.dir/outlier_filter.cpp.o.d"
+  "/root/repo/src/monitoring/power_meter.cpp" "src/monitoring/CMakeFiles/zerodeg_monitoring.dir/power_meter.cpp.o" "gcc" "src/monitoring/CMakeFiles/zerodeg_monitoring.dir/power_meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zerodeg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/zerodeg_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/zerodeg_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/zerodeg_weather.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

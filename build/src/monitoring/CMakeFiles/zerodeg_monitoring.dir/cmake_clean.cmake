@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerodeg_monitoring.dir/collector.cpp.o"
+  "CMakeFiles/zerodeg_monitoring.dir/collector.cpp.o.d"
+  "CMakeFiles/zerodeg_monitoring.dir/datalogger.cpp.o"
+  "CMakeFiles/zerodeg_monitoring.dir/datalogger.cpp.o.d"
+  "CMakeFiles/zerodeg_monitoring.dir/netsim.cpp.o"
+  "CMakeFiles/zerodeg_monitoring.dir/netsim.cpp.o.d"
+  "CMakeFiles/zerodeg_monitoring.dir/outlier_filter.cpp.o"
+  "CMakeFiles/zerodeg_monitoring.dir/outlier_filter.cpp.o.d"
+  "CMakeFiles/zerodeg_monitoring.dir/power_meter.cpp.o"
+  "CMakeFiles/zerodeg_monitoring.dir/power_meter.cpp.o.d"
+  "libzerodeg_monitoring.a"
+  "libzerodeg_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerodeg_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

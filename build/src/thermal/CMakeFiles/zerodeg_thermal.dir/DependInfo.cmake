@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/condensation.cpp" "src/thermal/CMakeFiles/zerodeg_thermal.dir/condensation.cpp.o" "gcc" "src/thermal/CMakeFiles/zerodeg_thermal.dir/condensation.cpp.o.d"
+  "/root/repo/src/thermal/enclosure.cpp" "src/thermal/CMakeFiles/zerodeg_thermal.dir/enclosure.cpp.o" "gcc" "src/thermal/CMakeFiles/zerodeg_thermal.dir/enclosure.cpp.o.d"
+  "/root/repo/src/thermal/envelope.cpp" "src/thermal/CMakeFiles/zerodeg_thermal.dir/envelope.cpp.o" "gcc" "src/thermal/CMakeFiles/zerodeg_thermal.dir/envelope.cpp.o.d"
+  "/root/repo/src/thermal/rc_network.cpp" "src/thermal/CMakeFiles/zerodeg_thermal.dir/rc_network.cpp.o" "gcc" "src/thermal/CMakeFiles/zerodeg_thermal.dir/rc_network.cpp.o.d"
+  "/root/repo/src/thermal/server_thermal.cpp" "src/thermal/CMakeFiles/zerodeg_thermal.dir/server_thermal.cpp.o" "gcc" "src/thermal/CMakeFiles/zerodeg_thermal.dir/server_thermal.cpp.o.d"
+  "/root/repo/src/thermal/tent_network.cpp" "src/thermal/CMakeFiles/zerodeg_thermal.dir/tent_network.cpp.o" "gcc" "src/thermal/CMakeFiles/zerodeg_thermal.dir/tent_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zerodeg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/zerodeg_weather.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerodeg_thermal.dir/condensation.cpp.o"
+  "CMakeFiles/zerodeg_thermal.dir/condensation.cpp.o.d"
+  "CMakeFiles/zerodeg_thermal.dir/enclosure.cpp.o"
+  "CMakeFiles/zerodeg_thermal.dir/enclosure.cpp.o.d"
+  "CMakeFiles/zerodeg_thermal.dir/envelope.cpp.o"
+  "CMakeFiles/zerodeg_thermal.dir/envelope.cpp.o.d"
+  "CMakeFiles/zerodeg_thermal.dir/rc_network.cpp.o"
+  "CMakeFiles/zerodeg_thermal.dir/rc_network.cpp.o.d"
+  "CMakeFiles/zerodeg_thermal.dir/server_thermal.cpp.o"
+  "CMakeFiles/zerodeg_thermal.dir/server_thermal.cpp.o.d"
+  "CMakeFiles/zerodeg_thermal.dir/tent_network.cpp.o"
+  "CMakeFiles/zerodeg_thermal.dir/tent_network.cpp.o.d"
+  "libzerodeg_thermal.a"
+  "libzerodeg_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerodeg_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzerodeg_thermal.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/weather/psychrometrics.cpp" "src/weather/CMakeFiles/zerodeg_weather.dir/psychrometrics.cpp.o" "gcc" "src/weather/CMakeFiles/zerodeg_weather.dir/psychrometrics.cpp.o.d"
+  "/root/repo/src/weather/solar.cpp" "src/weather/CMakeFiles/zerodeg_weather.dir/solar.cpp.o" "gcc" "src/weather/CMakeFiles/zerodeg_weather.dir/solar.cpp.o.d"
+  "/root/repo/src/weather/stochastic.cpp" "src/weather/CMakeFiles/zerodeg_weather.dir/stochastic.cpp.o" "gcc" "src/weather/CMakeFiles/zerodeg_weather.dir/stochastic.cpp.o.d"
+  "/root/repo/src/weather/trace_io.cpp" "src/weather/CMakeFiles/zerodeg_weather.dir/trace_io.cpp.o" "gcc" "src/weather/CMakeFiles/zerodeg_weather.dir/trace_io.cpp.o.d"
+  "/root/repo/src/weather/weather_model.cpp" "src/weather/CMakeFiles/zerodeg_weather.dir/weather_model.cpp.o" "gcc" "src/weather/CMakeFiles/zerodeg_weather.dir/weather_model.cpp.o.d"
+  "/root/repo/src/weather/weather_station.cpp" "src/weather/CMakeFiles/zerodeg_weather.dir/weather_station.cpp.o" "gcc" "src/weather/CMakeFiles/zerodeg_weather.dir/weather_station.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zerodeg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerodeg_weather.dir/psychrometrics.cpp.o"
+  "CMakeFiles/zerodeg_weather.dir/psychrometrics.cpp.o.d"
+  "CMakeFiles/zerodeg_weather.dir/solar.cpp.o"
+  "CMakeFiles/zerodeg_weather.dir/solar.cpp.o.d"
+  "CMakeFiles/zerodeg_weather.dir/stochastic.cpp.o"
+  "CMakeFiles/zerodeg_weather.dir/stochastic.cpp.o.d"
+  "CMakeFiles/zerodeg_weather.dir/trace_io.cpp.o"
+  "CMakeFiles/zerodeg_weather.dir/trace_io.cpp.o.d"
+  "CMakeFiles/zerodeg_weather.dir/weather_model.cpp.o"
+  "CMakeFiles/zerodeg_weather.dir/weather_model.cpp.o.d"
+  "CMakeFiles/zerodeg_weather.dir/weather_station.cpp.o"
+  "CMakeFiles/zerodeg_weather.dir/weather_station.cpp.o.d"
+  "libzerodeg_weather.a"
+  "libzerodeg_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerodeg_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/archive.cpp" "src/workload/CMakeFiles/zerodeg_workload.dir/archive.cpp.o" "gcc" "src/workload/CMakeFiles/zerodeg_workload.dir/archive.cpp.o.d"
+  "/root/repo/src/workload/compressor.cpp" "src/workload/CMakeFiles/zerodeg_workload.dir/compressor.cpp.o" "gcc" "src/workload/CMakeFiles/zerodeg_workload.dir/compressor.cpp.o.d"
+  "/root/repo/src/workload/corpus.cpp" "src/workload/CMakeFiles/zerodeg_workload.dir/corpus.cpp.o" "gcc" "src/workload/CMakeFiles/zerodeg_workload.dir/corpus.cpp.o.d"
+  "/root/repo/src/workload/crc32.cpp" "src/workload/CMakeFiles/zerodeg_workload.dir/crc32.cpp.o" "gcc" "src/workload/CMakeFiles/zerodeg_workload.dir/crc32.cpp.o.d"
+  "/root/repo/src/workload/load_job.cpp" "src/workload/CMakeFiles/zerodeg_workload.dir/load_job.cpp.o" "gcc" "src/workload/CMakeFiles/zerodeg_workload.dir/load_job.cpp.o.d"
+  "/root/repo/src/workload/md5.cpp" "src/workload/CMakeFiles/zerodeg_workload.dir/md5.cpp.o" "gcc" "src/workload/CMakeFiles/zerodeg_workload.dir/md5.cpp.o.d"
+  "/root/repo/src/workload/recover.cpp" "src/workload/CMakeFiles/zerodeg_workload.dir/recover.cpp.o" "gcc" "src/workload/CMakeFiles/zerodeg_workload.dir/recover.cpp.o.d"
+  "/root/repo/src/workload/scheduler.cpp" "src/workload/CMakeFiles/zerodeg_workload.dir/scheduler.cpp.o" "gcc" "src/workload/CMakeFiles/zerodeg_workload.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zerodeg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/zerodeg_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/zerodeg_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/zerodeg_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/zerodeg_weather.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

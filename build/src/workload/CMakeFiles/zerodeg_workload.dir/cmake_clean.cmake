@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerodeg_workload.dir/archive.cpp.o"
+  "CMakeFiles/zerodeg_workload.dir/archive.cpp.o.d"
+  "CMakeFiles/zerodeg_workload.dir/compressor.cpp.o"
+  "CMakeFiles/zerodeg_workload.dir/compressor.cpp.o.d"
+  "CMakeFiles/zerodeg_workload.dir/corpus.cpp.o"
+  "CMakeFiles/zerodeg_workload.dir/corpus.cpp.o.d"
+  "CMakeFiles/zerodeg_workload.dir/crc32.cpp.o"
+  "CMakeFiles/zerodeg_workload.dir/crc32.cpp.o.d"
+  "CMakeFiles/zerodeg_workload.dir/load_job.cpp.o"
+  "CMakeFiles/zerodeg_workload.dir/load_job.cpp.o.d"
+  "CMakeFiles/zerodeg_workload.dir/md5.cpp.o"
+  "CMakeFiles/zerodeg_workload.dir/md5.cpp.o.d"
+  "CMakeFiles/zerodeg_workload.dir/recover.cpp.o"
+  "CMakeFiles/zerodeg_workload.dir/recover.cpp.o.d"
+  "CMakeFiles/zerodeg_workload.dir/scheduler.cpp.o"
+  "CMakeFiles/zerodeg_workload.dir/scheduler.cpp.o.d"
+  "libzerodeg_workload.a"
+  "libzerodeg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerodeg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

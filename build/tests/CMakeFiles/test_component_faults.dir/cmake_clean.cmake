@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_component_faults.dir/test_component_faults.cpp.o"
+  "CMakeFiles/test_component_faults.dir/test_component_faults.cpp.o.d"
+  "test_component_faults"
+  "test_component_faults.pdb"
+  "test_component_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_component_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

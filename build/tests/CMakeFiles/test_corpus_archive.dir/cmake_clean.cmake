@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_archive.dir/test_corpus_archive.cpp.o"
+  "CMakeFiles/test_corpus_archive.dir/test_corpus_archive.cpp.o.d"
+  "test_corpus_archive"
+  "test_corpus_archive.pdb"
+  "test_corpus_archive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datalogger.dir/test_datalogger.cpp.o"
+  "CMakeFiles/test_datalogger.dir/test_datalogger.cpp.o.d"
+  "test_datalogger"
+  "test_datalogger.pdb"
+  "test_datalogger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datalogger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enclosure.dir/test_enclosure.cpp.o"
+  "CMakeFiles/test_enclosure.dir/test_enclosure.cpp.o.d"
+  "test_enclosure"
+  "test_enclosure.pdb"
+  "test_enclosure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enclosure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

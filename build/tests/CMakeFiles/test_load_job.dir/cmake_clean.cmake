@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_job.dir/test_load_job.cpp.o"
+  "CMakeFiles/test_load_job.dir/test_load_job.cpp.o.d"
+  "test_load_job"
+  "test_load_job.pdb"
+  "test_load_job[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_faults.dir/test_memory_faults.cpp.o"
+  "CMakeFiles/test_memory_faults.dir/test_memory_faults.cpp.o.d"
+  "test_memory_faults"
+  "test_memory_faults.pdb"
+  "test_memory_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_psychrometrics.dir/test_psychrometrics.cpp.o"
+  "CMakeFiles/test_psychrometrics.dir/test_psychrometrics.cpp.o.d"
+  "test_psychrometrics"
+  "test_psychrometrics.pdb"
+  "test_psychrometrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_psychrometrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

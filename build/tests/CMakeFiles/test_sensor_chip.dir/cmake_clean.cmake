@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensor_chip.dir/test_sensor_chip.cpp.o"
+  "CMakeFiles/test_sensor_chip.dir/test_sensor_chip.cpp.o.d"
+  "test_sensor_chip"
+  "test_sensor_chip.pdb"
+  "test_sensor_chip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensor_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

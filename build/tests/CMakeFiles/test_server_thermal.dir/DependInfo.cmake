@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_server_thermal.cpp" "tests/CMakeFiles/test_server_thermal.dir/test_server_thermal.cpp.o" "gcc" "tests/CMakeFiles/test_server_thermal.dir/test_server_thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiment/CMakeFiles/zerodeg_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/zerodeg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/zerodeg_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitoring/CMakeFiles/zerodeg_monitoring.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/zerodeg_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/zerodeg_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/zerodeg_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/zerodeg_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zerodeg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_thermal.dir/test_server_thermal.cpp.o"
+  "CMakeFiles/test_server_thermal.dir/test_server_thermal.cpp.o.d"
+  "test_server_thermal"
+  "test_server_thermal.pdb"
+  "test_server_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

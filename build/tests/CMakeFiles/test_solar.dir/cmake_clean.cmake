@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solar.dir/test_solar.cpp.o"
+  "CMakeFiles/test_solar.dir/test_solar.cpp.o.d"
+  "test_solar"
+  "test_solar.pdb"
+  "test_solar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

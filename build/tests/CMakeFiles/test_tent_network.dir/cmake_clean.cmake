@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tent_network.dir/test_tent_network.cpp.o"
+  "CMakeFiles/test_tent_network.dir/test_tent_network.cpp.o.d"
+  "test_tent_network"
+  "test_tent_network.pdb"
+  "test_tent_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tent_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

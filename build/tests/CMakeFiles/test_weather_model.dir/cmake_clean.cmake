@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weather_model.dir/test_weather_model.cpp.o"
+  "CMakeFiles/test_weather_model.dir/test_weather_model.cpp.o.d"
+  "test_weather_model"
+  "test_weather_model.pdb"
+  "test_weather_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weather_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

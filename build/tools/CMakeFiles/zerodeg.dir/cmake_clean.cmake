@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerodeg.dir/zerodeg_cli.cpp.o"
+  "CMakeFiles/zerodeg.dir/zerodeg_cli.cpp.o.d"
+  "zerodeg"
+  "zerodeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerodeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
