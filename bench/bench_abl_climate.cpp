@@ -7,8 +7,11 @@
 // reports the fleet failure census per climate: the cold end barely moves
 // (Arrhenius slows chemistry even as cold-stress and cycling push back),
 // which is the paper's core empirical claim.
+#include <iterator>
+
 #include "bench_common.hpp"
 #include "experiment/census.hpp"
+#include "experiment/parallel_census.hpp"
 #include "experiment/report.hpp"
 #include "experiment/runner.hpp"
 
@@ -18,31 +21,20 @@ using namespace zerodeg;
 
 constexpr int kSeedsPerClimate = 4;
 
-experiment::CensusSummary census_for_offset(double offset_deg) {
-    std::vector<experiment::FaultCensus> censuses;
-    for (int i = 0; i < kSeedsPerClimate; ++i) {
-        experiment::ExperimentConfig cfg;
-        cfg.master_seed = 8100 + static_cast<std::uint64_t>(i);
-        for (auto& a : cfg.weather.anchors) a.mean += core::Celsius{offset_deg};
-        if (offset_deg > 5.0) cfg.weather.cold_snaps.clear();
-        // Keep the load cheap; the census is about failures.
-        cfg.load.corpus.total_bytes = 64 * 1024;
-        cfg.load.target_blocks = 20;
-        experiment::ExperimentRunner run(cfg);
-        run.run();
-        censuses.push_back(experiment::take_census(run));
-    }
-    return experiment::summarize(censuses);
+experiment::ExperimentConfig config_for(double offset_deg, int seed_index) {
+    experiment::ExperimentConfig cfg;
+    cfg.master_seed = 8100 + static_cast<std::uint64_t>(seed_index);
+    for (auto& a : cfg.weather.anchors) a.mean += core::Celsius{offset_deg};
+    if (offset_deg > 5.0) cfg.weather.cold_snaps.clear();
+    // Keep the load cheap; the census is about failures.
+    cfg.load.corpus.total_bytes = 64 * 1024;
+    cfg.load.target_blocks = 20;
+    return cfg;
 }
 
 void report() {
     std::cout << "\nFleet failure census vs climate (same fleet, same season, same seeds;\n"
               << kSeedsPerClimate << " seeds per climate):\n\n";
-    experiment::TablePrinter table(
-        std::cout,
-        {"climate (offset)", "fleet failure rate", "system failures/season",
-         "vs Intel 4.46%"},
-        {28, 19, 23, 15});
 
     struct Row {
         double offset;
@@ -55,9 +47,34 @@ void report() {
         {16.0, "New Mexico-ish (+16)"},
         {26.0, "tropical (+26)"},
     };
-    for (const Row& r : rows) {
-        const experiment::CensusSummary s = census_for_offset(r.offset);
-        table.row({r.name, experiment::fmt_pct(s.mean_fleet_failure_rate),
+    constexpr std::size_t kClimates = std::size(rows);
+
+    // Flatten (climate x seed) into one sweep so every cell shards across
+    // --jobs workers; reduce per climate in row order afterwards.
+    const benchutil::WallTimer timer;
+    const experiment::SweepRunner sweep(benchutil::jobs());
+    const std::vector<experiment::FaultCensus> cells = sweep.map(
+        kClimates * kSeedsPerClimate, [&rows](std::size_t cell) {
+            const std::size_t climate = cell / kSeedsPerClimate;
+            const int seed_index = static_cast<int>(cell % kSeedsPerClimate);
+            return experiment::run_season_census(
+                config_for(rows[climate].offset, seed_index));
+        });
+    std::cout << "sweep: " << cells.size() << " seasons in "
+              << experiment::fmt(timer.seconds(), 2) << " s (jobs=" << sweep.jobs()
+              << ")\n\n";
+
+    experiment::TablePrinter table(
+        std::cout,
+        {"climate (offset)", "fleet failure rate", "system failures/season",
+         "vs Intel 4.46%"},
+        {28, 19, 23, 15});
+    for (std::size_t climate = 0; climate < kClimates; ++climate) {
+        const std::vector<experiment::FaultCensus> group(
+            cells.begin() + static_cast<std::ptrdiff_t>(climate * kSeedsPerClimate),
+            cells.begin() + static_cast<std::ptrdiff_t>((climate + 1) * kSeedsPerClimate));
+        const experiment::CensusSummary s = experiment::summarize(group);
+        table.row({rows[climate].name, experiment::fmt_pct(s.mean_fleet_failure_rate),
                    experiment::fmt(s.mean_system_failures, 2),
                    s.mean_fleet_failure_rate <= 0.0446 * 1.6 ? "same band" : "elevated"});
     }

@@ -4,7 +4,10 @@
 // This ablation runs the same load stream against both memory types and
 // sweeps the soft-error rate, showing the wrong-hash census the experiment
 // *would* have produced had the department's recycled desktops carried ECC.
+#include <iterator>
+
 #include "bench_common.hpp"
+#include "experiment/parallel_census.hpp"
 #include "experiment/report.hpp"
 #include "faults/memory_faults.hpp"
 #include "workload/load_job.hpp"
@@ -20,11 +23,38 @@ void report() {
     workload::LoadJob job(job_cfg, 2010);
 
     constexpr int kRuns = 30000;  // ~ a 10-host season of 10-minute cycles
+    constexpr double kScales[] = {0.25, 1.0, 4.0, 16.0};
 
     std::cout << "\nWrong hashes over " << kRuns
               << " load runs per cell (flip probability swept around the paper's\n"
                  "1-in-570M; page ops per run: "
               << job.page_ops_per_run() << "):\n\n";
+
+    // Each scale cell derives its own RNG streams, so cells shard across
+    // --jobs workers; rows come back in sweep order either way.
+    struct Cell {
+        std::uint64_t plain_wrong = 0, ecc_wrong = 0, corrected = 0;
+    };
+    const std::uint64_t page_ops = job.page_ops_per_run();
+    const experiment::SweepRunner sweep(benchutil::jobs());
+    const std::vector<Cell> cells =
+        sweep.map(std::size(kScales), [page_ops, &kScales](std::size_t idx) {
+            faults::MemoryFaultParams params;
+            params.flip_probability_per_page_op = kScales[idx] / 570e6;
+            faults::MemoryFaultModel plain(params, core::RngStream(1, "plain"));
+            faults::MemoryFaultModel ecc(params, core::RngStream(1, "ecc"));
+
+            Cell cell;
+            for (int i = 0; i < kRuns; ++i) {
+                // The census only needs the corruption outcome; use the fault
+                // model directly (the full pipeline is exercised in TAB-HASHES).
+                cell.plain_wrong += plain.run(page_ops, false).corrupting_flips > 0;
+                const auto e = ecc.run(page_ops, true);
+                cell.ecc_wrong += e.corrupting_flips > 0;
+                cell.corrected += e.corrected;
+            }
+            return cell;
+        });
 
     experiment::TablePrinter table(
         std::cout,
@@ -32,25 +62,12 @@ void report() {
          "ECC corrected"},
         {24, 21, 17, 14});
 
-    for (const double scale : {0.25, 1.0, 4.0, 16.0}) {
-        faults::MemoryFaultParams params;
-        params.flip_probability_per_page_op = scale / 570e6;
-        faults::MemoryFaultModel plain(params, core::RngStream(1, "plain"));
-        faults::MemoryFaultModel ecc(params, core::RngStream(1, "ecc"));
-
-        std::uint64_t plain_wrong = 0, ecc_wrong = 0, corrected = 0;
-        for (int i = 0; i < kRuns; ++i) {
-            // The census only needs the corruption outcome; use the fault
-            // model directly (the full pipeline is exercised in TAB-HASHES).
-            plain_wrong += plain.run(job.page_ops_per_run(), false).corrupting_flips > 0;
-            const auto e = ecc.run(job.page_ops_per_run(), true);
-            ecc_wrong += e.corrupting_flips > 0;
-            corrected += e.corrected;
-        }
+    for (std::size_t idx = 0; idx < std::size(kScales); ++idx) {
         char label[48];
-        std::snprintf(label, sizeof label, "%.2g x paper rate", scale);
-        table.row({label, std::to_string(plain_wrong), std::to_string(ecc_wrong),
-                   std::to_string(corrected)});
+        std::snprintf(label, sizeof label, "%.2g x paper rate", kScales[idx]);
+        table.row({label, std::to_string(cells[idx].plain_wrong),
+                   std::to_string(cells[idx].ecc_wrong),
+                   std::to_string(cells[idx].corrected)});
     }
 
     std::cout << "\npaper shape: at the observed rate a non-ECC fleet shows a handful of\n"

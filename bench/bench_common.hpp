@@ -4,17 +4,76 @@
 // on stdout first, then runs its google-benchmark timings of the underlying
 // computation.  This keeps `for b in build/bench/*; do $b; done` both the
 // reproduction harness and the performance harness.
+//
+// Monte-Carlo benches shard their seeds across worker threads; the
+// `--jobs N` flag (or `--jobs=N`) sets the worker count for the report
+// phase.  `--jobs 0` means one worker per hardware thread (the default).
+// Report output is byte-identical for every jobs value — parallelism only
+// changes wall clock, a property the determinism test suite pins.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <string>
+
+#include "core/task_pool.hpp"
 
 namespace zerodeg::benchutil {
+
+namespace detail {
+inline std::size_t& jobs_storage() {
+    static std::size_t jobs = core::TaskPool::hardware_workers();
+    return jobs;
+}
+}  // namespace detail
+
+/// Worker count for the report phase (set by --jobs, default all hardware
+/// threads).
+[[nodiscard]] inline std::size_t jobs() { return detail::jobs_storage(); }
+
+/// Strip `--jobs N` / `--jobs=N` out of argv (so google-benchmark never
+/// sees it) and record the value.
+inline void parse_jobs_flag(int& argc, char** argv) {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg.rfind("--jobs=", 0) == 0) {
+            value = arg.substr(7);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            value = argv[++i];
+        } else {
+            argv[out++] = argv[i];
+            continue;
+        }
+        const long long v = std::atoll(value.c_str());
+        detail::jobs_storage() =
+            v <= 0 ? core::TaskPool::hardware_workers() : static_cast<std::size_t>(v);
+    }
+    argc = out;
+}
+
+/// Wall-clock stopwatch for the report phase ("census: 10 seeds in 3.2 s,
+/// jobs=8" lines — the number the speedup acceptance criterion reads).
+class WallTimer {
+public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 /// Call from main(): print the reproduction report, then run benchmarks.
 template <typename ReportFn>
 int run(int argc, char** argv, const char* title, ReportFn&& report) {
+    parse_jobs_flag(argc, argv);
     std::cout << "==========================================================================\n"
               << title << '\n'
               << "==========================================================================\n";

@@ -11,6 +11,7 @@
 // Carlo mean over seeds plus one narrated example season.
 #include "bench_common.hpp"
 #include "experiment/census.hpp"
+#include "experiment/parallel_census.hpp"
 #include "experiment/report.hpp"
 #include "experiment/runner.hpp"
 #include "faults/hazard.hpp"
@@ -22,15 +23,17 @@ using namespace zerodeg;
 constexpr int kSeeds = 10;
 
 void report() {
-    std::vector<experiment::FaultCensus> censuses;
-    for (int i = 0; i < kSeeds; ++i) {
-        experiment::ExperimentConfig cfg;
-        cfg.master_seed = 20100219 + static_cast<std::uint64_t>(i);
-        experiment::ExperimentRunner run(cfg);
-        run.run();
-        censuses.push_back(experiment::take_census(run));
-    }
-    const experiment::CensusSummary s = experiment::summarize(censuses);
+    // The census phase: independent seasons sharded across --jobs workers.
+    // Aggregate numbers are byte-identical for every jobs value; only the
+    // wall clock changes.
+    experiment::CensusPlan plan;
+    plan.seeds = kSeeds;
+    const benchutil::WallTimer timer;
+    const experiment::CensusResult result = experiment::run_census(plan, benchutil::jobs());
+    std::cout << "census phase: " << kSeeds << " seasons in "
+              << experiment::fmt(timer.seconds(), 2) << " s (jobs=" << benchutil::jobs()
+              << ")\n";
+    const experiment::CensusSummary& s = result.summary;
 
     experiment::print_comparison(
         std::cout, "Fault census over " + std::to_string(kSeeds) + " simulated seasons",

@@ -1,0 +1,107 @@
+// Deterministic fork/join helpers over TaskPool.
+//
+// The contract that makes parallel Monte-Carlo runs bit-identical to serial
+// ones: every index gets its own task, every task writes only its own
+// caller-owned slot, and the caller consumes the slots in index order.  The
+// scheduling order of the pool is therefore unobservable — parallel_map with
+// any worker count produces the exact bytes of the serial loop, which is the
+// property tests/test_parallel_determinism.cpp locks in.
+//
+// Exceptions thrown by `fn` are caught per-index and the lowest-index one is
+// rethrown on the calling thread once every task has finished, so error
+// reporting is deterministic too (not "whichever worker lost the race").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/task_pool.hpp"
+
+namespace zerodeg::core {
+
+namespace detail {
+
+/// Join state shared by one parallel_for call: completion latch + the
+/// per-index exception slots.
+struct ForkJoinState {
+    explicit ForkJoinState(std::size_t count)
+        : remaining(count), errors(count) {}
+
+    void finish_one() {
+        std::unique_lock lock(mutex);
+        if (--remaining == 0) done.notify_all();
+    }
+    void wait() {
+        std::unique_lock lock(mutex);
+        done.wait(lock, [this] { return remaining == 0; });
+    }
+    void rethrow_first_error() const {
+        for (const std::exception_ptr& e : errors) {
+            if (e) std::rethrow_exception(e);
+        }
+    }
+
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::vector<std::exception_ptr> errors;
+};
+
+}  // namespace detail
+
+/// Run fn(i) for every i in [begin, end) on the pool and block until all are
+/// done.  Rethrows the lowest-index exception, if any.  With begin == end it
+/// returns immediately without touching the pool.
+template <typename Fn>
+void parallel_for(TaskPool& pool, std::size_t begin, std::size_t end, Fn&& fn) {
+    if (begin >= end) return;
+    detail::ForkJoinState state(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+        // submit() applies backpressure when the bounded queue fills, so a
+        // large index range never materialises all closures at once.
+        pool.submit([&state, &fn, i, begin] {
+            try {
+                fn(i);
+            } catch (...) {
+                state.errors[i - begin] = std::current_exception();
+            }
+            state.finish_one();
+        });
+    }
+    state.wait();
+    state.rethrow_first_error();
+}
+
+/// Run fn(i) for i in [0, count) and return the results ordered by index —
+/// result[i] is fn(i) no matter how the pool interleaved the work.
+template <typename Fn>
+[[nodiscard]] auto parallel_map(TaskPool& pool, std::size_t count, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+    using Result = std::decay_t<decltype(fn(std::size_t{0}))>;
+    std::vector<Result> results(count);
+    parallel_for(pool, 0, count, [&results, &fn](std::size_t i) { results[i] = fn(i); });
+    return results;
+}
+
+/// Serial fallbacks with the identical signature, used by callers that treat
+/// jobs <= 1 as "don't spin up threads at all".
+template <typename Fn>
+void serial_for(std::size_t begin, std::size_t end, Fn&& fn) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+}
+
+template <typename Fn>
+[[nodiscard]] auto serial_map(std::size_t count, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+    using Result = std::decay_t<decltype(fn(std::size_t{0}))>;
+    std::vector<Result> results(count);
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+}
+
+}  // namespace zerodeg::core

@@ -1,0 +1,100 @@
+#include "core/task_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace zerodeg::core {
+
+std::size_t TaskPool::hardware_workers() {
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+TaskPool::TaskPool(std::size_t workers, std::size_t queue_capacity) {
+    if (workers == 0) workers = hardware_workers();
+    capacity_ = queue_capacity == 0 ? 4 * workers : queue_capacity;
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+TaskPool::~TaskPool() {
+    {
+        // Drain semantics: set stopping_ but leave the queue intact; workers
+        // exit only once it is empty.
+        std::unique_lock lock(mutex_);
+        stopping_ = true;
+    }
+    queue_not_empty_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void TaskPool::submit(std::function<void()> task) {
+    if (!task) throw InvalidArgument("TaskPool::submit: empty task");
+    {
+        std::unique_lock lock(mutex_);
+        queue_not_full_.wait(lock, [this] { return queue_.size() < capacity_ || stopping_; });
+        if (stopping_) throw InvalidArgument("TaskPool::submit: pool is shutting down");
+        queue_.push_back(std::move(task));
+    }
+    queue_not_empty_.notify_one();
+}
+
+bool TaskPool::try_submit(std::function<void()> task) {
+    if (!task) throw InvalidArgument("TaskPool::try_submit: empty task");
+    {
+        std::unique_lock lock(mutex_);
+        if (stopping_ || queue_.size() >= capacity_) return false;
+        queue_.push_back(std::move(task));
+    }
+    queue_not_empty_.notify_one();
+    return true;
+}
+
+void TaskPool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+std::size_t TaskPool::cancel_pending() {
+    std::size_t dropped = 0;
+    {
+        std::unique_lock lock(mutex_);
+        dropped = queue_.size();
+        queue_.clear();
+    }
+    queue_not_full_.notify_all();
+    idle_.notify_all();
+    return dropped;
+}
+
+std::size_t TaskPool::tasks_executed() const {
+    std::unique_lock lock(mutex_);
+    return executed_;
+}
+
+void TaskPool::worker_loop() noexcept {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            queue_not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+            if (queue_.empty()) return;  // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+        }
+        queue_not_full_.notify_one();
+        task();  // noexcept context: a throwing task terminates, by design
+        {
+            std::unique_lock lock(mutex_);
+            --running_;
+            ++executed_;
+            if (queue_.empty() && running_ == 0) idle_.notify_all();
+        }
+    }
+}
+
+}  // namespace zerodeg::core

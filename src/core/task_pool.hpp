@@ -1,0 +1,80 @@
+// A fixed-size worker-thread pool with a bounded task queue.
+//
+// Deliberately work-stealing-free: tasks are executed in FIFO submission
+// order by whichever worker frees up first, and all ordering guarantees the
+// simulation needs are provided one layer up (parallel.hpp) by writing each
+// task's result into a caller-owned slot and reducing in index order.  The
+// pool itself therefore never has to be deterministic — only the reduction
+// does — which keeps the implementation small and auditable.
+//
+// Semantics:
+//  * submit() blocks while the queue is at capacity (backpressure, so a
+//    census over thousands of seeds never materialises thousands of queued
+//    closures at once).
+//  * Tasks must not throw; the helpers in parallel.hpp catch exceptions
+//    per-task and rethrow the lowest-index one on the calling thread.
+//    A task that does leak an exception terminates (noexcept worker loop),
+//    which is the loudest possible signal of a harness bug.
+//  * The destructor drains: every task already submitted runs to completion
+//    before the workers join.  Use cancel_pending() first to discard.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace zerodeg::core {
+
+class TaskPool {
+public:
+    /// `workers` == 0 means hardware_workers().  `queue_capacity` == 0 picks
+    /// 4x the worker count.
+    explicit TaskPool(std::size_t workers = 0, std::size_t queue_capacity = 0);
+
+    /// Drains the queue (runs all pending tasks), then joins the workers.
+    ~TaskPool();
+
+    TaskPool(const TaskPool&) = delete;
+    TaskPool& operator=(const TaskPool&) = delete;
+
+    /// Enqueue a task; blocks while the queue is full.
+    void submit(std::function<void()> task);
+
+    /// Enqueue without blocking; returns false if the queue is full.
+    [[nodiscard]] bool try_submit(std::function<void()> task);
+
+    /// Block until the queue is empty and every worker is idle.
+    void wait_idle();
+
+    /// Discard tasks not yet started (running tasks finish normally).
+    /// Returns how many were dropped.
+    std::size_t cancel_pending();
+
+    [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+    [[nodiscard]] std::size_t queue_capacity() const { return capacity_; }
+    /// Tasks that have finished running (monotonic; includes failed ones).
+    [[nodiscard]] std::size_t tasks_executed() const;
+
+    /// max(1, std::thread::hardware_concurrency()).
+    [[nodiscard]] static std::size_t hardware_workers();
+
+private:
+    void worker_loop() noexcept;
+
+    mutable std::mutex mutex_;
+    std::condition_variable queue_not_empty_;   // workers wait here
+    std::condition_variable queue_not_full_;    // producers wait here
+    std::condition_variable idle_;              // wait_idle() waits here
+    std::deque<std::function<void()>> queue_;
+    std::size_t capacity_ = 0;
+    std::size_t running_ = 0;   ///< tasks currently executing
+    std::size_t executed_ = 0;  ///< tasks finished (under mutex_)
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace zerodeg::core

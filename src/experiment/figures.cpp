@@ -1,65 +1,85 @@
 #include "experiment/figures.hpp"
 
 #include <fstream>
+#include <functional>
 
 #include "core/csv.hpp"
 #include "core/error.hpp"
+#include "experiment/parallel_census.hpp"
 #include "monitoring/outlier_filter.hpp"
 
 namespace zerodeg::experiment {
 
 namespace {
 
-std::string write_series(const std::string& directory, const std::string& file,
-                         const core::TimeSeries& series) {
-    const std::string path = directory + "/" + file;
+void write_series(const std::string& path, const core::TimeSeries& series) {
     std::ofstream out(path);
     if (!out) throw core::IoError("export_figure_data: cannot create " + path);
     core::write_series_csv(out, series);
-    return path;
 }
 
 }  // namespace
 
 std::vector<std::string> export_figure_data(const ExperimentRunner& run,
                                             const std::string& directory,
-                                            const FigureFiles& files) {
-    std::vector<std::string> written;
+                                            const FigureFiles& files, std::size_t jobs) {
+    // One job per output file.  Jobs only read the (finished) run and write
+    // their own file, so they can fan out across a pool; the returned path
+    // list keeps this fixed order no matter how the writes interleave.
+    struct ExportJob {
+        std::string path;
+        std::function<void(const std::string&)> write;
+    };
+    std::vector<ExportJob> exports;
 
-    written.push_back(
-        write_series(directory, files.outside_temperature, run.station().temperature_series()));
-    written.push_back(
-        write_series(directory, files.outside_humidity, run.station().humidity_series()));
-
+    exports.push_back({directory + "/" + files.outside_temperature, [&run](const std::string& p) {
+                           write_series(p, run.station().temperature_series());
+                       }});
+    exports.push_back({directory + "/" + files.outside_humidity, [&run](const std::string& p) {
+                           write_series(p, run.station().humidity_series());
+                       }});
     // Tent series get the paper's outlier-removal treatment.
-    core::TimeSeries tent_temp = run.tent_logger().temperature_series();
-    core::TimeSeries tent_rh = run.tent_logger().humidity_series();
-    (void)monitoring::remove_readout_outliers(tent_temp, run.tent_logger().readouts());
-    (void)monitoring::remove_readout_outliers(tent_rh, run.tent_logger().readouts());
-    written.push_back(write_series(directory, files.tent_temperature, tent_temp));
-    written.push_back(write_series(directory, files.tent_humidity, tent_rh));
+    exports.push_back({directory + "/" + files.tent_temperature, [&run](const std::string& p) {
+                           core::TimeSeries tent_temp = run.tent_logger().temperature_series();
+                           (void)monitoring::remove_readout_outliers(tent_temp,
+                                                                     run.tent_logger().readouts());
+                           write_series(p, tent_temp);
+                       }});
+    exports.push_back({directory + "/" + files.tent_humidity, [&run](const std::string& p) {
+                           core::TimeSeries tent_rh = run.tent_logger().humidity_series();
+                           (void)monitoring::remove_readout_outliers(tent_rh,
+                                                                     run.tent_logger().readouts());
+                           write_series(p, tent_rh);
+                       }});
+    exports.push_back({directory + "/" + files.tent_power, [&run](const std::string& p) {
+                           write_series(p, run.tent_meter().power_series());
+                       }});
+    exports.push_back({directory + "/" + files.events, [&run](const std::string& p) {
+                           std::ofstream out(p);
+                           if (!out) throw core::IoError("export_figure_data: cannot create " + p);
+                           run.event_log().print(out);
+                       }});
+    exports.push_back({directory + "/" + files.fault_log, [&run](const std::string& p) {
+                           std::ofstream out(p);
+                           if (!out) throw core::IoError("export_figure_data: cannot create " + p);
+                           for (const faults::FaultRecord& r : run.fault_log().records()) {
+                               out << r.time.to_string() << '\t' << r.source << '\t'
+                                   << faults::to_string(r.component) << '\t'
+                                   << faults::to_string(r.severity) << '\t'
+                                   << (r.in_tent ? "tent" : "basement") << '\t' << r.description
+                                   << '\n';
+                           }
+                       }});
 
-    written.push_back(
-        write_series(directory, files.tent_power, run.tent_meter().power_series()));
+    const SweepRunner runner(jobs);
+    (void)runner.map(exports.size(), [&exports](std::size_t i) {
+        exports[i].write(exports[i].path);
+        return 0;  // map wants a value; the artifact is the file
+    });
 
-    {
-        const std::string path = directory + "/" + files.events;
-        std::ofstream out(path);
-        if (!out) throw core::IoError("export_figure_data: cannot create " + path);
-        run.event_log().print(out);
-        written.push_back(path);
-    }
-    {
-        const std::string path = directory + "/" + files.fault_log;
-        std::ofstream out(path);
-        if (!out) throw core::IoError("export_figure_data: cannot create " + path);
-        for (const faults::FaultRecord& r : run.fault_log().records()) {
-            out << r.time.to_string() << '\t' << r.source << '\t'
-                << faults::to_string(r.component) << '\t' << faults::to_string(r.severity)
-                << '\t' << (r.in_tent ? "tent" : "basement") << '\t' << r.description << '\n';
-        }
-        written.push_back(path);
-    }
+    std::vector<std::string> written;
+    written.reserve(exports.size());
+    for (const ExportJob& job : exports) written.push_back(job.path);
     return written;
 }
 

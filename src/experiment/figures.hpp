@@ -21,10 +21,14 @@ struct FigureFiles {
 };
 
 /// Write all figure series and logs of a finished run into `directory`
-/// (which must exist).  Returns the list of file paths written.
+/// (which must exist).  Returns the list of file paths written, in a fixed
+/// order independent of `jobs`.  Each output file is an independent job;
+/// `jobs > 1` writes them concurrently on a worker pool (`jobs == 0` means
+/// one worker per hardware thread), with byte-identical file contents.
 /// Throws IoError if any file cannot be created.
 std::vector<std::string> export_figure_data(const ExperimentRunner& run,
                                             const std::string& directory,
-                                            const FigureFiles& files = FigureFiles());
+                                            const FigureFiles& files = FigureFiles(),
+                                            std::size_t jobs = 1);
 
 }  // namespace zerodeg::experiment

@@ -1,0 +1,45 @@
+#include "experiment/parallel_census.hpp"
+
+#include <utility>
+
+#include "experiment/runner.hpp"
+
+namespace zerodeg::experiment {
+
+FaultCensus run_season_census(const ExperimentConfig& config) {
+    ExperimentRunner run(config);
+    run.run();
+    return take_census(run);
+}
+
+ParallelCensus::ParallelCensus(CensusPlan plan, std::size_t jobs)
+    : plan_(std::move(plan)), runner_(jobs) {}
+
+CensusResult ParallelCensus::run() const {
+    // Configs are built serially up front so make_config need not be
+    // thread-safe; only the seasons themselves fan out.
+    std::vector<ExperimentConfig> configs;
+    configs.reserve(plan_.seeds);
+    for (std::size_t i = 0; i < plan_.seeds; ++i) {
+        const std::uint64_t seed = plan_.base_seed + i;
+        if (plan_.make_config) {
+            configs.push_back(plan_.make_config(i, seed));
+        } else {
+            ExperimentConfig cfg;
+            cfg.master_seed = seed;
+            configs.push_back(std::move(cfg));
+        }
+    }
+
+    CensusResult result;
+    result.censuses = runner_.map(
+        configs.size(), [&configs](std::size_t i) { return run_season_census(configs[i]); });
+    result.summary = summarize(result.censuses);
+    return result;
+}
+
+CensusResult run_census(const CensusPlan& plan, std::size_t jobs) {
+    return ParallelCensus(plan, jobs).run();
+}
+
+}  // namespace zerodeg::experiment

@@ -1,0 +1,91 @@
+// Parallel Monte-Carlo execution over independent experiment seasons.
+//
+// Each seed's season is already a closed world — every stochastic process
+// derives its named RNG streams from that season's master seed alone (see
+// core/rng.hpp) — so seasons shard across worker threads with no shared
+// mutable state at all.  Determinism then only requires that the *reduce*
+// side be ordered: results land in a slot indexed by seed, and summaries are
+// folded in seed order.  `ParallelCensus` with any `jobs` value is therefore
+// bit-identical to the serial loop it replaces, a property pinned by
+// tests/test_parallel_determinism.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/task_pool.hpp"
+#include "experiment/census.hpp"
+#include "experiment/config.hpp"
+
+namespace zerodeg::experiment {
+
+/// Shards an ordered set of independent simulation cells across a worker
+/// pool and returns results in cell order.  `jobs <= 1` runs inline on the
+/// calling thread (no threads are created), which is both the serial
+/// reference for parity tests and the sensible default on small sweeps.
+class SweepRunner {
+public:
+    /// `jobs` == 0 means one worker per hardware thread.
+    explicit SweepRunner(std::size_t jobs = 1)
+        : jobs_(jobs == 0 ? core::TaskPool::hardware_workers() : jobs) {}
+
+    [[nodiscard]] std::size_t jobs() const { return jobs_; }
+
+    /// map(count, fn) -> {fn(0), fn(1), ..., fn(count-1)}, in index order
+    /// regardless of scheduling.  `fn` must be safe to call concurrently
+    /// from `jobs` threads (independent cells; no shared mutable state).
+    template <typename Fn>
+    [[nodiscard]] auto map(std::size_t count, Fn&& fn) const {
+        if (jobs_ <= 1 || count <= 1) return core::serial_map(count, fn);
+        core::TaskPool pool(std::min(jobs_, count));
+        return core::parallel_map(pool, count, fn);
+    }
+
+private:
+    std::size_t jobs_;
+};
+
+/// The seed plan of a census: which seasons to simulate.
+struct CensusPlan {
+    std::uint64_t base_seed = 20100219;
+    std::size_t seeds = 10;
+    /// Builds the config for cell `index` (master seed `base_seed + index`).
+    /// Called serially on the calling thread before the fan-out, so it need
+    /// not be thread-safe.  Leave empty for the paper-default season with
+    /// only the master seed varied.
+    std::function<ExperimentConfig(std::size_t index, std::uint64_t seed)> make_config;
+};
+
+struct CensusResult {
+    std::vector<FaultCensus> censuses;  ///< [i] is the season of base_seed + i
+    CensusSummary summary;              ///< ordered reduce over `censuses`
+};
+
+/// Run `plan.seeds` full seasons across `jobs` workers and take the census
+/// of each.  Results are ordered by seed, and the summary is folded in seed
+/// order, so the output is byte-identical for every `jobs` value.
+class ParallelCensus {
+public:
+    explicit ParallelCensus(CensusPlan plan, std::size_t jobs = 1);
+
+    [[nodiscard]] CensusResult run() const;
+
+    [[nodiscard]] const CensusPlan& plan() const { return plan_; }
+    [[nodiscard]] std::size_t jobs() const { return runner_.jobs(); }
+
+private:
+    CensusPlan plan_;
+    SweepRunner runner_;
+};
+
+/// One-shot convenience over ParallelCensus.
+[[nodiscard]] CensusResult run_census(const CensusPlan& plan, std::size_t jobs = 1);
+
+/// Simulate one full season for `config` and take its census (the unit of
+/// work every sweep cell runs).
+[[nodiscard]] FaultCensus run_season_census(const ExperimentConfig& config);
+
+}  // namespace zerodeg::experiment

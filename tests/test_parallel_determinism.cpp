@@ -1,0 +1,160 @@
+// The core correctness claim of the parallel Monte-Carlo engine: sharding
+// independent seasons across workers is *bit-identical* to the serial loop,
+// for any worker count.  Every stochastic process derives its streams from
+// the season's master seed alone, results land in seed-indexed slots, and
+// the summary folds in seed order — so `jobs` must be unobservable in the
+// output.  Labelled `parallel` in CTest for the TSan gate.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "experiment/census.hpp"
+#include "experiment/parallel_census.hpp"
+#include "experiment/runner.hpp"
+
+namespace zerodeg::experiment {
+namespace {
+
+using core::TimePoint;
+
+constexpr std::uint64_t kBaseSeed = 4242;
+constexpr std::size_t kSeeds = 6;
+
+/// A short, cheap season — the parity property is about scheduling, not
+/// about season length, so keep each cell fast.
+ExperimentConfig cheap_config(std::size_t /*index*/, std::uint64_t seed) {
+    ExperimentConfig cfg;
+    cfg.master_seed = seed;
+    cfg.end = TimePoint::from_date(2010, 2, 26);  // one week
+    cfg.load.corpus.total_bytes = 64 * 1024;
+    cfg.load.target_blocks = 20;
+    return cfg;
+}
+
+CensusPlan cheap_plan() {
+    CensusPlan plan;
+    plan.base_seed = kBaseSeed;
+    plan.seeds = kSeeds;
+    plan.make_config = cheap_config;
+    return plan;
+}
+
+/// The serial reference: the exact loop ParallelCensus replaced (construct,
+/// run, take_census per seed, summarize in seed order).
+const CensusResult& serial_reference() {
+    static const CensusResult reference = [] {
+        CensusResult r;
+        for (std::size_t i = 0; i < kSeeds; ++i) {
+            ExperimentConfig cfg = cheap_config(i, kBaseSeed + i);
+            ExperimentRunner run(cfg);
+            run.run();
+            r.censuses.push_back(take_census(run));
+        }
+        r.summary = summarize(r.censuses);
+        return r;
+    }();
+    return reference;
+}
+
+/// Field-by-field *exact* comparison (integers compare with ==; summary
+/// doubles must match to the last bit because the reduce is ordered).
+void expect_identical(const FaultCensus& a, const FaultCensus& b, std::size_t seed_index) {
+    SCOPED_TRACE("seed index " + std::to_string(seed_index));
+    EXPECT_EQ(a.tent_hosts, b.tent_hosts);
+    EXPECT_EQ(a.basement_hosts, b.basement_hosts);
+    EXPECT_EQ(a.tent_hosts_failed, b.tent_hosts_failed);
+    EXPECT_EQ(a.basement_hosts_failed, b.basement_hosts_failed);
+    EXPECT_EQ(a.system_failures, b.system_failures);
+    EXPECT_EQ(a.transient_failures, b.transient_failures);
+    EXPECT_EQ(a.permanent_failures, b.permanent_failures);
+    EXPECT_EQ(a.sensor_incidents, b.sensor_incidents);
+    EXPECT_EQ(a.switch_failures, b.switch_failures);
+    EXPECT_EQ(a.fan_faults, b.fan_faults);
+    EXPECT_EQ(a.disk_faults, b.disk_faults);
+    EXPECT_EQ(a.load_runs, b.load_runs);
+    EXPECT_EQ(a.wrong_hashes, b.wrong_hashes);
+    EXPECT_EQ(a.wrong_hashes_tent, b.wrong_hashes_tent);
+    EXPECT_EQ(a.wrong_hashes_basement, b.wrong_hashes_basement);
+    EXPECT_EQ(a.page_ops, b.page_ops);
+    EXPECT_EQ(a.page_ops_non_ecc, b.page_ops_non_ecc);
+}
+
+/// Doubles compared for bit-identity, not closeness: memcmp of the value
+/// representation, which also fails on -0.0 vs 0.0 or NaN-payload drift.
+void expect_bitwise(double a, double b, const char* what) {
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof a), 0)
+        << what << ": " << a << " vs " << b << " differ in bits";
+}
+
+void expect_identical(const CensusSummary& a, const CensusSummary& b) {
+    EXPECT_EQ(a.seeds, b.seeds);
+    expect_bitwise(a.mean_tent_failure_rate, b.mean_tent_failure_rate, "mean_tent_failure_rate");
+    expect_bitwise(a.mean_fleet_failure_rate, b.mean_fleet_failure_rate,
+                   "mean_fleet_failure_rate");
+    expect_bitwise(a.mean_system_failures, b.mean_system_failures, "mean_system_failures");
+    expect_bitwise(a.mean_wrong_hashes, b.mean_wrong_hashes, "mean_wrong_hashes");
+    expect_bitwise(a.mean_runs, b.mean_runs, "mean_runs");
+    expect_bitwise(a.mean_page_fault_ratio, b.mean_page_fault_ratio, "mean_page_fault_ratio");
+    expect_bitwise(a.frac_runs_with_sensor_incident, b.frac_runs_with_sensor_incident,
+                   "frac_runs_with_sensor_incident");
+    expect_bitwise(a.frac_runs_with_switch_failures, b.frac_runs_with_switch_failures,
+                   "frac_runs_with_switch_failures");
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelDeterminism, CensusMatchesSerialLoopBitForBit) {
+    const std::size_t jobs = GetParam();
+    const CensusResult parallel = ParallelCensus(cheap_plan(), jobs).run();
+    const CensusResult& serial = serial_reference();
+
+    ASSERT_EQ(parallel.censuses.size(), serial.censuses.size());
+    for (std::size_t i = 0; i < kSeeds; ++i) {
+        expect_identical(parallel.censuses[i], serial.censuses[i], i);
+    }
+    expect_identical(parallel.summary, serial.summary);
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, ParallelDeterminism,
+                         ::testing::Values<std::size_t>(1, 2, 8),
+                         [](const auto& info) {
+                             return "jobs" + std::to_string(info.param);
+                         });
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAgree) {
+    // Same jobs value twice: scheduling noise between two parallel runs must
+    // also be unobservable.
+    const CensusResult a = ParallelCensus(cheap_plan(), 2).run();
+    const CensusResult b = ParallelCensus(cheap_plan(), 2).run();
+    for (std::size_t i = 0; i < kSeeds; ++i) expect_identical(a.censuses[i], b.censuses[i], i);
+    expect_identical(a.summary, b.summary);
+}
+
+TEST(SweepRunner, MapMatchesSerialForNonCensusCells) {
+    // The generic sweep surface used by the climate/ECC benches, on a cheap
+    // deterministic payload.
+    const auto fn = [](std::size_t i) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < 1000; ++k) {
+            acc += static_cast<double>((i * 1315423911u + k * 2654435761u) % 1000) * 1e-3;
+        }
+        return acc;
+    };
+    const auto serial = SweepRunner(1).map(32, fn);
+    for (const std::size_t jobs : {2u, 8u}) {
+        const auto parallel = SweepRunner(jobs).map(32, fn);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            expect_bitwise(parallel[i], serial[i], "sweep cell");
+        }
+    }
+}
+
+TEST(SweepRunner, JobsZeroMeansHardwareWorkers) {
+    EXPECT_EQ(SweepRunner(0).jobs(), core::TaskPool::hardware_workers());
+    EXPECT_EQ(SweepRunner(3).jobs(), 3u);
+}
+
+}  // namespace
+}  // namespace zerodeg::experiment

@@ -1,0 +1,198 @@
+// Unit + stress tests for core::TaskPool and the fork/join helpers in
+// core/parallel.hpp — the substrate of the parallel Monte-Carlo engine.
+// Labelled `parallel` in CTest so the suite can be re-run under
+// -DZERODEG_SANITIZE=thread as the data-race gate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "core/task_pool.hpp"
+
+namespace zerodeg::core {
+namespace {
+
+TEST(TaskPool, RunsManyMoreTasksThanWorkers) {
+    TaskPool pool(/*workers=*/3, /*queue_capacity=*/4);
+    std::atomic<int> counter{0};
+    constexpr int kTasks = 2000;  // >> workers and >> queue capacity
+    for (int i = 0; i < kTasks; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), kTasks);
+    EXPECT_EQ(pool.tasks_executed(), static_cast<std::size_t>(kTasks));
+}
+
+TEST(TaskPool, DefaultsClampToHardware) {
+    TaskPool pool;
+    EXPECT_EQ(pool.worker_count(), TaskPool::hardware_workers());
+    EXPECT_GE(pool.worker_count(), 1u);
+    EXPECT_GE(pool.queue_capacity(), pool.worker_count());
+}
+
+TEST(TaskPool, OneWorkerExecutesInSubmissionOrder) {
+    TaskPool pool(/*workers=*/1);
+    std::vector<int> order;  // single consumer thread; read after wait_idle()
+    for (int i = 0; i < 50; ++i) {
+        pool.submit([&order, i] { order.push_back(i); });
+    }
+    pool.wait_idle();
+    std::vector<int> expected(50);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(TaskPool, ZeroTasksIsANoOp) {
+    TaskPool pool(2);
+    pool.wait_idle();  // returns immediately
+    EXPECT_EQ(pool.tasks_executed(), 0u);
+
+    std::atomic<int> calls{0};
+    parallel_for(pool, 5, 5, [&calls](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+    const auto results = parallel_map(pool, 0, [](std::size_t i) { return i; });
+    EXPECT_TRUE(results.empty());
+}
+
+TEST(TaskPool, DestructionDrainsPendingTasks) {
+    std::atomic<int> counter{0};
+    constexpr int kTasks = 64;
+    {
+        TaskPool pool(/*workers=*/2, /*queue_capacity=*/kTasks);
+        for (int i = 0; i < kTasks; ++i) {
+            pool.submit([&counter] {
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+                counter.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        // Destructor runs with most tasks still queued.
+    }
+    EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(TaskPool, CancelPendingDropsOnlyUnstartedTasks) {
+    TaskPool pool(/*workers=*/1, /*queue_capacity=*/16);
+    // Gate the single worker so everything behind the gate stays queued.
+    std::mutex m;
+    std::condition_variable cv;
+    bool gate_open = false;
+    bool gate_running = false;
+    pool.submit([&] {
+        std::unique_lock lock(m);
+        gate_running = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return gate_open; });
+    });
+    {
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return gate_running; });
+    }
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 5; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+    EXPECT_EQ(pool.cancel_pending(), 5u);
+    {
+        std::unique_lock lock(m);
+        gate_open = true;
+        cv.notify_all();
+    }
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(TaskPool, TrySubmitReportsFullQueue) {
+    TaskPool pool(/*workers=*/1, /*queue_capacity=*/2);
+    std::mutex m;
+    std::condition_variable cv;
+    bool gate_open = false;
+    bool gate_running = false;
+    pool.submit([&] {
+        std::unique_lock lock(m);
+        gate_running = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return gate_open; });
+    });
+    {
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return gate_running; });
+    }
+    // Worker is busy on the gate; fill the whole queue.
+    EXPECT_TRUE(pool.try_submit([] {}));
+    EXPECT_TRUE(pool.try_submit([] {}));
+    EXPECT_FALSE(pool.try_submit([] {}));
+    {
+        std::unique_lock lock(m);
+        gate_open = true;
+        cv.notify_all();
+    }
+    pool.wait_idle();
+    EXPECT_EQ(pool.tasks_executed(), 3u);
+}
+
+TEST(TaskPool, EmptyTaskIsRejected) {
+    TaskPool pool(1);
+    EXPECT_THROW(pool.submit(std::function<void()>{}), InvalidArgument);
+}
+
+TEST(ParallelFor, ExceptionFromTaskSurfacesToCaller) {
+    TaskPool pool(4);
+    EXPECT_THROW(parallel_for(pool, 0, 100,
+                              [](std::size_t i) {
+                                  if (i == 7) throw InvalidArgument("boom at 7");
+                              }),
+                 InvalidArgument);
+    // The pool survives a throwing batch and keeps working.
+    std::atomic<int> ok{0};
+    parallel_for(pool, 0, 10, [&ok](std::size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ParallelFor, LowestIndexExceptionWinsDeterministically) {
+    TaskPool pool(4);
+    for (int attempt = 0; attempt < 5; ++attempt) {
+        try {
+            parallel_for(pool, 0, 64, [](std::size_t i) {
+                if (i % 3 == 1) {  // throws at 1, 4, 7, ...
+                    throw InvalidArgument("thrown by index " + std::to_string(i));
+                }
+            });
+            FAIL() << "expected an exception";
+        } catch (const InvalidArgument& e) {
+            EXPECT_STREQ(e.what(), "thrown by index 1");
+        }
+    }
+}
+
+TEST(ParallelMap, ResultsAreOrderedByIndex) {
+    TaskPool pool(4, /*queue_capacity=*/8);
+    const auto squares =
+        parallel_map(pool, 500, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(squares.size(), 500u);
+    for (std::size_t i = 0; i < squares.size(); ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ParallelMap, MatchesSerialMapExactly) {
+    TaskPool pool(8);
+    const auto fn = [](std::size_t i) { return 0.1 * static_cast<double>(i * 37 % 101); };
+    EXPECT_EQ(parallel_map(pool, 300, fn), serial_map(300, fn));
+}
+
+TEST(ParallelFor, StressManyBatchesOnSharedPool) {
+    TaskPool pool(4, /*queue_capacity=*/4);  // tiny queue: exercise backpressure
+    std::atomic<long> total{0};
+    for (int batch = 0; batch < 20; ++batch) {
+        parallel_for(pool, 0, 100,
+                     [&total](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); });
+    }
+    EXPECT_EQ(total.load(), 2000);
+}
+
+}  // namespace
+}  // namespace zerodeg::core

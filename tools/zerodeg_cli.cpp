@@ -6,12 +6,14 @@
 //       with `season --trace`).
 //
 //   zerodeg season    [--seed N] [--end YYYY-MM-DD] [--trace FILE]
-//                     [--export DIR]
+//                     [--export DIR] [--jobs N]
 //       Run the paper's experiment season; print the census; optionally
-//       export figure CSVs.
+//       export figure CSVs (written in parallel with --jobs > 1).
 //
-//   zerodeg census    [--seeds N]
-//       Monte Carlo fault census over N seeds.
+//   zerodeg census    [--seeds N] [--jobs N]
+//       Monte Carlo fault census over N seeds, sharded across N worker
+//       threads (--jobs 0 = one per hardware thread).  Output is
+//       byte-identical for every --jobs value.
 //
 //   zerodeg prototype [--seed N]
 //       The Feb 12-15 prototype weekend.
@@ -24,6 +26,7 @@
 
 #include "experiment/census.hpp"
 #include "experiment/figures.hpp"
+#include "experiment/parallel_census.hpp"
 #include "experiment/prototype.hpp"
 #include "experiment/report.hpp"
 #include "experiment/runner.hpp"
@@ -54,6 +57,14 @@ bool parse_flags(int argc, char** argv, int first,
         flags[key] = argv[++i];
     }
     return true;
+}
+
+/// --jobs value: 0 = one worker per hardware thread; absent = serial.
+std::size_t parse_jobs(const std::map<std::string, std::string>& flags) {
+    if (!flags.count("jobs")) return 1;
+    const long long v = std::stoll(flags.at("jobs"));
+    if (v < 0) throw core::InvalidArgument("--jobs must be >= 0");
+    return v == 0 ? core::TaskPool::hardware_workers() : static_cast<std::size_t>(v);
 }
 
 core::TimePoint parse_date(const std::string& s) {
@@ -129,7 +140,8 @@ int cmd_season(const std::map<std::string, std::string>& flags) {
 
     if (flags.count("export")) {
         std::filesystem::create_directories(flags.at("export"));
-        const auto written = experiment::export_figure_data(run, flags.at("export"));
+        const auto written = experiment::export_figure_data(
+            run, flags.at("export"), experiment::FigureFiles(), parse_jobs(flags));
         std::cout << "exported " << written.size() << " files to " << flags.at("export")
                   << '\n';
     }
@@ -142,18 +154,16 @@ int cmd_census(const std::map<std::string, std::string>& flags) {
         std::cerr << "--seeds must be positive\n";
         return 1;
     }
-    std::vector<experiment::FaultCensus> censuses;
-    for (int i = 0; i < seeds; ++i) {
-        experiment::ExperimentConfig cfg;
-        cfg.master_seed = 20100219ULL + static_cast<std::uint64_t>(i);
-        experiment::ExperimentRunner run(cfg);
-        run.run();
-        censuses.push_back(experiment::take_census(run));
-        std::cout << "seed " << cfg.master_seed << ": "
-                  << censuses.back().system_failures << " system failure(s), "
-                  << censuses.back().wrong_hashes << " wrong hash(es)\n";
+    experiment::CensusPlan plan;
+    plan.seeds = static_cast<std::size_t>(seeds);
+    const std::size_t jobs = parse_jobs(flags);
+    const experiment::CensusResult result = experiment::run_census(plan, jobs);
+    for (std::size_t i = 0; i < result.censuses.size(); ++i) {
+        std::cout << "seed " << plan.base_seed + i << ": "
+                  << result.censuses[i].system_failures << " system failure(s), "
+                  << result.censuses[i].wrong_hashes << " wrong hash(es)\n";
     }
-    const auto s = experiment::summarize(censuses);
+    const experiment::CensusSummary& s = result.summary;
     std::cout << "\nmean fleet failure rate: "
               << experiment::fmt_pct(s.mean_fleet_failure_rate)
               << " (paper 5.6%, Intel 4.46%)\n"
@@ -183,8 +193,8 @@ int cmd_prototype(const std::map<std::string, std::string>& flags) {
 int usage() {
     std::cerr << "usage: zerodeg <weather|season|census|prototype> [--flags]\n"
                  "  weather   [--seed N] [--full-year] [--from D] [--to D] [--step-min M]\n"
-                 "  season    [--seed N] [--end D] [--trace FILE] [--export DIR]\n"
-                 "  census    [--seeds N]\n"
+                 "  season    [--seed N] [--end D] [--trace FILE] [--export DIR] [--jobs N]\n"
+                 "  census    [--seeds N] [--jobs N]   (--jobs 0 = all hardware threads)\n"
                  "  prototype [--seed N]\n";
     return 2;
 }
