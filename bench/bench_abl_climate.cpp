@@ -49,19 +49,21 @@ void report() {
     };
     constexpr std::size_t kClimates = std::size(rows);
 
-    // Flatten (climate x seed) into one sweep so every cell shards across
-    // --jobs workers; reduce per climate in row order afterwards.
+    // Flatten (climate x seed) into one census plan so every cell shards
+    // across --jobs workers and the sweep can journal (--checkpoint /
+    // --resume); reduce per climate in row order afterwards.
     const benchutil::WallTimer timer;
-    const experiment::SweepRunner sweep(benchutil::jobs());
-    const std::vector<experiment::FaultCensus> cells = sweep.map(
-        kClimates * kSeedsPerClimate, [&rows](std::size_t cell) {
-            const std::size_t climate = cell / kSeedsPerClimate;
-            const int seed_index = static_cast<int>(cell % kSeedsPerClimate);
-            return experiment::run_season_census(
-                config_for(rows[climate].offset, seed_index));
-        });
+    experiment::CensusPlan plan;
+    plan.base_seed = 8100;
+    plan.seeds = kClimates * kSeedsPerClimate;
+    plan.make_config = [&rows](std::size_t cell, std::uint64_t /*seed*/) {
+        const std::size_t climate = cell / kSeedsPerClimate;
+        const int seed_index = static_cast<int>(cell % kSeedsPerClimate);
+        return config_for(rows[climate].offset, seed_index);
+    };
+    const std::vector<experiment::FaultCensus> cells = benchutil::run_plan(plan).censuses;
     std::cout << "sweep: " << cells.size() << " seasons in "
-              << experiment::fmt(timer.seconds(), 2) << " s (jobs=" << sweep.jobs()
+              << experiment::fmt(timer.seconds(), 2) << " s (jobs=" << benchutil::jobs()
               << ")\n\n";
 
     experiment::TablePrinter table(

@@ -10,6 +10,11 @@
 // phase.  `--jobs 0` means one worker per hardware thread (the default).
 // Report output is byte-identical for every jobs value — parallelism only
 // changes wall clock, a property the determinism test suite pins.
+//
+// `--checkpoint FILE` journals each finished sweep cell so a killed bench
+// resumes (`--resume`) instead of re-simulating; see
+// experiment/sweep_journal.hpp.  Benches whose cells are full season
+// censuses honour it; others ignore it.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -20,6 +25,8 @@
 #include <string>
 
 #include "core/task_pool.hpp"
+#include "experiment/parallel_census.hpp"
+#include "experiment/sweep_journal.hpp"
 
 namespace zerodeg::benchutil {
 
@@ -28,19 +35,47 @@ inline std::size_t& jobs_storage() {
     static std::size_t jobs = core::TaskPool::hardware_workers();
     return jobs;
 }
+inline std::string& checkpoint_storage() {
+    static std::string path;
+    return path;
+}
+inline bool& resume_storage() {
+    static bool resume = false;
+    return resume;
+}
 }  // namespace detail
 
 /// Worker count for the report phase (set by --jobs, default all hardware
 /// threads).
 [[nodiscard]] inline std::size_t jobs() { return detail::jobs_storage(); }
 
-/// Strip `--jobs N` / `--jobs=N` out of argv (so google-benchmark never
-/// sees it) and record the value.
-inline void parse_jobs_flag(int& argc, char** argv) {
+/// Journal path from `--checkpoint FILE`; empty when checkpointing is off.
+[[nodiscard]] inline const std::string& checkpoint_path() {
+    return detail::checkpoint_storage();
+}
+
+/// True when `--resume` was given (reuse cells already in the journal).
+[[nodiscard]] inline bool resume() { return detail::resume_storage(); }
+
+/// Strip the sweep flags (`--jobs N`, `--checkpoint FILE`, `--resume`) out
+/// of argv — so google-benchmark never sees them — and record the values.
+inline void parse_sweep_flags(int& argc, char** argv) {
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string value;
+        if (arg == "--resume") {
+            detail::resume_storage() = true;
+            continue;
+        }
+        if (arg.rfind("--checkpoint=", 0) == 0) {
+            detail::checkpoint_storage() = arg.substr(13);
+            continue;
+        }
+        if (arg == "--checkpoint" && i + 1 < argc) {
+            detail::checkpoint_storage() = argv[++i];
+            continue;
+        }
         if (arg.rfind("--jobs=", 0) == 0) {
             value = arg.substr(7);
         } else if (arg == "--jobs" && i + 1 < argc) {
@@ -54,6 +89,26 @@ inline void parse_jobs_flag(int& argc, char** argv) {
             v <= 0 ? core::TaskPool::hardware_workers() : static_cast<std::size_t>(v);
     }
     argc = out;
+    if (detail::resume_storage() && detail::checkpoint_storage().empty()) {
+        std::cerr << "error: --resume needs --checkpoint FILE\n";
+        std::exit(2);
+    }
+}
+
+/// Run a census plan across jobs() workers, honouring --checkpoint/--resume:
+/// with a checkpoint set, every finished cell is journalled as it completes
+/// and a resumed run reuses the recorded cells instead of re-simulating.
+/// The result is byte-identical with or without a journal.
+[[nodiscard]] inline experiment::CensusResult run_plan(const experiment::CensusPlan& plan) {
+    const experiment::ParallelCensus campaign(plan, jobs());
+    if (checkpoint_path().empty()) return campaign.run();
+    const experiment::SweepJournalKey key = campaign.journal_key();
+    experiment::SweepJournal journal(checkpoint_path(), key, resume());
+    if (journal.completed() > 0) {
+        std::cout << "checkpoint: resuming " << journal.completed() << "/" << key.cells
+                  << " cells from " << checkpoint_path() << "\n";
+    }
+    return campaign.run(journal);
 }
 
 /// Wall-clock stopwatch for the report phase ("census: 10 seeds in 3.2 s,
@@ -73,7 +128,7 @@ private:
 /// Call from main(): print the reproduction report, then run benchmarks.
 template <typename ReportFn>
 int run(int argc, char** argv, const char* title, ReportFn&& report) {
-    parse_jobs_flag(argc, argv);
+    parse_sweep_flags(argc, argv);
     std::cout << "==========================================================================\n"
               << title << '\n'
               << "==========================================================================\n";

@@ -29,7 +29,7 @@ void report() {
     experiment::CensusPlan plan;
     plan.seeds = kSeeds;
     const benchutil::WallTimer timer;
-    const experiment::CensusResult result = experiment::run_census(plan, benchutil::jobs());
+    const experiment::CensusResult result = benchutil::run_plan(plan);
     std::cout << "census phase: " << kSeeds << " seasons in "
               << experiment::fmt(timer.seconds(), 2) << " s (jobs=" << benchutil::jobs()
               << ")\n";

@@ -1,6 +1,10 @@
 #include "core/csv.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 
@@ -9,7 +13,7 @@
 
 namespace zerodeg::core {
 
-std::vector<std::string> parse_csv_line(const std::string& line) {
+std::vector<std::string> parse_csv_line(const std::string& line, std::size_t line_no) {
     std::vector<std::string> fields;
     std::string cur;
     bool in_quotes = false;
@@ -37,7 +41,7 @@ std::vector<std::string> parse_csv_line(const std::string& line) {
             cur.push_back(c);
         }
     }
-    if (in_quotes) throw CorruptData("parse_csv_line: unterminated quote");
+    if (in_quotes) throw ParseError("unterminated quote", line_no);
     fields.push_back(std::move(cur));
     return fields;
 }
@@ -53,6 +57,40 @@ std::string csv_escape(const std::string& field) {
     return out;
 }
 
+double parse_csv_double(const std::string& field, std::size_t line_no) {
+    if (field.empty()) throw ParseError("expected a number, got an empty field", line_no);
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(field.c_str(), &end);
+    if (end != field.c_str() + field.size()) {
+        throw ParseError("expected a number, got '" + field + "'", line_no);
+    }
+    if (errno == ERANGE || !std::isfinite(v)) {
+        throw ParseError("number out of range: '" + field + "'", line_no);
+    }
+    return v;
+}
+
+std::uint64_t parse_csv_u64(const std::string& field, std::size_t line_no) {
+    if (field.empty()) throw ParseError("expected an unsigned integer, got an empty field",
+                                        line_no);
+    // strtoull silently accepts leading whitespace and signs; forbid both so
+    // "-3" never wraps to 2^64-3.
+    if (field[0] == '-' || field[0] == '+' || std::isspace(static_cast<unsigned char>(field[0]))) {
+        throw ParseError("expected an unsigned integer, got '" + field + "'", line_no);
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(field.c_str(), &end, 10);
+    if (end != field.c_str() + field.size()) {
+        throw ParseError("expected an unsigned integer, got '" + field + "'", line_no);
+    }
+    if (errno == ERANGE) {
+        throw ParseError("integer out of range: '" + field + "'", line_no);
+    }
+    return v;
+}
+
 void CsvWriter::write_row(const std::vector<std::string>& fields) {
     for (std::size_t i = 0; i < fields.size(); ++i) {
         if (i) out_ << ',';
@@ -64,8 +102,9 @@ void CsvWriter::write_row(const std::vector<std::string>& fields) {
 bool CsvReader::read_row(std::vector<std::string>& fields) {
     std::string line;
     while (std::getline(in_, line)) {
+        ++line_;
         if (line.empty() || line == "\r") continue;
-        fields = parse_csv_line(line);
+        fields = parse_csv_line(line, line_);
         return true;
     }
     return false;
@@ -83,11 +122,11 @@ void write_series_csv(std::ostream& out, const TimeSeries& series) {
 
 namespace {
 
-TimePoint parse_time(const std::string& s) {
+TimePoint parse_time(const std::string& s, std::size_t line_no) {
     CivilDateTime c;
     if (std::sscanf(s.c_str(), "%d-%d-%d %d:%d:%d", &c.year, &c.month, &c.day, &c.hour, &c.minute,
                     &c.second) != 6) {
-        throw CorruptData("read_series_csv: bad timestamp '" + s + "'");
+        throw ParseError("expected 'YYYY-MM-DD hh:mm:ss' timestamp, got '" + s + "'", line_no);
     }
     return TimePoint::from_civil(c);
 }
@@ -95,17 +134,20 @@ TimePoint parse_time(const std::string& s) {
 }  // namespace
 
 TimeSeries read_series_csv(std::istream& in) {
-    CsvReader r(in);
-    std::vector<std::string> row;
-    if (!r.read_row(row) || row.size() < 2) {
-        throw CorruptData("read_series_csv: missing header");
-    }
-    TimeSeries series(row[1]);
-    while (r.read_row(row)) {
-        if (row.size() < 2) throw CorruptData("read_series_csv: short row");
-        series.append(parse_time(row[0]), std::stod(row[1]));
-    }
-    return series;
+    return with_context("read_series_csv", [&in] {
+        CsvReader r(in);
+        std::vector<std::string> row;
+        if (!r.read_row(row)) throw ParseError("empty input (missing header)");
+        if (row.size() < 2) throw ParseError("short header (want time,<name>)", r.line());
+        TimeSeries series(row[1]);
+        while (r.read_row(row)) {
+            if (row.size() < 2) {
+                throw ParseError("short row (want time,value)", r.line());
+            }
+            series.append(parse_time(row[0], r.line()), parse_csv_double(row[1], r.line()));
+        }
+        return series;
+    });
 }
 
 }  // namespace zerodeg::core

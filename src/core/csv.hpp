@@ -3,8 +3,13 @@
 // Used for weather trace import/export and for dumping figure series, so a
 // real SMEAR III extract can be substituted for the synthetic weather (the
 // substitution documented in DESIGN.md).  Handles quoting per RFC 4180.
+//
+// Malformed input (short rows, non-numeric fields, trailing junk, truncated
+// quotes, empty files) is diagnosed with core::ParseError carrying the
+// 1-based input line number — never a crash or a silently-wrong value.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -15,11 +20,22 @@ class TimeSeries;
 
 /// Parse one CSV line into fields (handles double-quoted fields with commas
 /// and escaped quotes).  Newlines inside quoted fields are not supported —
-/// the project's own files never produce them.
-[[nodiscard]] std::vector<std::string> parse_csv_line(const std::string& line);
+/// the project's own files never produce them.  `line_no` (1-based, 0 =
+/// unknown) is only used to annotate the ParseError on malformed input.
+[[nodiscard]] std::vector<std::string> parse_csv_line(const std::string& line,
+                                                      std::size_t line_no = 0);
 
 /// Quote a field if it needs it.
 [[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Strict parse of a whole CSV field as a finite double.  Rejects empty
+/// fields, trailing junk ("1.5abc"), and non-finite values ("inf", "nan")
+/// with a ParseError naming what was found.  `line_no` annotates the error.
+[[nodiscard]] double parse_csv_double(const std::string& field, std::size_t line_no = 0);
+
+/// Strict parse of a whole CSV field as an unsigned 64-bit integer.  Rejects
+/// empty fields, signs, trailing junk, and overflow.
+[[nodiscard]] std::uint64_t parse_csv_u64(const std::string& field, std::size_t line_no = 0);
 
 class CsvWriter {
 public:
@@ -36,16 +52,25 @@ public:
     explicit CsvReader(std::istream& in) : in_(in) {}
 
     /// Read the next row; false at end of input.  Skips blank lines.
+    /// Throws ParseError (with the line number) on malformed rows.
     bool read_row(std::vector<std::string>& fields);
+
+    /// 1-based line number of the row last returned by read_row (counting
+    /// blank lines); 0 before the first read.  Use it to annotate errors
+    /// about the row's *content*.
+    [[nodiscard]] std::size_t line() const { return line_; }
 
 private:
     std::istream& in_;
+    std::size_t line_ = 0;
 };
 
 /// Write series as `time_iso,<name>` rows with a header.
 void write_series_csv(std::ostream& out, const TimeSeries& series);
 
-/// Read a series written by write_series_csv.
+/// Read a series written by write_series_csv.  Throws ParseError with the
+/// offending line on malformed input (missing header, short row, bad
+/// timestamp, non-numeric value).
 [[nodiscard]] TimeSeries read_series_csv(std::istream& in);
 
 }  // namespace zerodeg::core

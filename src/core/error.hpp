@@ -2,35 +2,142 @@
 //
 // Following the C++ Core Guidelines (E.2, E.14) we throw exceptions derived
 // from a single project base so callers can catch per-domain or project-wide.
+// Every error additionally carries
+//   * a machine-checkable ErrorCode, so recovery logic (retry loops, journal
+//     resume, the CLI's exit-code mapping) can branch without string-matching
+//     what(), and
+//   * a context chain: intermediate layers annotate a propagating error with
+//     what they were doing ("loading journal 'x'", "reading trace row 12")
+//     via add_context()/with_context(), so the final diagnostic reads
+//     outermost-to-innermost like a narrative stack trace.
 #pragma once
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace zerodeg::core {
+
+/// Coarse classification of every zerodeg failure.  kTransient is the one
+/// the machinery treats specially: it marks failures that are expected to
+/// succeed on a bounded retry (a flaky collection path, a contended
+/// resource), as opposed to permanent ones (bad input, violated contract).
+enum class ErrorCode {
+    kUnknown,
+    kInvalidArgument,  ///< caller violated a documented precondition
+    kIo,               ///< file/stream operation failed
+    kCorruptData,      ///< integrity check failed (bad magic, checksum, short read)
+    kParse,            ///< text input did not match the expected grammar
+    kStaleJournal,     ///< a checkpoint journal exists but belongs to a different campaign
+    kTransient,        ///< retryable: the same operation may succeed shortly
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode code) {
+    switch (code) {
+        case ErrorCode::kInvalidArgument: return "invalid-argument";
+        case ErrorCode::kIo: return "io";
+        case ErrorCode::kCorruptData: return "corrupt-data";
+        case ErrorCode::kParse: return "parse";
+        case ErrorCode::kStaleJournal: return "stale-journal";
+        case ErrorCode::kTransient: return "transient";
+        case ErrorCode::kUnknown: break;
+    }
+    return "unknown";
+}
 
 /// Base class of every exception thrown by a zerodeg library.
 class Error : public std::runtime_error {
 public:
-    explicit Error(const std::string& what) : std::runtime_error(what) {}
+    explicit Error(const std::string& what, ErrorCode code = ErrorCode::kUnknown)
+        : std::runtime_error(what), code_(code), what_(what) {}
+
+    [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+    /// Context frames, innermost (added first) to outermost.
+    [[nodiscard]] const std::vector<std::string>& context() const noexcept { return context_; }
+
+    /// Prepend a "what I was doing" frame to the diagnostic; what() becomes
+    /// "<frame>: <previous what()>".
+    void add_context(std::string frame) {
+        what_ = frame + ": " + what_;
+        context_.push_back(std::move(frame));
+    }
+
+    [[nodiscard]] const char* what() const noexcept override { return what_.c_str(); }
+
+private:
+    ErrorCode code_;
+    std::vector<std::string> context_;
+    std::string what_;
 };
+
+/// Run `fn`, annotating any propagating zerodeg Error with `frame`.
+/// The exception object itself is amended and rethrown, so codes and
+/// derived types survive the decoration.
+template <typename Fn>
+auto with_context(std::string frame, Fn&& fn) -> decltype(fn()) {
+    try {
+        return fn();
+    } catch (Error& e) {
+        e.add_context(std::move(frame));
+        throw;
+    }
+}
 
 /// A caller violated a documented precondition (bad argument, bad state).
 class InvalidArgument : public Error {
 public:
-    explicit InvalidArgument(const std::string& what) : Error(what) {}
+    explicit InvalidArgument(const std::string& what)
+        : Error(what, ErrorCode::kInvalidArgument) {}
 };
 
-/// An I/O operation (trace file, CSV, corpus) failed.
+/// An I/O operation (trace file, CSV, corpus, journal) failed.
 class IoError : public Error {
 public:
-    explicit IoError(const std::string& what) : Error(what) {}
+    explicit IoError(const std::string& what) : Error(what, ErrorCode::kIo) {}
 };
 
 /// Data failed an integrity check (bad magic, CRC mismatch, short read).
 class CorruptData : public Error {
 public:
-    explicit CorruptData(const std::string& what) : Error(what) {}
+    explicit CorruptData(const std::string& what, ErrorCode code = ErrorCode::kCorruptData)
+        : Error(what, code) {}
+};
+
+/// Text input did not match the expected grammar.  Carries the 1-based line
+/// number of the offending input row when known (0 = unknown), so CSV/trace/
+/// journal loaders can say exactly where the file went wrong.
+class ParseError : public CorruptData {
+public:
+    explicit ParseError(const std::string& what, std::size_t line = 0)
+        : CorruptData(line > 0 ? "line " + std::to_string(line) + ": " + what : what,
+                      ErrorCode::kParse),
+          line_(line) {}
+
+    /// 1-based input line, 0 when unknown.
+    [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+private:
+    std::size_t line_;
+};
+
+/// A checkpoint journal exists but belongs to a different campaign — its
+/// recorded base seed, config fingerprint or cell count does not match the
+/// sweep being run.  A stale journal is rejected, never silently reused.
+class StaleJournal : public CorruptData {
+public:
+    explicit StaleJournal(const std::string& what)
+        : CorruptData(what, ErrorCode::kStaleJournal) {}
+};
+
+/// A failure the caller may retry: the operation is expected to succeed on a
+/// later bounded attempt (flaky network path, contended resource).  The
+/// parallel cell machinery (core/parallel.hpp) retries these up to a bounded
+/// attempt count; every other error type is treated as permanent.
+class TransientError : public Error {
+public:
+    explicit TransientError(const std::string& what) : Error(what, ErrorCode::kTransient) {}
 };
 
 }  // namespace zerodeg::core
@@ -40,6 +147,10 @@ namespace zerodeg {
 // project-level aliases are warranted.
 using core::CorruptData;
 using core::Error;
+using core::ErrorCode;
 using core::InvalidArgument;
 using core::IoError;
+using core::ParseError;
+using core::StaleJournal;
+using core::TransientError;
 }  // namespace zerodeg

@@ -10,19 +10,33 @@
 // Exceptions thrown by `fn` are caught per-index and the lowest-index one is
 // rethrown on the calling thread once every task has finished, so error
 // reporting is deterministic too (not "whichever worker lost the race").
+//
+// Cells distinguish *transient* from *permanent* failures: a cell that
+// throws core::TransientError is retried in place up to CellRetry's bounded
+// attempt budget before its error is recorded; any other exception is
+// permanent and recorded on the first throw.  Either way the error lands in
+// the cell's own slot, so the lowest-index-wins contract is unchanged.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "core/error.hpp"
 #include "core/task_pool.hpp"
 
 namespace zerodeg::core {
+
+/// Retry budget for transiently-failing cells.  `max_attempts` counts total
+/// tries (1 = fail on the first throw, the historical behaviour).
+struct CellRetry {
+    int max_attempts = 1;
+};
 
 namespace detail {
 
@@ -52,24 +66,42 @@ struct ForkJoinState {
     std::vector<std::exception_ptr> errors;
 };
 
+/// Run one cell with the transient-retry budget; returns the error to record
+/// (nullptr on success).  Permanent errors are recorded on the first throw;
+/// TransientError is retried until the budget is spent, then annotated with
+/// the attempt count so the diagnostic says the failure *persisted*.
+template <typename Fn>
+[[nodiscard]] std::exception_ptr run_cell(Fn& fn, std::size_t i, CellRetry retry) noexcept {
+    for (int attempt = 1;; ++attempt) {
+        try {
+            fn(i);
+            return nullptr;
+        } catch (TransientError& e) {
+            if (attempt < retry.max_attempts) continue;
+            e.add_context("cell " + std::to_string(i) + ": transient failure persisted after " +
+                          std::to_string(attempt) + " attempt(s)");
+            return std::current_exception();
+        } catch (...) {
+            return std::current_exception();
+        }
+    }
+}
+
 }  // namespace detail
 
 /// Run fn(i) for every i in [begin, end) on the pool and block until all are
 /// done.  Rethrows the lowest-index exception, if any.  With begin == end it
 /// returns immediately without touching the pool.
 template <typename Fn>
-void parallel_for(TaskPool& pool, std::size_t begin, std::size_t end, Fn&& fn) {
+void parallel_for(TaskPool& pool, std::size_t begin, std::size_t end, Fn&& fn,
+                  CellRetry retry = {}) {
     if (begin >= end) return;
     detail::ForkJoinState state(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
         // submit() applies backpressure when the bounded queue fills, so a
         // large index range never materialises all closures at once.
-        pool.submit([&state, &fn, i, begin] {
-            try {
-                fn(i);
-            } catch (...) {
-                state.errors[i - begin] = std::current_exception();
-            }
+        pool.submit([&state, &fn, i, begin, retry] {
+            state.errors[i - begin] = detail::run_cell(fn, i, retry);
             state.finish_one();
         });
     }
@@ -80,27 +112,35 @@ void parallel_for(TaskPool& pool, std::size_t begin, std::size_t end, Fn&& fn) {
 /// Run fn(i) for i in [0, count) and return the results ordered by index —
 /// result[i] is fn(i) no matter how the pool interleaved the work.
 template <typename Fn>
-[[nodiscard]] auto parallel_map(TaskPool& pool, std::size_t count, Fn&& fn)
+[[nodiscard]] auto parallel_map(TaskPool& pool, std::size_t count, Fn&& fn,
+                                CellRetry retry = {})
     -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
     using Result = std::decay_t<decltype(fn(std::size_t{0}))>;
     std::vector<Result> results(count);
-    parallel_for(pool, 0, count, [&results, &fn](std::size_t i) { results[i] = fn(i); });
+    parallel_for(
+        pool, 0, count, [&results, &fn](std::size_t i) { results[i] = fn(i); }, retry);
     return results;
 }
 
 /// Serial fallbacks with the identical signature, used by callers that treat
-/// jobs <= 1 as "don't spin up threads at all".
+/// jobs <= 1 as "don't spin up threads at all".  The serial loop stops at
+/// the first failed cell, which is by construction the lowest-index error.
 template <typename Fn>
-void serial_for(std::size_t begin, std::size_t end, Fn&& fn) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+void serial_for(std::size_t begin, std::size_t end, Fn&& fn, CellRetry retry = {}) {
+    for (std::size_t i = begin; i < end; ++i) {
+        if (const std::exception_ptr err = detail::run_cell(fn, i, retry)) {
+            std::rethrow_exception(err);
+        }
+    }
 }
 
 template <typename Fn>
-[[nodiscard]] auto serial_map(std::size_t count, Fn&& fn)
+[[nodiscard]] auto serial_map(std::size_t count, Fn&& fn, CellRetry retry = {})
     -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
     using Result = std::decay_t<decltype(fn(std::size_t{0}))>;
     std::vector<Result> results(count);
-    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    serial_for(
+        0, count, [&results, &fn](std::size_t i) { results[i] = fn(i); }, retry);
     return results;
 }
 

@@ -8,6 +8,7 @@
 #include "faults/component_faults.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/memory_faults.hpp"
+#include "monitoring/retry_policy.hpp"
 #include "thermal/enclosure.hpp"
 #include "weather/trace_io.hpp"
 #include "weather/weather_model.hpp"
@@ -55,6 +56,12 @@ struct ExperimentConfig {
         {TimePoint::from_civil({2010, 3, 22, 14, 0, 0}), thermal::TentMod::kFanInstalled},
     };
 
+    /// Collection retry/backoff for the monitoring sweep.  The default is
+    /// the paper's behaviour (one attempt per sweep, unbounded host
+    /// buffers); the runner stamps `master_seed` into the policy so retry
+    /// jitter replays with the season.
+    monitoring::CollectorRetryPolicy collector_retry;
+
     /// The Lascar logger "arrived late": inside data starts here.
     TimePoint logger_start = TimePoint::from_date(2010, 3, 1);
     /// Manual USB readouts (indoor-outlier sources), every ~5 days.
@@ -79,5 +86,19 @@ struct ExperimentConfig {
 /// Next operator visit strictly after `t`: the next weekday at
 /// `operator_hour` local.
 [[nodiscard]] TimePoint next_operator_visit(TimePoint t, int operator_hour);
+
+/// Throw InvalidArgument naming the offending knob when `config` cannot
+/// describe a runnable season (end before start, nonpositive tick, empty
+/// corpus, ...).  Called per cell before a sweep fans out, so a bad campaign
+/// dies with a diagnostic instead of a mid-run crash on worker N.
+void validate(const ExperimentConfig& config);
+
+/// A 64-bit fingerprint over the campaign-defining knobs (dates, tick,
+/// seeds, tent schedule, workload sizing, weather script).  Two configs with
+/// the same fingerprint describe the same campaign cell for checkpoint
+/// purposes: a sweep journal records this hash and refuses to resume when it
+/// changes.  It is a change detector, not a cryptographic commitment — and it
+/// deliberately cannot see code-level overrides such as CensusPlan::run_cell.
+[[nodiscard]] std::uint64_t fingerprint(const ExperimentConfig& config);
 
 }  // namespace zerodeg::experiment

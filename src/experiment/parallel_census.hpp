@@ -22,6 +22,9 @@
 
 namespace zerodeg::experiment {
 
+class SweepJournal;
+struct SweepJournalKey;
+
 /// Shards an ordered set of independent simulation cells across a worker
 /// pool and returns results in cell order.  `jobs <= 1` runs inline on the
 /// calling thread (no threads are created), which is both the serial
@@ -37,11 +40,13 @@ public:
     /// map(count, fn) -> {fn(0), fn(1), ..., fn(count-1)}, in index order
     /// regardless of scheduling.  `fn` must be safe to call concurrently
     /// from `jobs` threads (independent cells; no shared mutable state).
+    /// `retry` gives every cell a bounded attempt budget for TransientError
+    /// failures (see core/parallel.hpp); the default retains fail-fast.
     template <typename Fn>
-    [[nodiscard]] auto map(std::size_t count, Fn&& fn) const {
-        if (jobs_ <= 1 || count <= 1) return core::serial_map(count, fn);
+    [[nodiscard]] auto map(std::size_t count, Fn&& fn, core::CellRetry retry = {}) const {
+        if (jobs_ <= 1 || count <= 1) return core::serial_map(count, fn, retry);
         core::TaskPool pool(std::min(jobs_, count));
-        return core::parallel_map(pool, count, fn);
+        return core::parallel_map(pool, count, fn, retry);
     }
 
 private:
@@ -57,6 +62,14 @@ struct CensusPlan {
     /// not be thread-safe.  Leave empty for the paper-default season with
     /// only the master seed varied.
     std::function<ExperimentConfig(std::size_t index, std::uint64_t seed)> make_config;
+    /// The unit of work of one cell; leave empty for run_season_census.
+    /// This is the seam crash/fault-injection tests use — note the journal's
+    /// config hash cannot see a code-level override, so don't mix journals
+    /// across different run_cell implementations.
+    std::function<FaultCensus(const ExperimentConfig&)> run_cell;
+    /// Total attempts a cell throwing core::TransientError gets before the
+    /// failure is treated as permanent (1 = fail on the first throw).
+    int cell_attempts = 1;
 };
 
 struct CensusResult {
@@ -73,10 +86,24 @@ public:
 
     [[nodiscard]] CensusResult run() const;
 
+    /// Checkpointing run: cells already recorded in `journal` are reused
+    /// verbatim (their seasons are not re-simulated) and every freshly
+    /// finished cell is recorded — atomically, before the sweep moves on —
+    /// so a killed campaign resumes where it died.  The journal must have
+    /// been opened with this campaign's journal_key().
+    [[nodiscard]] CensusResult run(SweepJournal& journal) const;
+
+    /// The identity a checkpoint journal must match to be resumed against
+    /// this plan: base seed, combined config fingerprint, cell count.
+    [[nodiscard]] SweepJournalKey journal_key() const;
+
     [[nodiscard]] const CensusPlan& plan() const { return plan_; }
     [[nodiscard]] std::size_t jobs() const { return runner_.jobs(); }
 
 private:
+    [[nodiscard]] std::vector<ExperimentConfig> build_configs() const;
+    [[nodiscard]] CensusResult run_impl(SweepJournal* journal) const;
+
     CensusPlan plan_;
     SweepRunner runner_;
 };

@@ -58,7 +58,10 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig config)
     net_.uplink(tent_switch_b_, building);
     net_.attach({kMonitorNodeId, "monitor"}, building);
 
-    collector_ = std::make_unique<monitoring::Collector>(sim_, net_, kMonitorNodeId);
+    monitoring::CollectorRetryPolicy retry = config_.collector_retry;
+    retry.master_seed = config_.master_seed;
+    collector_ = std::make_unique<monitoring::Collector>(
+        sim_, net_, kMonitorNodeId, core::Duration::minutes(20), retry);
 
     // Tent instrumentation.
     tent_logger_ = std::make_unique<monitoring::LascarLogger>(

@@ -1,0 +1,247 @@
+#include "experiment/sweep_journal.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <system_error>
+#include <utility>
+
+#include "core/csv.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace zerodeg::experiment {
+
+namespace {
+
+constexpr std::string_view kMagic = "zerodeg-sweep-journal v1";
+constexpr std::size_t kCensusFields = 17;
+
+/// FaultCensus <-> flat integer record, in declaration order.  The journal
+/// stores only these integers; summaries are re-folded from them, which is
+/// why a resumed campaign is byte-identical to an uninterrupted one.
+std::array<std::uint64_t, kCensusFields> pack(const FaultCensus& c) {
+    return {static_cast<std::uint64_t>(c.tent_hosts),
+            static_cast<std::uint64_t>(c.basement_hosts),
+            static_cast<std::uint64_t>(c.tent_hosts_failed),
+            static_cast<std::uint64_t>(c.basement_hosts_failed),
+            static_cast<std::uint64_t>(c.system_failures),
+            static_cast<std::uint64_t>(c.transient_failures),
+            static_cast<std::uint64_t>(c.permanent_failures),
+            static_cast<std::uint64_t>(c.sensor_incidents),
+            static_cast<std::uint64_t>(c.switch_failures),
+            static_cast<std::uint64_t>(c.fan_faults),
+            static_cast<std::uint64_t>(c.disk_faults),
+            c.load_runs,
+            c.wrong_hashes,
+            c.wrong_hashes_tent,
+            c.wrong_hashes_basement,
+            c.page_ops,
+            c.page_ops_non_ecc};
+}
+
+FaultCensus unpack(const std::array<std::uint64_t, kCensusFields>& f) {
+    FaultCensus c;
+    c.tent_hosts = static_cast<std::size_t>(f[0]);
+    c.basement_hosts = static_cast<std::size_t>(f[1]);
+    c.tent_hosts_failed = static_cast<std::size_t>(f[2]);
+    c.basement_hosts_failed = static_cast<std::size_t>(f[3]);
+    c.system_failures = static_cast<std::size_t>(f[4]);
+    c.transient_failures = static_cast<std::size_t>(f[5]);
+    c.permanent_failures = static_cast<std::size_t>(f[6]);
+    c.sensor_incidents = static_cast<std::size_t>(f[7]);
+    c.switch_failures = static_cast<std::size_t>(f[8]);
+    c.fan_faults = static_cast<std::size_t>(f[9]);
+    c.disk_faults = static_cast<std::size_t>(f[10]);
+    c.load_runs = f[11];
+    c.wrong_hashes = f[12];
+    c.wrong_hashes_tent = f[13];
+    c.wrong_hashes_basement = f[14];
+    c.page_ops = f[15];
+    c.page_ops_non_ecc = f[16];
+    return c;
+}
+
+std::string hex16(std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::uint64_t parse_hex(const std::string& field, std::size_t line_no) {
+    if (field.empty() || field[0] == '-' || field[0] == '+') {
+        throw core::ParseError("expected a hex word, got '" + field + "'", line_no);
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(field.c_str(), &end, 16);
+    if (end != field.c_str() + field.size() || errno == ERANGE) {
+        throw core::ParseError("expected a hex word, got '" + field + "'", line_no);
+    }
+    return v;
+}
+
+/// "cell <index> <f1> ... <f17>" — the checksummed payload of one record.
+std::string cell_payload(std::size_t index, const FaultCensus& census) {
+    std::ostringstream out;
+    out << "cell " << index;
+    for (const std::uint64_t v : pack(census)) out << ' ' << v;
+    return out.str();
+}
+
+}  // namespace
+
+SweepJournal::SweepJournal(std::filesystem::path path, SweepJournalKey key, bool resume)
+    : path_(std::move(path)), key_(key) {
+    if (resume && std::filesystem::exists(path_)) {
+        core::with_context("loading sweep journal '" + path_.string() + "'", [this] { load(); });
+    } else {
+        // Fresh campaign (or --resume with nothing to resume): start with a
+        // header-only journal so the identity is on disk before any cell.
+        std::lock_guard lock(mutex_);
+        rewrite();
+    }
+}
+
+void SweepJournal::load() {
+    std::ifstream in(path_);
+    if (!in) throw core::IoError("cannot open for reading");
+
+    std::string line;
+    std::size_t line_no = 0;
+    const auto next_line = [&]() -> bool {
+        if (!std::getline(in, line)) return false;
+        ++line_no;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return true;
+    };
+
+    if (!next_line() || line != kMagic) {
+        throw core::CorruptData("bad magic on line 1 (not a sweep journal?)");
+    }
+
+    // Header: each line names one identity field; a mismatch means the
+    // journal belongs to a different campaign.
+    const auto header_u64 = [&](const std::string& name) {
+        if (!next_line()) throw core::ParseError("truncated header (missing " + name + ")",
+                                                 line_no + 1);
+        std::istringstream ss(line);
+        std::string got_name, value;
+        ss >> got_name >> value;
+        if (got_name != name || value.empty()) {
+            throw core::ParseError("expected '" + name + " <value>', got '" + line + "'", line_no);
+        }
+        return name == "config_hash" ? parse_hex(value, line_no)
+                                     : core::parse_csv_u64(value, line_no);
+    };
+    const std::uint64_t base_seed = header_u64("base_seed");
+    const std::uint64_t config_hash = header_u64("config_hash");
+    const std::uint64_t cells = header_u64("cells");
+    if (base_seed != key_.base_seed || config_hash != key_.config_hash || cells != key_.cells) {
+        std::ostringstream why;
+        why << "journal belongs to a different campaign (journal: base_seed " << base_seed
+            << ", config_hash " << hex16(config_hash) << ", cells " << cells
+            << "; this campaign: base_seed " << key_.base_seed << ", config_hash "
+            << hex16(key_.config_hash) << ", cells " << key_.cells
+            << ") — delete the journal or rerun the original campaign";
+        throw core::StaleJournal(why.str());
+    }
+
+    while (next_line()) {
+        if (line.empty()) continue;
+        // Verify the record checksum against the raw payload bytes before
+        // trusting any field: "<payload> <hex checksum>".
+        const std::size_t sep = line.rfind(' ');
+        if (sep == std::string::npos) {
+            throw core::ParseError("malformed record '" + line + "'", line_no);
+        }
+        const std::string payload = line.substr(0, sep);
+        const std::uint64_t want = parse_hex(line.substr(sep + 1), line_no);
+        if (core::fnv1a(payload) != want) {
+            throw core::CorruptData("line " + std::to_string(line_no) +
+                                    ": record checksum mismatch (torn write or edited file)");
+        }
+
+        std::istringstream ss(payload);
+        std::string tag, token;
+        ss >> tag;
+        if (tag != "cell") {
+            throw core::ParseError("expected a 'cell' record, got '" + tag + "'", line_no);
+        }
+        if (!(ss >> token)) throw core::ParseError("record missing cell index", line_no);
+        const std::uint64_t index = core::parse_csv_u64(token, line_no);
+        if (index >= key_.cells) {
+            throw core::CorruptData("line " + std::to_string(line_no) + ": cell index " +
+                                    std::to_string(index) + " out of range (campaign has " +
+                                    std::to_string(key_.cells) + " cells)");
+        }
+        if (cells_.count(static_cast<std::size_t>(index))) {
+            throw core::CorruptData("line " + std::to_string(line_no) + ": duplicate cell " +
+                                    std::to_string(index));
+        }
+        std::array<std::uint64_t, kCensusFields> fields{};
+        for (std::size_t k = 0; k < kCensusFields; ++k) {
+            if (!(ss >> token)) {
+                throw core::ParseError("record for cell " + std::to_string(index) + " has " +
+                                           std::to_string(k) + " of " +
+                                           std::to_string(kCensusFields) + " census fields",
+                                       line_no);
+            }
+            fields[k] = core::parse_csv_u64(token, line_no);
+        }
+        if (ss >> token) {
+            throw core::ParseError("trailing junk in record for cell " + std::to_string(index),
+                                   line_no);
+        }
+        cells_.emplace(static_cast<std::size_t>(index), unpack(fields));
+    }
+}
+
+void SweepJournal::rewrite() const {
+    std::filesystem::path tmp = path_;
+    tmp += ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            throw core::IoError("cannot open '" + tmp.string() + "' for writing");
+        }
+        out << kMagic << '\n';
+        out << "base_seed " << key_.base_seed << '\n';
+        out << "config_hash " << hex16(key_.config_hash) << '\n';
+        out << "cells " << key_.cells << '\n';
+        for (const auto& [index, census] : cells_) {
+            const std::string payload = cell_payload(index, census);
+            out << payload << ' ' << hex16(core::fnv1a(payload)) << '\n';
+        }
+        out.flush();
+        if (!out) throw core::IoError("write to '" + tmp.string() + "' failed");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path_, ec);
+    if (ec) {
+        throw core::IoError("cannot replace '" + path_.string() + "': " + ec.message());
+    }
+}
+
+void SweepJournal::record(std::size_t index, const FaultCensus& census) {
+    if (index >= key_.cells) {
+        throw core::InvalidArgument("SweepJournal::record: cell index " + std::to_string(index) +
+                                    " out of range (campaign has " + std::to_string(key_.cells) +
+                                    " cells)");
+    }
+    std::lock_guard lock(mutex_);
+    cells_.insert_or_assign(index, census);
+    rewrite();
+}
+
+const FaultCensus* SweepJournal::find(std::size_t index) const {
+    const auto it = cells_.find(index);
+    return it == cells_.end() ? nullptr : &it->second;
+}
+
+}  // namespace zerodeg::experiment

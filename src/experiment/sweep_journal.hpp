@@ -1,0 +1,80 @@
+// Crash-safe checkpointing for Monte-Carlo sweeps.
+//
+// A SweepJournal records each finished cell of a census campaign as it
+// completes, so a killed sweep can resume without redoing the cells that
+// already ran.  Because a FaultCensus is all integers and cells are keyed by
+// seed index, a resumed campaign folds the exact same integers in the exact
+// same order as an uninterrupted one — byte-identical output, the property
+// tests/test_sweep_journal.cpp pins for --jobs in {1, 2, 8}.
+//
+// The journal binds itself to its campaign: the header records the base
+// seed, a fingerprint of every cell's config (experiment::fingerprint), and
+// the cell count.  Resuming against a journal whose identity differs throws
+// core::StaleJournal — a checkpoint from a different campaign is rejected,
+// never silently reused.  Each cell record also carries its own checksum, so
+// torn or hand-edited files fail loudly as CorruptData.
+//
+// Durability model: the whole journal is rewritten to `<path>.tmp` and
+// renamed over `<path>` on every record.  rename(2) is atomic on POSIX, so a
+// crash at any instant leaves either the previous complete journal or the
+// new complete journal on disk — never a half-written one.  Campaign cells
+// run for minutes; a full rewrite of a few-KB text file per cell is noise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+
+#include "experiment/census.hpp"
+
+namespace zerodeg::experiment {
+
+/// The identity a journal must match to be resumed against a campaign.
+struct SweepJournalKey {
+    std::uint64_t base_seed = 0;
+    std::uint64_t config_hash = 0;  ///< combined fingerprint of every cell's config
+    std::size_t cells = 0;
+};
+
+class SweepJournal {
+public:
+    /// Open the journal at `path` for the campaign identified by `key`.
+    /// With `resume` set, an existing file is loaded and validated: a wrong
+    /// magic line or a failed record checksum throws CorruptData, a header
+    /// that names a different campaign throws StaleJournal.  Without
+    /// `resume` (or when no file exists) the journal starts empty and the
+    /// file is (re)created with just the header.
+    SweepJournal(std::filesystem::path path, SweepJournalKey key, bool resume = false);
+
+    SweepJournal(const SweepJournal&) = delete;
+    SweepJournal& operator=(const SweepJournal&) = delete;
+
+    /// Persist one finished cell.  Thread-safe: workers record cells as they
+    /// complete, in any order.  The file on disk is atomically replaced
+    /// before record() returns, so a crash immediately after still resumes
+    /// past this cell.
+    void record(std::size_t index, const FaultCensus& census);
+
+    /// The recorded census for `index`, or nullptr if that cell has not
+    /// completed.  Call from the coordinating thread before the fan-out
+    /// starts — not concurrently with record().
+    [[nodiscard]] const FaultCensus* find(std::size_t index) const;
+
+    [[nodiscard]] std::size_t completed() const { return cells_.size(); }
+    [[nodiscard]] bool complete() const { return cells_.size() == key_.cells; }
+    [[nodiscard]] const SweepJournalKey& key() const { return key_; }
+    [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+private:
+    void load();           ///< parse + validate an existing file
+    void rewrite() const;  ///< atomic tmp-write + rename; caller holds mutex_
+
+    std::filesystem::path path_;
+    SweepJournalKey key_;
+    std::map<std::size_t, FaultCensus> cells_;  ///< ordered: file stays in index order
+    mutable std::mutex mutex_;
+};
+
+}  // namespace zerodeg::experiment

@@ -44,8 +44,8 @@ void Network::uplink(std::size_t from_switch, std::size_t to_switch) {
     // Reject cycles: walking up from `to_switch` must not revisit
     // `from_switch`.
     std::size_t cur = to_switch;
-    while (uplinks_.contains(cur)) {
-        cur = uplinks_.at(cur);
+    for (auto it = uplinks_.find(cur); it != uplinks_.end(); it = uplinks_.find(cur)) {
+        cur = it->second;
         if (cur == from_switch) {
             uplinks_.erase(from_switch);
             throw core::InvalidArgument("Network::uplink: would create a cycle");
@@ -60,8 +60,8 @@ void Network::step(core::Duration dt) {
 std::vector<std::size_t> Network::path_to_root(std::size_t sw) const {
     std::vector<std::size_t> path{sw};
     std::size_t cur = sw;
-    while (uplinks_.contains(cur)) {
-        cur = uplinks_.at(cur);
+    for (auto it = uplinks_.find(cur); it != uplinks_.end(); it = uplinks_.find(cur)) {
+        cur = it->second;
         path.push_back(cur);
     }
     return path;

@@ -1,0 +1,44 @@
+// Retry/backoff policy for the monitoring host's collection sweeps.
+//
+// In the paper's setup a failed rsync pull simply waits for the next
+// 20-minute sweep; a flapping switch (Section 4.2.1) therefore punches
+// multi-hour holes in the telemetry.  The policy below lets the collector
+// retry a failed host within the sweep interval — bounded attempts,
+// exponential backoff, and a dash of deterministic jitter drawn from a named
+// RNG stream so retries don't synchronize across hosts yet replay
+// identically for the same master seed.
+#pragma once
+
+#include <cstdint>
+
+#include "core/sim_time.hpp"
+
+namespace zerodeg::monitoring {
+
+struct CollectorRetryPolicy {
+    /// Total tries per sweep per host.  1 = the paper's behaviour: one
+    /// attempt, wait for the next sweep.
+    int max_attempts = 1;
+
+    /// Backoff before retry k (k = 2, 3, ...):
+    ///   min(base_backoff * backoff_factor^(k-2), max_backoff)
+    /// scaled by a jitter factor uniform in [1 - jitter_frac, 1 + jitter_frac].
+    core::Duration base_backoff = core::Duration::seconds(30);
+    double backoff_factor = 2.0;
+    core::Duration max_backoff = core::Duration::minutes(5);
+    double jitter_frac = 0.1;
+
+    /// Host-side store-and-forward buffer.  Results accumulate on the host
+    /// between successful collections; a bounded buffer drops the *oldest*
+    /// bytes once full (the newest results are the ones the monitor is
+    /// missing), and the collector accounts every dropped byte in the host's
+    /// stats.  0 = unbounded, the legacy model.
+    std::uint64_t buffer_capacity_bytes = 0;
+
+    /// Seed of the "collector.retry" jitter stream.  The experiment runner
+    /// overwrites this with the season's master seed so retry schedules are
+    /// part of the season's deterministic replay.
+    std::uint64_t master_seed = 0;
+};
+
+}  // namespace zerodeg::monitoring

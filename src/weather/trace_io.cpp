@@ -19,11 +19,12 @@ std::string fmt(double v) {
     return buf;
 }
 
-TimePoint parse_time(const std::string& s) {
+TimePoint parse_time(const std::string& s, std::size_t line_no) {
     core::CivilDateTime c;
     if (std::sscanf(s.c_str(), "%d-%d-%d %d:%d:%d", &c.year, &c.month, &c.day, &c.hour, &c.minute,
                     &c.second) != 6) {
-        throw core::CorruptData("weather trace: bad timestamp '" + s + "'");
+        throw core::ParseError("expected 'YYYY-MM-DD hh:mm:ss' timestamp, got '" + s + "'",
+                               line_no);
     }
     return TimePoint::from_civil(c);
 }
@@ -41,32 +42,42 @@ void write_trace(std::ostream& out, const std::vector<WeatherSample>& samples) {
 }
 
 std::vector<WeatherSample> read_trace(std::istream& in) {
-    core::CsvReader r(in);
-    std::vector<std::string> row;
-    if (!r.read_row(row) || row.size() < 7 || row[0] != "time") {
-        throw core::CorruptData("weather trace: missing or bad header");
-    }
-    std::vector<WeatherSample> out;
-    while (r.read_row(row)) {
-        if (row.size() < 7) throw core::CorruptData("weather trace: short row");
-        WeatherSample s;
-        s.time = parse_time(row[0]);
-        s.temperature = Celsius{std::stod(row[1])};
-        s.humidity = RelHumidity{std::stod(row[2])}.clamped();
-        s.wind = MetersPerSecond{std::stod(row[3])};
-        s.irradiance = WattsPerSquareMeter{std::stod(row[4])};
-        s.cloud_fraction = std::stod(row[5]);
-        s.precip_mm_per_h = std::stod(row[6]);
-        s.dew_point = s.humidity.value() > 0.0 ? dew_point(s.temperature, s.humidity)
-                                               : Celsius{-100.0};
-        s.snowing = s.precip_mm_per_h > 0.0 && s.temperature < Celsius{0.5};
-        if (!out.empty() && s.time < out.back().time) {
-            throw core::CorruptData("weather trace: timestamps must be nondecreasing");
+    return core::with_context("weather trace", [&in] {
+        core::CsvReader r(in);
+        std::vector<std::string> row;
+        if (!r.read_row(row)) throw core::ParseError("empty input (missing header)");
+        if (row.size() < 7 || row[0] != "time") {
+            throw core::ParseError(
+                "bad header (want time,temp_degC,rh_pct,wind_mps,ghi_wm2,cloud,precip_mm_h)",
+                r.line());
         }
-        out.push_back(s);
-    }
-    if (out.empty()) throw core::CorruptData("weather trace: no samples");
-    return out;
+        std::vector<WeatherSample> out;
+        while (r.read_row(row)) {
+            const std::size_t line = r.line();
+            if (row.size() < 7) {
+                throw core::ParseError("short row (want 7 fields, got " +
+                                           std::to_string(row.size()) + ")",
+                                       line);
+            }
+            WeatherSample s;
+            s.time = parse_time(row[0], line);
+            s.temperature = Celsius{core::parse_csv_double(row[1], line)};
+            s.humidity = RelHumidity{core::parse_csv_double(row[2], line)}.clamped();
+            s.wind = MetersPerSecond{core::parse_csv_double(row[3], line)};
+            s.irradiance = WattsPerSquareMeter{core::parse_csv_double(row[4], line)};
+            s.cloud_fraction = core::parse_csv_double(row[5], line);
+            s.precip_mm_per_h = core::parse_csv_double(row[6], line);
+            s.dew_point = s.humidity.value() > 0.0 ? dew_point(s.temperature, s.humidity)
+                                                   : Celsius{-100.0};
+            s.snowing = s.precip_mm_per_h > 0.0 && s.temperature < Celsius{0.5};
+            if (!out.empty() && s.time < out.back().time) {
+                throw core::ParseError("timestamps must be nondecreasing", line);
+            }
+            out.push_back(s);
+        }
+        if (out.empty()) throw core::ParseError("no samples after the header");
+        return out;
+    });
 }
 
 std::vector<WeatherSample> generate_trace(WeatherModel& model, TimePoint from, TimePoint to,

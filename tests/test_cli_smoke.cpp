@@ -1,0 +1,76 @@
+// End-to-end smoke test of the `zerodeg` binary's argument validation and
+// exit-code contract: 0 = success, 1 = runtime failure, 2 = usage error.
+// Runs the real executable (path baked in as ZERODEG_CLI_PATH) through the
+// shell, so what is asserted here is exactly what a user at a prompt sees.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Run the CLI with `args`, discarding output; returns the exit code.
+int run_cli(const std::string& args) {
+    const std::string cmd =
+        std::string(ZERODEG_CLI_PATH) + " " + args + " >/dev/null 2>/dev/null";
+    const int status = std::system(cmd.c_str());
+    if (status < 0) return -1;
+#ifdef WEXITSTATUS
+    return WEXITSTATUS(status);
+#else
+    return status;
+#endif
+}
+
+fs::path temp_file(const std::string& name) {
+    fs::path p = fs::path(::testing::TempDir()) / name;
+    fs::remove(p);
+    return p;
+}
+
+TEST(CliSmoke, NoArgumentsIsAUsageError) { EXPECT_EQ(run_cli(""), 2); }
+
+TEST(CliSmoke, UnknownSubcommandIsAUsageError) { EXPECT_EQ(run_cli("sing"), 2); }
+
+TEST(CliSmoke, UnknownFlagIsAUsageError) {
+    EXPECT_EQ(run_cli("prototype --walrus 3"), 2);
+    // A flag another subcommand owns is still unknown here.
+    EXPECT_EQ(run_cli("weather --seeds 3"), 2);
+}
+
+TEST(CliSmoke, MalformedNumbersAreUsageErrors) {
+    EXPECT_EQ(run_cli("census --jobs -3"), 2);
+    EXPECT_EQ(run_cli("census --jobs banana"), 2);
+    EXPECT_EQ(run_cli("census --seeds 0"), 2);
+    EXPECT_EQ(run_cli("weather --step-min 0"), 2);
+    EXPECT_EQ(run_cli("season --seed"), 2);  // missing value
+}
+
+TEST(CliSmoke, ResumeWithoutCheckpointIsAUsageError) {
+    EXPECT_EQ(run_cli("census --resume"), 2);
+}
+
+TEST(CliSmoke, UnreadableTraceIsARuntimeError) {
+    EXPECT_EQ(run_cli("season --trace /nonexistent/weather.csv"), 1);
+}
+
+TEST(CliSmoke, CorruptTraceIsARuntimeError) {
+    const fs::path trace = temp_file("corrupt_trace.csv");
+    std::ofstream(trace) << "time,temp_degC,rh_pct,wind_mps,ghi_wm2,cloud,precip_mm_h\n"
+                            "2010-02-12 00:00:00,not-a-number,80,3,0,0.5,0\n";
+    EXPECT_EQ(run_cli("season --trace " + trace.string()), 1);
+}
+
+TEST(CliSmoke, WeatherSucceeds) { EXPECT_EQ(run_cli("weather --to 2010-02-13"), 0); }
+
+TEST(CliSmoke, CorruptCheckpointIsARuntimeError) {
+    const fs::path journal = temp_file("corrupt.journal");
+    std::ofstream(journal) << "not a journal at all\n";
+    EXPECT_EQ(run_cli("census --seeds 2 --checkpoint " + journal.string() + " --resume"), 1);
+}
+
+}  // namespace

@@ -94,5 +94,76 @@ TEST(Csv, SeriesReadRejectsGarbage) {
     EXPECT_THROW((void)read_series_csv(short_row), CorruptData);
 }
 
+TEST(Csv, ReaderTracksLineNumbers) {
+    std::stringstream ss("a,b\n\n\nc,d\n");
+    CsvReader r(ss);
+    std::vector<std::string> row;
+    EXPECT_EQ(r.line(), 0u);
+    ASSERT_TRUE(r.read_row(row));
+    EXPECT_EQ(r.line(), 1u);
+    ASSERT_TRUE(r.read_row(row));
+    EXPECT_EQ(r.line(), 4u);  // blank lines 2 and 3 are skipped but counted
+}
+
+TEST(Csv, ParseDoubleStrict) {
+    EXPECT_DOUBLE_EQ(parse_csv_double("1.5"), 1.5);
+    EXPECT_DOUBLE_EQ(parse_csv_double("-9.2e0"), -9.2);
+    EXPECT_THROW((void)parse_csv_double(""), ParseError);
+    EXPECT_THROW((void)parse_csv_double("1.5abc"), ParseError);  // trailing junk
+    EXPECT_THROW((void)parse_csv_double("abc"), ParseError);
+    EXPECT_THROW((void)parse_csv_double("nan"), ParseError);
+    EXPECT_THROW((void)parse_csv_double("inf"), ParseError);
+    EXPECT_THROW((void)parse_csv_double("1e999"), ParseError);  // overflow
+}
+
+TEST(Csv, ParseU64Strict) {
+    EXPECT_EQ(parse_csv_u64("0"), 0u);
+    EXPECT_EQ(parse_csv_u64("18446744073709551615"), ~0ULL);
+    EXPECT_THROW((void)parse_csv_u64(""), ParseError);
+    EXPECT_THROW((void)parse_csv_u64("-3"), ParseError);  // must not wrap
+    EXPECT_THROW((void)parse_csv_u64("+3"), ParseError);
+    EXPECT_THROW((void)parse_csv_u64("12x"), ParseError);
+    EXPECT_THROW((void)parse_csv_u64("18446744073709551616"), ParseError);  // overflow
+}
+
+TEST(Csv, ParseErrorsCarryLineNumbers) {
+    try {
+        (void)parse_csv_double("junk", 7);
+        FAIL() << "should have thrown";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 7u);
+        EXPECT_NE(std::string(e.what()).find("line 7"), std::string::npos);
+    }
+}
+
+TEST(Csv, SeriesReadDiagnosesNonNumericValueWithLine) {
+    std::stringstream bad("time,v\n2010-01-01 00:00:00,1.0\n2010-01-01 00:10:00,oops\n");
+    try {
+        (void)read_series_csv(bad);
+        FAIL() << "should have thrown";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 3u);  // the corrupt row, counting the header
+        EXPECT_NE(std::string(e.what()).find("read_series_csv"), std::string::npos);
+    }
+}
+
+TEST(Csv, SeriesReadRejectsTrailingJunkNumbers) {
+    std::stringstream bad("time,v\n2010-01-01 00:00:00,1.0junk\n");
+    EXPECT_THROW((void)read_series_csv(bad), ParseError);
+}
+
+TEST(Csv, UnterminatedQuoteReportsLine) {
+    std::stringstream ss("a,b\n\"oops\n");
+    CsvReader r(ss);
+    std::vector<std::string> row;
+    ASSERT_TRUE(r.read_row(row));
+    try {
+        (void)r.read_row(row);
+        FAIL() << "should have thrown";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 2u);
+    }
+}
+
 }  // namespace
 }  // namespace zerodeg::core

@@ -1,0 +1,78 @@
+#include "core/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zerodeg::core {
+namespace {
+
+TEST(Error, CarriesCode) {
+    EXPECT_EQ(Error("plain").code(), ErrorCode::kUnknown);
+    EXPECT_EQ(InvalidArgument("x").code(), ErrorCode::kInvalidArgument);
+    EXPECT_EQ(IoError("x").code(), ErrorCode::kIo);
+    EXPECT_EQ(CorruptData("x").code(), ErrorCode::kCorruptData);
+    EXPECT_EQ(ParseError("x").code(), ErrorCode::kParse);
+    EXPECT_EQ(TransientError("x").code(), ErrorCode::kTransient);
+}
+
+TEST(Error, CodeNames) {
+    EXPECT_STREQ(to_string(ErrorCode::kTransient), "transient");
+    EXPECT_STREQ(to_string(ErrorCode::kStaleJournal), "stale-journal");
+    EXPECT_STREQ(to_string(ErrorCode::kUnknown), "unknown");
+}
+
+TEST(Error, ContextChainsOutermostFirst) {
+    ParseError e("bad magic", 3);
+    e.add_context("header");
+    e.add_context("loading journal 'x.journal'");
+    EXPECT_STREQ(e.what(), "loading journal 'x.journal': header: line 3: bad magic");
+    ASSERT_EQ(e.context().size(), 2u);
+    EXPECT_EQ(e.context()[0], "header");           // innermost added first
+    EXPECT_EQ(e.context()[1], "loading journal 'x.journal'");
+    EXPECT_EQ(e.line(), 3u);
+}
+
+TEST(Error, WithContextDecoratesAndRethrowsSameType) {
+    try {
+        with_context("reading trace 'foo.csv'", []() -> int {
+            throw ParseError("expected a number, got 'x'", 12);
+        });
+        FAIL() << "should have thrown";
+    } catch (const ParseError& e) {
+        // Derived type, code and line survive the decoration.
+        EXPECT_EQ(e.code(), ErrorCode::kParse);
+        EXPECT_EQ(e.line(), 12u);
+        EXPECT_STREQ(e.what(),
+                     "reading trace 'foo.csv': line 12: expected a number, got 'x'");
+    }
+}
+
+TEST(Error, WithContextPassesThroughResultWhenNoError) {
+    EXPECT_EQ(with_context("frame", [] { return 41 + 1; }), 42);
+}
+
+TEST(Error, WithContextLeavesForeignExceptionsAlone) {
+    EXPECT_THROW(with_context("frame", [] { throw std::logic_error("not ours"); }),
+                 std::logic_error);
+}
+
+TEST(Error, CatchableAsProjectBaseAndStdException) {
+    try {
+        throw TransientError("collection path down");
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kTransient);
+    }
+    try {
+        throw InvalidArgument("bad");
+    } catch (const std::exception& e) {
+        EXPECT_STREQ(e.what(), "bad");
+    }
+}
+
+TEST(Error, ParseErrorWithoutLine) {
+    const ParseError e("empty file");
+    EXPECT_EQ(e.line(), 0u);
+    EXPECT_STREQ(e.what(), "empty file");
+}
+
+}  // namespace
+}  // namespace zerodeg::core

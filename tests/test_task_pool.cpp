@@ -184,6 +184,109 @@ TEST(ParallelMap, MatchesSerialMapExactly) {
     EXPECT_EQ(parallel_map(pool, 300, fn), serial_map(300, fn));
 }
 
+TEST(CellRetry, TransientFailuresRecoverWithinBudget) {
+    TaskPool pool(4);
+    // Index 5 fails transiently twice before succeeding; with a 3-attempt
+    // budget the batch completes and the slot holds the final value.
+    std::atomic<int> failures_left{2};
+    const auto results = parallel_map(
+        pool, 16,
+        [&failures_left](std::size_t i) {
+            if (i == 5 && failures_left.fetch_sub(1) > 0) {
+                throw TransientError("collection path down");
+            }
+            return i * 10;
+        },
+        CellRetry{3});
+    ASSERT_EQ(results.size(), 16u);
+    EXPECT_EQ(results[5], 50u);
+    EXPECT_EQ(failures_left.load(), -1);  // 2 failures + 1 success consumed 3 draws
+}
+
+TEST(CellRetry, TransientFailurePersistingPastBudgetSurfaces) {
+    TaskPool pool(2);
+    std::atomic<int> attempts{0};
+    try {
+        parallel_for(
+            pool, 0, 8,
+            [&attempts](std::size_t i) {
+                if (i == 3) {
+                    attempts.fetch_add(1);
+                    throw TransientError("always down");
+                }
+            },
+            CellRetry{3});
+        FAIL() << "expected the transient error to persist";
+    } catch (const TransientError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kTransient);
+        // The diagnostic names the cell and the exhausted budget.
+        EXPECT_NE(std::string(e.what()).find("cell 3"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("3 attempt(s)"), std::string::npos);
+    }
+    EXPECT_EQ(attempts.load(), 3);  // bounded: exactly max_attempts tries
+}
+
+TEST(CellRetry, PermanentFailureIsNotRetried) {
+    TaskPool pool(2);
+    std::atomic<int> attempts{0};
+    EXPECT_THROW(parallel_for(
+                     pool, 0, 4,
+                     [&attempts](std::size_t i) {
+                         if (i == 1) {
+                             attempts.fetch_add(1);
+                             throw InvalidArgument("bad input");
+                         }
+                     },
+                     CellRetry{5}),
+                 InvalidArgument);
+    EXPECT_EQ(attempts.load(), 1);
+}
+
+TEST(CellRetry, LowestIndexWinsAcrossMixedSeverities) {
+    TaskPool pool(4);
+    // Index 2 fails permanently, index 5 transiently past its budget: the
+    // lowest-index error must be the one rethrown, every time.
+    for (int round = 0; round < 5; ++round) {
+        try {
+            parallel_for(
+                pool, 0, 16,
+                [](std::size_t i) {
+                    if (i == 2) throw InvalidArgument("permanent at 2");
+                    if (i == 5) throw TransientError("transient at 5");
+                },
+                CellRetry{2});
+            FAIL() << "expected an exception";
+        } catch (const InvalidArgument& e) {
+            EXPECT_STREQ(e.what(), "permanent at 2");
+        }
+    }
+}
+
+TEST(CellRetry, SerialPathRetriesIdentically) {
+    int failures_left = 1;
+    const auto results = serial_map(
+        4,
+        [&failures_left](std::size_t i) {
+            if (i == 2 && failures_left-- > 0) throw TransientError("blip");
+            return i + 100;
+        },
+        CellRetry{2});
+    EXPECT_EQ(results[2], 102u);
+
+    int attempts = 0;
+    EXPECT_THROW(serial_for(
+                     0, 4,
+                     [&attempts](std::size_t i) {
+                         if (i == 1) {
+                             ++attempts;
+                             throw TransientError("always");
+                         }
+                     },
+                     CellRetry{4}),
+                 TransientError);
+    EXPECT_EQ(attempts, 4);
+}
+
 TEST(ParallelFor, StressManyBatchesOnSharedPool) {
     TaskPool pool(4, /*queue_capacity=*/4);  // tiny queue: exercise backpressure
     std::atomic<long> total{0};

@@ -6,64 +6,108 @@
 //       with `season --trace`).
 //
 //   zerodeg season    [--seed N] [--end YYYY-MM-DD] [--trace FILE]
-//                     [--export DIR] [--jobs N]
+//                     [--export DIR] [--jobs N] [--checkpoint FILE] [--resume]
+//                     [--collector-retries N] [--collector-buffer BYTES]
 //       Run the paper's experiment season; print the census; optionally
-//       export figure CSVs (written in parallel with --jobs > 1).
+//       export figure CSVs (written in parallel with --jobs > 1).  With
+//       --checkpoint the finished census is journaled; --resume replays it
+//       without re-simulating.
 //
-//   zerodeg census    [--seeds N] [--jobs N]
+//   zerodeg census    [--seeds N] [--jobs N] [--checkpoint FILE] [--resume]
 //       Monte Carlo fault census over N seeds, sharded across N worker
 //       threads (--jobs 0 = one per hardware thread).  Output is
-//       byte-identical for every --jobs value.
+//       byte-identical for every --jobs value — including a --resume run
+//       that reuses cells from a killed campaign's checkpoint journal.
 //
 //   zerodeg prototype [--seed N]
 //       The Feb 12-15 prototype weekend.
+//
+// Exit codes: 0 success, 1 runtime failure (I/O, corrupt input, ...),
+// 2 usage error (unknown subcommand/flag, malformed value).
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 
+#include "core/csv.hpp"
+#include "core/error.hpp"
 #include "experiment/census.hpp"
 #include "experiment/figures.hpp"
 #include "experiment/parallel_census.hpp"
 #include "experiment/prototype.hpp"
 #include "experiment/report.hpp"
 #include "experiment/runner.hpp"
+#include "experiment/sweep_journal.hpp"
 #include "weather/trace_io.hpp"
 
 namespace {
 
 using namespace zerodeg;
 
-/// --key value arguments into a map; returns false on malformed input.
-bool parse_flags(int argc, char** argv, int first,
-                 std::map<std::string, std::string>& flags) {
+using FlagMap = std::map<std::string, std::string>;
+
+/// Flags that take no value.
+const std::set<std::string> kBooleanFlags = {"full-year", "resume"};
+
+/// Flags each subcommand accepts; anything else is a usage error.
+const std::map<std::string, std::set<std::string>> kAllowedFlags = {
+    {"weather", {"seed", "full-year", "from", "to", "step-min"}},
+    {"season",
+     {"seed", "end", "trace", "export", "jobs", "checkpoint", "resume", "collector-retries",
+      "collector-buffer"}},
+    {"census", {"seeds", "jobs", "checkpoint", "resume"}},
+    {"prototype", {"seed"}},
+};
+
+/// --key [value] arguments into a map; throws InvalidArgument on malformed
+/// input or a flag the subcommand does not know.
+FlagMap parse_flags(const std::string& cmd, int argc, char** argv, int first) {
+    const std::set<std::string>& allowed = kAllowedFlags.at(cmd);
+    FlagMap flags;
     for (int i = first; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--", 0) != 0) {
-            std::cerr << "unexpected argument: " << arg << '\n';
-            return false;
+            throw core::InvalidArgument("unexpected argument '" + arg + "' (flags start with --)");
         }
         const std::string key = arg.substr(2);
-        if (key == "full-year") {  // boolean flag
+        if (!allowed.contains(key)) {
+            throw core::InvalidArgument("--" + key + " is not a flag of 'zerodeg " + cmd + "'");
+        }
+        if (kBooleanFlags.contains(key)) {
             flags[key] = "1";
             continue;
         }
         if (i + 1 >= argc) {
-            std::cerr << "missing value for --" << key << '\n';
-            return false;
+            throw core::InvalidArgument("missing value for --" + key);
         }
         flags[key] = argv[++i];
     }
-    return true;
+    if (flags.contains("resume") && !flags.contains("checkpoint")) {
+        throw core::InvalidArgument("--resume needs --checkpoint <file> to resume from");
+    }
+    return flags;
+}
+
+/// Strict nonnegative-integer flag ("--jobs -3" and "--seeds x" both die
+/// with a diagnostic naming the flag, not a stoi backtrace).
+std::uint64_t flag_u64(const FlagMap& flags, const std::string& name, std::uint64_t fallback) {
+    const auto it = flags.find(name);
+    if (it == flags.end()) return fallback;
+    try {
+        return core::parse_csv_u64(it->second);
+    } catch (const core::Error&) {
+        throw core::InvalidArgument("--" + name + " wants a nonnegative integer, got '" +
+                                    it->second + "'");
+    }
 }
 
 /// --jobs value: 0 = one worker per hardware thread; absent = serial.
-std::size_t parse_jobs(const std::map<std::string, std::string>& flags) {
-    if (!flags.count("jobs")) return 1;
-    const long long v = std::stoll(flags.at("jobs"));
-    if (v < 0) throw core::InvalidArgument("--jobs must be >= 0");
+std::size_t parse_jobs(const FlagMap& flags) {
+    const std::uint64_t v = flag_u64(flags, "jobs", 1);
     return v == 0 ? core::TaskPool::hardware_workers() : static_cast<std::size_t>(v);
 }
 
@@ -75,9 +119,8 @@ core::TimePoint parse_date(const std::string& s) {
     return core::TimePoint::from_date(y, m, d);
 }
 
-int cmd_weather(const std::map<std::string, std::string>& flags) {
-    const std::uint64_t seed =
-        flags.count("seed") ? std::stoull(flags.at("seed")) : 20100219ULL;
+int cmd_weather(const FlagMap& flags) {
+    const std::uint64_t seed = flag_u64(flags, "seed", 20100219ULL);
     const bool full_year = flags.count("full-year") > 0;
     weather::WeatherConfig cfg =
         full_year ? weather::helsinki_full_year_config() : weather::helsinki_2010_config();
@@ -86,10 +129,11 @@ int cmd_weather(const std::map<std::string, std::string>& flags) {
                                      : core::TimePoint::from_date(2010, 2, 12);
     const core::TimePoint to = flags.count("to") ? parse_date(flags.at("to"))
                                                  : core::TimePoint::from_date(2010, 3, 27);
-    const auto step = core::Duration::minutes(
-        flags.count("step-min") ? std::stoll(flags.at("step-min")) : 10);
+    const std::uint64_t step_min = flag_u64(flags, "step-min", 10);
+    if (step_min == 0) throw core::InvalidArgument("--step-min must be positive");
     weather::WeatherModel model(cfg, seed);
-    const auto trace = weather::generate_trace(model, from, to, step);
+    const auto trace =
+        weather::generate_trace(model, from, to, core::Duration::minutes(step_min));
     weather::write_trace(std::cout, trace);
     return 0;
 }
@@ -114,26 +158,58 @@ void print_census(const experiment::FaultCensus& c) {
     }
 }
 
-int cmd_season(const std::map<std::string, std::string>& flags) {
+int cmd_season(const FlagMap& flags) {
     experiment::ExperimentConfig cfg;
-    if (flags.count("seed")) cfg.master_seed = std::stoull(flags.at("seed"));
+    cfg.master_seed = flag_u64(flags, "seed", cfg.master_seed);
     if (flags.count("end")) cfg.end = parse_date(flags.at("end"));
     if (flags.count("trace")) {
         std::ifstream in(flags.at("trace"));
         if (!in) {
-            std::cerr << "cannot open trace file " << flags.at("trace") << '\n';
-            return 1;
+            throw core::IoError("cannot open trace file '" + flags.at("trace") + "'");
         }
-        cfg.weather_trace = weather::read_trace(in);
+        cfg.weather_trace = core::with_context("reading --trace " + flags.at("trace"),
+                                               [&in] { return weather::read_trace(in); });
     }
+    const std::uint64_t retries = flag_u64(flags, "collector-retries", 1);
+    if (retries == 0) throw core::InvalidArgument("--collector-retries must be >= 1");
+    cfg.collector_retry.max_attempts = static_cast<int>(retries);
+    cfg.collector_retry.buffer_capacity_bytes = flag_u64(flags, "collector-buffer", 0);
+    experiment::validate(cfg);
+
+    // With --checkpoint the season runs as a 1-cell campaign whose journal
+    // binds this exact config; --resume replays the recorded census without
+    // re-simulating (the envelope/export need a live run and are skipped).
+    experiment::CensusPlan plan;
+    plan.base_seed = cfg.master_seed;
+    plan.seeds = 1;
+    plan.make_config = [&cfg](std::size_t, std::uint64_t) { return cfg; };
+    const experiment::ParallelCensus campaign(plan, 1);
+    std::unique_ptr<experiment::SweepJournal> journal;
+    if (flags.count("checkpoint")) {
+        journal = std::make_unique<experiment::SweepJournal>(
+            flags.at("checkpoint"), campaign.journal_key(), flags.count("resume") > 0);
+    }
+
     std::cout << "season " << cfg.start.date_string() << " .. " << cfg.end.date_string()
               << " (seed " << cfg.master_seed
               << (cfg.weather_trace.empty() ? ", synthetic weather" : ", trace-driven")
               << ")\n";
+
+    if (journal && journal->complete()) {
+        std::cout << "checkpoint " << flags.at("checkpoint")
+                  << " is complete; replaying the recorded census\n";
+        print_census(*journal->find(0));
+        std::cout << "(envelope stats and --export need a live run; delete the checkpoint to "
+                     "re-simulate)\n";
+        return 0;
+    }
+
     experiment::ExperimentRunner run(cfg);
     run.run();
+    const experiment::FaultCensus census = experiment::take_census(run);
+    if (journal) journal->record(0, census);
 
-    print_census(experiment::take_census(run));
+    print_census(census);
     std::cout << "tent envelope: "
               << experiment::fmt_pct(run.tent_envelope().fraction_within())
               << " of the season inside ASHRAE-allowable\n";
@@ -148,16 +224,27 @@ int cmd_season(const std::map<std::string, std::string>& flags) {
     return 0;
 }
 
-int cmd_census(const std::map<std::string, std::string>& flags) {
-    const int seeds = flags.count("seeds") ? std::stoi(flags.at("seeds")) : 10;
-    if (seeds <= 0) {
-        std::cerr << "--seeds must be positive\n";
-        return 1;
-    }
+int cmd_census(const FlagMap& flags) {
+    const std::uint64_t seeds = flag_u64(flags, "seeds", 10);
+    if (seeds == 0) throw core::InvalidArgument("--seeds must be positive");
     experiment::CensusPlan plan;
     plan.seeds = static_cast<std::size_t>(seeds);
     const std::size_t jobs = parse_jobs(flags);
-    const experiment::CensusResult result = experiment::run_census(plan, jobs);
+    const experiment::ParallelCensus campaign(plan, jobs);
+
+    experiment::CensusResult result;
+    if (flags.count("checkpoint")) {
+        experiment::SweepJournal journal(flags.at("checkpoint"), campaign.journal_key(),
+                                         flags.count("resume") > 0);
+        if (journal.completed() > 0) {
+            std::cout << "resuming: " << journal.completed() << "/" << plan.seeds
+                      << " cells from " << flags.at("checkpoint") << '\n';
+        }
+        result = campaign.run(journal);
+    } else {
+        result = campaign.run();
+    }
+
     for (std::size_t i = 0; i < result.censuses.size(); ++i) {
         std::cout << "seed " << plan.base_seed + i << ": "
                   << result.censuses[i].system_failures << " system failure(s), "
@@ -174,9 +261,9 @@ int cmd_census(const std::map<std::string, std::string>& flags) {
     return 0;
 }
 
-int cmd_prototype(const std::map<std::string, std::string>& flags) {
+int cmd_prototype(const FlagMap& flags) {
     experiment::PrototypeConfig cfg;
-    if (flags.count("seed")) cfg.master_seed = std::stoull(flags.at("seed"));
+    cfg.master_seed = flag_u64(flags, "seed", cfg.master_seed);
     const auto r = experiment::run_prototype(cfg);
     std::cout << "prototype weekend " << cfg.start.date_string() << " .. "
               << cfg.end.date_string() << '\n'
@@ -191,11 +278,16 @@ int cmd_prototype(const std::map<std::string, std::string>& flags) {
 }
 
 int usage() {
-    std::cerr << "usage: zerodeg <weather|season|census|prototype> [--flags]\n"
-                 "  weather   [--seed N] [--full-year] [--from D] [--to D] [--step-min M]\n"
-                 "  season    [--seed N] [--end D] [--trace FILE] [--export DIR] [--jobs N]\n"
-                 "  census    [--seeds N] [--jobs N]   (--jobs 0 = all hardware threads)\n"
-                 "  prototype [--seed N]\n";
+    std::cerr
+        << "usage: zerodeg <weather|season|census|prototype> [--flags]\n"
+           "  weather   [--seed N] [--full-year] [--from D] [--to D] [--step-min M]\n"
+           "  season    [--seed N] [--end D] [--trace FILE] [--export DIR] [--jobs N]\n"
+           "            [--checkpoint FILE] [--resume] [--collector-retries N]\n"
+           "            [--collector-buffer BYTES]\n"
+           "  census    [--seeds N] [--jobs N] [--checkpoint FILE] [--resume]\n"
+           "            (--jobs 0 = all hardware threads)\n"
+           "  prototype [--seed N]\n"
+           "exit codes: 0 ok, 1 runtime failure, 2 usage error\n";
     return 2;
 }
 
@@ -203,17 +295,23 @@ int usage() {
 
 int main(int argc, char** argv) {
     if (argc < 2) return usage();
-    std::map<std::string, std::string> flags;
-    if (!parse_flags(argc, argv, 2, flags)) return usage();
     const std::string cmd = argv[1];
+    if (!kAllowedFlags.contains(cmd)) {
+        std::cerr << "error: unknown subcommand '" << cmd << "'\n";
+        return usage();
+    }
     try {
+        const FlagMap flags = parse_flags(cmd, argc, argv, 2);
         if (cmd == "weather") return cmd_weather(flags);
         if (cmd == "season") return cmd_season(flags);
         if (cmd == "census") return cmd_census(flags);
-        if (cmd == "prototype") return cmd_prototype(flags);
+        return cmd_prototype(flags);
+    } catch (const core::InvalidArgument& e) {
+        // Usage errors print one line + the synopsis and exit 2.
+        std::cerr << "error: " << e.what() << '\n';
+        return usage();
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << '\n';
         return 1;
     }
-    return usage();
 }
