@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# One-command verification gate for the zerodeg tree.
+#
+# Runs, in order:
+#   1. hardened build (-DZERODEG_WERROR=ON: -Wconversion -Wshadow ... -Werror)
+#      + the full ctest suite, which includes the `lint` label
+#      (tools/zerodeg_lint over the tree + the checker's own unit tests)
+#   2. the `parallel` label rebuilt under ThreadSanitizer — the data-race
+#      gate for the task-pool / sharded-sweep engine
+#   3. the `resilience` label rebuilt under ASan+UBSan — the gate for the
+#      journal/retry/error paths
+#   4. a compose smoke: sanitizers + -Werror configured together must build
+#      (sanitizer instrumentation must not be broken by the warning gate)
+#   5. clang-tidy over the exported compile database, when clang-tidy exists
+#
+# This is the sanitizer matrix PRs 1-2 documented as manual steps, made
+# executable.  Every build tree is separate (build/, build-tsan/, build-asan/,
+# build-asan-werror/) so switching configurations never causes a full rebuild
+# of another.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+run() { echo "+ $*" >&2; "$@"; }
+
+echo "=== [1/5] hardened warnings + full test suite ===" >&2
+run cmake -B build -S . -DZERODEG_WERROR=ON
+run cmake --build build -j "$JOBS"
+run ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== [2/5] parallel label under ThreadSanitizer ===" >&2
+run cmake -B build-tsan -S . -DZERODEG_SANITIZE=thread
+run cmake --build build-tsan -j "$JOBS"
+run ctest --test-dir build-tsan -L parallel --output-on-failure -j "$JOBS"
+
+echo "=== [3/5] resilience label under ASan+UBSan ===" >&2
+run cmake -B build-asan -S . -DZERODEG_SANITIZE=address,undefined
+run cmake --build build-asan -j "$JOBS"
+run ctest --test-dir build-asan -L resilience --output-on-failure -j "$JOBS"
+
+echo "=== [4/5] compose smoke: sanitize + werror together ===" >&2
+run cmake -B build-asan-werror -S . -DZERODEG_SANITIZE=address,undefined -DZERODEG_WERROR=ON
+run cmake --build build-asan-werror -j "$JOBS" --target zerodeg_core zerodeg_lint
+
+echo "=== [5/5] clang-tidy (optional) ===" >&2
+if command -v clang-tidy >/dev/null 2>&1; then
+    # compile_commands.json was exported by step 1's configure.
+    mapfile -t sources < <(git ls-files 'src/**/*.cpp' 'tools/**/*.cpp')
+    run clang-tidy -p build --quiet "${sources[@]}"
+else
+    echo "clang-tidy not installed; skipping (config: .clang-tidy)" >&2
+fi
+
+echo "check.sh: all gates passed" >&2

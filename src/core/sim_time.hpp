@@ -26,14 +26,26 @@ public:
     [[nodiscard]] static constexpr Duration days(std::int64_t d) { return Duration{d * 86400}; }
 
     [[nodiscard]] constexpr std::int64_t count() const { return seconds_; }
-    [[nodiscard]] constexpr double total_hours() const { return seconds_ / 3600.0; }
-    [[nodiscard]] constexpr double total_days() const { return seconds_ / 86400.0; }
+    [[nodiscard]] constexpr double total_hours() const {
+        return static_cast<double>(seconds_) / 3600.0;
+    }
+    [[nodiscard]] constexpr double total_days() const {
+        return static_cast<double>(seconds_) / 86400.0;
+    }
 
     constexpr auto operator<=>(const Duration&) const = default;
-    constexpr Duration operator+(Duration rhs) const { return Duration{seconds_ + rhs.seconds_}; }
-    constexpr Duration operator-(Duration rhs) const { return Duration{seconds_ - rhs.seconds_}; }
-    constexpr Duration operator*(std::int64_t k) const { return Duration{seconds_ * k}; }
-    constexpr Duration operator/(std::int64_t k) const { return Duration{seconds_ / k}; }
+    [[nodiscard]] constexpr Duration operator+(Duration rhs) const {
+        return Duration{seconds_ + rhs.seconds_};
+    }
+    [[nodiscard]] constexpr Duration operator-(Duration rhs) const {
+        return Duration{seconds_ - rhs.seconds_};
+    }
+    [[nodiscard]] constexpr Duration operator*(std::int64_t k) const {
+        return Duration{seconds_ * k};
+    }
+    [[nodiscard]] constexpr Duration operator/(std::int64_t k) const {
+        return Duration{seconds_ / k};
+    }
 
 private:
     std::int64_t seconds_ = 0;
@@ -86,9 +98,15 @@ public:
     [[nodiscard]] std::string date_string() const;
 
     constexpr auto operator<=>(const TimePoint&) const = default;
-    constexpr TimePoint operator+(Duration d) const { return TimePoint{seconds_ + d.count()}; }
-    constexpr TimePoint operator-(Duration d) const { return TimePoint{seconds_ - d.count()}; }
-    constexpr Duration operator-(TimePoint rhs) const { return Duration{seconds_ - rhs.seconds_}; }
+    [[nodiscard]] constexpr TimePoint operator+(Duration d) const {
+        return TimePoint{seconds_ + d.count()};
+    }
+    [[nodiscard]] constexpr TimePoint operator-(Duration d) const {
+        return TimePoint{seconds_ - d.count()};
+    }
+    [[nodiscard]] constexpr Duration operator-(TimePoint rhs) const {
+        return Duration{seconds_ - rhs.seconds_};
+    }
     constexpr TimePoint& operator+=(Duration d) {
         seconds_ += d.count();
         return *this;

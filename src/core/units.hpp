@@ -28,13 +28,17 @@ public:
 
     constexpr auto operator<=>(const ScalarUnit&) const = default;
 
-    constexpr Derived operator+(Derived rhs) const { return Derived{value_ + rhs.value()}; }
-    constexpr Derived operator-(Derived rhs) const { return Derived{value_ - rhs.value()}; }
-    constexpr Derived operator-() const { return Derived{-value_}; }
-    constexpr Derived operator*(double k) const { return Derived{value_ * k}; }
-    constexpr Derived operator/(double k) const { return Derived{value_ / k}; }
+    [[nodiscard]] constexpr Derived operator+(Derived rhs) const {
+        return Derived{value_ + rhs.value()};
+    }
+    [[nodiscard]] constexpr Derived operator-(Derived rhs) const {
+        return Derived{value_ - rhs.value()};
+    }
+    [[nodiscard]] constexpr Derived operator-() const { return Derived{-value_}; }
+    [[nodiscard]] constexpr Derived operator*(double k) const { return Derived{value_ * k}; }
+    [[nodiscard]] constexpr Derived operator/(double k) const { return Derived{value_ / k}; }
     /// Dimensionless ratio of two like quantities.
-    constexpr double operator/(Derived rhs) const { return value_ / rhs.value(); }
+    [[nodiscard]] constexpr double operator/(Derived rhs) const { return value_ / rhs.value(); }
 
     constexpr Derived& operator+=(Derived rhs) {
         value_ += rhs.value();
@@ -55,7 +59,7 @@ private:
 };
 
 template <typename Derived>
-constexpr Derived operator*(double k, const ScalarUnit<Derived>& u) {
+[[nodiscard]] constexpr Derived operator*(double k, const ScalarUnit<Derived>& u) {
     return Derived{k * u.value()};
 }
 
@@ -148,7 +152,7 @@ public:
 };
 
 /// heat flow across a boundary = conductance * temperature difference
-constexpr Watts operator*(WattsPerKelvin g, Celsius delta) {
+[[nodiscard]] constexpr Watts operator*(WattsPerKelvin g, Celsius delta) {
     return Watts{g.value() * delta.value()};
 }
 

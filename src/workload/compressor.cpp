@@ -306,7 +306,9 @@ std::vector<std::uint8_t> frost_compress(std::span<const std::uint8_t> data,
                                          CompressorConfig config) {
     const std::size_t blocks = frost_block_count(data.size(), config);
     std::vector<std::uint8_t> out;
-    out.insert(out.end(), kStreamMagic, kStreamMagic + 4);
+    // Byte-wise append: gcc 12's -Wstringop-overflow misfires on the
+    // char* range insert into a freshly-allocated vector.
+    for (const char c : kStreamMagic) out.push_back(static_cast<std::uint8_t>(c));
     put_u32(out, static_cast<std::uint32_t>(blocks));
     put_u32(out, static_cast<std::uint32_t>(config.block_size));
 

@@ -1,0 +1,53 @@
+// Shared helper for tests that shell out to a real binary (`zerodeg`,
+// `zerodeg_lint`): runs a command line, captures combined stdout+stderr via a
+// temp file, and decodes the exit status portably.  Keeping this in one place
+// means every CLI suite asserts the same 0/1/2 exit-code contract the same way.
+#pragma once
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <system_error>
+
+namespace zerodeg::test {
+
+struct CommandResult {
+    int exit_code = -1;
+    std::string output;  // stdout + stderr interleaved
+};
+
+/// Run `cmd` through the shell, returning its exit code and combined output.
+/// The capture file is unique per process AND per call: ctest runs each
+/// discovered test as its own concurrent process, all sharing TempDir.
+inline CommandResult run_command(const std::string& cmd) {
+    static std::atomic<unsigned> call_count{0};
+    const std::filesystem::path out_path =
+        std::filesystem::path(::testing::TempDir()) /
+        ("cli_test_out." + std::to_string(::getpid()) + "." +
+         std::to_string(call_count.fetch_add(1)) + ".txt");
+    const std::string full = cmd + " > " + out_path.string() + " 2>&1";
+    const int status = std::system(full.c_str());
+    CommandResult r;
+#ifdef WEXITSTATUS
+    r.exit_code = status < 0 ? -1 : WEXITSTATUS(status);
+#else
+    r.exit_code = status;
+#endif
+    {
+        std::ifstream in(out_path);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        r.output = ss.str();
+    }
+    std::error_code ec;
+    std::filesystem::remove(out_path, ec);
+    return r;
+}
+
+}  // namespace zerodeg::test

@@ -4,10 +4,11 @@
 // shell, so what is asserted here is exactly what a user at a prompt sees.
 #include <gtest/gtest.h>
 
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+
+#include "cli_test_util.hpp"
 
 namespace {
 
@@ -15,15 +16,7 @@ namespace fs = std::filesystem;
 
 /// Run the CLI with `args`, discarding output; returns the exit code.
 int run_cli(const std::string& args) {
-    const std::string cmd =
-        std::string(ZERODEG_CLI_PATH) + " " + args + " >/dev/null 2>/dev/null";
-    const int status = std::system(cmd.c_str());
-    if (status < 0) return -1;
-#ifdef WEXITSTATUS
-    return WEXITSTATUS(status);
-#else
-    return status;
-#endif
+    return zerodeg::test::run_command(std::string(ZERODEG_CLI_PATH) + " " + args).exit_code;
 }
 
 fs::path temp_file(const std::string& name) {

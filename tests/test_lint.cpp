@@ -1,0 +1,314 @@
+// Unit tests for tools/lint — one synthetic snippet per check id, plus the
+// suppression grammar, the meta checks (ZD098/ZD099) and the baseline
+// round-trip.  These drive the checker API directly; the tree-wide gate is
+// the separate `lint_tree` CTest (tools/CMakeLists.txt).
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace zerodeg::lint {
+namespace {
+
+[[nodiscard]] std::vector<std::string> ids_of(const std::vector<Diagnostic>& diags) {
+    std::vector<std::string> ids;
+    ids.reserve(diags.size());
+    for (const Diagnostic& d : diags) ids.push_back(d.id);
+    return ids;
+}
+
+[[nodiscard]] bool has_id(const std::vector<Diagnostic>& diags, std::string_view id) {
+    return std::any_of(diags.begin(), diags.end(),
+                       [&](const Diagnostic& d) { return d.id == id; });
+}
+
+TEST(LintChecks, BannedCRand) {
+    const auto diags = lint_source("src/faults/x.cpp", "int f() { return std::rand(); }\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].id, "ZD001");
+    EXPECT_EQ(diags[0].line, 1u);
+    EXPECT_EQ(diags[0].severity, Severity::kError);
+}
+
+TEST(LintChecks, RandomDevice) {
+    const auto diags =
+        lint_source("src/weather/x.cpp", "void f() {\n  std::random_device rd;\n}\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].id, "ZD002");
+    EXPECT_EQ(diags[0].line, 2u);
+}
+
+TEST(LintChecks, WallClockBannedOutsideMonitoring) {
+    const std::string src = "auto now() { return std::chrono::system_clock::now(); }\n";
+    EXPECT_EQ(ids_of(lint_source("src/experiment/x.cpp", src)),
+              std::vector<std::string>{"ZD003"});
+    // monitoring owns real-telemetry timestamps: same code, no finding.
+    EXPECT_TRUE(lint_source("src/monitoring/x.cpp", src).empty());
+}
+
+TEST(LintChecks, CTimeSpellings) {
+    EXPECT_TRUE(has_id(lint_source("src/core/x.cpp", "long t = time(nullptr);\n"), "ZD003"));
+    EXPECT_TRUE(has_id(lint_source("src/core/x.cpp", "long t = ::time(&out);\n"), "ZD003"));
+    // Project APIs that happen to be named time() are not wall clocks.
+    EXPECT_TRUE(lint_source("src/core/x.cpp", "auto t = clockobj.time(0);\n").empty());
+}
+
+TEST(LintChecks, GetenvOnlyInTools) {
+    const std::string src = "const char* v = std::getenv(\"ZERODEG_HOME\");\n";
+    EXPECT_EQ(ids_of(lint_source("src/experiment/x.cpp", src)),
+              std::vector<std::string>{"ZD004"});
+    EXPECT_TRUE(lint_source("tools/zerodeg_cli.cpp", src).empty());
+}
+
+TEST(LintChecks, UnorderedIterationFeedingWriterIsAnError) {
+    const std::string src =
+        "#include <unordered_map>\n"
+        "std::unordered_map<std::string, int> counts;\n"
+        "void dump(std::ostream& out) {\n"
+        "  core::CsvWriter w(out);\n"
+        "  for (const auto& kv : counts) {\n"
+        "    w.write_row({kv.first});\n"
+        "  }\n"
+        "}\n";
+    const auto diags = lint_source("src/experiment/x.cpp", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].id, "ZD005");
+    EXPECT_EQ(diags[0].line, 5u);
+    EXPECT_EQ(diags[0].severity, Severity::kError);
+}
+
+TEST(LintChecks, UnorderedIterationWithoutWriterIsAWarning) {
+    const std::string src =
+        "std::unordered_map<int, int> m;\n"
+        "int total() {\n"
+        "  int s = 0;\n"
+        "  for (const auto& kv : m) s += kv.second;\n"
+        "  return s;\n"
+        "}\n";
+    const auto diags = lint_source("src/experiment/x.cpp", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].id, "ZD005");
+    EXPECT_EQ(diags[0].severity, Severity::kWarning);
+}
+
+TEST(LintChecks, OrderedMapIterationIsFine) {
+    const std::string src =
+        "std::map<std::string, int> counts;\n"
+        "void dump(std::ostream& out) {\n"
+        "  core::CsvWriter w(out);\n"
+        "  for (const auto& kv : counts) w.write_row({kv.first});\n"
+        "}\n";
+    EXPECT_TRUE(lint_source("src/experiment/x.cpp", src).empty());
+}
+
+TEST(LintChecks, CountingLoopOverUnorderedSizeIsFine) {
+    const std::string src =
+        "std::unordered_map<int, int> m;\n"
+        "int f() {\n"
+        "  int s = 0;\n"
+        "  for (std::size_t i = 0; i < m.size(); ++i) s += 1;\n"
+        "  return s;\n"
+        "}\n";
+    EXPECT_TRUE(lint_source("src/experiment/x.cpp", src).empty());
+}
+
+TEST(LintChecks, UnorderedReductionPrimitives) {
+    EXPECT_TRUE(has_id(
+        lint_source("src/experiment/x.cpp",
+                    "double s = std::reduce(v.begin(), v.end(), 0.0);\n"),
+        "ZD006"));
+    EXPECT_TRUE(has_id(
+        lint_source("src/experiment/x.cpp",
+                    "std::for_each(std::execution::par, v.begin(), v.end(), f);\n"),
+        "ZD006"));
+    EXPECT_TRUE(has_id(lint_source("src/experiment/x.cpp",
+                                   "#pragma omp parallel for reduction(+:sum)\n"),
+                       "ZD006"));
+}
+
+TEST(LintChecks, RawEngineOnlyInCore) {
+    const std::string src = "std::mt19937 gen(42);\n";
+    EXPECT_EQ(ids_of(lint_source("src/faults/x.cpp", src)), std::vector<std::string>{"ZD007"});
+    EXPECT_TRUE(lint_source("src/core/rng.cpp", src).empty());
+    EXPECT_TRUE(has_id(lint_source("tests/x.cpp", "std::normal_distribution<double> d;\n"),
+                       "ZD007"));
+}
+
+TEST(LintChecks, HeaderMustStartWithPragmaOnce) {
+    EXPECT_EQ(ids_of(lint_source("src/core/x.hpp", "#include <vector>\nint f();\n")),
+              std::vector<std::string>{"ZD008"});
+    // Comments before the pragma are fine.
+    EXPECT_TRUE(
+        lint_source("src/core/x.hpp", "// Long banner comment.\n#pragma once\nint f();\n")
+            .empty());
+    // Non-headers are exempt.
+    EXPECT_TRUE(lint_source("src/core/x.cpp", "#include <vector>\nint f();\n").empty());
+}
+
+TEST(LintChecks, UsingNamespaceInHeader) {
+    const std::string src = "#pragma once\nusing namespace std;\n";
+    EXPECT_EQ(ids_of(lint_source("src/core/x.hpp", src)), std::vector<std::string>{"ZD009"});
+    EXPECT_TRUE(lint_source("src/core/x.cpp", "using namespace std::chrono_literals;\n").empty());
+}
+
+TEST(LintChecks, ErrorCodeReturnNeedsNodiscard) {
+    const auto diags = lint_source("src/monitoring/x.hpp",
+                                   "#pragma once\nErrorCode flush_buffer(int attempts);\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].id, "ZD010");
+    EXPECT_EQ(diags[0].severity, Severity::kWarning);
+    EXPECT_TRUE(lint_source("src/monitoring/x.hpp",
+                            "#pragma once\n[[nodiscard]] ErrorCode flush_buffer(int attempts);\n")
+                    .empty());
+    // Parameters and enum mentions are not return types.
+    EXPECT_TRUE(lint_source("src/monitoring/x.hpp",
+                            "#pragma once\nvoid log_failure(ErrorCode code);\n")
+                    .empty());
+}
+
+TEST(LintChecks, ArithmeticOperatorNeedsNodiscardInHeaders) {
+    const std::string src =
+        "#pragma once\n"
+        "class Celsius {\n"
+        "  constexpr Celsius operator+(Celsius rhs) const;\n"
+        "};\n";
+    const auto diags = lint_source("src/core/x.hpp", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].id, "ZD011");
+    EXPECT_EQ(diags[0].line, 3u);
+    EXPECT_EQ(diags[0].severity, Severity::kWarning);
+    // Marked operators, compound assignment, and reference returns are fine.
+    EXPECT_TRUE(lint_source("src/core/x.hpp",
+                            "#pragma once\n"
+                            "class Celsius {\n"
+                            "  [[nodiscard]] constexpr Celsius operator+(Celsius rhs) const;\n"
+                            "  constexpr Celsius& operator+=(Celsius rhs);\n"
+                            "  constexpr auto operator<=>(const Celsius&) const = default;\n"
+                            "};\n")
+                    .empty());
+    // Non-headers are exempt (definitions there mirror a checked header).
+    EXPECT_TRUE(
+        lint_source("src/core/x.cpp", "Celsius Celsius::operator+(Celsius rhs) const {}\n")
+            .empty());
+}
+
+TEST(LintSuppressions, TrailingAllowWithReasonSuppresses) {
+    const std::string src =
+        "void f() { std::random_device rd; }  "
+        "// zerodeg-lint: allow(ZD002): synthetic example exercising entropy plumbing\n";
+    EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(LintSuppressions, CommentOnOwnLineAppliesToNextLine) {
+    const std::string src =
+        "// zerodeg-lint: allow(ZD002): documented one-off seed probe\n"
+        "void f() { std::random_device rd; }\n";
+    EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(LintSuppressions, MissingReasonDoesNotSuppressAndIsFlagged) {
+    const std::string src =
+        "void f() { std::random_device rd; }  // zerodeg-lint: allow(ZD002)\n";
+    const auto diags = lint_source("src/core/x.cpp", src);
+    EXPECT_TRUE(has_id(diags, "ZD002"));  // the allowance is void without a reason
+    EXPECT_TRUE(has_id(diags, "ZD098"));
+}
+
+TEST(LintSuppressions, UnknownCheckIdIsFlagged) {
+    const std::string src =
+        "int x = 1;  // zerodeg-lint: allow(ZD742): no such check\n";
+    const auto diags = lint_source("src/core/x.cpp", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].id, "ZD099");
+}
+
+TEST(LintSuppressions, WrongIdDoesNotSuppress) {
+    const std::string src =
+        "void f() { std::random_device rd; }  "
+        "// zerodeg-lint: allow(ZD001): suppresses the wrong check\n";
+    EXPECT_TRUE(has_id(lint_source("src/core/x.cpp", src), "ZD002"));
+}
+
+TEST(LintLexer, TokensInsideLiteralsAndCommentsAreIgnored) {
+    const std::string src =
+        "const char* docs = \"never call std::random_device or time(nullptr)\";\n"
+        "// std::rand() would be flagged if this comment were code\n"
+        "/* std::mt19937 likewise */\n"
+        "const char* raw = R\"(std::random_device)\";\n";
+    EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(LintLexer, DigitSeparatorsAreNotCharLiterals) {
+    // A naive lexer treats 657'000'000 as opening a char literal and blanks
+    // the rest of the line — which would hide the random_device after it.
+    const std::string src =
+        "void f() { long n = 657'000'000; std::random_device rd; }\n";
+    EXPECT_TRUE(has_id(lint_source("src/core/x.cpp", src), "ZD002"));
+}
+
+TEST(LintBaseline, RoundTripAndContains) {
+    const auto diags = lint_source("src/faults/x.cpp", "int f() { return std::rand(); }\n");
+    ASSERT_EQ(diags.size(), 1u);
+
+    Baseline b;
+    EXPECT_FALSE(b.contains(diags[0]));
+    b.add(diags[0]);
+    EXPECT_TRUE(b.contains(diags[0]));
+
+    const Baseline reparsed = Baseline::parse(b.serialize());
+    EXPECT_EQ(reparsed.size(), 1u);
+    EXPECT_TRUE(reparsed.contains(diags[0]));
+}
+
+TEST(LintBaseline, FingerprintIsLineShiftStable) {
+    const std::string line = "int f() { return std::rand(); }\n";
+    const auto at_top = lint_source("src/faults/x.cpp", line);
+    const auto shifted = lint_source("src/faults/x.cpp", "\n\n\n" + line);
+    ASSERT_EQ(at_top.size(), 1u);
+    ASSERT_EQ(shifted.size(), 1u);
+    EXPECT_NE(at_top[0].line, shifted[0].line);
+    EXPECT_EQ(at_top[0].fingerprint, shifted[0].fingerprint);
+
+    Baseline b;
+    b.add(at_top[0]);
+    EXPECT_TRUE(b.contains(shifted[0]));
+}
+
+TEST(LintBaseline, MalformedEntryThrowsParseError) {
+    EXPECT_THROW(static_cast<void>(Baseline::parse("ZD001 nothex src/x.cpp\n")),
+                 core::ParseError);
+    EXPECT_THROW(static_cast<void>(Baseline::parse("ZD742 0123456789abcdef src/x.cpp\n")),
+                 core::ParseError);
+    // Comments and blank lines are fine.
+    EXPECT_EQ(Baseline::parse("# header\n\n").size(), 0u);
+}
+
+TEST(LintApi, CheckTableIsConsistent) {
+    const auto& checks = known_checks();
+    EXPECT_GE(checks.size(), 12u);
+    for (const auto& c : checks) EXPECT_TRUE(is_known_check(c.id));
+    EXPECT_FALSE(is_known_check("ZD742"));
+    // Diagnostics always carry known ids.
+    for (const Diagnostic& d :
+         lint_source("src/core/x.cpp", "void f() { std::random_device rd; }\n")) {
+        EXPECT_TRUE(is_known_check(d.id));
+    }
+}
+
+TEST(LintApi, FormatDiagnosticShape) {
+    const auto diags = lint_source("src/faults/x.cpp", "int f() { return std::rand(); }\n");
+    ASSERT_EQ(diags.size(), 1u);
+    const std::string text = format_diagnostic(diags[0]);
+    EXPECT_NE(text.find("src/faults/x.cpp:1:"), std::string::npos);
+    EXPECT_NE(text.find("[ZD001]"), std::string::npos);
+    EXPECT_NE(text.find("[error]"), std::string::npos);
+    EXPECT_NE(text.find("hint:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zerodeg::lint

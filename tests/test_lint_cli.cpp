@@ -1,0 +1,128 @@
+// End-to-end test of the `zerodeg_lint` binary: exit-code contract
+// (0 = clean, 1 = new error-severity findings under --error-on-new,
+// 2 = usage/I-O error), diagnostic format, and the baseline round trip.
+// Runs the real executable (path baked in as ZERODEG_LINT_PATH) against a
+// synthetic repo tree built in TempDir, so what is asserted here is exactly
+// what the `lint_tree` CTest gate sees.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+
+#include "cli_test_util.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using CliResult = zerodeg::test::CommandResult;
+
+/// Run the lint CLI with `args`, capturing exit code and combined output.
+CliResult run_lint(const std::string& args) {
+    return zerodeg::test::run_command(std::string(ZERODEG_LINT_PATH) + " " + args);
+}
+
+/// A throwaway repo root with a `src/experiment/` subtree, removed on exit.
+/// The path embeds the test name and pid: ctest runs each discovered test as
+/// its own concurrent process, so a shared fixture path would race.
+class LintCli : public ::testing::Test {
+protected:
+    void SetUp() override {
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        root_ = fs::path(::testing::TempDir()) /
+                ("lint_cli_" + std::string(info->name()) + "." + std::to_string(::getpid()));
+        fs::remove_all(root_);
+        fs::create_directories(root_ / "src" / "experiment");
+    }
+    void TearDown() override {
+        std::error_code ec;
+        fs::remove_all(root_, ec);  // never throw from teardown
+    }
+
+    void write_source(const std::string& rel, const std::string& content) {
+        std::ofstream(root_ / rel) << content;
+    }
+
+    fs::path root_;
+};
+
+TEST_F(LintCli, CleanTreeExitsZero) {
+    write_source("src/experiment/ok.cpp", "int answer() { return 42; }\n");
+    const CliResult r = run_lint("--root " + root_.string() + " --error-on-new");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("1 files, 0 error(s)"), std::string::npos) << r.output;
+}
+
+TEST_F(LintCli, BannedTokenFailsTheGateWithItsCheckId) {
+    write_source("src/experiment/bad.cpp",
+                 "#include <random>\n"
+                 "unsigned seed() { return std::random_device{}(); }\n");
+    const CliResult r = run_lint("--root " + root_.string() + " --error-on-new");
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("[ZD002]"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("src/experiment/bad.cpp:2"), std::string::npos) << r.output;
+}
+
+TEST_F(LintCli, WithoutErrorOnNewFindingsAreReportOnly) {
+    write_source("src/experiment/bad.cpp", "long stamp() { return time(nullptr); }\n");
+    const CliResult r = run_lint("--root " + root_.string());
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("[ZD003]"), std::string::npos) << r.output;
+}
+
+TEST_F(LintCli, BaselineRoundTripAcceptsOldFindingsButNotNewOnes) {
+    write_source("src/experiment/legacy.cpp", "int roll() { return rand(); }\n");
+    const fs::path baseline = root_ / "baseline.txt";
+
+    CliResult r = run_lint("--root " + root_.string() + " --baseline " + baseline.string() +
+                           " --write-baseline");
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("wrote 1 baseline entry"), std::string::npos) << r.output;
+
+    r = run_lint("--root " + root_.string() + " --baseline " + baseline.string() +
+                 " --error-on-new");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("1 baselined"), std::string::npos) << r.output;
+
+    // A fresh finding is still fatal even with the legacy one baselined.
+    write_source("src/experiment/fresh.cpp", "int roll2() { return rand(); }\n");
+    r = run_lint("--root " + root_.string() + " --baseline " + baseline.string() +
+                 " --error-on-new");
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("fresh.cpp"), std::string::npos) << r.output;
+}
+
+TEST_F(LintCli, ReasonlessSuppressionIsNeverBaselinable) {
+    write_source("src/experiment/sloppy.cpp",
+                 "int roll() { return rand(); }  // zerodeg-lint: allow(ZD001)\n");
+    const fs::path baseline = root_ / "baseline.txt";
+    CliResult r = run_lint("--root " + root_.string() + " --baseline " + baseline.string() +
+                           " --write-baseline");
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+
+    // ZD098 (missing reason) must survive the baseline and still fail the gate.
+    r = run_lint("--root " + root_.string() + " --baseline " + baseline.string() +
+                 " --error-on-new");
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("[ZD098]"), std::string::npos) << r.output;
+}
+
+TEST_F(LintCli, ListChecksPrintsTheTable) {
+    const CliResult r = run_lint("--list-checks");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("ZD001"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("ZD099"), std::string::npos) << r.output;
+}
+
+TEST_F(LintCli, UnknownFlagIsAUsageError) {
+    EXPECT_EQ(run_lint("--walrus").exit_code, 2);
+}
+
+TEST_F(LintCli, WriteBaselineWithoutPathIsAUsageError) {
+    EXPECT_EQ(run_lint("--root " + root_.string() + " --write-baseline").exit_code, 2);
+}
+
+}  // namespace

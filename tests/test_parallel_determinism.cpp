@@ -118,8 +118,8 @@ TEST_P(ParallelDeterminism, CensusMatchesSerialLoopBitForBit) {
 
 INSTANTIATE_TEST_SUITE_P(Jobs, ParallelDeterminism,
                          ::testing::Values<std::size_t>(1, 2, 8),
-                         [](const auto& info) {
-                             return "jobs" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                             return "jobs" + std::to_string(param_info.param);
                          });
 
 TEST(ParallelDeterminism, RepeatedParallelRunsAgree) {

@@ -342,7 +342,9 @@ TEST_P(JournalResume, KilledAndResumedCampaignIsByteIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Jobs, JournalResume, ::testing::Values<std::size_t>(1, 2, 8),
-                         [](const auto& info) { return "jobs" + std::to_string(info.param); });
+                         [](const auto& param_info) {
+                             return "jobs" + std::to_string(param_info.param);
+                         });
 
 }  // namespace
 }  // namespace zerodeg::experiment

@@ -1,0 +1,789 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"  // fnv1a — same fingerprint primitive the RNG streams use
+
+namespace zerodeg::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Check table
+// ---------------------------------------------------------------------------
+
+constexpr std::array<CheckInfo, 13> kChecks{{
+    {"ZD001", Severity::kError,
+     "banned C RNG (rand/srand): unseeded, platform-varying, not stream-isolated"},
+    {"ZD002", Severity::kError,
+     "std::random_device: nondeterministic entropy breaks byte-identical replays"},
+    {"ZD003", Severity::kError,
+     "wall-clock read (system/steady clock, time()) outside src/monitoring/"},
+    {"ZD004", Severity::kError, "getenv outside tools/: hidden environment input to a sweep"},
+    {"ZD005", Severity::kError,
+     "unordered container iteration in a function that writes CSV/report/journal bytes"},
+    {"ZD006", Severity::kError,
+     "unordered reduction (std::reduce / std::execution::par / omp reduction) in float paths"},
+    {"ZD007", Severity::kError,
+     "raw <random> engine or distribution outside src/core/ (platform-unstable draws)"},
+    {"ZD008", Severity::kError, "header missing #pragma once as its first code line"},
+    {"ZD009", Severity::kError, "using namespace in a header"},
+    {"ZD010", Severity::kWarning, "ErrorCode-returning function not marked [[nodiscard]]"},
+    {"ZD011", Severity::kWarning,
+     "value-returning arithmetic operator in a header not marked [[nodiscard]]"},
+    {"ZD098", Severity::kError, "zerodeg-lint suppression without a reason string"},
+    {"ZD099", Severity::kError, "zerodeg-lint suppression naming an unknown check id"},
+}};
+
+[[nodiscard]] bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Position of `token` in `code` at an identifier boundary (the characters
+/// adjacent to the match are not identifier characters), or npos.
+[[nodiscard]] std::size_t find_token(std::string_view code, std::string_view token,
+                                     std::size_t from = 0) {
+    for (std::size_t pos = code.find(token, from); pos != std::string_view::npos;
+         pos = code.find(token, pos + 1)) {
+        const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+        const std::size_t end = pos + token.size();
+        const bool right_ok = end >= code.size() || !is_ident_char(code[end]);
+        if (left_ok && right_ok) return pos;
+    }
+    return std::string_view::npos;
+}
+
+[[nodiscard]] bool has_token(std::string_view code, std::string_view token) {
+    return find_token(code, token) != std::string_view::npos;
+}
+
+[[nodiscard]] std::string strip_ws(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s)
+        if (std::isspace(static_cast<unsigned char>(c)) == 0) out += c;
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lexing: blank comments and literal contents so checks only see code
+// ---------------------------------------------------------------------------
+
+struct Line {
+    std::string raw;      ///< original text
+    std::string code;     ///< comments and string/char literal bodies blanked
+    std::string comment;  ///< the inverse: only comment text kept (suppressions
+                          ///< live here — never in string literals)
+};
+
+/// Split `content` into lines with comments and literal interiors replaced by
+/// spaces.  Handles //, /*...*/ (multi-line), "..." with escapes, '...', and
+/// R"delim(...)delim" raw strings.  Keeping the blanked text the same length
+/// as the source keeps every column aligned with the original.
+[[nodiscard]] std::vector<Line> lex(std::string_view content) {
+    enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+    State state = State::kCode;
+    std::string raw_delim;  // for raw strings: ")delim\""
+
+    std::vector<Line> lines;
+    std::string raw, code, comment;
+    const auto flush = [&] {
+        lines.push_back({raw, code, comment});
+        raw.clear();
+        code.clear();
+        comment.clear();
+    };
+
+    for (std::size_t i = 0; i < content.size(); ++i) {
+        const char c = content[i];
+        const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+        if (c == '\n') {
+            if (state == State::kLineComment) state = State::kCode;
+            flush();
+            continue;
+        }
+        raw += c;
+        switch (state) {
+            case State::kCode:
+                if (c == '/' && next == '/') {
+                    state = State::kLineComment;
+                    code += ' ';
+                    comment += ' ';
+                } else if (c == '/' && next == '*') {
+                    state = State::kBlockComment;
+                    code += ' ';
+                    comment += ' ';
+                } else if (c == 'R' && next == '"' &&
+                           (i == 0 || !is_ident_char(content[i - 1]))) {
+                    // R"delim( ... )delim"
+                    std::size_t open = content.find('(', i + 2);
+                    if (open == std::string_view::npos) open = content.size();
+                    raw_delim = ")";
+                    raw_delim += std::string(content.substr(i + 2, open - (i + 2)));
+                    raw_delim += '"';
+                    state = State::kRawString;
+                    code += ' ';
+                    comment += ' ';
+                } else if (c == '"') {
+                    state = State::kString;
+                    code += ' ';
+                    comment += ' ';
+                } else if (c == '\'' && (i == 0 || !is_ident_char(content[i - 1]))) {
+                    // A quote after an identifier char is a digit separator
+                    // (1'000'000), not a char literal.
+                    state = State::kChar;
+                    code += ' ';
+                    comment += ' ';
+                } else {
+                    code += c;
+                    comment += ' ';
+                }
+                break;
+            case State::kLineComment:
+                code += ' ';
+                comment += c;
+                break;
+            case State::kBlockComment:
+                code += ' ';
+                comment += c;
+                if (c == '*' && next == '/') {
+                    state = State::kCode;
+                    raw += '/';
+                    code += ' ';
+                    comment += ' ';
+                    ++i;
+                }
+                break;
+            case State::kString:
+            case State::kChar:
+                code += ' ';
+                comment += ' ';
+                if (c == '\\' && next != '\0' && next != '\n') {
+                    raw += next;
+                    code += ' ';
+                    comment += ' ';
+                    ++i;
+                } else if ((state == State::kString && c == '"') ||
+                           (state == State::kChar && c == '\'')) {
+                    state = State::kCode;
+                }
+                break;
+            case State::kRawString:
+                code += ' ';
+                comment += ' ';
+                if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+                    for (std::size_t k = 1; k < raw_delim.size(); ++k) {
+                        raw += content[i + k];
+                        code += ' ';
+                        comment += ' ';
+                    }
+                    i += raw_delim.size() - 1;
+                    state = State::kCode;
+                }
+                break;
+        }
+    }
+    flush();
+    return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `// zerodeg-lint: allow(ZD003): reason`
+// ---------------------------------------------------------------------------
+
+struct Suppression {
+    std::size_t comment_line = 0;  ///< 1-based line holding the comment
+    std::size_t target_line = 0;   ///< line the allowance applies to
+    std::vector<std::string> ids;
+    bool has_reason = false;
+};
+
+[[nodiscard]] std::vector<Suppression> parse_suppressions(const std::vector<Line>& lines) {
+    std::vector<Suppression> out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        // Only the comment channel counts (a suppression spelled inside a
+        // string literal is data, not an allowance), and the marker must
+        // *begin* the comment — prose that merely mentions the syntax
+        // ("append `// zerodeg-lint: ...` to the line") is documentation.
+        const std::string& comment = lines[i].comment;
+        const std::size_t marker = comment.find("zerodeg-lint:");
+        if (marker == std::string::npos) continue;
+        const bool at_start = std::all_of(comment.begin(), comment.begin() + marker, [](char c) {
+            return std::isspace(static_cast<unsigned char>(c)) != 0 || c == '/' || c == '*';
+        });
+        if (!at_start) continue;
+        Suppression s;
+        s.comment_line = i + 1;
+        // Comment alone on its line applies to the next line; trailing
+        // comment applies to its own line.
+        s.target_line = strip_ws(lines[i].code).empty() ? i + 2 : i + 1;
+        const std::size_t open = comment.find("allow(", marker);
+        if (open == std::string::npos) continue;
+        const std::size_t close = comment.find(')', open);
+        if (close == std::string::npos) continue;
+        std::string id_list = comment.substr(open + 6, close - (open + 6));
+        std::stringstream ss(id_list);
+        std::string id;
+        while (std::getline(ss, id, ',')) {
+            id = strip_ws(id);
+            if (!id.empty()) s.ids.push_back(id);
+        }
+        // Mandatory reason: non-empty text after a ':' following the ')'.
+        const std::size_t colon = comment.find(':', close);
+        s.has_reason =
+            colon != std::string::npos && !strip_ws(comment.substr(colon + 1)).empty();
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// ZD005 support: function regions and unordered-container tracking
+// ---------------------------------------------------------------------------
+
+struct FunctionRegion {
+    std::size_t first_line = 0;  // 1-based, inclusive
+    std::size_t last_line = 0;
+};
+
+/// Best-effort segmentation of a file into maximal function bodies: a `{`
+/// whose preceding non-space character is `)` opens a function body unless
+/// the matching `(` is preceded by a control keyword (if/for/while/switch/
+/// catch).  Nested blocks and lambdas stay inside the enclosing region.
+[[nodiscard]] std::vector<FunctionRegion> find_function_regions(const std::vector<Line>& lines) {
+    std::string flat;
+    std::vector<std::size_t> line_of;  // flat index -> 1-based line
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        for (const char c : lines[i].code) {
+            flat += c;
+            line_of.push_back(i + 1);
+        }
+        flat += '\n';
+        line_of.push_back(i + 1);
+    }
+
+    const auto prev_word = [&](std::size_t pos) -> std::string {
+        // Word ending at the last non-space char before `pos`.
+        std::size_t j = pos;
+        while (j > 0 && std::isspace(static_cast<unsigned char>(flat[j - 1])) != 0) --j;
+        std::size_t end = j;
+        while (j > 0 && is_ident_char(flat[j - 1])) --j;
+        return flat.substr(j, end - j);
+    };
+
+    std::vector<FunctionRegion> regions;
+    int depth = 0;
+    int region_open_depth = -1;
+    std::size_t region_start = 0;
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+        const char c = flat[i];
+        if (c == '{') {
+            if (region_open_depth < 0) {
+                std::size_t j = i;
+                while (j > 0 && std::isspace(static_cast<unsigned char>(flat[j - 1])) != 0) --j;
+                if (j > 0 && flat[j - 1] == ')') {
+                    // Walk back over the balanced parens to the word before.
+                    int pdepth = 0;
+                    std::size_t k = j - 1;
+                    while (true) {
+                        if (flat[k] == ')') ++pdepth;
+                        if (flat[k] == '(' && --pdepth == 0) break;
+                        if (k == 0) break;
+                        --k;
+                    }
+                    const std::string word = prev_word(k);
+                    if (word != "if" && word != "for" && word != "while" && word != "switch" &&
+                        word != "catch") {
+                        region_open_depth = depth;
+                        region_start = line_of[i];
+                    }
+                }
+            }
+            ++depth;
+        } else if (c == '}') {
+            --depth;
+            if (region_open_depth >= 0 && depth == region_open_depth) {
+                regions.push_back({region_start, line_of[i]});
+                region_open_depth = -1;
+            }
+        }
+    }
+    return regions;
+}
+
+/// Names of variables declared as std::unordered_map/std::unordered_set
+/// anywhere in the file (declaration granularity is file-wide on purpose:
+/// members declared in a header and iterated in the matching .cpp are the
+/// common case this misses, so .cpp-local members are tracked permissively).
+[[nodiscard]] std::vector<std::string> unordered_variable_names(const std::vector<Line>& lines) {
+    std::vector<std::string> names;
+    for (const Line& line : lines) {
+        const std::string& code = line.code;
+        for (const std::string_view type : {"unordered_map", "unordered_set"}) {
+            for (std::size_t pos = find_token(code, type); pos != std::string_view::npos;
+                 pos = find_token(code, type, pos + 1)) {
+                std::size_t i = pos + type.size();
+                if (i >= code.size() || code[i] != '<') continue;
+                int adepth = 0;
+                for (; i < code.size(); ++i) {
+                    if (code[i] == '<') ++adepth;
+                    if (code[i] == '>' && --adepth == 0) {
+                        ++i;
+                        break;
+                    }
+                }
+                while (i < code.size() && (std::isspace(static_cast<unsigned char>(code[i])) != 0 ||
+                                           code[i] == '&' || code[i] == '*'))
+                    ++i;
+                std::size_t start = i;
+                while (i < code.size() && is_ident_char(code[i])) ++i;
+                if (i > start) names.push_back(code.substr(start, i - start));
+            }
+        }
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
+}
+
+/// Range-for over `var`: a `for` with a single `:` (not `::`) followed by the
+/// variable token.  Counting loops whose condition mentions `var.size()` and
+/// qualified names like std::size_t do not match.
+[[nodiscard]] bool is_range_for_over(std::string_view code, const std::string& var) {
+    const std::size_t f = find_token(code, "for");
+    if (f == std::string_view::npos) return false;
+    for (std::size_t i = f; i < code.size(); ++i) {
+        if (code[i] != ':') continue;
+        if ((i > 0 && code[i - 1] == ':') || (i + 1 < code.size() && code[i + 1] == ':')) {
+            ++i;  // skip both halves of '::'
+            continue;
+        }
+        return find_token(code.substr(i + 1), var) != std::string_view::npos;
+    }
+    return false;
+}
+
+/// `var.begin()` / `var.cbegin()` with a proper token boundary on `var`
+/// (so `item.begin()` does not count as `m.begin()`).
+[[nodiscard]] bool is_iterator_walk_over(std::string_view code, const std::string& var) {
+    for (std::size_t p = find_token(code, var); p != std::string_view::npos;
+         p = find_token(code, var, p + 1)) {
+        const std::string_view rest = code.substr(p + var.size());
+        if (rest.rfind(".begin()", 0) == 0 || rest.rfind(".cbegin()", 0) == 0) return true;
+    }
+    return false;
+}
+
+/// Tokens whose presence marks a function as producing output bytes that
+/// must be deterministic (CSV rows, report text, journal records).
+[[nodiscard]] bool is_writer_line(std::string_view code) {
+    for (const std::string_view t :
+         {"write_row", "write_series_csv", "CsvWriter", "ofstream", "ostream", "fprintf", "fputs",
+          "journal", "Journal", "csv", "Csv", "report", "Report"}) {
+        if (has_token(code, t)) return true;
+    }
+    return code.find(".write(") != std::string_view::npos;
+}
+
+// ---------------------------------------------------------------------------
+// The checks
+// ---------------------------------------------------------------------------
+
+struct PathTraits {
+    bool is_header = false;
+    bool in_monitoring = false;  // src/monitoring/: owns real-telemetry timestamps
+    bool in_tools = false;       // the CLI layer: the one place getenv is policy
+    bool in_core = false;        // src/core/: owns the RNG engines
+};
+
+[[nodiscard]] PathTraits classify(std::string_view path) {
+    PathTraits t;
+    t.is_header = path.ends_with(".hpp") || path.ends_with(".h");
+    t.in_monitoring = path.find("src/monitoring/") != std::string_view::npos;
+    t.in_tools = path.rfind("tools/", 0) == 0 || path.find("/tools/") != std::string_view::npos;
+    t.in_core = path.find("src/core/") != std::string_view::npos;
+    return t;
+}
+
+void emit(std::vector<Diagnostic>& out, std::string_view path, std::size_t line,
+          std::string_view id, std::string message, std::string hint,
+          const std::vector<Line>& lines) {
+    Diagnostic d;
+    d.file = std::string(path);
+    d.line = line;
+    d.id = std::string(id);
+    for (const CheckInfo& c : kChecks)
+        if (c.id == id) d.severity = c.severity;
+    d.message = std::move(message);
+    d.hint = std::move(hint);
+    if (line >= 1 && line <= lines.size()) d.fingerprint = core::fnv1a(strip_ws(lines[line - 1].raw));
+    out.push_back(std::move(d));
+}
+
+void check_banned_tokens(std::vector<Diagnostic>& out, std::string_view path,
+                         const std::vector<Line>& lines, const PathTraits& traits) {
+    struct Rule {
+        std::string_view token;
+        std::string_view id;
+        std::string_view what;
+        std::string_view hint;
+    };
+    static const std::vector<Rule> rules = {
+        {"rand", "ZD001", "C rand()", "draw from a named core::rng stream instead"},
+        {"srand", "ZD001", "C srand()", "seeding is owned by the experiment config base seed"},
+        {"random_device", "ZD002", "std::random_device",
+         "derive seeds from the campaign base seed via core::RngStream(seed, name)"},
+        {"system_clock", "ZD003", "std::chrono::system_clock",
+         "simulation time comes from core::SimTime; wall clocks live in src/monitoring/ only"},
+        {"steady_clock", "ZD003", "std::chrono::steady_clock",
+         "simulation time comes from core::SimTime; wall clocks live in src/monitoring/ only"},
+        {"high_resolution_clock", "ZD003", "std::chrono::high_resolution_clock",
+         "simulation time comes from core::SimTime; wall clocks live in src/monitoring/ only"},
+        {"clock_gettime", "ZD003", "clock_gettime()",
+         "simulation time comes from core::SimTime; wall clocks live in src/monitoring/ only"},
+        {"gettimeofday", "ZD003", "gettimeofday()",
+         "simulation time comes from core::SimTime; wall clocks live in src/monitoring/ only"},
+        {"localtime", "ZD003", "localtime()",
+         "timestamps must be derived from core::SimTime, not the host clock/timezone"},
+        {"gmtime", "ZD003", "gmtime()",
+         "timestamps must be derived from core::SimTime, not the host clock/timezone"},
+        {"getenv", "ZD004", "getenv()",
+         "environment input is only read by the CLI layer (tools/), then passed down explicitly"},
+        {"mt19937", "ZD007", "std::mt19937", "all draws go through named core::rng streams"},
+        {"mt19937_64", "ZD007", "std::mt19937_64", "all draws go through named core::rng streams"},
+        {"minstd_rand", "ZD007", "std::minstd_rand", "all draws go through named core::rng streams"},
+        {"minstd_rand0", "ZD007", "std::minstd_rand0",
+         "all draws go through named core::rng streams"},
+        {"default_random_engine", "ZD007", "std::default_random_engine",
+         "all draws go through named core::rng streams"},
+        {"uniform_int_distribution", "ZD007", "std::uniform_int_distribution",
+         "libstdc++ distributions are platform-unstable; use RngStream::uniform_int"},
+        {"uniform_real_distribution", "ZD007", "std::uniform_real_distribution",
+         "libstdc++ distributions are platform-unstable; use RngStream::uniform"},
+        {"normal_distribution", "ZD007", "std::normal_distribution",
+         "libstdc++ distributions are platform-unstable; use RngStream::normal"},
+        {"poisson_distribution", "ZD007", "std::poisson_distribution",
+         "libstdc++ distributions are platform-unstable; use RngStream::poisson"},
+        {"exponential_distribution", "ZD007", "std::exponential_distribution",
+         "libstdc++ distributions are platform-unstable; use RngStream::exponential"},
+        {"std::reduce", "ZD006", "std::reduce",
+         "reduction order must be fixed: use the ordered reduce in core/parallel.hpp"},
+        {"std::transform_reduce", "ZD006", "std::transform_reduce",
+         "reduction order must be fixed: use the ordered reduce in core/parallel.hpp"},
+        {"std::execution::par", "ZD006", "std::execution::par",
+         "parallelism goes through core::TaskPool with seed-sharded cells and ordered reduce"},
+        {"std::execution::par_unseq", "ZD006", "std::execution::par_unseq",
+         "parallelism goes through core::TaskPool with seed-sharded cells and ordered reduce"},
+    };
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& code = lines[i].code;
+        std::vector<std::string_view> hit_ids;  // one diagnostic per id per line
+        for (const Rule& r : rules) {
+            if (r.id == "ZD003" && traits.in_monitoring) continue;
+            if (r.id == "ZD004" && traits.in_tools) continue;
+            if (r.id == "ZD007" && traits.in_core) continue;
+            std::size_t pos;
+            if (r.token.find("::") != std::string_view::npos) {
+                pos = code.find(r.token);
+                if (pos != std::string::npos && pos + r.token.size() < code.size() &&
+                    is_ident_char(code[pos + r.token.size()]))
+                    pos = std::string::npos;  // e.g. std::execution::par vs ..::par_unseq
+            } else {
+                pos = find_token(code, r.token);
+            }
+            if (pos == std::string::npos) continue;
+            // Bare C `time(...)`: only the unmistakable spellings.
+            if (std::find(hit_ids.begin(), hit_ids.end(), r.id) != hit_ids.end()) continue;
+            hit_ids.push_back(r.id);
+            emit(out, path, i + 1, r.id, std::string(r.what) + " is banned here",
+                 std::string(r.hint), lines);
+        }
+        // `time(0)` / `time(NULL)` / `time(nullptr)` / `::time(` — too easy to
+        // confuse with project methods named time() to ban the bare token.
+        if (!traits.in_monitoring &&
+            std::find(hit_ids.begin(), hit_ids.end(), "ZD003") == hit_ids.end()) {
+            for (const std::string_view spelling :
+                 {"time(0)", "time(NULL)", "time(nullptr)", "::time("}) {
+                const std::size_t pos = code.find(spelling);
+                if (pos == std::string::npos) continue;
+                if (spelling[0] != ':' && pos > 0 &&
+                    (is_ident_char(code[pos - 1]) || code[pos - 1] == '.')) {
+                    continue;  // foo.time(0) / sim_time(0) are project API calls
+                }
+                emit(out, path, i + 1, "ZD003", "C time() is banned here",
+                     "simulation time comes from core::SimTime; wall clocks live in "
+                     "src/monitoring/ only",
+                     lines);
+                break;
+            }
+        }
+        // `#pragma omp ... reduction(...)` — unordered float reduction.
+        if (code.find("#pragma") != std::string::npos && has_token(code, "omp") &&
+            code.find("reduction(") != std::string::npos) {
+            emit(out, path, i + 1, "ZD006", "OpenMP reduction is banned here",
+                 "reduction order must be fixed: use the ordered reduce in core/parallel.hpp",
+                 lines);
+        }
+    }
+}
+
+void check_unordered_iteration(std::vector<Diagnostic>& out, std::string_view path,
+                               const std::vector<Line>& lines) {
+    const std::vector<std::string> vars = unordered_variable_names(lines);
+    if (vars.empty()) return;
+    const std::vector<FunctionRegion> regions = find_function_regions(lines);
+    for (const FunctionRegion& region : regions) {
+        bool writer = false;
+        for (std::size_t l = region.first_line; l <= region.last_line; ++l)
+            if (is_writer_line(lines[l - 1].code)) writer = true;
+        for (std::size_t l = region.first_line; l <= region.last_line; ++l) {
+            const std::string& code = lines[l - 1].code;
+            for (const std::string& var : vars) {
+                if (!is_range_for_over(code, var) && !is_iterator_walk_over(code, var)) continue;
+                if (writer) {
+                    emit(out, path, l, "ZD005",
+                         "iterating unordered container '" + var +
+                             "' in a function that writes output bytes",
+                         "copy keys into a sorted vector (or use std::map) before emitting "
+                         "CSV/report/journal rows — hash order is not stable",
+                         lines);
+                } else {
+                    emit(out, path, l, "ZD005",
+                         "iterating unordered container '" + var + "' (hash order)",
+                         "no output write detected in this function, but hash-order iteration "
+                         "is still nondeterministic across libstdc++ versions",
+                         lines);
+                    out.back().severity = Severity::kWarning;
+                }
+                break;  // one diagnostic per line is enough
+            }
+        }
+    }
+}
+
+void check_header_hygiene(std::vector<Diagnostic>& out, std::string_view path,
+                          const std::vector<Line>& lines, const PathTraits& traits) {
+    if (!traits.is_header) return;
+    bool saw_code = false;
+    bool pragma_first = false;
+    std::size_t first_code_line = 1;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string trimmed = strip_ws(lines[i].code);
+        if (trimmed.empty()) continue;
+        saw_code = true;
+        first_code_line = i + 1;
+        pragma_first = trimmed == "#pragmaonce";
+        break;
+    }
+    if (saw_code && !pragma_first) {
+        emit(out, path, first_code_line, "ZD008",
+             "header does not start with #pragma once",
+             "make #pragma once the first code line (comments above it are fine)", lines);
+    }
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (has_token(lines[i].code, "using") && has_token(lines[i].code, "namespace") &&
+            lines[i].code.find("using") < lines[i].code.find("namespace")) {
+            emit(out, path, i + 1, "ZD009", "using namespace in a header leaks into every includer",
+                 "qualify names or scope the using-declaration inside a function body", lines);
+        }
+    }
+}
+
+void check_nodiscard_error_code(std::vector<Diagnostic>& out, std::string_view path,
+                                const std::vector<Line>& lines) {
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& code = lines[i].code;
+        for (std::size_t pos = find_token(code, "ErrorCode"); pos != std::string::npos;
+             pos = find_token(code, "ErrorCode", pos + 1)) {
+            // Must look like a return type: `ErrorCode name(`.
+            std::size_t j = pos + 9;
+            while (j < code.size() && std::isspace(static_cast<unsigned char>(code[j])) != 0) ++j;
+            std::size_t name_start = j;
+            while (j < code.size() && is_ident_char(code[j])) ++j;
+            if (j == name_start) continue;
+            std::size_t k = j;
+            while (k < code.size() && std::isspace(static_cast<unsigned char>(code[k])) != 0) ++k;
+            if (k >= code.size() || code[k] != '(') continue;
+            // Exclude parameters/templates: previous meaningful char of `(,<`
+            // and the `enum class ErrorCode` declaration itself.
+            std::size_t b = pos;
+            while (b > 0 && (std::isspace(static_cast<unsigned char>(code[b - 1])) != 0 ||
+                             code[b - 1] == ':'))
+                --b;
+            if (b > 0 && (code[b - 1] == '(' || code[b - 1] == ',' || code[b - 1] == '<')) continue;
+            const std::string before = code.substr(0, pos);
+            const std::string prev = i > 0 ? lines[i - 1].code : std::string();
+            if (before.find("[[nodiscard]]") != std::string::npos ||
+                prev.find("[[nodiscard]]") != std::string::npos)
+                continue;
+            if (has_token(before, "enum") || has_token(before, "class")) continue;
+            emit(out, path, i + 1, "ZD010",
+                 "function returning ErrorCode should be [[nodiscard]]",
+                 "a dropped ErrorCode silently swallows a failure; mark the declaration "
+                 "[[nodiscard]]",
+                 lines);
+        }
+    }
+}
+
+/// ZD011: `Derived operator+(...)` and friends in headers.  Dropping the
+/// result of unit/time arithmetic is always a bug (the operand is untouched),
+/// so the whole strong-types layer marks these [[nodiscard]]; this keeps new
+/// operators honest.  Reference-returning operators (compound assignment,
+/// dereference) are exempt.
+void check_nodiscard_operators(std::vector<Diagnostic>& out, std::string_view path,
+                               const std::vector<Line>& lines, const PathTraits& traits) {
+    if (!traits.is_header) return;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& code = lines[i].code;
+        const std::size_t pos = find_token(code, "operator");
+        if (pos == std::string::npos) continue;
+        const std::size_t j = pos + 8;
+        if (j + 1 >= code.size()) continue;
+        const char op = code[j];
+        if (op != '+' && op != '-' && op != '*' && op != '/') continue;
+        if (code[j + 1] != '(') continue;  // skips +=, ->, <=>, etc.
+        const std::string before = code.substr(0, pos);
+        if (before.find('&') != std::string::npos) continue;  // returns a reference
+        const std::string prev = i > 0 ? lines[i - 1].code : std::string();
+        if (before.find("[[nodiscard]]") != std::string::npos ||
+            prev.find("[[nodiscard]]") != std::string::npos)
+            continue;
+        emit(out, path, i + 1, "ZD011",
+             "value-returning operator" + std::string(1, op) + " should be [[nodiscard]]",
+             "discarding the result of unit/time arithmetic is always a bug; mark the "
+             "operator [[nodiscard]]",
+             lines);
+    }
+}
+
+}  // namespace
+
+const std::vector<CheckInfo>& known_checks() {
+    static const std::vector<CheckInfo> checks(kChecks.begin(), kChecks.end());
+    return checks;
+}
+
+bool is_known_check(std::string_view id) {
+    for (const CheckInfo& c : kChecks)
+        if (c.id == id) return true;
+    return false;
+}
+
+std::vector<Diagnostic> lint_source(std::string_view path, std::string_view content) {
+    const std::vector<Line> lines = lex(content);
+    const PathTraits traits = classify(path);
+
+    std::vector<Diagnostic> all;
+    check_banned_tokens(all, path, lines, traits);
+    check_unordered_iteration(all, path, lines);
+    check_header_hygiene(all, path, lines, traits);
+    check_nodiscard_error_code(all, path, lines);
+    check_nodiscard_operators(all, path, lines, traits);
+
+    // Apply suppressions, and lint the suppressions themselves.
+    const std::vector<Suppression> sups = parse_suppressions(lines);
+    std::vector<Diagnostic> out;
+    for (Diagnostic& d : all) {
+        bool suppressed = false;
+        for (const Suppression& s : sups) {
+            if (s.target_line != d.line || !s.has_reason) continue;
+            if (std::find(s.ids.begin(), s.ids.end(), d.id) != s.ids.end()) suppressed = true;
+        }
+        if (!suppressed) out.push_back(std::move(d));
+    }
+    for (const Suppression& s : sups) {
+        if (!s.has_reason) {
+            emit(out, path, s.comment_line, "ZD098",
+                 "suppression has no reason text",
+                 "write `// zerodeg-lint: allow(ZDxxx): <why this site is safe>`", lines);
+        }
+        for (const std::string& id : s.ids) {
+            if (!is_known_check(id)) {
+                emit(out, path, s.comment_line, "ZD099",
+                     "suppression names unknown check id '" + id + "'",
+                     "run zerodeg_lint --list-checks for the valid ids", lines);
+            }
+        }
+    }
+    std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+        if (a.line != b.line) return a.line < b.line;
+        return a.id < b.id;
+    });
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+namespace {
+[[nodiscard]] std::string hex16(std::uint64_t v) {
+    static const char* digits = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[static_cast<std::size_t>(i)] = digits[v & 0xF];
+        v >>= 4;
+    }
+    return s;
+}
+
+[[nodiscard]] std::string baseline_key(const Diagnostic& d) {
+    return d.id + " " + hex16(d.fingerprint) + " " + d.file;
+}
+}  // namespace
+
+Baseline Baseline::parse(std::string_view text) {
+    Baseline b;
+    std::size_t line_no = 0;
+    std::stringstream ss{std::string(text)};
+    std::string line;
+    while (std::getline(ss, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty() || line[0] == '#') continue;
+        std::stringstream fields(line);
+        std::string id, fp, file;
+        if (!(fields >> id >> fp >> file) || !is_known_check(id) || fp.size() != 16) {
+            throw core::ParseError("malformed baseline entry '" + line + "'", line_no);
+        }
+        b.entries_.push_back(id + " " + fp + " " + file);
+    }
+    std::sort(b.entries_.begin(), b.entries_.end());
+    b.entries_.erase(std::unique(b.entries_.begin(), b.entries_.end()), b.entries_.end());
+    return b;
+}
+
+void Baseline::add(const Diagnostic& d) {
+    const std::string key = baseline_key(d);
+    const auto it = std::lower_bound(entries_.begin(), entries_.end(), key);
+    if (it == entries_.end() || *it != key) entries_.insert(it, key);
+}
+
+bool Baseline::contains(const Diagnostic& d) const {
+    return std::binary_search(entries_.begin(), entries_.end(), baseline_key(d));
+}
+
+std::string Baseline::serialize() const {
+    std::string out =
+        "# zerodeg_lint baseline: accepted pre-existing findings.\n"
+        "# Format: <check-id> <line-fingerprint> <file>.  Regenerate with\n"
+        "# `zerodeg_lint --write-baseline` after deliberate, reviewed changes.\n";
+    for (const std::string& e : entries_) {
+        out += e;
+        out += '\n';
+    }
+    return out;
+}
+
+std::string format_diagnostic(const Diagnostic& d) {
+    std::string out = d.file + ":" + std::to_string(d.line) + ": [" + d.id + "][" +
+                      to_string(d.severity) + "] " + d.message;
+    if (!d.hint.empty()) out += "\n    hint: " + d.hint;
+    return out;
+}
+
+}  // namespace zerodeg::lint
