@@ -15,6 +15,10 @@
 // resumes (`--resume`) instead of re-simulating; see
 // experiment/sweep_journal.hpp.  Benches whose cells are full season
 // censuses honour it; others ignore it.
+//
+// `--inject-faults SEED` routes the journal through a core::FaultyFs with
+// deterministic seed-scheduled write/rename faults — the quickest way to
+// see the bounded retry machinery absorb a flaky disk on a real sweep.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -22,8 +26,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "core/io.hpp"
 #include "core/task_pool.hpp"
 #include "experiment/parallel_census.hpp"
 #include "experiment/sweep_journal.hpp"
@@ -43,6 +49,10 @@ inline bool& resume_storage() {
     static bool resume = false;
     return resume;
 }
+inline std::uint64_t& fault_seed_storage() {
+    static std::uint64_t seed = 0;
+    return seed;
+}
 }  // namespace detail
 
 /// Worker count for the report phase (set by --jobs, default all hardware
@@ -57,8 +67,12 @@ inline bool& resume_storage() {
 /// True when `--resume` was given (reuse cells already in the journal).
 [[nodiscard]] inline bool resume() { return detail::resume_storage(); }
 
-/// Strip the sweep flags (`--jobs N`, `--checkpoint FILE`, `--resume`) out
-/// of argv — so google-benchmark never sees them — and record the values.
+/// FaultyFs seed from `--inject-faults SEED`; 0 = no injection.
+[[nodiscard]] inline std::uint64_t fault_seed() { return detail::fault_seed_storage(); }
+
+/// Strip the sweep flags (`--jobs N`, `--checkpoint FILE`, `--resume`,
+/// `--inject-faults SEED`) out of argv — so google-benchmark never sees
+/// them — and record the values.
 inline void parse_sweep_flags(int& argc, char** argv) {
     int out = 1;
     for (int i = 1; i < argc; ++i) {
@@ -74,6 +88,14 @@ inline void parse_sweep_flags(int& argc, char** argv) {
         }
         if (arg == "--checkpoint" && i + 1 < argc) {
             detail::checkpoint_storage() = argv[++i];
+            continue;
+        }
+        if (arg.rfind("--inject-faults=", 0) == 0) {
+            detail::fault_seed_storage() = std::strtoull(arg.c_str() + 16, nullptr, 10);
+            continue;
+        }
+        if (arg == "--inject-faults" && i + 1 < argc) {
+            detail::fault_seed_storage() = std::strtoull(argv[++i], nullptr, 10);
             continue;
         }
         if (arg.rfind("--jobs=", 0) == 0) {
@@ -103,12 +125,28 @@ inline void parse_sweep_flags(int& argc, char** argv) {
     const experiment::ParallelCensus campaign(plan, jobs());
     if (checkpoint_path().empty()) return campaign.run();
     const experiment::SweepJournalKey key = campaign.journal_key();
-    experiment::SweepJournal journal(checkpoint_path(), key, resume());
+    // --inject-faults: the journal writes go through a deterministic
+    // FaultyFs; the journal's bounded tmp+rename retry absorbs the faults.
+    std::unique_ptr<core::FaultyFs> faulty;
+    if (fault_seed() != 0) {
+        core::FaultPlan fault_plan;
+        fault_plan.seed = fault_seed();
+        fault_plan.write_fault_rate = 0.15;
+        fault_plan.rename_fault_rate = 0.05;
+        faulty = std::make_unique<core::FaultyFs>(fault_plan);
+    }
+    experiment::SweepJournal journal(checkpoint_path(), key, resume(), faulty.get());
     if (journal.completed() > 0) {
         std::cout << "checkpoint: resuming " << journal.completed() << "/" << key.cells
                   << " cells from " << checkpoint_path() << "\n";
     }
-    return campaign.run(journal);
+    experiment::CensusResult result = campaign.run(journal);
+    if (faulty) {
+        std::cout << "fault injection: " << faulty->fault_trace().size() << " fault(s) over "
+                  << faulty->op_count() << " io ops; journal absorbed " << journal.io_retries()
+                  << " transient retr" << (journal.io_retries() == 1 ? "y" : "ies") << "\n";
+    }
+    return result;
 }
 
 /// Wall-clock stopwatch for the report phase ("census: 10 seeds in 3.2 s,

@@ -7,8 +7,9 @@
 #      (tools/zerodeg_lint over the tree + the checker's own unit tests)
 #   2. the `parallel` label rebuilt under ThreadSanitizer — the data-race
 #      gate for the task-pool / sharded-sweep engine
-#   3. the `resilience` label rebuilt under ASan+UBSan — the gate for the
-#      journal/retry/error paths
+#   3. the `resilience` + `chaos` labels rebuilt under ASan+UBSan — the gate
+#      for the journal/retry/error paths and the fault-injection/torture
+#      machinery (crash-at-every-write-point resume, watchdog cancellation)
 #   4. a compose smoke: sanitizers + -Werror configured together must build
 #      (sanitizer instrumentation must not be broken by the warning gate)
 #   5. clang-tidy over the exported compile database, when clang-tidy exists
@@ -33,10 +34,10 @@ run cmake -B build-tsan -S . -DZERODEG_SANITIZE=thread
 run cmake --build build-tsan -j "$JOBS"
 run ctest --test-dir build-tsan -L parallel --output-on-failure -j "$JOBS"
 
-echo "=== [3/5] resilience label under ASan+UBSan ===" >&2
+echo "=== [3/5] resilience + chaos labels under ASan+UBSan ===" >&2
 run cmake -B build-asan -S . -DZERODEG_SANITIZE=address,undefined
 run cmake --build build-asan -j "$JOBS"
-run ctest --test-dir build-asan -L resilience --output-on-failure -j "$JOBS"
+run ctest --test-dir build-asan -L 'resilience|chaos' --output-on-failure -j "$JOBS"
 
 echo "=== [4/5] compose smoke: sanitize + werror together ===" >&2
 run cmake -B build-asan-werror -S . -DZERODEG_SANITIZE=address,undefined -DZERODEG_WERROR=ON

@@ -31,6 +31,7 @@ enum class ErrorCode {
     kParse,            ///< text input did not match the expected grammar
     kStaleJournal,     ///< a checkpoint journal exists but belongs to a different campaign
     kTransient,        ///< retryable: the same operation may succeed shortly
+    kCrash,            ///< simulated process death (fault injection); never retried
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode code) {
@@ -41,6 +42,7 @@ enum class ErrorCode {
         case ErrorCode::kParse: return "parse";
         case ErrorCode::kStaleJournal: return "stale-journal";
         case ErrorCode::kTransient: return "transient";
+        case ErrorCode::kCrash: return "crash";
         case ErrorCode::kUnknown: break;
     }
     return "unknown";

@@ -1,0 +1,410 @@
+#include "core/io.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "core/rng.hpp"
+#include "core/watchdog.hpp"
+
+namespace zerodeg::core {
+
+namespace {
+
+/// RAII for C stdio handles; write_file goes through stdio (not ofstream) so
+/// a short write or ENOSPC is detected at the exact byte, with errno intact.
+struct CFile {
+    std::FILE* f = nullptr;
+    ~CFile() {
+        if (f) (void)std::fclose(f);
+    }
+};
+
+std::string errno_text() {
+    return errno != 0 ? std::string(std::strerror(errno)) : std::string("unknown error");
+}
+
+}  // namespace
+
+void RealFs::write_file(const std::filesystem::path& path, std::string_view content) {
+    errno = 0;
+    CFile file;
+    file.f = std::fopen(path.string().c_str(), "wb");
+    if (!file.f) {
+        throw IoError("cannot create '" + path.string() + "': " + errno_text());
+    }
+    const std::size_t written =
+        content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), file.f);
+    if (written != content.size()) {
+        throw IoError("short write to '" + path.string() + "': wrote " +
+                      std::to_string(written) + " of " + std::to_string(content.size()) +
+                      " bytes (dropped " + std::to_string(content.size() - written) +
+                      " bytes): " + errno_text());
+    }
+    if (std::fflush(file.f) != 0) {
+        throw IoError("flush of '" + path.string() + "' failed (content may not be durable): " +
+                      errno_text());
+    }
+    std::FILE* f = file.f;
+    file.f = nullptr;
+    if (std::fclose(f) != 0) {
+        throw IoError("close of '" + path.string() + "' failed (content may not be durable): " +
+                      errno_text());
+    }
+}
+
+std::string RealFs::read_file(const std::filesystem::path& path) {
+    errno = 0;
+    CFile file;
+    file.f = std::fopen(path.string().c_str(), "rb");
+    if (!file.f) {
+        throw IoError("cannot open '" + path.string() + "' for reading: " + errno_text());
+    }
+    std::string out;
+    char buf[1 << 14];
+    for (;;) {
+        const std::size_t got = std::fread(buf, 1, sizeof buf, file.f);
+        out.append(buf, got);
+        if (got < sizeof buf) {
+            if (std::ferror(file.f) != 0) {
+                throw IoError("read of '" + path.string() + "' failed after " +
+                              std::to_string(out.size()) + " bytes: " + errno_text());
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+bool RealFs::exists(const std::filesystem::path& path) {
+    return std::filesystem::exists(path);
+}
+
+void RealFs::rename(const std::filesystem::path& from, const std::filesystem::path& to) {
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec);
+    if (ec) {
+        throw IoError("cannot replace '" + to.string() + "' with '" + from.string() +
+                      "': " + ec.message());
+    }
+}
+
+void RealFs::remove(const std::filesystem::path& path) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    if (ec) {
+        throw IoError("cannot remove '" + path.string() + "': " + ec.message());
+    }
+}
+
+FileSystem& real_fs() {
+    static RealFs fs;
+    return fs;
+}
+
+const char* to_string(IoOp op) {
+    switch (op) {
+        case IoOp::kWrite: return "write";
+        case IoOp::kRead: return "read";
+        case IoOp::kExists: return "exists";
+        case IoOp::kRename: return "rename";
+        case IoOp::kRemove: return "remove";
+    }
+    return "?";
+}
+
+const char* to_string(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::kShortWrite: return "short-write";
+        case FaultKind::kNoSpace: return "enospc";
+        case FaultKind::kFlushFail: return "flush-fail";
+        case FaultKind::kRenameFail: return "rename-fail";
+        case FaultKind::kStall: return "stall";
+        case FaultKind::kCrash: return "crash";
+    }
+    return "?";
+}
+
+const char* to_string(CrashPhase phase) {
+    switch (phase) {
+        case CrashPhase::kBeforeOp: return "before-op";
+        case CrashPhase::kTornWrite: return "torn-write";
+        case CrashPhase::kAfterOp: return "after-op";
+        case CrashPhase::kTornTail: return "torn-tail";
+    }
+    return "?";
+}
+
+std::string InjectedFault::to_string() const {
+    return "op " + std::to_string(op_index) + ' ' + core::to_string(op) + " '" + path +
+           "': " + core::to_string(kind);
+}
+
+namespace {
+
+/// The whole fault schedule derives from this: one hash per (seed, op,
+/// channel), stateless, so the decision for op #k never depends on which
+/// thread got there first or what happened to ops before it.
+std::uint64_t fault_hash(std::uint64_t seed, std::size_t op, std::uint64_t channel) {
+    std::uint64_t state = seed ^ (static_cast<std::uint64_t>(op) * 0x9e3779b97f4a7c15ULL) ^
+                          (channel * 0xd1342543de82ef95ULL);
+    return splitmix64(state);
+}
+
+double fault_u01(std::uint64_t seed, std::size_t op, std::uint64_t channel) {
+    return static_cast<double>(fault_hash(seed, op, channel) >> 11) * 0x1.0p-53;
+}
+
+// Hash channels, one per independent decision about an operation.
+constexpr std::uint64_t kChanWriteFault = 1;  ///< does this write fault at all?
+constexpr std::uint64_t kChanFaultKind = 2;   ///< short write vs ENOSPC vs flush
+constexpr std::uint64_t kChanFraction = 3;    ///< surviving prefix of a torn write
+constexpr std::uint64_t kChanStall = 4;       ///< does this op hang?
+constexpr std::uint64_t kChanTear = 5;        ///< tail bytes lost at a crash
+
+}  // namespace
+
+FaultyFs::FaultyFs(FaultPlan plan, FileSystem* inner)
+    : plan_(plan), inner_(inner ? inner : &real_fs()) {}
+
+std::size_t FaultyFs::next_op() {
+    std::lock_guard lock(mutex_);
+    if (crashed_) {
+        throw SimulatedCrash("filesystem unreachable: simulated process crash already fired");
+    }
+    return ops_++;
+}
+
+std::size_t FaultyFs::op_count() const {
+    std::lock_guard lock(mutex_);
+    return ops_;
+}
+
+std::vector<InjectedFault> FaultyFs::fault_trace() const {
+    std::lock_guard lock(mutex_);
+    std::vector<InjectedFault> out = trace_;
+    std::sort(out.begin(), out.end(), [](const InjectedFault& a, const InjectedFault& b) {
+        return a.op_index < b.op_index;
+    });
+    return out;
+}
+
+bool FaultyFs::crashed() const {
+    std::lock_guard lock(mutex_);
+    return crashed_;
+}
+
+void FaultyFs::record(std::size_t op, IoOp kind, FaultKind fault,
+                      const std::filesystem::path& path) {
+    std::lock_guard lock(mutex_);
+    trace_.push_back(InjectedFault{op, kind, fault, path.string()});
+}
+
+void FaultyFs::crash(std::size_t op, IoOp kind, const std::filesystem::path& path) {
+    {
+        std::lock_guard lock(mutex_);
+        crashed_ = true;
+        trace_.push_back(InjectedFault{op, kind, FaultKind::kCrash, path.string()});
+    }
+    throw SimulatedCrash("simulated process crash at io op " + std::to_string(op) + " (" +
+                         core::to_string(plan_.crash_phase) + " " + core::to_string(kind) +
+                         " of '" + path.string() + "')");
+}
+
+void FaultyFs::maybe_stall(std::size_t op, IoOp kind, const std::filesystem::path& path) {
+    if (plan_.stall_rate <= 0.0 || fault_u01(plan_.seed, op, kChanStall) >= plan_.stall_rate) {
+        return;
+    }
+    record(op, kind, FaultKind::kStall, path);
+    // Hang until the cell's watchdog cancels us (the cancellation point the
+    // Watchdog scenario exercises), or until the poll budget runs out so a
+    // plan without a supervisor can never wedge a test binary.
+    for (std::size_t poll = 0; poll < plan_.max_stall_polls; ++poll) {
+        if (const CancelToken* token = current_cell_token(); token && token->cancelled()) {
+            throw TransientError("injected stall on '" + path.string() +
+                                 "' cancelled by watchdog after " + std::to_string(poll + 1) +
+                                 " polls (hung node)");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Unobserved hang: the op eventually completes, like a disk that went
+    // away and came back.  The stall stays in the fault trace either way.
+}
+
+void FaultyFs::write_file(const std::filesystem::path& path, std::string_view content) {
+    const std::size_t op = next_op();
+    if (op == plan_.crash_at_op) {
+        switch (plan_.crash_phase) {
+            case CrashPhase::kBeforeOp: crash(op, IoOp::kWrite, path); break;
+            case CrashPhase::kTornWrite: {
+                const double frac = 0.9 * fault_u01(plan_.seed, op, kChanFraction);
+                const std::size_t keep =
+                    static_cast<std::size_t>(static_cast<double>(content.size()) * frac);
+                inner_->write_file(path, content.substr(0, keep));
+                crash(op, IoOp::kWrite, path);
+                break;
+            }
+            case CrashPhase::kAfterOp:
+                inner_->write_file(path, content);
+                crash(op, IoOp::kWrite, path);
+                break;
+            case CrashPhase::kTornTail: {
+                inner_->write_file(path, content);
+                if (!content.empty()) {
+                    const std::size_t max_tear = std::min<std::size_t>(45, content.size());
+                    const std::size_t tear =
+                        1 + static_cast<std::size_t>(fault_hash(plan_.seed, op, kChanTear) %
+                                                     max_tear);
+                    inner_->write_file(path, content.substr(0, content.size() - tear));
+                }
+                crash(op, IoOp::kWrite, path);
+                break;
+            }
+        }
+    }
+    maybe_stall(op, IoOp::kWrite, path);
+    if (plan_.write_fault_rate > 0.0 &&
+        fault_u01(plan_.seed, op, kChanWriteFault) < plan_.write_fault_rate) {
+        const std::uint64_t kind_draw = fault_hash(plan_.seed, op, kChanFaultKind) % 3;
+        const double frac = 0.9 * fault_u01(plan_.seed, op, kChanFraction);
+        const std::size_t keep =
+            static_cast<std::size_t>(static_cast<double>(content.size()) * frac);
+        if (kind_draw == 0) {
+            record(op, IoOp::kWrite, FaultKind::kShortWrite, path);
+            inner_->write_file(path, content.substr(0, keep));
+            throw TransientError("injected short write to '" + path.string() + "': wrote " +
+                                 std::to_string(keep) + " of " + std::to_string(content.size()) +
+                                 " bytes (dropped " + std::to_string(content.size() - keep) +
+                                 " bytes)");
+        }
+        if (kind_draw == 1) {
+            record(op, IoOp::kWrite, FaultKind::kNoSpace, path);
+            inner_->write_file(path, content.substr(0, keep));
+            throw TransientError("injected ENOSPC on '" + path.string() + "': wrote " +
+                                 std::to_string(keep) + " of " + std::to_string(content.size()) +
+                                 " bytes (dropped " + std::to_string(content.size() - keep) +
+                                 " bytes)");
+        }
+        record(op, IoOp::kWrite, FaultKind::kFlushFail, path);
+        inner_->write_file(path, content);
+        throw TransientError("injected flush failure on '" + path.string() +
+                             "': content written but durability not confirmed (dropped 0 bytes)");
+    }
+    inner_->write_file(path, content);
+}
+
+std::string FaultyFs::read_file(const std::filesystem::path& path) {
+    const std::size_t op = next_op();
+    if (op == plan_.crash_at_op) {
+        if (plan_.crash_phase == CrashPhase::kBeforeOp ||
+            plan_.crash_phase == CrashPhase::kTornWrite) {
+            crash(op, IoOp::kRead, path);
+        }
+        std::string out = inner_->read_file(path);
+        crash(op, IoOp::kRead, path);
+        return out;  // unreachable; crash() throws
+    }
+    maybe_stall(op, IoOp::kRead, path);
+    return inner_->read_file(path);
+}
+
+bool FaultyFs::exists(const std::filesystem::path& path) {
+    const std::size_t op = next_op();
+    if (op == plan_.crash_at_op) crash(op, IoOp::kExists, path);
+    return inner_->exists(path);
+}
+
+void FaultyFs::rename(const std::filesystem::path& from, const std::filesystem::path& to) {
+    const std::size_t op = next_op();
+    if (op == plan_.crash_at_op) {
+        switch (plan_.crash_phase) {
+            // rename(2) is atomic: there is no torn intermediate state, so
+            // the torn-write phase degenerates to dying just before it.
+            case CrashPhase::kBeforeOp:
+            case CrashPhase::kTornWrite: crash(op, IoOp::kRename, to); break;
+            case CrashPhase::kAfterOp:
+                inner_->rename(from, to);
+                crash(op, IoOp::kRename, to);
+                break;
+            case CrashPhase::kTornTail: {
+                // The rename landed but the file's tail never left the page
+                // cache before the death: chop trailing bytes off `to`.
+                inner_->rename(from, to);
+                const std::string bytes = inner_->read_file(to);
+                if (!bytes.empty()) {
+                    const std::size_t max_tear = std::min<std::size_t>(45, bytes.size());
+                    const std::size_t tear =
+                        1 + static_cast<std::size_t>(fault_hash(plan_.seed, op, kChanTear) %
+                                                     max_tear);
+                    inner_->write_file(to, std::string_view(bytes).substr(0,
+                                                                          bytes.size() - tear));
+                }
+                crash(op, IoOp::kRename, to);
+                break;
+            }
+        }
+    }
+    maybe_stall(op, IoOp::kRename, to);
+    if (plan_.rename_fault_rate > 0.0 &&
+        fault_u01(plan_.seed, op, kChanWriteFault) < plan_.rename_fault_rate) {
+        record(op, IoOp::kRename, FaultKind::kRenameFail, to);
+        throw TransientError("injected rename failure: '" + to.string() +
+                             "' not replaced (source '" + from.string() + "' left in place)");
+    }
+    inner_->rename(from, to);
+}
+
+void FaultyFs::remove(const std::filesystem::path& path) {
+    const std::size_t op = next_op();
+    if (op == plan_.crash_at_op) {
+        if (plan_.crash_phase == CrashPhase::kAfterOp ||
+            plan_.crash_phase == CrashPhase::kTornTail) {
+            inner_->remove(path);
+        }
+        crash(op, IoOp::kRemove, path);
+    }
+    inner_->remove(path);
+}
+
+int write_file_durable(FileSystem& fs, const std::filesystem::path& path,
+                       std::string_view content, IoRetryPolicy retry, std::string_view what) {
+    const int attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+    for (int attempt = 1;; ++attempt) {
+        try {
+            fs.write_file(path, content);
+            return attempt - 1;
+        } catch (TransientError& e) {
+            if (attempt >= attempts) {
+                e.add_context(std::string(what) + ": transient write failures persisted after " +
+                              std::to_string(attempts) + " attempt(s)");
+                throw;
+            }
+        }
+    }
+}
+
+int replace_file_atomic(FileSystem& fs, const std::filesystem::path& path,
+                        std::string_view content, IoRetryPolicy retry, std::string_view what) {
+    std::filesystem::path tmp = path;
+    tmp += ".tmp";
+    const int attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+    for (int attempt = 1;; ++attempt) {
+        try {
+            // Restart the whole tmp+rename sequence on a transient fault:
+            // a torn tmp file from a failed attempt is simply overwritten.
+            fs.write_file(tmp, content);
+            fs.rename(tmp, path);
+            return attempt - 1;
+        } catch (TransientError& e) {
+            if (attempt >= attempts) {
+                e.add_context(std::string(what) + ": transient replace failures persisted after " +
+                              std::to_string(attempts) + " attempt(s)");
+                throw;
+            }
+        }
+    }
+}
+
+}  // namespace zerodeg::core

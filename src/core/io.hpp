@@ -1,0 +1,202 @@
+// Virtual filesystem seam for every durable writer in the tree.
+//
+// All files that must survive a crash — sweep journals, figure/report CSV
+// exports, collector telemetry dumps — are written through the FileSystem
+// interface at full-file granularity instead of touching std::ofstream /
+// fopen directly (lint check ZD012 enforces this outside core/io).  Two
+// implementations exist:
+//
+//   * RealFs       — the disk.  write_file() goes through C stdio so short
+//                    writes and ENOSPC are detected per-byte and reported
+//                    with dropped-byte accounting, mirroring how
+//                    CollectorRetryPolicy accounts dropped telemetry.
+//   * FaultyFs     — wraps another FileSystem and injects *deterministic*,
+//                    seed-scheduled faults: short writes, ENOSPC, failed
+//                    rename/fsync, stalls (hung node), and simulated crash
+//                    points with torn-tail-byte damage.  The fault decision
+//                    for operation #k is a pure hash of (seed, k), never a
+//                    sequential RNG stream, so the schedule is independent
+//                    of thread interleaving: the same seed yields the same
+//                    fault trace under --jobs 1 and --jobs 8.
+//
+// Injected recoverable faults surface as core::TransientError (bounded
+// retries apply — see write_file_durable / replace_file_atomic); a simulated
+// crash surfaces as core::SimulatedCrash, after which the FaultyFs is dead:
+// every later operation rethrows the crash, modelling a killed process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace zerodeg::core {
+
+/// The write seam every durable writer goes through.  Full-file granularity:
+/// writers render their content in memory and persist it in one call, which
+/// is what makes atomic tmp+rename replacement (and fault injection at exact
+/// operation boundaries) possible.
+class FileSystem {
+public:
+    virtual ~FileSystem() = default;
+
+    /// Create/overwrite `path` with `content` and flush it.  Throws IoError
+    /// (with dropped-byte accounting) on a short write, ENOSPC or a failed
+    /// flush; the file may then hold any prefix of `content`.
+    virtual void write_file(const std::filesystem::path& path, std::string_view content) = 0;
+
+    /// The whole of `path` as bytes.  Throws IoError if unreadable.
+    [[nodiscard]] virtual std::string read_file(const std::filesystem::path& path) = 0;
+
+    [[nodiscard]] virtual bool exists(const std::filesystem::path& path) = 0;
+
+    /// Atomically replace `to` with `from` (POSIX rename(2) semantics).
+    virtual void rename(const std::filesystem::path& from, const std::filesystem::path& to) = 0;
+
+    /// Delete `path` if it exists; missing files are not an error.
+    virtual void remove(const std::filesystem::path& path) = 0;
+};
+
+/// The disk, via C stdio for exact short-write accounting.
+class RealFs final : public FileSystem {
+public:
+    void write_file(const std::filesystem::path& path, std::string_view content) override;
+    [[nodiscard]] std::string read_file(const std::filesystem::path& path) override;
+    [[nodiscard]] bool exists(const std::filesystem::path& path) override;
+    void rename(const std::filesystem::path& from, const std::filesystem::path& to) override;
+    void remove(const std::filesystem::path& path) override;
+};
+
+/// Process-wide RealFs: the default FileSystem everywhere a caller passes
+/// nullptr.  Stateless, so sharing one instance across threads is safe.
+[[nodiscard]] FileSystem& real_fs();
+
+/// A simulated process death injected by FaultyFs.  Deliberately NOT a
+/// TransientError: retry loops must never absorb a crash — the torture
+/// harness catches it at top level and restarts from the journal instead.
+class SimulatedCrash : public Error {
+public:
+    explicit SimulatedCrash(const std::string& what) : Error(what, ErrorCode::kCrash) {}
+};
+
+/// Which filesystem operation an op-index refers to.
+enum class IoOp { kWrite, kRead, kExists, kRename, kRemove };
+[[nodiscard]] const char* to_string(IoOp op);
+
+/// What FaultyFs did to an operation.
+enum class FaultKind {
+    kShortWrite,  ///< a prefix hit the disk, the rest was "lost"; TransientError
+    kNoSpace,     ///< ENOSPC mid-write; a prefix hit the disk; TransientError
+    kFlushFail,   ///< content written but fsync/flush "failed"; TransientError
+    kRenameFail,  ///< rename refused, target untouched; TransientError
+    kStall,       ///< op hung until the watchdog cancelled it; TransientError
+    kCrash,       ///< simulated process death at this op; SimulatedCrash
+};
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One injected fault, for the deterministic trace (same seed => same trace).
+struct InjectedFault {
+    std::size_t op_index = 0;
+    IoOp op = IoOp::kWrite;
+    FaultKind kind = FaultKind::kShortWrite;
+    std::string path;
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// At which instant of operation #crash_at_op the simulated process dies.
+enum class CrashPhase {
+    kBeforeOp,   ///< nothing of the op happened
+    kTornWrite,  ///< a write left a deterministic prefix of its content
+    kAfterOp,    ///< the op fully completed, then the process died
+    kTornTail,   ///< the op completed but the file's tail bytes were "lost"
+                 ///< (page cache never reached the platter) before the death
+};
+[[nodiscard]] const char* to_string(CrashPhase phase);
+
+/// Deterministic fault schedule.  Rates are per-operation probabilities,
+/// decided per op-index by hashing (seed, op_index) — immune to thread order.
+struct FaultPlan {
+    std::uint64_t seed = 1;
+    double write_fault_rate = 0.0;   ///< short write / ENOSPC / flush failure
+    double rename_fault_rate = 0.0;  ///< refused rename
+    double stall_rate = 0.0;         ///< hung write, cancellable via watchdog
+
+    static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+    std::size_t crash_at_op = kNever;  ///< op index at which the process dies
+    CrashPhase crash_phase = CrashPhase::kBeforeOp;
+
+    /// Stall bail-out: a stalled op polls the cell's cancel token this many
+    /// times (~1 ms apart) and then gives up stalling, so a plan without a
+    /// watchdog can never hang a test run forever.
+    std::size_t max_stall_polls = 2000;
+};
+
+/// Fault-injecting wrapper around another FileSystem (usually real_fs()).
+/// Thread-safe; one global op counter orders operations across threads.
+class FaultyFs final : public FileSystem {
+public:
+    explicit FaultyFs(FaultPlan plan, FileSystem* inner = nullptr);
+
+    void write_file(const std::filesystem::path& path, std::string_view content) override;
+    [[nodiscard]] std::string read_file(const std::filesystem::path& path) override;
+    [[nodiscard]] bool exists(const std::filesystem::path& path) override;
+    void rename(const std::filesystem::path& from, const std::filesystem::path& to) override;
+    void remove(const std::filesystem::path& path) override;
+
+    /// Operations seen so far (faulted or not).  After a run with a fault-free
+    /// plan this is the number of crash points a torture pass must cover.
+    [[nodiscard]] std::size_t op_count() const;
+
+    /// Every fault injected so far, sorted by op index.  A pure function of
+    /// (plan, op sequence): the determinism contract tests pin that the same
+    /// seed produces the same trace.
+    [[nodiscard]] std::vector<InjectedFault> fault_trace() const;
+
+    /// True once the simulated crash fired; every operation now rethrows.
+    [[nodiscard]] bool crashed() const;
+
+    [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+private:
+    [[nodiscard]] std::size_t next_op();
+    void throw_if_dead() const;
+    void crash(std::size_t op, IoOp kind, const std::filesystem::path& path);
+    void maybe_stall(std::size_t op, IoOp kind, const std::filesystem::path& path);
+    void record(std::size_t op, IoOp kind, FaultKind fault, const std::filesystem::path& path);
+
+    FaultPlan plan_;
+    FileSystem* inner_;
+    mutable std::mutex mutex_;
+    std::size_t ops_ = 0;
+    bool crashed_ = false;
+    std::vector<InjectedFault> trace_;
+};
+
+/// Bounded-retry budget for durable writes hit by transient (injected or
+/// genuinely flaky) failures.  Deliberately shaped like CollectorRetryPolicy:
+/// total attempts, not "extra retries".
+struct IoRetryPolicy {
+    int max_attempts = 3;
+};
+
+/// Write `content` to `path` through `fs`, retrying TransientError failures
+/// up to the budget.  SimulatedCrash and real IoError are never retried.
+/// Returns the number of retries that were absorbed.  On budget exhaustion
+/// the last TransientError propagates, annotated with `what`.
+int write_file_durable(FileSystem& fs, const std::filesystem::path& path,
+                       std::string_view content, IoRetryPolicy retry, std::string_view what);
+
+/// Crash-safe full-file replace: write `<path>.tmp`, then rename over
+/// `path`.  A death at any instant leaves either the old complete file or
+/// the new complete file — never a half-written one.  Transient faults on
+/// either step restart the whole tmp+rename sequence, up to the budget.
+/// Returns the number of retries absorbed.
+int replace_file_atomic(FileSystem& fs, const std::filesystem::path& path,
+                        std::string_view content, IoRetryPolicy retry, std::string_view what);
+
+}  // namespace zerodeg::core

@@ -1,0 +1,106 @@
+#include "core/watchdog.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace zerodeg::core {
+
+void CancelToken::throw_if_cancelled(const std::string& what) const {
+    if (cancelled()) {
+        throw TransientError(what + ": cancelled by watchdog (hung node)");
+    }
+}
+
+namespace {
+thread_local const CancelToken* t_cell_token = nullptr;
+}  // namespace
+
+const CancelToken* current_cell_token() { return t_cell_token; }
+
+ScopedCellToken::ScopedCellToken(CancelToken token)
+    : token_(std::move(token)), previous_(t_cell_token) {
+    t_cell_token = &token_;
+}
+
+ScopedCellToken::~ScopedCellToken() { t_cell_token = previous_; }
+
+Watchdog::Watchdog(std::int64_t deadline_ms) : deadline_(deadline_ms) {
+    if (deadline_ms <= 0) {
+        throw InvalidArgument("Watchdog: deadline must be positive, got " +
+                              std::to_string(deadline_ms) + " ms");
+    }
+    supervisor_ = std::thread([this] { supervise(); });
+}
+
+Watchdog::~Watchdog() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (supervisor_.joinable()) supervisor_.join();
+}
+
+Watchdog::Scope Watchdog::watch(std::string label) {
+    std::lock_guard lock(mutex_);
+    Entry entry;
+    entry.id = next_id_++;
+    entry.label = std::move(label);
+    // zerodeg-lint: allow(ZD003): harness wall-clock deadline, not simulation time
+    entry.start = std::chrono::steady_clock::now();
+    Scope scope(this, entry.id, entry.token);
+    active_.push_back(std::move(entry));
+    return scope;
+}
+
+Watchdog::Scope::Scope(Scope&& other) noexcept
+    : dog_(other.dog_), id_(other.id_), token_(std::move(other.token_)) {
+    other.dog_ = nullptr;
+}
+
+Watchdog::Scope::~Scope() {
+    if (dog_) dog_->release(id_);
+}
+
+void Watchdog::release(std::size_t id) {
+    std::lock_guard lock(mutex_);
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [id](const Entry& e) { return e.id == id; }),
+                  active_.end());
+}
+
+std::size_t Watchdog::hung_count() const {
+    std::lock_guard lock(mutex_);
+    return hung_.size();
+}
+
+std::vector<std::string> Watchdog::hung_labels() const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::string> out = hung_;
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void Watchdog::supervise() {
+    // Poll at a quarter of the deadline (capped at 50 ms) so an overrun is
+    // noticed promptly without burning a core.
+    const auto poll = std::min<std::chrono::milliseconds>(
+        std::chrono::milliseconds(50),
+        std::max<std::chrono::milliseconds>(deadline_ / 4, std::chrono::milliseconds(1)));
+    std::unique_lock lock(mutex_);
+    while (!stopping_) {
+        cv_.wait_for(lock, poll, [this] { return stopping_; });
+        if (stopping_) break;
+        // zerodeg-lint: allow(ZD003): harness wall-clock deadline, not simulation time
+        const auto now = std::chrono::steady_clock::now();
+        for (Entry& entry : active_) {
+            if (!entry.token.cancelled() && now - entry.start > deadline_) {
+                entry.token.cancel();
+                hung_.push_back(entry.label);
+            }
+        }
+    }
+}
+
+}  // namespace zerodeg::core

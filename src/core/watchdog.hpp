@@ -1,0 +1,131 @@
+// Deadline supervision for sweep cells: the harness-level answer to the
+// paper's hung machines that needed an operator walk to the tent.
+//
+// A Watchdog owns one supervisor thread.  Each unit of work registers via
+// watch(label), which hands back an RAII scope holding a CancelToken; if the
+// scope is still alive past the deadline, the supervisor cancels the token
+// and books the label as a "hung node".  Cancellation is cooperative: code
+// deep inside the cell (e.g. a FaultyFs stall fault) polls the thread-local
+// current_cell_token() and bails out with core::TransientError, so a hung
+// cell is charged against its CellRetry budget like any other transient
+// failure — detected, cancelled, retried, reported.
+//
+// Wall-clock time here measures the *harness*, never the simulation, so the
+// ZD003 suppressions below are legitimate (same rationale as
+// benchutil::WallTimer).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace zerodeg::core {
+
+/// A shared cancellation flag.  Copies share the flag; cancelling any copy
+/// cancels them all.  Safe to poll from any thread.
+class CancelToken {
+public:
+    CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+    void cancel() const { flag_->store(true, std::memory_order_relaxed); }
+    [[nodiscard]] bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+    /// Cooperative cancellation point: throws core::TransientError carrying
+    /// `what` once the token is cancelled.
+    void throw_if_cancelled(const std::string& what) const;
+
+private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// The cancel token of the cell running on this thread, or nullptr when no
+/// ScopedCellToken is active.  Lets leaf code (fault injection, long loops)
+/// honour the watchdog without threading a token through every signature.
+[[nodiscard]] const CancelToken* current_cell_token();
+
+/// RAII installer of the thread-local cell token; nests (restores the
+/// previous token on destruction) so retried cells stack cleanly.
+class ScopedCellToken {
+public:
+    explicit ScopedCellToken(CancelToken token);
+    ~ScopedCellToken();
+    ScopedCellToken(const ScopedCellToken&) = delete;
+    ScopedCellToken& operator=(const ScopedCellToken&) = delete;
+
+private:
+    CancelToken token_;
+    const CancelToken* previous_;
+};
+
+/// Deadline supervisor.  One background thread watches every active scope
+/// and cancels those that outlive `deadline_ms` of wall-clock time.
+class Watchdog {
+public:
+    explicit Watchdog(std::int64_t deadline_ms);
+    ~Watchdog();
+    Watchdog(const Watchdog&) = delete;
+    Watchdog& operator=(const Watchdog&) = delete;
+
+    /// An active supervision entry; destroying it deregisters the work.
+    /// Movable so watch() can return by value; not copyable.
+    class Scope {
+    public:
+        ~Scope();
+        Scope(Scope&& other) noexcept;
+        Scope& operator=(Scope&&) = delete;
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+        /// The token the supervisor cancels on deadline overrun.
+        [[nodiscard]] const CancelToken& token() const { return token_; }
+
+    private:
+        friend class Watchdog;
+        Scope(Watchdog* dog, std::size_t id, CancelToken token)
+            : dog_(dog), id_(id), token_(std::move(token)) {}
+        Watchdog* dog_;
+        std::size_t id_;
+        CancelToken token_;
+    };
+
+    /// Begin supervising one unit of work (e.g. "cell 4").  Keep the scope
+    /// alive for exactly the duration of the work.
+    [[nodiscard]] Scope watch(std::string label);
+
+    /// How many scopes overran the deadline and were cancelled.
+    [[nodiscard]] std::size_t hung_count() const;
+
+    /// Labels of every cancelled scope, sorted (deterministic reporting).
+    [[nodiscard]] std::vector<std::string> hung_labels() const;
+
+    [[nodiscard]] std::int64_t deadline_ms() const { return deadline_.count(); }
+
+private:
+    struct Entry {
+        std::size_t id = 0;
+        std::string label;
+        // zerodeg-lint: allow(ZD003): harness wall-clock deadline, not simulation time
+        std::chrono::steady_clock::time_point start;
+        CancelToken token;
+    };
+
+    void release(std::size_t id);
+    void supervise();
+
+    std::chrono::milliseconds deadline_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::size_t next_id_ = 0;
+    std::vector<Entry> active_;
+    std::vector<std::string> hung_;
+    std::thread supervisor_;
+};
+
+}  // namespace zerodeg::core

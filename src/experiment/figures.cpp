@@ -1,67 +1,70 @@
 #include "experiment/figures.hpp"
 
-#include <fstream>
 #include <functional>
+#include <sstream>
 
 #include "core/csv.hpp"
 #include "core/error.hpp"
+#include "core/io.hpp"
 #include "experiment/parallel_census.hpp"
 #include "monitoring/outlier_filter.hpp"
+#include "monitoring/telemetry_io.hpp"
 
 namespace zerodeg::experiment {
 
 namespace {
 
-void write_series(const std::string& path, const core::TimeSeries& series) {
-    std::ofstream out(path);
-    if (!out) throw core::IoError("export_figure_data: cannot create " + path);
+std::string render_series(const core::TimeSeries& series) {
+    std::ostringstream out;
     core::write_series_csv(out, series);
+    return out.str();
 }
 
 }  // namespace
 
 std::vector<std::string> export_figure_data(const ExperimentRunner& run,
                                             const std::string& directory,
-                                            const FigureFiles& files, std::size_t jobs) {
-    // One job per output file.  Jobs only read the (finished) run and write
-    // their own file, so they can fan out across a pool; the returned path
-    // list keeps this fixed order no matter how the writes interleave.
+                                            const FigureFiles& files, std::size_t jobs,
+                                            core::FileSystem* fs) {
+    core::FileSystem& disk = fs ? *fs : core::real_fs();
+
+    // One job per output file: render the content in memory, then persist it
+    // through the io seam in a single durable write (bounded transient-fault
+    // retry per file).  Jobs only read the (finished) run and write their
+    // own file, so they can fan out across a pool; the returned path list
+    // keeps this fixed order no matter how the writes interleave.
     struct ExportJob {
         std::string path;
-        std::function<void(const std::string&)> write;
+        std::function<std::string()> render;
     };
     std::vector<ExportJob> exports;
 
-    exports.push_back({directory + "/" + files.outside_temperature, [&run](const std::string& p) {
-                           write_series(p, run.station().temperature_series());
-                       }});
-    exports.push_back({directory + "/" + files.outside_humidity, [&run](const std::string& p) {
-                           write_series(p, run.station().humidity_series());
-                       }});
+    exports.push_back({directory + "/" + files.outside_temperature,
+                       [&run] { return render_series(run.station().temperature_series()); }});
+    exports.push_back({directory + "/" + files.outside_humidity,
+                       [&run] { return render_series(run.station().humidity_series()); }});
     // Tent series get the paper's outlier-removal treatment.
-    exports.push_back({directory + "/" + files.tent_temperature, [&run](const std::string& p) {
+    exports.push_back({directory + "/" + files.tent_temperature, [&run] {
                            core::TimeSeries tent_temp = run.tent_logger().temperature_series();
                            (void)monitoring::remove_readout_outliers(tent_temp,
                                                                      run.tent_logger().readouts());
-                           write_series(p, tent_temp);
+                           return render_series(tent_temp);
                        }});
-    exports.push_back({directory + "/" + files.tent_humidity, [&run](const std::string& p) {
+    exports.push_back({directory + "/" + files.tent_humidity, [&run] {
                            core::TimeSeries tent_rh = run.tent_logger().humidity_series();
                            (void)monitoring::remove_readout_outliers(tent_rh,
                                                                      run.tent_logger().readouts());
-                           write_series(p, tent_rh);
+                           return render_series(tent_rh);
                        }});
-    exports.push_back({directory + "/" + files.tent_power, [&run](const std::string& p) {
-                           write_series(p, run.tent_meter().power_series());
-                       }});
-    exports.push_back({directory + "/" + files.events, [&run](const std::string& p) {
-                           std::ofstream out(p);
-                           if (!out) throw core::IoError("export_figure_data: cannot create " + p);
+    exports.push_back({directory + "/" + files.tent_power,
+                       [&run] { return render_series(run.tent_meter().power_series()); }});
+    exports.push_back({directory + "/" + files.events, [&run] {
+                           std::ostringstream out;
                            run.event_log().print(out);
+                           return out.str();
                        }});
-    exports.push_back({directory + "/" + files.fault_log, [&run](const std::string& p) {
-                           std::ofstream out(p);
-                           if (!out) throw core::IoError("export_figure_data: cannot create " + p);
+    exports.push_back({directory + "/" + files.fault_log, [&run] {
+                           std::ostringstream out;
                            for (const faults::FaultRecord& r : run.fault_log().records()) {
                                out << r.time.to_string() << '\t' << r.source << '\t'
                                    << faults::to_string(r.component) << '\t'
@@ -69,11 +72,16 @@ std::vector<std::string> export_figure_data(const ExperimentRunner& run,
                                    << (r.in_tent ? "tent" : "basement") << '\t' << r.description
                                    << '\n';
                            }
+                           return out.str();
+                       }});
+    exports.push_back({directory + "/" + files.collection, [&run] {
+                           return monitoring::render_collection_csv(run.collector());
                        }});
 
     const SweepRunner runner(jobs);
-    (void)runner.map(exports.size(), [&exports](std::size_t i) {
-        exports[i].write(exports[i].path);
+    (void)runner.map(exports.size(), [&exports, &disk](std::size_t i) {
+        (void)core::write_file_durable(disk, exports[i].path, exports[i].render(),
+                                       core::IoRetryPolicy{}, "export_figure_data");
         return 0;  // map wants a value; the artifact is the file
     });
 

@@ -7,6 +7,10 @@
 
 #include "experiment/runner.hpp"
 
+namespace zerodeg::core {
+class FileSystem;
+}  // namespace zerodeg::core
+
 namespace zerodeg::experiment {
 
 /// Files written by export_figure_data, relative to `directory`.
@@ -18,6 +22,7 @@ struct FigureFiles {
     std::string tent_power = "tent_power_w.csv";
     std::string events = "events.log";
     std::string fault_log = "faults.log";
+    std::string collection = "collection.csv";  ///< collector telemetry + attempt log
 };
 
 /// Write all figure series and logs of a finished run into `directory`
@@ -25,10 +30,17 @@ struct FigureFiles {
 /// order independent of `jobs`.  Each output file is an independent job;
 /// `jobs > 1` writes them concurrently on a worker pool (`jobs == 0` means
 /// one worker per hardware thread), with byte-identical file contents.
-/// Throws IoError if any file cannot be created.
+///
+/// Every file is rendered in memory and persisted through the core::io
+/// FileSystem seam (`fs`, nullptr = core::real_fs()): short writes and
+/// ENOSPC are detected with dropped-byte accounting, transient faults are
+/// absorbed by a bounded retry per file, and the torture harness can crash
+/// the export at any chosen write.  Throws IoError if a file cannot be
+/// created, TransientError when injected faults outlast the retry budget.
 std::vector<std::string> export_figure_data(const ExperimentRunner& run,
                                             const std::string& directory,
                                             const FigureFiles& files = FigureFiles(),
-                                            std::size_t jobs = 1);
+                                            std::size_t jobs = 1,
+                                            core::FileSystem* fs = nullptr);
 
 }  // namespace zerodeg::experiment

@@ -1,9 +1,11 @@
 #include "experiment/parallel_census.hpp"
 
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "core/error.hpp"
+#include "core/watchdog.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/sweep_journal.hpp"
 
@@ -72,13 +74,33 @@ CensusResult ParallelCensus::run_impl(SweepJournal* journal) const {
         }
     }
 
+    // Optional deadline supervision: each cell attempt runs under a watched
+    // scope whose cancel token is installed thread-locally, so leaf code
+    // (fault-injected stalls, long loops) can honour a cancellation without
+    // plumbing.  A cancelled attempt throws TransientError, which CellRetry
+    // absorbs up to the cell's attempt budget — a hung node is detected,
+    // cancelled, retried and reported, exactly like the paper's reboots.
+    std::unique_ptr<core::Watchdog> watchdog;
+    if (plan_.cell_deadline_ms > 0) {
+        watchdog = std::make_unique<core::Watchdog>(plan_.cell_deadline_ms);
+    }
+
     if (!missing.empty()) {
         const std::vector<FaultCensus> fresh = runner_.map(
             missing.size(),
-            [this, &configs, &missing, journal](std::size_t k) {
+            [this, &configs, &missing, journal, &watchdog](std::size_t k) {
                 const std::size_t i = missing[k];
-                FaultCensus census = plan_.run_cell ? plan_.run_cell(configs[i])
-                                                    : run_season_census(configs[i]);
+                FaultCensus census;
+                if (watchdog) {
+                    core::Watchdog::Scope scope =
+                        watchdog->watch("cell " + std::to_string(i));
+                    core::ScopedCellToken cell_token(scope.token());
+                    census = plan_.run_cell ? plan_.run_cell(configs[i])
+                                            : run_season_census(configs[i]);
+                } else {
+                    census = plan_.run_cell ? plan_.run_cell(configs[i])
+                                            : run_season_census(configs[i]);
+                }
                 // Checkpoint each cell the moment it finishes: if a later
                 // cell crashes the whole process, this one is already safe.
                 if (journal) journal->record(i, census);
@@ -91,6 +113,10 @@ CensusResult ParallelCensus::run_impl(SweepJournal* journal) const {
     CensusResult result;
     result.censuses = std::move(censuses);
     result.summary = summarize(result.censuses);
+    if (watchdog) {
+        result.harness.hung_cells = watchdog->hung_count();
+        result.harness.hung_cell_labels = watchdog->hung_labels();
+    }
     return result;
 }
 

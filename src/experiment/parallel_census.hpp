@@ -70,11 +70,28 @@ struct CensusPlan {
     /// Total attempts a cell throwing core::TransientError gets before the
     /// failure is treated as permanent (1 = fail on the first throw).
     int cell_attempts = 1;
+    /// Wall-clock budget per cell attempt; a cell still running past it is
+    /// cancelled by a core::Watchdog (cooperatively, at its next
+    /// cancellation point — e.g. a FaultyFs stall fault polling the cell
+    /// token) and the cancellation is charged against `cell_attempts` like
+    /// any transient failure.  0 disables supervision (the default: real
+    /// seasons have no cancellation points, only harness-injected hangs do).
+    std::int64_t cell_deadline_ms = 0;
+};
+
+/// Harness-level incidents of a campaign — the operator's-eye view the
+/// paper reports as reboot walks to the tent.  Not part of FaultCensus (the
+/// journal's 17-integer record format is unchanged): a hung *harness* node
+/// is a property of one run's scheduling, not of the simulated season.
+struct CensusHarnessStats {
+    std::size_t hung_cells = 0;  ///< watchdog cancellations (retries count again)
+    std::vector<std::string> hung_cell_labels;  ///< sorted, e.g. "cell 4"
 };
 
 struct CensusResult {
     std::vector<FaultCensus> censuses;  ///< [i] is the season of base_seed + i
     CensusSummary summary;              ///< ordered reduce over `censuses`
+    CensusHarnessStats harness;         ///< hung-node incidents, empty without a watchdog
 };
 
 /// Run `plan.seeds` full seasons across `jobs` workers and take the census

@@ -4,15 +4,16 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <string_view>
-#include <system_error>
 #include <utility>
+#include <vector>
 
 #include "core/csv.hpp"
 #include "core/error.hpp"
+#include "core/io.hpp"
 #include "core/rng.hpp"
 
 namespace zerodeg::experiment {
@@ -96,10 +97,17 @@ std::string cell_payload(std::size_t index, const FaultCensus& census) {
 
 }  // namespace
 
-SweepJournal::SweepJournal(std::filesystem::path path, SweepJournalKey key, bool resume)
-    : path_(std::move(path)), key_(key) {
-    if (resume && std::filesystem::exists(path_)) {
+SweepJournal::SweepJournal(std::filesystem::path path, SweepJournalKey key, bool resume,
+                           core::FileSystem* fs)
+    : path_(std::move(path)), key_(key), fs_(fs ? fs : &core::real_fs()) {
+    if (resume && fs_->exists(path_)) {
         core::with_context("loading sweep journal '" + path_.string() + "'", [this] { load(); });
+        if (recovered_tail_ > 0) {
+            // Truncate the torn tail off the disk copy right away, so a
+            // second crash before the next record() cannot re-trip on it.
+            std::lock_guard lock(mutex_);
+            rewrite();
+        }
     } else {
         // Fresh campaign (or --resume with nothing to resume): start with a
         // header-only journal so the identity is on disk before any cell.
@@ -109,17 +117,36 @@ SweepJournal::SweepJournal(std::filesystem::path path, SweepJournalKey key, bool
 }
 
 void SweepJournal::load() {
-    std::ifstream in(path_);
-    if (!in) throw core::IoError("cannot open for reading");
+    // The whole file in memory, split into lines (the journal is a few KB;
+    // full-file reads are what the FileSystem seam traffics in).
+    const std::string bytes = fs_->read_file(path_);
+    std::vector<std::string> lines;
+    for (std::size_t pos = 0; pos < bytes.size();) {
+        std::size_t nl = bytes.find('\n', pos);
+        if (nl == std::string::npos) nl = bytes.size();
+        std::string row = bytes.substr(pos, nl - pos);
+        if (!row.empty() && row.back() == '\r') row.pop_back();
+        lines.push_back(std::move(row));
+        pos = nl + 1;
+    }
 
     std::string line;
     std::size_t line_no = 0;
     const auto next_line = [&]() -> bool {
-        if (!std::getline(in, line)) return false;
+        if (line_no >= lines.size()) return false;
+        line = lines[line_no];
         ++line_no;
-        if (!line.empty() && line.back() == '\r') line.pop_back();
         return true;
     };
+    // The only damage load() may forgive lives on the final content line: a
+    // tail record torn by a crash mid-append (or lost from the page cache).
+    std::size_t last_content_line = 0;  // 1-based, 0 = none
+    for (std::size_t i = lines.size(); i > 0; --i) {
+        if (!lines[i - 1].empty()) {
+            last_content_line = i;
+            break;
+        }
+    }
 
     if (!next_line() || line != kMagic) {
         throw core::CorruptData("bad magic on line 1 (not a sweep journal?)");
@@ -155,16 +182,39 @@ void SweepJournal::load() {
     while (next_line()) {
         if (line.empty()) continue;
         // Verify the record checksum against the raw payload bytes before
-        // trusting any field: "<payload> <hex checksum>".
+        // trusting any field: "<payload> <hex checksum>".  Damage detected
+        // *before* the checksum verifies is exactly what tail truncation
+        // produces, so on the final content line it is forgiven: the record
+        // is dropped with a warning (its cell re-simulates) and the caller
+        // truncates it off the disk copy.  Once a checksum has verified the
+        // bytes are intact, so every later inconsistency stays fatal.
+        std::string payload;
+        std::string damage;
         const std::size_t sep = line.rfind(' ');
         if (sep == std::string::npos) {
-            throw core::ParseError("malformed record '" + line + "'", line_no);
+            damage = "malformed record '" + line + "'";
+        } else {
+            payload = line.substr(0, sep);
+            std::uint64_t want = 0;
+            try {
+                want = parse_hex(line.substr(sep + 1), line_no);
+            } catch (const core::ParseError&) {
+                damage = "unparseable record checksum";
+            }
+            if (damage.empty() && core::fnv1a(payload) != want) {
+                damage = "record checksum mismatch";
+            }
         }
-        const std::string payload = line.substr(0, sep);
-        const std::uint64_t want = parse_hex(line.substr(sep + 1), line_no);
-        if (core::fnv1a(payload) != want) {
-            throw core::CorruptData("line " + std::to_string(line_no) +
-                                    ": record checksum mismatch (torn write or edited file)");
+        if (!damage.empty()) {
+            if (line_no == last_content_line) {
+                std::cerr << "warning: sweep journal '" << path_.string()
+                          << "': dropping torn tail record (line " << line_no << ": " << damage
+                          << "); its cell will be re-simulated\n";
+                ++recovered_tail_;
+                break;
+            }
+            throw core::CorruptData("line " + std::to_string(line_no) + ": " + damage +
+                                    " (torn write or edited file)");
         }
 
         std::istringstream ss(payload);
@@ -203,29 +253,19 @@ void SweepJournal::load() {
 }
 
 void SweepJournal::rewrite() const {
-    std::filesystem::path tmp = path_;
-    tmp += ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out) {
-            throw core::IoError("cannot open '" + tmp.string() + "' for writing");
-        }
-        out << kMagic << '\n';
-        out << "base_seed " << key_.base_seed << '\n';
-        out << "config_hash " << hex16(key_.config_hash) << '\n';
-        out << "cells " << key_.cells << '\n';
-        for (const auto& [index, census] : cells_) {
-            const std::string payload = cell_payload(index, census);
-            out << payload << ' ' << hex16(core::fnv1a(payload)) << '\n';
-        }
-        out.flush();
-        if (!out) throw core::IoError("write to '" + tmp.string() + "' failed");
+    std::ostringstream out;
+    out << kMagic << '\n';
+    out << "base_seed " << key_.base_seed << '\n';
+    out << "config_hash " << hex16(key_.config_hash) << '\n';
+    out << "cells " << key_.cells << '\n';
+    for (const auto& [index, census] : cells_) {
+        const std::string payload = cell_payload(index, census);
+        out << payload << ' ' << hex16(core::fnv1a(payload)) << '\n';
     }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path_, ec);
-    if (ec) {
-        throw core::IoError("cannot replace '" + path_.string() + "': " + ec.message());
-    }
+    // Crash-safe tmp+rename through the io seam; injected transient faults
+    // (short write, ENOSPC, refused rename) restart the sequence, bounded.
+    io_retries_ += core::replace_file_atomic(*fs_, path_, out.str(), core::IoRetryPolicy{4},
+                                             "sweep journal '" + path_.string() + "'");
 }
 
 void SweepJournal::record(std::size_t index, const FaultCensus& census) {

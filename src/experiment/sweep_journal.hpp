@@ -19,6 +19,16 @@
 // crash at any instant leaves either the previous complete journal or the
 // new complete journal on disk — never a half-written one.  Campaign cells
 // run for minutes; a full rewrite of a few-KB text file per cell is noise.
+//
+// All disk access goes through the core::io FileSystem seam, so the torture
+// harness (tools/zerodeg_torture) can crash a campaign at every single write
+// point and inject short writes / ENOSPC / failed renames; transient faults
+// are absorbed by a bounded deterministic retry of the tmp+rename sequence.
+// One corruption case is recoverable: a *torn tail record* (the checksum of
+// the final record line fails, i.e. a crash tore the last append).  That
+// record is skipped with a warning on stderr and truncated off the file —
+// the cell is simply re-simulated — while damage anywhere else, and a
+// header naming a different campaign (StaleJournal), still fail loudly.
 #pragma once
 
 #include <cstddef>
@@ -28,6 +38,10 @@
 #include <mutex>
 
 #include "experiment/census.hpp"
+
+namespace zerodeg::core {
+class FileSystem;
+}  // namespace zerodeg::core
 
 namespace zerodeg::experiment {
 
@@ -43,10 +57,14 @@ public:
     /// Open the journal at `path` for the campaign identified by `key`.
     /// With `resume` set, an existing file is loaded and validated: a wrong
     /// magic line or a failed record checksum throws CorruptData, a header
-    /// that names a different campaign throws StaleJournal.  Without
-    /// `resume` (or when no file exists) the journal starts empty and the
-    /// file is (re)created with just the header.
-    SweepJournal(std::filesystem::path path, SweepJournalKey key, bool resume = false);
+    /// that names a different campaign throws StaleJournal — except that a
+    /// damaged *final* record (torn tail append) is skipped with a warning
+    /// and truncated off the file instead of rejecting the journal.
+    /// Without `resume` (or when no file exists) the journal starts empty
+    /// and the file is (re)created with just the header.  All disk access
+    /// goes through `fs` (nullptr = core::real_fs()).
+    SweepJournal(std::filesystem::path path, SweepJournalKey key, bool resume = false,
+                 core::FileSystem* fs = nullptr);
 
     SweepJournal(const SweepJournal&) = delete;
     SweepJournal& operator=(const SweepJournal&) = delete;
@@ -67,13 +85,24 @@ public:
     [[nodiscard]] const SweepJournalKey& key() const { return key_; }
     [[nodiscard]] const std::filesystem::path& path() const { return path_; }
 
+    /// Torn tail records dropped (and truncated off the file) during load.
+    [[nodiscard]] std::size_t recovered_tail_records() const { return recovered_tail_; }
+
+    /// Transient write/rename faults absorbed by the bounded retry loop so
+    /// far (only ever non-zero under fault injection or a genuinely flaky
+    /// disk).  Read after the campaign — not concurrently with record().
+    [[nodiscard]] int io_retries() const { return io_retries_; }
+
 private:
     void load();           ///< parse + validate an existing file
     void rewrite() const;  ///< atomic tmp-write + rename; caller holds mutex_
 
     std::filesystem::path path_;
     SweepJournalKey key_;
+    core::FileSystem* fs_;
     std::map<std::size_t, FaultCensus> cells_;  ///< ordered: file stays in index order
+    std::size_t recovered_tail_ = 0;
+    mutable int io_retries_ = 0;
     mutable std::mutex mutex_;
 };
 

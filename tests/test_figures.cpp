@@ -41,7 +41,7 @@ TEST(Figures, ExportsAllFiles) {
     ExperimentRunner run(tiny_config());
     run.run();
     const auto written = export_figure_data(run, dir.path.string());
-    EXPECT_EQ(written.size(), 7u);
+    EXPECT_EQ(written.size(), 8u);  // 7 figure series + collection.csv
     for (const std::string& path : written) {
         EXPECT_TRUE(fs::exists(path)) << path;
         // faults.log is legitimately empty on a quiet three-day run.

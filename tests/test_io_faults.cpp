@@ -1,0 +1,261 @@
+// The core::io seam: RealFs honesty, FaultyFs determinism, and the crash
+// semantics the torture harness builds on.  The load-bearing property is
+// that a fault schedule is a pure function of (seed, op index) — the same
+// seed must produce the same fault trace no matter how threads interleave,
+// or crash-point replay under --jobs 8 would be unreproducible.
+#include "core/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace zerodeg::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path scratch(const std::string& name) {
+    fs::path p = fs::path(::testing::TempDir()) / ("io_faults_" + name);
+    fs::remove(p);
+    fs::remove(fs::path(p.string() + ".tmp"));
+    return p;
+}
+
+std::vector<std::string> trace_strings(const FaultyFs& faulty) {
+    std::vector<std::string> out;
+    for (const InjectedFault& f : faulty.fault_trace()) out.push_back(f.to_string());
+    return out;
+}
+
+TEST(RealFs, WriteReadRenameRemoveRoundTrip) {
+    const fs::path a = scratch("real_a");
+    const fs::path b = scratch("real_b");
+    FileSystem& disk = real_fs();
+
+    disk.write_file(a, "hello\nzero degrees\n");
+    EXPECT_TRUE(disk.exists(a));
+    EXPECT_EQ(disk.read_file(a), "hello\nzero degrees\n");
+
+    disk.rename(a, b);
+    EXPECT_FALSE(disk.exists(a));
+    EXPECT_EQ(disk.read_file(b), "hello\nzero degrees\n");
+
+    disk.remove(b);
+    EXPECT_FALSE(disk.exists(b));
+    disk.remove(b);  // removing a missing file is not an error
+}
+
+TEST(RealFs, ReadingAMissingFileThrowsIoError) {
+    EXPECT_THROW((void)real_fs().read_file(scratch("never_written")), IoError);
+}
+
+TEST(FaultyFs, SameSeedSameOpsSameTrace) {
+    const fs::path p = scratch("det");
+    const auto run_once = [&p](std::uint64_t seed) {
+        FaultPlan plan;
+        plan.seed = seed;
+        plan.write_fault_rate = 0.5;
+        FaultyFs faulty(plan);
+        for (int i = 0; i < 30; ++i) {
+            try {
+                faulty.write_file(p, "payload payload payload");
+            } catch (const TransientError&) {
+            }
+        }
+        return trace_strings(faulty);
+    };
+    const std::vector<std::string> first = run_once(7);
+    EXPECT_EQ(first, run_once(7));
+    EXPECT_FALSE(first.empty());
+    EXPECT_NE(first, run_once(8));
+}
+
+TEST(FaultyFs, TraceIsImmuneToThreadInterleaving) {
+    // 2 threads x 15 ops and 1 thread x 30 ops walk the same op indices, so
+    // the hash-scheduled trace must come out identical: the schedule depends
+    // on op order, never on which thread drew which op.
+    const fs::path p = scratch("interleave");
+    FaultPlan plan;
+    plan.seed = 99;
+    plan.write_fault_rate = 0.5;
+
+    FaultyFs serial(plan);
+    for (int i = 0; i < 30; ++i) {
+        try {
+            serial.write_file(p, "x");
+        } catch (const TransientError&) {
+        }
+    }
+
+    FaultyFs threaded(plan);
+    const auto worker = [&threaded, &p] {
+        for (int i = 0; i < 15; ++i) {
+            try {
+                threaded.write_file(p, "x");
+            } catch (const TransientError&) {
+            }
+        }
+    };
+    std::thread t1(worker);
+    std::thread t2(worker);
+    t1.join();
+    t2.join();
+
+    EXPECT_EQ(trace_strings(serial), trace_strings(threaded));
+}
+
+TEST(FaultyFs, WriteFaultsAccountDroppedBytes) {
+    // Short writes and ENOSPC must say how many bytes were lost, the same
+    // accounting CollectorRetryPolicy keeps for dropped telemetry.
+    const fs::path p = scratch("dropped");
+    FaultPlan plan;
+    plan.seed = 3;
+    plan.write_fault_rate = 1.0;
+    FaultyFs faulty(plan);
+    bool saw_lossy_kind = false;
+    for (int i = 0; i < 20; ++i) {
+        try {
+            faulty.write_file(p, "twenty bytes of data");
+            FAIL() << "every write should fault at rate 1.0";
+        } catch (const TransientError& e) {
+            const FaultKind kind = faulty.fault_trace().back().kind;
+            if (kind == FaultKind::kShortWrite || kind == FaultKind::kNoSpace) {
+                saw_lossy_kind = true;
+                EXPECT_NE(std::string(e.what()).find("dropped"), std::string::npos)
+                    << "op " << i << " (" << to_string(kind) << "): " << e.what();
+            }
+        }
+    }
+    EXPECT_TRUE(saw_lossy_kind);
+}
+
+TEST(FaultyFs, CrashBeforeOpLeavesNothingAndKillsTheFs) {
+    const fs::path p = scratch("crash_before");
+    FaultPlan plan;
+    plan.crash_at_op = 0;
+    plan.crash_phase = CrashPhase::kBeforeOp;
+    FaultyFs faulty(plan);
+    EXPECT_THROW(faulty.write_file(p, "never lands"), SimulatedCrash);
+    EXPECT_TRUE(faulty.crashed());
+    EXPECT_FALSE(real_fs().exists(p));
+    // The process is dead: every further operation rethrows the crash.
+    EXPECT_THROW((void)faulty.exists(p), SimulatedCrash);
+    EXPECT_THROW((void)faulty.read_file(p), SimulatedCrash);
+}
+
+TEST(FaultyFs, TornWriteLeavesAStrictPrefix) {
+    const fs::path p = scratch("crash_torn");
+    const std::string content = "0123456789 torn write leaves a deterministic prefix";
+    FaultPlan plan;
+    plan.crash_at_op = 0;
+    plan.crash_phase = CrashPhase::kTornWrite;
+    FaultyFs faulty(plan);
+    EXPECT_THROW(faulty.write_file(p, content), SimulatedCrash);
+    const std::string on_disk = real_fs().read_file(p);
+    EXPECT_LT(on_disk.size(), content.size());
+    EXPECT_EQ(on_disk, content.substr(0, on_disk.size()));
+}
+
+TEST(FaultyFs, CrashAfterOpLeavesTheCompleteFile) {
+    const fs::path p = scratch("crash_after");
+    FaultPlan plan;
+    plan.crash_at_op = 0;
+    plan.crash_phase = CrashPhase::kAfterOp;
+    FaultyFs faulty(plan);
+    EXPECT_THROW(faulty.write_file(p, "all of it"), SimulatedCrash);
+    EXPECT_EQ(real_fs().read_file(p), "all of it");
+}
+
+TEST(FaultyFs, TornTailChopsUpTo45Bytes) {
+    const fs::path p = scratch("crash_tail");
+    const std::string content(200, 'z');
+    FaultPlan plan;
+    plan.crash_at_op = 0;
+    plan.crash_phase = CrashPhase::kTornTail;
+    FaultyFs faulty(plan);
+    EXPECT_THROW(faulty.write_file(p, content), SimulatedCrash);
+    const std::string on_disk = real_fs().read_file(p);
+    EXPECT_LT(on_disk.size(), content.size());
+    EXPECT_GE(on_disk.size(), content.size() - 45);
+    EXPECT_EQ(on_disk, content.substr(0, on_disk.size()));
+}
+
+TEST(DurableWrite, RetriesAbsorbInjectedFaultsUpToTheBudget) {
+    const fs::path p = scratch("durable");
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.write_fault_rate = 0.5;
+    FaultyFs faulty(plan);
+    const int retries = write_file_durable(faulty, p, "survives", IoRetryPolicy{10}, "test file");
+    EXPECT_GE(retries, 0);
+    EXPECT_EQ(real_fs().read_file(p), "survives");
+}
+
+TEST(DurableWrite, ExhaustedBudgetNamesTheAttemptCount) {
+    const fs::path p = scratch("exhausted");
+    FaultPlan plan;
+    plan.write_fault_rate = 1.0;
+    FaultyFs faulty(plan);
+    try {
+        (void)write_file_durable(faulty, p, "doomed", IoRetryPolicy{3}, "doomed file");
+        FAIL() << "expected TransientError";
+    } catch (const TransientError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("3 attempt"), std::string::npos) << what;
+        EXPECT_NE(what.find("doomed file"), std::string::npos) << what;
+    }
+}
+
+TEST(DurableWrite, SimulatedCrashIsNeverRetried) {
+    const fs::path p = scratch("crash_no_retry");
+    FaultPlan plan;
+    plan.crash_at_op = 0;
+    plan.crash_phase = CrashPhase::kBeforeOp;
+    FaultyFs faulty(plan);
+    EXPECT_THROW((void)write_file_durable(faulty, p, "x", IoRetryPolicy{10}, "t"), SimulatedCrash);
+    EXPECT_EQ(faulty.op_count(), 1u);  // one op, not ten: a crash ends the world
+}
+
+TEST(AtomicReplace, CrashedRenameNeverExposesAHalfWrittenFile) {
+    FileSystem& disk = real_fs();
+    const std::string old_content = "old complete file\n";
+    const std::string new_content = "new complete file, longer than the old one\n";
+
+    // replace_file_atomic is write tmp (op 0) then rename (op 1).
+    struct Case {
+        CrashPhase phase;
+        bool expect_new;
+    };
+    for (const Case& c : {Case{CrashPhase::kBeforeOp, false}, Case{CrashPhase::kAfterOp, true}}) {
+        const fs::path p = scratch("replace_" + std::string(to_string(c.phase)));
+        disk.write_file(p, old_content);
+        FaultPlan plan;
+        plan.crash_at_op = 1;
+        plan.crash_phase = c.phase;
+        FaultyFs faulty(plan);
+        EXPECT_THROW((void)replace_file_atomic(faulty, p, new_content, IoRetryPolicy{}, "t"),
+                     SimulatedCrash);
+        EXPECT_EQ(disk.read_file(p), c.expect_new ? new_content : old_content)
+            << "crash phase " << to_string(c.phase);
+    }
+}
+
+TEST(AtomicReplace, RenameFaultsRestartTheWholeSequence) {
+    const fs::path p = scratch("replace_retry");
+    FaultPlan plan;
+    plan.seed = 5;
+    plan.rename_fault_rate = 0.5;
+    FaultyFs faulty(plan);
+    const int retries =
+        replace_file_atomic(faulty, p, "landed", IoRetryPolicy{10}, "retry test");
+    EXPECT_GE(retries, 0);
+    EXPECT_EQ(real_fs().read_file(p), "landed");
+}
+
+}  // namespace
+}  // namespace zerodeg::core

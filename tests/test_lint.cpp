@@ -197,6 +197,32 @@ TEST(LintChecks, ArithmeticOperatorNeedsNodiscardInHeaders) {
             .empty());
 }
 
+TEST(LintChecks, DurableWriterModulesMustUseTheIoSeam) {
+    const std::string ofs = "void f() { std::ofstream out(\"fig.csv\"); }\n";
+    const std::string fop = "void f() { FILE* f = fopen(\"log.txt\", \"wb\"); }\n";
+    // src/experiment/ and src/monitoring/ own the crash-surviving files, so
+    // a direct write there escapes fault injection: error ZD012.
+    EXPECT_EQ(ids_of(lint_source("src/experiment/figures.cpp", ofs)),
+              std::vector<std::string>{"ZD012"});
+    EXPECT_EQ(ids_of(lint_source("src/monitoring/datalogger.cpp", fop)),
+              std::vector<std::string>{"ZD012"});
+    EXPECT_EQ(lint_source("src/experiment/x.cpp", ofs)[0].severity, Severity::kError);
+    // core/io (the seam itself), tools, tests, and other modules are exempt.
+    EXPECT_TRUE(lint_source("src/core/io.cpp", fop).empty());
+    EXPECT_TRUE(lint_source("tools/zerodeg_cli.cpp", ofs).empty());
+    EXPECT_TRUE(lint_source("tests/test_figures.cpp", ofs).empty());
+    EXPECT_TRUE(lint_source("src/weather/trace_io.cpp", ofs).empty());
+    // Reads stay legal: the seam governs durable writes only.
+    EXPECT_TRUE(
+        lint_source("src/experiment/x.cpp", "void f() { std::ifstream in(\"t.csv\"); }\n")
+            .empty());
+    // Mentions in comments or strings are not code.
+    EXPECT_TRUE(lint_source("src/experiment/x.cpp",
+                            "// ofstream is banned here (ZD012)\n"
+                            "const char* kHint = \"use ofstream elsewhere\";\n")
+                    .empty());
+}
+
 TEST(LintSuppressions, TrailingAllowWithReasonSuppresses) {
     const std::string src =
         "void f() { std::random_device rd; }  "

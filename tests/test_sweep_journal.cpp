@@ -187,7 +187,7 @@ TEST(SweepJournal, RejectsMismatchedCampaign) {
     EXPECT_EQ(ok.completed(), 0u);
 }
 
-TEST(SweepJournal, RejectsTamperedRecord) {
+TEST(SweepJournal, RejectsTamperedMidFileRecord) {
     const fs::path path = journal_path("tampered");
     const SweepJournalKey key{kBaseSeed, 0x123ULL, kSeeds};
     {
@@ -195,12 +195,17 @@ TEST(SweepJournal, RejectsTamperedRecord) {
         FaultCensus c;
         c.system_failures = 2;
         journal.record(1, c);
+        journal.record(2, c);
     }
-    // Flip the record's checksum word: the cell line is the last one.
+    // Flip the FIRST record's checksum word.  Damage before the last line
+    // cannot be a torn append, so the tail-forgiveness contract does not
+    // apply: this must stay a hard CorruptData.
     std::string text = slurp(path);
-    const std::size_t sep = text.rfind(' ');
+    const std::size_t last_nl = text.rfind('\n', text.size() - 2);  // start of last record
+    ASSERT_NE(last_nl, std::string::npos);
+    const std::size_t sep = text.rfind(' ', last_nl);
     ASSERT_NE(sep, std::string::npos);
-    spit(path, text.substr(0, sep) + " 00000000deadbeef\n");
+    spit(path, text.substr(0, sep + 1) + "00000000deadbeef" + text.substr(last_nl));
     try {
         SweepJournal journal(path, key, /*resume=*/true);
         FAIL() << "expected CorruptData";
@@ -208,6 +213,62 @@ TEST(SweepJournal, RejectsTamperedRecord) {
         EXPECT_EQ(e.code(), core::ErrorCode::kCorruptData);
         EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
     }
+}
+
+TEST(SweepJournal, TornTailRecordIsDroppedAndTruncatedOnDisk) {
+    const fs::path path = journal_path("torntail");
+    const SweepJournalKey key{kBaseSeed, 0x321ULL, kSeeds};
+    {
+        SweepJournal journal(path, key);
+        FaultCensus c;
+        c.system_failures = 1;
+        journal.record(0, c);
+        c.system_failures = 5;
+        journal.record(3, c);
+    }
+    // Chop bytes off the last record — a crash mid-append (or a tail page
+    // the page cache never flushed).  The damaged checksum word cannot
+    // verify, so the record is dropped with a warning and the file healed.
+    const std::string text = slurp(path);
+    spit(path, text.substr(0, text.size() - 7));
+
+    ::testing::internal::CaptureStderr();
+    SweepJournal resumed(path, key, /*resume=*/true);
+    const std::string warning = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(resumed.recovered_tail_records(), 1u);
+    EXPECT_EQ(resumed.completed(), 1u);  // record 0 kept, record 3 dropped
+    ASSERT_NE(resumed.find(0), nullptr);
+    EXPECT_EQ(resumed.find(0)->system_failures, 1u);
+    EXPECT_EQ(resumed.find(3), nullptr);
+    EXPECT_NE(warning.find("dropping torn tail record"), std::string::npos);
+    EXPECT_NE(warning.find("re-simulated"), std::string::npos);
+
+    // The recovery rewrote the file: a second resume sees a clean journal.
+    SweepJournal again(path, key, /*resume=*/true);
+    EXPECT_EQ(again.recovered_tail_records(), 0u);
+    EXPECT_EQ(again.completed(), 1u);
+}
+
+TEST(SweepJournal, TornTailLosingTheSeparatorIsStillRecovered) {
+    const fs::path path = journal_path("tornsep");
+    const SweepJournalKey key{kBaseSeed, 0x321ULL, kSeeds};
+    {
+        SweepJournal journal(path, key);
+        journal.record(2, FaultCensus{});
+    }
+    // Tear so deep into the record that even the checksum separator is
+    // gone — the "malformed record" flavour of tail damage.
+    std::string text = slurp(path);
+    const std::size_t sep = text.rfind(' ');
+    ASSERT_NE(sep, std::string::npos);
+    spit(path, text.substr(0, sep - 4));
+
+    ::testing::internal::CaptureStderr();
+    SweepJournal resumed(path, key, /*resume=*/true);
+    const std::string warning = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(resumed.recovered_tail_records(), 1u);
+    EXPECT_EQ(resumed.completed(), 0u);
+    EXPECT_NE(warning.find("dropping torn tail record"), std::string::npos);
 }
 
 TEST(SweepJournal, RejectsTruncatedHeader) {

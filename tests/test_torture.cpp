@@ -1,0 +1,106 @@
+// The torture engine itself, run fast: a small synthetic sweep crashed at
+// every journal write point (times every crash phase) must resume to
+// byte-identical census tables for jobs 1 and 8.  This is the unit-test
+// version of tools/zerodeg_torture — same engine, milliseconds per cell.
+#include "experiment/torture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "core/error.hpp"
+#include "experiment/parallel_census.hpp"
+
+namespace zerodeg::experiment {
+namespace {
+
+namespace fs = std::filesystem;
+
+CensusPlan synthetic_plan(std::size_t seeds) {
+    CensusPlan plan;
+    plan.base_seed = 42;
+    plan.seeds = seeds;
+    plan.run_cell = [](const ExperimentConfig& cfg) { return synthetic_census(cfg); };
+    return plan;
+}
+
+fs::path scratch_journal(const std::string& name) {
+    fs::path p = fs::path(::testing::TempDir()) / ("torture_" + name + ".journal");
+    fs::remove(p);
+    fs::remove(fs::path(p.string() + ".tmp"));
+    return p;
+}
+
+TEST(SyntheticCensus, IsAPureFunctionOfTheSeed) {
+    ExperimentConfig cfg;
+    cfg.master_seed = 1234;
+    const FaultCensus a = synthetic_census(cfg);
+    const FaultCensus b = synthetic_census(cfg);
+    EXPECT_EQ(a.load_runs, b.load_runs);
+    EXPECT_EQ(a.wrong_hashes, b.wrong_hashes);
+    EXPECT_EQ(a.system_failures, b.system_failures);
+
+    cfg.master_seed = 1235;
+    const FaultCensus c = synthetic_census(cfg);
+    EXPECT_TRUE(a.load_runs != c.load_runs || a.wrong_hashes != c.wrong_hashes ||
+                a.page_ops != c.page_ops);
+}
+
+TEST(RenderCensusTable, HungNodeLineOnlyAppearsWithHungCells) {
+    const CensusResult result = ParallelCensus(synthetic_plan(2), 1).run();
+    const std::string clean = render_census_table(result, 42);
+    EXPECT_NE(clean.find("seed 42:"), std::string::npos);
+    EXPECT_NE(clean.find("mean fleet failure rate:"), std::string::npos);
+    EXPECT_EQ(clean.find("harness hung nodes"), std::string::npos);
+
+    CensusResult hung = result;
+    hung.harness.hung_cells = 2;
+    hung.harness.hung_cell_labels = {"cell 0", "cell 3"};
+    const std::string reported = render_census_table(hung, 42);
+    EXPECT_NE(reported.find("harness hung nodes: 2 cancelled by watchdog (cell 0, cell 3)"),
+              std::string::npos);
+}
+
+/// The acceptance property, as a fast deterministic unit test: crash at
+/// every write point of a 3-cell sweep, under both a serial and a saturated
+/// worker pool.
+class TortureSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TortureSweep, EveryCrashPointResumesByteIdentical) {
+    const std::size_t jobs = GetParam();
+    const fs::path journal = scratch_journal("jobs" + std::to_string(jobs));
+    TortureOptions options;
+    options.jobs = jobs;
+    std::ostringstream log;
+    const TortureReport report =
+        torture_campaign(synthetic_plan(3), jobs, journal, options, log);
+    EXPECT_TRUE(report.passed()) << log.str();
+    EXPECT_EQ(report.mismatches, 0u) << log.str();
+    EXPECT_GT(report.io_ops, 0u);
+    // Four crash phases per write point, one resume per crash point.
+    EXPECT_EQ(report.crash_points, report.io_ops * 4);
+    EXPECT_EQ(report.resumes, report.crash_points);
+    // Torn-write/torn-tail phases must actually exercise the recovery
+    // machinery somewhere in the sweep, or the test is weaker than it looks.
+    EXPECT_GT(report.tail_repairs + report.journal_resets, 0u) << log.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, TortureSweep, ::testing::Values<std::size_t>(1, 8),
+                         [](const auto& param_info) {
+                             return "jobs" + std::to_string(param_info.param);
+                         });
+
+TEST(TortureSweep, SkippingTornTailDropsToThreePhases) {
+    const fs::path journal = scratch_journal("notail");
+    TortureOptions options;
+    options.include_torn_tail = false;
+    std::ostringstream log;
+    const TortureReport report = torture_campaign(synthetic_plan(2), 1, journal, options, log);
+    EXPECT_TRUE(report.passed()) << log.str();
+    EXPECT_EQ(report.crash_points, report.io_ops * 3);
+}
+
+}  // namespace
+}  // namespace zerodeg::experiment

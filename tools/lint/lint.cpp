@@ -15,7 +15,7 @@ namespace {
 // Check table
 // ---------------------------------------------------------------------------
 
-constexpr std::array<CheckInfo, 13> kChecks{{
+constexpr std::array<CheckInfo, 14> kChecks{{
     {"ZD001", Severity::kError,
      "banned C RNG (rand/srand): unseeded, platform-varying, not stream-isolated"},
     {"ZD002", Severity::kError,
@@ -34,6 +34,9 @@ constexpr std::array<CheckInfo, 13> kChecks{{
     {"ZD010", Severity::kWarning, "ErrorCode-returning function not marked [[nodiscard]]"},
     {"ZD011", Severity::kWarning,
      "value-returning arithmetic operator in a header not marked [[nodiscard]]"},
+    {"ZD012", Severity::kError,
+     "direct std::ofstream/fopen in a durable-writer module (src/experiment/, "
+     "src/monitoring/): bypasses the core::io fault-injection seam"},
     {"ZD098", Severity::kError, "zerodeg-lint suppression without a reason string"},
     {"ZD099", Severity::kError, "zerodeg-lint suppression naming an unknown check id"},
 }};
@@ -397,6 +400,8 @@ struct PathTraits {
     bool in_monitoring = false;  // src/monitoring/: owns real-telemetry timestamps
     bool in_tools = false;       // the CLI layer: the one place getenv is policy
     bool in_core = false;        // src/core/: owns the RNG engines
+    bool in_durable_module = false;  // src/experiment/ + src/monitoring/: every
+                                     // durable write must use the core::io seam
 };
 
 [[nodiscard]] PathTraits classify(std::string_view path) {
@@ -405,6 +410,8 @@ struct PathTraits {
     t.in_monitoring = path.find("src/monitoring/") != std::string_view::npos;
     t.in_tools = path.rfind("tools/", 0) == 0 || path.find("/tools/") != std::string_view::npos;
     t.in_core = path.find("src/core/") != std::string_view::npos;
+    t.in_durable_module =
+        t.in_monitoring || path.find("src/experiment/") != std::string_view::npos;
     return t;
 }
 
@@ -526,6 +533,29 @@ void check_banned_tokens(std::vector<Diagnostic>& out, std::string_view path,
             emit(out, path, i + 1, "ZD006", "OpenMP reduction is banned here",
                  "reduction order must be fixed: use the ordered reduce in core/parallel.hpp",
                  lines);
+        }
+    }
+}
+
+/// ZD012: writers in src/experiment/ and src/monitoring/ produce the files
+/// that must survive crashes (journals, figure CSVs, telemetry dumps), so a
+/// direct std::ofstream or fopen there silently escapes fault injection and
+/// the crash-consistency torture.  Route writes through core::FileSystem
+/// (write_file_durable / replace_file_atomic) instead; reads may use
+/// ifstream, which stays legal.
+void check_durable_writer_seam(std::vector<Diagnostic>& out, std::string_view path,
+                               const std::vector<Line>& lines, const PathTraits& traits) {
+    if (!traits.in_durable_module) return;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& code = lines[i].code;
+        for (const std::string_view token : {"ofstream", "fopen"}) {
+            if (!has_token(code, token)) continue;
+            emit(out, path, i + 1, "ZD012",
+                 "direct " + std::string(token) + " in a durable-writer module",
+                 "write through core::FileSystem (write_file_durable / replace_file_atomic) "
+                 "so fault injection and the torture harness cover this file",
+                 lines);
+            break;  // one diagnostic per line is enough
         }
     }
 }
@@ -679,6 +709,7 @@ std::vector<Diagnostic> lint_source(std::string_view path, std::string_view cont
 
     std::vector<Diagnostic> all;
     check_banned_tokens(all, path, lines, traits);
+    check_durable_writer_seam(all, path, lines, traits);
     check_unordered_iteration(all, path, lines);
     check_header_hygiene(all, path, lines, traits);
     check_nodiscard_error_code(all, path, lines);

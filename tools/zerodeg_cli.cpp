@@ -14,13 +14,20 @@
 //       without re-simulating.
 //
 //   zerodeg census    [--seeds N] [--jobs N] [--checkpoint FILE] [--resume]
+//                     [--inject-faults SEED] [--torture]
 //       Monte Carlo fault census over N seeds, sharded across N worker
 //       threads (--jobs 0 = one per hardware thread).  Output is
 //       byte-identical for every --jobs value — including a --resume run
 //       that reuses cells from a killed campaign's checkpoint journal.
+//       --inject-faults routes the journal through a deterministic faulty
+//       filesystem; --torture crashes the campaign at every journal write
+//       point and proves each resume byte-identical (needs --checkpoint).
 //
 //   zerodeg prototype [--seed N]
 //       The Feb 12-15 prototype weekend.
+//
+//   zerodeg help | --help
+//       The synopsis plus the --resume corrupt-journal exit-code contract.
 //
 // Exit codes: 0 success, 1 runtime failure (I/O, corrupt input, ...),
 // 2 usage error (unknown subcommand/flag, malformed value).
@@ -35,6 +42,7 @@
 
 #include "core/csv.hpp"
 #include "core/error.hpp"
+#include "core/io.hpp"
 #include "experiment/census.hpp"
 #include "experiment/figures.hpp"
 #include "experiment/parallel_census.hpp"
@@ -42,6 +50,7 @@
 #include "experiment/report.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/sweep_journal.hpp"
+#include "experiment/torture.hpp"
 #include "weather/trace_io.hpp"
 
 namespace {
@@ -51,15 +60,15 @@ using namespace zerodeg;
 using FlagMap = std::map<std::string, std::string>;
 
 /// Flags that take no value.
-const std::set<std::string> kBooleanFlags = {"full-year", "resume"};
+const std::set<std::string> kBooleanFlags = {"full-year", "resume", "torture"};
 
 /// Flags each subcommand accepts; anything else is a usage error.
 const std::map<std::string, std::set<std::string>> kAllowedFlags = {
     {"weather", {"seed", "full-year", "from", "to", "step-min"}},
     {"season",
      {"seed", "end", "trace", "export", "jobs", "checkpoint", "resume", "collector-retries",
-      "collector-buffer"}},
-    {"census", {"seeds", "jobs", "checkpoint", "resume"}},
+      "collector-buffer", "inject-faults"}},
+    {"census", {"seeds", "jobs", "checkpoint", "resume", "inject-faults", "torture"}},
     {"prototype", {"seed"}},
 };
 
@@ -89,7 +98,46 @@ FlagMap parse_flags(const std::string& cmd, int argc, char** argv, int first) {
     if (flags.contains("resume") && !flags.contains("checkpoint")) {
         throw core::InvalidArgument("--resume needs --checkpoint <file> to resume from");
     }
+    if (flags.contains("torture")) {
+        if (!flags.contains("checkpoint")) {
+            throw core::InvalidArgument("--torture needs --checkpoint <file> as scratch");
+        }
+        if (flags.contains("resume")) {
+            throw core::InvalidArgument(
+                "--torture and --resume are exclusive (torture manages the journal itself)");
+        }
+        if (flags.contains("inject-faults")) {
+            throw core::InvalidArgument(
+                "--torture and --inject-faults are exclusive (torture schedules its own faults)");
+        }
+    }
     return flags;
+}
+
+/// When --inject-faults SEED is given, build the FaultyFs the durable
+/// writers go through; returns nullptr (real filesystem) otherwise.
+std::unique_ptr<core::FaultyFs> make_fault_fs(const FlagMap& flags) {
+    if (!flags.count("inject-faults")) return nullptr;
+    core::FaultPlan plan;
+    plan.seed = [&flags] {
+        try {
+            return core::parse_csv_u64(flags.at("inject-faults"));
+        } catch (const core::Error&) {
+            throw core::InvalidArgument("--inject-faults wants a nonnegative integer seed, got '" +
+                                        flags.at("inject-faults") + "'");
+        }
+    }();
+    plan.write_fault_rate = 0.15;
+    plan.rename_fault_rate = 0.05;
+    return std::make_unique<core::FaultyFs>(plan);
+}
+
+/// The post-run one-liner for --inject-faults: what was thrown at the
+/// writers and how many bounded retries absorbed it.
+void print_fault_stats(const core::FaultyFs& faulty, int retries) {
+    std::cout << "fault injection: " << faulty.fault_trace().size() << " fault(s) over "
+              << faulty.op_count() << " io ops; " << retries << " transient retr"
+              << (retries == 1 ? "y" : "ies") << " absorbed\n";
 }
 
 /// Strict nonnegative-integer flag ("--jobs -3" and "--seeds x" both die
@@ -184,10 +232,12 @@ int cmd_season(const FlagMap& flags) {
     plan.seeds = 1;
     plan.make_config = [&cfg](std::size_t, std::uint64_t) { return cfg; };
     const experiment::ParallelCensus campaign(plan, 1);
+    const std::unique_ptr<core::FaultyFs> faulty = make_fault_fs(flags);
     std::unique_ptr<experiment::SweepJournal> journal;
     if (flags.count("checkpoint")) {
         journal = std::make_unique<experiment::SweepJournal>(
-            flags.at("checkpoint"), campaign.journal_key(), flags.count("resume") > 0);
+            flags.at("checkpoint"), campaign.journal_key(), flags.count("resume") > 0,
+            faulty.get());
     }
 
     std::cout << "season " << cfg.start.date_string() << " .. " << cfg.end.date_string()
@@ -217,10 +267,12 @@ int cmd_season(const FlagMap& flags) {
     if (flags.count("export")) {
         std::filesystem::create_directories(flags.at("export"));
         const auto written = experiment::export_figure_data(
-            run, flags.at("export"), experiment::FigureFiles(), parse_jobs(flags));
+            run, flags.at("export"), experiment::FigureFiles(), parse_jobs(flags),
+            faulty.get());
         std::cout << "exported " << written.size() << " files to " << flags.at("export")
                   << '\n';
     }
+    if (faulty) print_fault_stats(*faulty, journal ? journal->io_retries() : 0);
     return 0;
 }
 
@@ -230,34 +282,46 @@ int cmd_census(const FlagMap& flags) {
     experiment::CensusPlan plan;
     plan.seeds = static_cast<std::size_t>(seeds);
     const std::size_t jobs = parse_jobs(flags);
-    const experiment::ParallelCensus campaign(plan, jobs);
 
+    if (flags.count("torture")) {
+        // Crash the campaign at every journal write point, resume each
+        // time, and require the resumed tables byte-identical to an
+        // uninterrupted run.  Exit 0 only when every crash point passes.
+        experiment::TortureOptions options;
+        options.jobs = jobs;
+        const experiment::TortureReport report = experiment::torture_campaign(
+            plan, jobs, flags.at("checkpoint"), options, std::cerr);
+        std::cout << "torture: " << report.io_ops << " write points, " << report.crash_points
+                  << " crash points, " << report.resumes << " resumes ("
+                  << report.tail_repairs << " torn-tail repairs, " << report.journal_resets
+                  << " journal resets), " << report.mismatches << " mismatches -> "
+                  << (report.passed() ? "PASS" : "FAIL") << '\n';
+        return report.passed() ? 0 : 1;
+    }
+
+    const experiment::ParallelCensus campaign(plan, jobs);
+    const std::unique_ptr<core::FaultyFs> faulty = make_fault_fs(flags);
     experiment::CensusResult result;
+    int io_retries = 0;
     if (flags.count("checkpoint")) {
         experiment::SweepJournal journal(flags.at("checkpoint"), campaign.journal_key(),
-                                         flags.count("resume") > 0);
+                                         flags.count("resume") > 0, faulty.get());
+        if (journal.recovered_tail_records() > 0) {
+            std::cout << "checkpoint repair: dropped " << journal.recovered_tail_records()
+                      << " torn tail record(s); those cells will be re-simulated\n";
+        }
         if (journal.completed() > 0) {
             std::cout << "resuming: " << journal.completed() << "/" << plan.seeds
                       << " cells from " << flags.at("checkpoint") << '\n';
         }
         result = campaign.run(journal);
+        io_retries = journal.io_retries();
     } else {
         result = campaign.run();
     }
 
-    for (std::size_t i = 0; i < result.censuses.size(); ++i) {
-        std::cout << "seed " << plan.base_seed + i << ": "
-                  << result.censuses[i].system_failures << " system failure(s), "
-                  << result.censuses[i].wrong_hashes << " wrong hash(es)\n";
-    }
-    const experiment::CensusSummary& s = result.summary;
-    std::cout << "\nmean fleet failure rate: "
-              << experiment::fmt_pct(s.mean_fleet_failure_rate)
-              << " (paper 5.6%, Intel 4.46%)\n"
-              << "mean wrong hashes/season: " << experiment::fmt(s.mean_wrong_hashes, 1)
-              << " over " << experiment::fmt(s.mean_runs, 0) << " runs\n"
-              << "seasons with sensor incident: "
-              << experiment::fmt_pct(s.frac_runs_with_sensor_incident, 0) << '\n';
+    std::cout << experiment::render_census_table(result, plan.base_seed);
+    if (faulty) print_fault_stats(*faulty, io_retries);
     return 0;
 }
 
@@ -277,18 +341,47 @@ int cmd_prototype(const FlagMap& flags) {
     return 0;
 }
 
-int usage() {
-    std::cerr
-        << "usage: zerodeg <weather|season|census|prototype> [--flags]\n"
+void synopsis(std::ostream& out) {
+    out << "usage: zerodeg <weather|season|census|prototype|help> [--flags]\n"
            "  weather   [--seed N] [--full-year] [--from D] [--to D] [--step-min M]\n"
            "  season    [--seed N] [--end D] [--trace FILE] [--export DIR] [--jobs N]\n"
            "            [--checkpoint FILE] [--resume] [--collector-retries N]\n"
-           "            [--collector-buffer BYTES]\n"
+           "            [--collector-buffer BYTES] [--inject-faults SEED]\n"
            "  census    [--seeds N] [--jobs N] [--checkpoint FILE] [--resume]\n"
+           "            [--inject-faults SEED] [--torture]\n"
            "            (--jobs 0 = all hardware threads)\n"
            "  prototype [--seed N]\n"
            "exit codes: 0 ok, 1 runtime failure, 2 usage error\n";
+}
+
+int usage() {
+    synopsis(std::cerr);
     return 2;
+}
+
+int cmd_help() {
+    synopsis(std::cout);
+    std::cout
+        << "\nfault injection and torture:\n"
+           "  --inject-faults SEED  route the checkpoint journal (and season exports)\n"
+           "                        through a deterministic faulty filesystem: short\n"
+           "                        writes, ENOSPC, failed fsync/rename.  The bounded\n"
+           "                        tmp+rename retries absorb them; a stats line\n"
+           "                        reports what was thrown and absorbed.\n"
+           "  --torture             (census) crash the campaign at every journal write\n"
+           "                        point, resume each time, and require output\n"
+           "                        byte-identical to an uninterrupted run.  Needs\n"
+           "                        --checkpoint as scratch; exit 1 on any mismatch.\n"
+           "\nresuming from a damaged checkpoint (--resume):\n"
+           "  exit 0  a torn tail record (crash mid-append) is dropped with a warning\n"
+           "          on stderr, truncated away on disk, and its cell re-simulated;\n"
+           "          everything before it is reused.\n"
+           "  exit 1  any other damage -- bad magic, truncated header, corruption\n"
+           "          before the last record, or a journal written by a different\n"
+           "          sweep/binary (stale fingerprint).  The journal is left as-is;\n"
+           "          delete it to start over.\n"
+           "  exit 2  usage errors (e.g. --resume without --checkpoint).\n";
+    return 0;
 }
 
 }  // namespace
@@ -296,6 +389,7 @@ int usage() {
 int main(int argc, char** argv) {
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") return cmd_help();
     if (!kAllowedFlags.contains(cmd)) {
         std::cerr << "error: unknown subcommand '" << cmd << "'\n";
         return usage();
