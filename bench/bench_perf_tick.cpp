@@ -1,0 +1,208 @@
+// Tick-engine performance benchmark: the number the perf gate watches.
+//
+// Two measurements, both timed with core::bench_clock (the lint-sanctioned
+// seam — no google-benchmark, no per-line suppressions):
+//
+//   1. Season sweep: run a `--seeds N` census (the default paper season,
+//      5184 ticks each) `--repeat R` times and keep the best wall time.
+//      Reported as cells/sec (census cells, i.e. seasons) and ticks/sec
+//      (seeds x ticks-per-season / best wall).
+//   2. Hazard kernel microbench: the batched HostHazardModel evaluation
+//      over a 4096-slot SoA, reported as hazard-evals/sec.
+//
+// Results go to stdout for humans and to `--out FILE` (default
+// BENCH_tick.json) as zerodeg-bench-tick/1 JSON for scripts/compare_bench.py,
+// which gates scripts/check.sh against the checked-in BENCH_baseline.json.
+//
+// The census output itself is byte-identical across engines and jobs values
+// (pinned by tests/test_hazard_table.cpp); this binary only measures speed,
+// but it still prints the summary fingerprint fields so a perf run that
+// silently changed *results* is visible in the JSON diff.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bench_clock.hpp"
+#include "experiment/config.hpp"
+#include "experiment/parallel_census.hpp"
+#include "faults/hazard.hpp"
+
+namespace {
+
+using zerodeg::core::bench_clock;
+
+struct Options {
+    std::size_t seeds = 4;
+    int repeat = 3;
+    std::size_t jobs = 1;
+    zerodeg::experiment::TickEngine engine = zerodeg::experiment::TickEngine::kBatched;
+    std::string out = "BENCH_tick.json";
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+    std::cerr << "error: " << message << "\n"
+              << "usage: bench_perf_tick [--seeds N] [--repeat N] [--jobs N]\n"
+              << "                       [--engine batched|per-object] [--out FILE]\n";
+    std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) usage_error(std::string(flag) + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--seeds") {
+            opt.seeds = static_cast<std::size_t>(std::strtoull(value("--seeds").c_str(), nullptr, 10));
+            if (opt.seeds == 0) usage_error("--seeds must be >= 1");
+        } else if (arg == "--repeat") {
+            opt.repeat = std::atoi(value("--repeat").c_str());
+            if (opt.repeat < 1) usage_error("--repeat must be >= 1");
+        } else if (arg == "--jobs") {
+            opt.jobs = static_cast<std::size_t>(std::strtoull(value("--jobs").c_str(), nullptr, 10));
+        } else if (arg == "--engine") {
+            const std::string v = value("--engine");
+            if (v == "batched") {
+                opt.engine = zerodeg::experiment::TickEngine::kBatched;
+            } else if (v == "per-object") {
+                opt.engine = zerodeg::experiment::TickEngine::kPerObject;
+            } else {
+                usage_error("--engine must be 'batched' or 'per-object'");
+            }
+        } else if (arg == "--out") {
+            opt.out = value("--out");
+        } else {
+            usage_error("unknown flag " + arg);
+        }
+    }
+    return opt;
+}
+
+/// Fixed-point-free JSON number formatting: full double precision, no
+/// locale surprises.
+std::string num(double v) {
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+/// Batched hazard-kernel microbench: 4096 deterministic SoA slots spanning
+/// the tent's operating envelope, evaluated until the repeat budget is
+/// spent.  Returns evals/sec from the best repeat.
+double hazard_kernel_evals_per_sec(int repeat) {
+    constexpr std::size_t kSlots = 4096;
+    constexpr int kItersPerRepeat = 500;
+    std::vector<double> intake(kSlots), humidity(kSlots), age(kSlots), cycling(kSlots);
+    std::vector<std::uint8_t> unreliable(kSlots);
+    for (std::size_t i = 0; i < kSlots; ++i) {
+        // Deterministic coverage of the envelope: -25..+35 C, 30..95 %RH,
+        // 0..40k hours, 0..6 K/h, every 7th host flaky.
+        intake[i] = -25.0 + 60.0 * static_cast<double>(i) / kSlots;
+        humidity[i] = 30.0 + 65.0 * static_cast<double>((i * 37) % kSlots) / kSlots;
+        age[i] = 40000.0 * static_cast<double>((i * 101) % kSlots) / kSlots;
+        cycling[i] = 6.0 * static_cast<double>((i * 13) % kSlots) / kSlots;
+        unreliable[i] = (i % 7) == 0 ? 1 : 0;
+    }
+    const zerodeg::faults::HostHazardModel model;
+    const zerodeg::faults::StressSoa soa{intake.data(), humidity.data(), age.data(),
+                                         cycling.data(), unreliable.data()};
+    std::vector<double> out(kSlots);
+    double sink = 0.0;
+    double best = 0.0;
+    for (int r = 0; r < repeat; ++r) {
+        const auto t0 = bench_clock::now();
+        for (int it = 0; it < kItersPerRepeat; ++it) {
+            model.hazard_per_hour(soa, kSlots, out.data());
+            sink += out[it % kSlots];  // keep the evaluation observable
+        }
+        const double secs = bench_clock::seconds_between(t0, bench_clock::now());
+        const double rate = static_cast<double>(kSlots) * kItersPerRepeat / secs;
+        if (rate > best) best = rate;
+    }
+    if (sink == -1.0) std::cerr << "";  // defeat dead-code elimination
+    return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse(argc, argv);
+    namespace experiment = zerodeg::experiment;
+
+    experiment::CensusPlan plan;
+    plan.seeds = opt.seeds;
+    plan.make_config = [&](std::size_t, std::uint64_t seed) {
+        experiment::ExperimentConfig config;
+        config.master_seed = seed;
+        config.engine = opt.engine;
+        return config;
+    };
+
+    const experiment::ExperimentConfig defaults;
+    const std::size_t ticks_per_season = static_cast<std::size_t>(
+        (defaults.end - defaults.start).count() / defaults.tick.count());
+
+    std::cout << "bench_perf_tick: engine=" << experiment::to_string(opt.engine)
+              << " seeds=" << opt.seeds << " repeat=" << opt.repeat << " jobs=" << opt.jobs
+              << " (" << ticks_per_season << " ticks/season)\n";
+
+    double best_wall = 0.0;
+    experiment::CensusResult result;
+    for (int r = 0; r < opt.repeat; ++r) {
+        const auto t0 = bench_clock::now();
+        result = experiment::run_census(plan, opt.jobs);
+        const double secs = bench_clock::seconds_between(t0, bench_clock::now());
+        std::cout << "  repeat " << (r + 1) << "/" << opt.repeat << ": " << num(secs)
+                  << " s\n";
+        if (r == 0 || secs < best_wall) best_wall = secs;
+    }
+
+    const double cells_per_sec = static_cast<double>(opt.seeds) / best_wall;
+    const double ticks_per_sec =
+        static_cast<double>(opt.seeds) * static_cast<double>(ticks_per_season) / best_wall;
+    const double hazard_rate = hazard_kernel_evals_per_sec(opt.repeat);
+
+    std::cout << "  best wall:        " << num(best_wall) << " s\n"
+              << "  cells/sec:        " << num(cells_per_sec) << "\n"
+              << "  ticks/sec:        " << num(ticks_per_sec) << "\n"
+              << "  hazard evals/sec: " << num(hazard_rate) << "\n"
+              << "  mean system failures (sanity): "
+              << num(result.summary.mean_system_failures) << "\n";
+
+    // bench output is a scratch artifact, not simulation state, so a plain
+    // ofstream (not the core::io durable seam) is appropriate here.
+    std::ofstream json(opt.out, std::ios::trunc);
+    if (!json) {
+        std::cerr << "error: cannot write " << opt.out << "\n";
+        return 1;
+    }
+    json << "{\n"
+         << "  \"schema\": \"zerodeg-bench-tick/1\",\n"
+         << "  \"config\": {\n"
+         << "    \"engine\": \"" << experiment::to_string(opt.engine) << "\",\n"
+         << "    \"seeds\": " << opt.seeds << ",\n"
+         << "    \"repeat\": " << opt.repeat << ",\n"
+         << "    \"jobs\": " << opt.jobs << ",\n"
+         << "    \"ticks_per_season\": " << ticks_per_season << ",\n"
+         << "    \"mean_system_failures\": " << num(result.summary.mean_system_failures)
+         << "\n"
+         << "  },\n"
+         << "  \"metrics\": {\n"
+         << "    \"cells_per_sec\": " << num(cells_per_sec) << ",\n"
+         << "    \"ticks_per_sec\": " << num(ticks_per_sec) << ",\n"
+         << "    \"hazard_evals_per_sec\": " << num(hazard_rate) << "\n"
+         << "  },\n"
+         << "  \"wall_seconds_best\": " << num(best_wall) << "\n"
+         << "}\n";
+    json.close();
+    std::cout << "wrote " << opt.out << "\n";
+    return 0;
+}

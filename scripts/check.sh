@@ -13,10 +13,14 @@
 #   4. a compose smoke: sanitizers + -Werror configured together must build
 #      (sanitizer instrumentation must not be broken by the warning gate)
 #   5. clang-tidy over the exported compile database, when clang-tidy exists
+#   6. the perf gate: bench_perf_tick in a Release tree (build-bench/) with
+#      fixed seeds/repeats, compared against BENCH_baseline.json by
+#      scripts/compare_bench.py — any metric >25% below baseline fails; a
+#      missing baseline is recorded on the first run
 #
 # This is the sanitizer matrix PRs 1-2 documented as manual steps, made
 # executable.  Every build tree is separate (build/, build-tsan/, build-asan/,
-# build-asan-werror/) so switching configurations never causes a full rebuild
+# build-asan-werror/, build-bench/) so switching configurations never causes a full rebuild
 # of another.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,26 +28,26 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 run() { echo "+ $*" >&2; "$@"; }
 
-echo "=== [1/5] hardened warnings + full test suite ===" >&2
+echo "=== [1/6] hardened warnings + full test suite ===" >&2
 run cmake -B build -S . -DZERODEG_WERROR=ON
 run cmake --build build -j "$JOBS"
 run ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/5] parallel label under ThreadSanitizer ===" >&2
+echo "=== [2/6] parallel label under ThreadSanitizer ===" >&2
 run cmake -B build-tsan -S . -DZERODEG_SANITIZE=thread
 run cmake --build build-tsan -j "$JOBS"
 run ctest --test-dir build-tsan -L parallel --output-on-failure -j "$JOBS"
 
-echo "=== [3/5] resilience + chaos labels under ASan+UBSan ===" >&2
+echo "=== [3/6] resilience + chaos labels under ASan+UBSan ===" >&2
 run cmake -B build-asan -S . -DZERODEG_SANITIZE=address,undefined
 run cmake --build build-asan -j "$JOBS"
 run ctest --test-dir build-asan -L 'resilience|chaos' --output-on-failure -j "$JOBS"
 
-echo "=== [4/5] compose smoke: sanitize + werror together ===" >&2
+echo "=== [4/6] compose smoke: sanitize + werror together ===" >&2
 run cmake -B build-asan-werror -S . -DZERODEG_SANITIZE=address,undefined -DZERODEG_WERROR=ON
 run cmake --build build-asan-werror -j "$JOBS" --target zerodeg_core zerodeg_lint
 
-echo "=== [5/5] clang-tidy (optional) ===" >&2
+echo "=== [5/6] clang-tidy (optional) ===" >&2
 if command -v clang-tidy >/dev/null 2>&1; then
     # compile_commands.json was exported by step 1's configure.
     mapfile -t sources < <(git ls-files 'src/**/*.cpp' 'tools/**/*.cpp')
@@ -51,5 +55,11 @@ if command -v clang-tidy >/dev/null 2>&1; then
 else
     echo "clang-tidy not installed; skipping (config: .clang-tidy)" >&2
 fi
+
+echo "=== [6/6] perf gate: bench_perf_tick vs BENCH_baseline.json ===" >&2
+run cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+run cmake --build build-bench -j "$JOBS" --target bench_perf_tick
+run ./build-bench/bench/bench_perf_tick --seeds 4 --repeat 3 --jobs 1 --out build-bench/BENCH_tick.json
+run python3 scripts/compare_bench.py build-bench/BENCH_tick.json BENCH_baseline.json
 
 echo "check.sh: all gates passed" >&2

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Perf gate: compare a fresh BENCH_*.json against the checked-in baseline.
+
+Usage:
+    compare_bench.py CURRENT BASELINE [--threshold 0.25] [--update]
+
+Stdlib only.  Rules:
+  * BASELINE missing -> copy CURRENT over it, report "recorded", exit 0
+    (the first run on a new machine records its own reference point).
+  * Any metric in CURRENT below baseline * (1 - threshold) -> regression,
+    exit 1.  Metrics are throughputs (bigger is better); metrics present in
+    only one file are reported but never fail the gate (schema growth must
+    not break old baselines).
+  * --update -> overwrite BASELINE with CURRENT after the comparison and
+    exit 0 regardless (the explicit "I accept the new numbers" path).
+
+Baselines are machine-local by nature; refresh with --update after hardware
+or deliberate perf-relevant changes (see EXPERIMENTS.md, "Performance").
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "zerodeg-bench-tick/1":
+        sys.exit(f"error: {path}: unexpected schema {doc.get('schema')!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        sys.exit(f"error: {path}: missing or empty 'metrics' object")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly generated BENCH_*.json")
+    parser.add_argument("baseline", help="checked-in baseline to gate against")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop per metric (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite the baseline with the current run and exit 0",
+    )
+    args = parser.parse_args()
+
+    current = load(args.current)
+
+    try:
+        baseline = load(args.baseline)
+    except FileNotFoundError:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"compare_bench: no baseline at {args.baseline}; recorded current run")
+        return 0
+
+    cur = current["metrics"]
+    base = baseline["metrics"]
+    floor = 1.0 - args.threshold
+    regressions = []
+    for name in sorted(set(cur) | set(base)):
+        if name not in cur:
+            print(f"  {name}: only in baseline (ignored)")
+            continue
+        if name not in base:
+            print(f"  {name}: new metric, no baseline (ignored)")
+            continue
+        c, b = float(cur[name]), float(base[name])
+        ratio = c / b if b > 0 else float("inf")
+        verdict = "ok"
+        if ratio < floor:
+            verdict = "REGRESSION"
+            regressions.append(name)
+        print(f"  {name}: {c:.6g} vs baseline {b:.6g} ({ratio - 1.0:+.1%}) {verdict}")
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"compare_bench: baseline {args.baseline} updated")
+        return 0
+
+    if regressions:
+        print(
+            f"compare_bench: {len(regressions)} metric(s) regressed more than "
+            f"{args.threshold:.0%}: {', '.join(regressions)}"
+        )
+        print("  (refresh deliberately with: compare_bench.py CURRENT BASELINE --update)")
+        return 1
+
+    print("compare_bench: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+// The one sanctioned wall-clock seam for performance measurement.
+//
+// Simulation code must never read wall time (determinism lint ZD003), but
+// benchmarks have to.  core::bench_clock wraps steady_clock behind a seam
+// that the lint whitelists only under bench/ and tools/ (rule ZD013), so a
+// bench target can time itself without per-line suppressions — and a stray
+// #include in simulation code is a lint error, not a silent nondeterminism.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace zerodeg::core {
+
+/// Monotonic wall-clock for benchmark timing.  NOT for simulation logic:
+/// using it outside bench/ or tools/ fails the determinism lint (ZD013).
+class bench_clock {
+public:
+    using rep = std::int64_t;
+    using period = std::nano;
+    using duration = std::chrono::nanoseconds;
+    using time_point = std::chrono::time_point<bench_clock, duration>;
+    static constexpr bool is_steady = true;
+
+    [[nodiscard]] static time_point now() noexcept;
+
+    /// Seconds between two instants, as the double benchmarks report.
+    [[nodiscard]] static double seconds_between(time_point start, time_point stop) noexcept {
+        return std::chrono::duration<double>(stop - start).count();
+    }
+};
+
+}  // namespace zerodeg::core

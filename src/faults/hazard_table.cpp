@@ -1,0 +1,104 @@
+#include "faults/hazard_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace zerodeg::faults {
+
+namespace {
+
+constexpr double kBoltzmannEv = 8.617333262e-5;  // eV/K
+
+// Tabulated windows.  Component temperature is intake + a fixed rise, so
+// the Arrhenius window covers every intake a Helsinki winter (or the
+// acceptance grid's -40..+60 degC) can produce after that offset; the Peck
+// window starts below the humidity knee (the model only engages above it)
+// and runs past saturation.
+constexpr double kArrheniusLoC = -60.0;
+constexpr double kArrheniusHiC = 130.0;
+constexpr double kPeckLoRh = 40.0;
+constexpr double kPeckHiRh = 110.0;
+constexpr double kStep = 0.125;
+
+std::size_t knot_count(double lo, double hi) {
+    return static_cast<std::size_t>((hi - lo) / kStep) + 1;
+}
+
+}  // namespace
+
+ArrheniusModel::ArrheniusModel(double activation_energy_ev, Celsius reference)
+    : ea_over_k_(activation_energy_ev / kBoltzmannEv),
+      t_ref_kelvin_(reference.to_kelvin().value()) {
+    if (activation_energy_ev <= 0.0) {
+        throw core::InvalidArgument("ArrheniusModel: activation energy must be positive");
+    }
+}
+
+double ArrheniusModel::acceleration(Celsius t) const {
+    const double t_kelvin = t.to_kelvin().value();
+    if (t_kelvin <= 0.0) throw core::InvalidArgument("ArrheniusModel: below absolute zero");
+    return std::exp(ea_over_k_ * (1.0 / t_ref_kelvin_ - 1.0 / t_kelvin));
+}
+
+PeckModel::PeckModel(double exponent, RelHumidity reference)
+    : n_(exponent), rh_ref_(reference.value()) {
+    if (exponent <= 0.0) throw core::InvalidArgument("PeckModel: exponent must be positive");
+    if (reference.value() <= 0.0) {
+        throw core::InvalidArgument("PeckModel: reference RH must be positive");
+    }
+}
+
+double PeckModel::acceleration(RelHumidity rh) const {
+    const double clamped = std::max(rh.value(), 1.0);
+    return std::pow(clamped / rh_ref_, n_);
+}
+
+CubicTable::CubicTable(double x0, double step, std::vector<double> values,
+                       std::vector<double> slopes)
+    : x0_(x0),
+      x1_(x0 + step * static_cast<double>(values.size() - 1)),
+      step_(step),
+      inv_step_(1.0 / step),
+      last_segment_(values.size() >= 2 ? values.size() - 2 : 0),
+      y_(std::move(values)),
+      m_(std::move(slopes)) {
+    if (y_.size() < 2 || y_.size() != m_.size()) {
+        throw core::InvalidArgument("CubicTable: need >= 2 knots with matching slopes");
+    }
+}
+
+HazardTable::HazardTable(double arrhenius_ea_ev, Celsius arrhenius_reference, double peck_exponent,
+                         RelHumidity peck_reference)
+    : arrhenius_analytic_(arrhenius_ea_ev, arrhenius_reference),
+      peck_analytic_(peck_exponent, peck_reference),
+      arrhenius_table_([&] {
+          const double ea_over_k = arrhenius_ea_ev / kBoltzmannEv;
+          const std::size_t n = knot_count(kArrheniusLoC, kArrheniusHiC);
+          std::vector<double> y(n);
+          std::vector<double> m(n);
+          for (std::size_t i = 0; i < n; ++i) {
+              const double t_c = kArrheniusLoC + kStep * static_cast<double>(i);
+              const double f = arrhenius_analytic_.acceleration(Celsius{t_c});
+              const double t_k = Celsius{t_c}.to_kelvin().value();
+              y[i] = f;
+              m[i] = f * ea_over_k / (t_k * t_k);  // df/dT, exact
+          }
+          return CubicTable(kArrheniusLoC, kStep, std::move(y), std::move(m));
+      }()),
+      peck_table_([&] {
+          const std::size_t n = knot_count(kPeckLoRh, kPeckHiRh);
+          std::vector<double> y(n);
+          std::vector<double> m(n);
+          for (std::size_t i = 0; i < n; ++i) {
+              const double rh = kPeckLoRh + kStep * static_cast<double>(i);
+              const double f = peck_analytic_.acceleration(RelHumidity{rh});
+              y[i] = f;
+              m[i] = peck_exponent * f / rh;  // d/dRH of (RH/ref)^n, exact
+          }
+          return CubicTable(kPeckLoRh, kStep, std::move(y), std::move(m));
+      }()) {}
+
+}  // namespace zerodeg::faults

@@ -1,0 +1,130 @@
+// Analytic Arrhenius/Peck acceleration models and their precomputed
+// lookup-table form for the hazard hot path.
+//
+// The census inner loop evaluates Arrhenius (exp) and Peck (pow) once per
+// host per tick; at fleet scale those transcendentals dominate the hazard
+// kernel.  HazardTable tabulates both factors over the temperatures and
+// humidities a season can actually produce and interpolates between knots,
+// falling back to the analytic models outside the tabulated range so the
+// table is an optimization, never a domain change.
+//
+// Interpolation note: the naive choice here is linear interpolation, but a
+// linear table cannot meet the 1e-9 relative-error budget at a sane size —
+// Arrhenius near -40 degC has f''/f ~ (Ea/k)^2/T^4, which would need
+// millikelvin knot spacing (megabytes per table).  We use cubic Hermite
+// segments with *exact* analytic derivatives at the knots instead: the
+// leading error term is f''''*h^4/384, which at h = 0.125 keeps the
+// relative error under ~2e-10 across the full -40..+60 degC acceptance
+// grid.  Same table size as the linear sketch, two orders of magnitude
+// more margin.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace zerodeg::faults {
+
+using core::Celsius;
+using core::RelHumidity;
+
+/// Arrhenius acceleration factor relative to a reference temperature:
+/// AF = exp(Ea/k * (1/T_ref - 1/T)).  Below T_ref the factor drops under 1 —
+/// cold silicon wears *slower*, which is why the paper's outcome (no failure
+/// wave) is physically plausible.
+class ArrheniusModel {
+public:
+    ArrheniusModel(double activation_energy_ev, Celsius reference);
+
+    [[nodiscard]] double acceleration(Celsius t) const;
+
+private:
+    double ea_over_k_;  ///< Ea / Boltzmann-in-eV
+    double t_ref_kelvin_;
+};
+
+/// Peck's humidity model: AF = (RH/RH_ref)^n, commonly n ~ 2.7-3.
+/// Applies above a threshold where surface moisture films form.
+class PeckModel {
+public:
+    PeckModel(double exponent, RelHumidity reference);
+
+    [[nodiscard]] double acceleration(RelHumidity rh) const;
+
+private:
+    double n_;
+    double rh_ref_;
+};
+
+/// One tabulated function on a uniform grid with cubic Hermite segments.
+/// Knots store both the value and the exact analytic derivative, so the
+/// interpolant is C1 and fourth-order accurate.
+class CubicTable {
+public:
+    /// `values` and `slopes` are knot samples of f and f' on the uniform
+    /// grid x0, x0+step, ...; both must hold the same count (>= 2).
+    CubicTable(double x0, double step, std::vector<double> values, std::vector<double> slopes);
+
+    [[nodiscard]] bool covers(double x) const { return x >= x0_ && x <= x1_; }
+
+    /// Hermite evaluation; caller must ensure covers(x).
+    [[nodiscard]] double eval(double x) const {
+        const double s = (x - x0_) * inv_step_;
+        std::size_t i = static_cast<std::size_t>(s);
+        // Right edge: x == x1_ lands exactly on the last knot; clamp to the
+        // final segment so i+1 stays in range (t becomes exactly 1.0).
+        if (i > last_segment_) i = last_segment_;
+        const double t = s - static_cast<double>(i);
+        const double t2 = t * t;
+        const double t3 = t2 * t;
+        const double h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        const double h10 = t3 - 2.0 * t2 + t;
+        const double h01 = -2.0 * t3 + 3.0 * t2;
+        const double h11 = t3 - t2;
+        return h00 * y_[i] + step_ * h10 * m_[i] + h01 * y_[i + 1] + step_ * h11 * m_[i + 1];
+    }
+
+private:
+    double x0_;
+    double x1_;
+    double step_;
+    double inv_step_;
+    std::size_t last_segment_;  ///< index of the left knot of the final segment
+    std::vector<double> y_;
+    std::vector<double> m_;
+};
+
+/// Temperature/humidity-indexed acceleration factors for one parameter set.
+/// Built once per config (the fault injector shares one model, and thus one
+/// table, across all hosts); out-of-range queries fall through to the
+/// analytic models, so results differ from direct evaluation only by the
+/// interpolation error inside the tabulated window — which also preserves
+/// the analytic domain checks (absolute zero, RH clamping at 1%).
+class HazardTable {
+public:
+    HazardTable(double arrhenius_ea_ev, Celsius arrhenius_reference, double peck_exponent,
+                RelHumidity peck_reference);
+
+    /// Arrhenius acceleration at component temperature `t` (degC).
+    [[nodiscard]] double arrhenius(Celsius t) const {
+        const double x = t.value();
+        if (arrhenius_table_.covers(x)) return arrhenius_table_.eval(x);
+        return arrhenius_analytic_.acceleration(t);
+    }
+
+    /// Peck humidity acceleration at relative humidity `rh` (%).
+    [[nodiscard]] double peck(RelHumidity rh) const {
+        const double x = rh.value();
+        if (peck_table_.covers(x)) return peck_table_.eval(x);
+        return peck_analytic_.acceleration(rh);
+    }
+
+private:
+    ArrheniusModel arrhenius_analytic_;
+    PeckModel peck_analytic_;
+    CubicTable arrhenius_table_;
+    CubicTable peck_table_;
+};
+
+}  // namespace zerodeg::faults

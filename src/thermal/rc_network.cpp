@@ -17,6 +17,7 @@ NodeId ThermalNetwork::add_node(std::string name, JoulesPerKelvin capacity, Cels
     }
     nodes_.push_back(
         {std::move(name), capacity.value(), initial.value(), 0.0, to_ambient.value()});
+    stiffest_rate_dirty_ = true;
     return nodes_.size() - 1;
 }
 
@@ -28,6 +29,7 @@ std::size_t ThermalNetwork::connect(NodeId a, NodeId b, WattsPerKelvin conductan
         throw core::InvalidArgument("ThermalNetwork::connect: negative conductance");
     }
     edges_.push_back({a, b, conductance.value()});
+    stiffest_rate_dirty_ = true;
     return edges_.size() - 1;
 }
 
@@ -37,6 +39,7 @@ void ThermalNetwork::set_edge_conductance(std::size_t edge, WattsPerKelvin condu
         throw core::InvalidArgument("ThermalNetwork: negative conductance");
     }
     edges_[edge].conductance = conductance.value();
+    stiffest_rate_dirty_ = true;
 }
 
 WattsPerKelvin ThermalNetwork::edge_conductance(std::size_t edge) const {
@@ -58,6 +61,7 @@ void ThermalNetwork::set_ambient_conductance(NodeId n, WattsPerKelvin g) {
     check_node(n);
     if (g.value() < 0.0) throw core::InvalidArgument("ThermalNetwork: negative conductance");
     nodes_[n].to_ambient = g.value();
+    stiffest_rate_dirty_ = true;
 }
 
 WattsPerKelvin ThermalNetwork::ambient_conductance(NodeId n) const {
@@ -80,6 +84,16 @@ const std::string& ThermalNetwork::name(NodeId n) const {
     return nodes_[n].name;
 }
 
+double ThermalNetwork::stiffest_rate() const {
+    if (stiffest_rate_dirty_) {
+        double rate = 0.0;
+        for (NodeId n = 0; n < nodes_.size(); ++n) rate = std::max(rate, max_rate(n));
+        stiffest_rate_ = rate;
+        stiffest_rate_dirty_ = false;
+    }
+    return stiffest_rate_;
+}
+
 double ThermalNetwork::max_rate(NodeId n) const {
     double g = nodes_[n].to_ambient;
     for (const Edge& e : edges_) {
@@ -93,8 +107,9 @@ void ThermalNetwork::step(Duration dt, Celsius ambient) {
     if (nodes_.empty() || dt.count() == 0) return;
 
     // Explicit Euler is stable for dt < 2/rate; use a quarter of that.
-    double rate = 0.0;
-    for (NodeId n = 0; n < nodes_.size(); ++n) rate = std::max(rate, max_rate(n));
+    // The stiffest rate depends only on topology and conductances, so the
+    // scan is cached and set_power/set_temperature stay invalidation-free.
+    const double rate = stiffest_rate();
     double remaining = static_cast<double>(dt.count());
     const double max_sub = rate > 0.0 ? 0.5 / rate : remaining;
     while (remaining > 0.0) {
@@ -105,7 +120,8 @@ void ThermalNetwork::step(Duration dt, Celsius ambient) {
 }
 
 void ThermalNetwork::single_step(double dt_seconds, double ambient) {
-    std::vector<double> flow(nodes_.size(), 0.0);
+    flow_.assign(nodes_.size(), 0.0);
+    std::vector<double>& flow = flow_;
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         const Node& n = nodes_[i];
         flow[i] = n.power + n.to_ambient * (ambient - n.temperature);

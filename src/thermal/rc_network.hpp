@@ -78,7 +78,17 @@ private:
     std::vector<Node> nodes_;
     std::vector<Edge> edges_;
 
+    /// Cached stiffest-node rate (max over nodes of max_rate), invalidated
+    /// on topology or conductance changes.  step() used to recompute this
+    /// O(nodes x edges) scan every call even though power/temperature —
+    /// the only knobs that change every tick — cannot affect it.
+    mutable double stiffest_rate_ = 0.0;
+    mutable bool stiffest_rate_dirty_ = true;
+
+    std::vector<double> flow_;  ///< single_step scratch, reused across sub-steps
+
     [[nodiscard]] double max_rate(NodeId n) const;  ///< sum of conductances / capacity
+    [[nodiscard]] double stiffest_rate() const;
     void single_step(double dt_seconds, double ambient);
     void check_node(NodeId n) const;
 };

@@ -23,9 +23,16 @@ OrnsteinUhlenbeck::OrnsteinUhlenbeck(double mean, double sigma, core::Duration t
 
 double OrnsteinUhlenbeck::step(core::Duration dt) {
     // Exact discretization: X' = mu + (X - mu) a + sigma sqrt(1 - a^2) Z,
-    // with a = exp(-dt/tau).
-    const double a = std::exp(-static_cast<double>(dt.count()) / tau_seconds_);
-    value_ = mean_ + (value_ - mean_) * a + sigma_ * std::sqrt(1.0 - a * a) * rng_.normal();
+    // with a = exp(-dt/tau).  The dt-derived coefficients are memoized;
+    // sigma * sqrt(...) is folded into the cached shock scale with the same
+    // left-to-right association as the original expression.
+    const double dt_seconds = static_cast<double>(dt.count());
+    if (dt_seconds != memo_dt_seconds_) {
+        memo_dt_seconds_ = dt_seconds;
+        memo_decay_ = std::exp(-dt_seconds / tau_seconds_);
+        memo_shock_scale_ = sigma_ * std::sqrt(1.0 - memo_decay_ * memo_decay_);
+    }
+    value_ = mean_ + (value_ - mean_) * memo_decay_ + memo_shock_scale_ * rng_.normal();
     return value_;
 }
 

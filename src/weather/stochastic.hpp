@@ -35,6 +35,12 @@ private:
     double tau_seconds_;
     core::RngStream rng_;
     double value_;
+    // step() is called with the same dt thousands of times per season; the
+    // decay factor a = exp(-dt/tau) and the shock scale sigma*sqrt(1-a^2)
+    // depend only on dt, so they are memoized keyed on the last dt seen.
+    double memo_dt_seconds_ = -1.0;
+    double memo_decay_ = 0.0;
+    double memo_shock_scale_ = 0.0;
 };
 
 /// A process clamped into [lo, hi] after each step (wind >= 0, cloud in

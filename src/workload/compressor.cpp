@@ -71,14 +71,15 @@ std::vector<std::uint8_t> rle_decode(std::span<const std::uint8_t> data) {
 
 void BitWriter::put(std::uint32_t bits, int count) {
     if (count < 0 || count > 32) throw core::InvalidArgument("BitWriter::put: bad count");
-    // MSB-first within the given count.
-    for (int i = count - 1; i >= 0; --i) {
-        acc_ = (acc_ << 1) | ((bits >> i) & 1u);
-        if (++acc_bits_ == 8) {
-            bytes_.push_back(static_cast<std::uint8_t>(acc_ & 0xff));
-            acc_ = 0;
-            acc_bits_ = 0;
-        }
+    if (count == 0) return;
+    // MSB-first within the given count, appended whole rather than bit by
+    // bit; emits the same byte stream as the original single-bit loop.
+    const std::uint64_t mask = count == 32 ? 0xffffffffull : (1ull << count) - 1;
+    acc_ = (acc_ << count) | (static_cast<std::uint64_t>(bits) & mask);
+    acc_bits_ += count;
+    while (acc_bits_ >= 8) {
+        acc_bits_ -= 8;
+        bytes_.push_back(static_cast<std::uint8_t>((acc_ >> acc_bits_) & 0xff));
     }
 }
 
@@ -91,17 +92,33 @@ std::vector<std::uint8_t> BitWriter::finish() {
     return std::move(bytes_);
 }
 
-int BitReader::bit() {
-    if (pos_ >= bytes_.size()) throw core::CorruptData("BitReader: out of data");
-    const int b = (bytes_[pos_] >> (7 - bit_pos_)) & 1;
-    if (++bit_pos_ == 8) {
-        bit_pos_ = 0;
-        ++pos_;
+void BitReader::fill() {
+    while (buf_bits_ <= 56 && pos_ < bytes_.size()) {
+        buf_ = (buf_ << 8) | bytes_[pos_++];
+        buf_bits_ += 8;
     }
-    return b;
 }
 
-bool BitReader::exhausted() const { return pos_ >= bytes_.size(); }
+int BitReader::bit() {
+    if (buf_bits_ == 0) {
+        fill();
+        if (buf_bits_ == 0) throw core::CorruptData("BitReader: out of data");
+    }
+    --buf_bits_;
+    return static_cast<int>((buf_ >> buf_bits_) & 1u);
+}
+
+int BitReader::peek(int want, std::uint32_t& window) {
+    if (want < 1 || want > 32) throw core::InvalidArgument("BitReader::peek: bad want");
+    if (buf_bits_ < want) fill();
+    const int have = std::min(want, buf_bits_);
+    window = have == 0 ? 0
+                       : static_cast<std::uint32_t>((buf_ >> (buf_bits_ - have)) &
+                                                    ((1ull << have) - 1));
+    return have;
+}
+
+bool BitReader::exhausted() const { return pos_ >= bytes_.size() && buf_bits_ == 0; }
 
 std::vector<std::uint8_t> huffman_code_lengths(const std::vector<std::uint64_t>& freq) {
     struct Node {
@@ -183,7 +200,12 @@ namespace {
 constexpr std::size_t kSymbols = 257;  // 256 byte values + EOB
 constexpr std::uint32_t kEob = 256;
 
-/// Canonical decoder: per-length first-code / first-symbol-index tables.
+/// Canonical decoder: per-length first-code / first-symbol-index tables,
+/// fronted by a primary lookup table that resolves codes of up to
+/// kPrimaryBits in a single indexed load.  decode() consumes exactly the
+/// bits the per-bit reference loop would and throws the same CorruptData
+/// classifications (out-of-data vs invalid-code), so damaged blocks fail
+/// identically — only faster.
 class CanonicalDecoder {
 public:
     explicit CanonicalDecoder(const std::vector<std::uint8_t>& lengths) {
@@ -214,28 +236,77 @@ public:
                 if (lengths[s] == len) symbols_by_code_.push_back(static_cast<std::uint32_t>(s));
             }
         }
+
+        // Primary table: every kPrimaryBits-wide window whose leading bits
+        // form a code of length <= kPrimaryBits maps straight to (symbol,
+        // length).  Filled longest-length first so that with an
+        // oversubscribed (corrupt) table, the SHORTEST matching code wins a
+        // contested window — the same tie-break the reference scan applies.
+        primary_bits_ = std::min(max_len_, kPrimaryBits);
+        primary_.assign(std::size_t{1} << primary_bits_, PrimaryEntry{});
+        for (int len = primary_bits_; len >= 1; --len) {
+            const std::uint32_t n = count_[static_cast<std::size_t>(len)];
+            for (std::uint32_t c = 0; c < n; ++c) {
+                const std::uint32_t entry_code = first_code_[static_cast<std::size_t>(len)] + c;
+                if (entry_code >= (std::uint32_t{1} << len)) break;  // corrupt oversubscribed table
+                const std::uint32_t sym =
+                    symbols_by_code_[first_index_[static_cast<std::size_t>(len)] + c];
+                const int pad = primary_bits_ - len;
+                const std::size_t base = std::size_t{entry_code} << pad;
+                for (std::size_t f = 0; f < (std::size_t{1} << pad); ++f) {
+                    primary_[base + f] = {static_cast<std::uint16_t>(sym),
+                                          static_cast<std::uint8_t>(len)};
+                }
+            }
+        }
     }
 
     [[nodiscard]] std::uint32_t decode(BitReader& reader) const {
-        std::uint32_t code = 0;
-        for (int len = 1; len <= max_len_; ++len) {
-            code = (code << 1) | static_cast<std::uint32_t>(reader.bit());
+        std::uint32_t window = 0;
+        const int have = reader.peek(max_len_, window);
+        if (have >= primary_bits_) {
+            const PrimaryEntry e =
+                primary_[window >> (have - primary_bits_)];
+            if (e.length != 0) {
+                reader.consume(e.length);
+                return e.symbol;
+            }
+        }
+        // Slow path: codes longer than the primary table, or a short tail.
+        // Identical match order to the per-bit reference: shortest length
+        // that covers the window wins.
+        for (int len = 1; len <= have; ++len) {
+            const std::uint32_t code = window >> (have - len);
             const std::uint32_t first = first_code_[static_cast<std::size_t>(len)];
             const std::uint32_t n = count_[static_cast<std::size_t>(len)];
             if (n > 0 && code >= first && code < first + n) {
+                reader.consume(len);
                 return symbols_by_code_[first_index_[static_cast<std::size_t>(len)] +
                                         (code - first)];
             }
         }
+        // No match in the available bits: the reference loop would have
+        // consumed them and asked for one more (out of data), or — with all
+        // max_len_ bits in hand — declared the code invalid.
+        if (have < max_len_) throw core::CorruptData("BitReader: out of data");
         throw core::CorruptData("huffman: invalid code in stream");
     }
 
 private:
+    static constexpr int kPrimaryBits = 11;
+
+    struct PrimaryEntry {
+        std::uint16_t symbol = 0;
+        std::uint8_t length = 0;  ///< 0 = no code this short for the window
+    };
+
     int max_len_ = 0;
+    int primary_bits_ = 0;
     std::vector<std::uint32_t> first_code_;
     std::vector<std::uint32_t> first_index_;
     std::vector<std::uint32_t> count_;
     std::vector<std::uint32_t> symbols_by_code_;
+    std::vector<PrimaryEntry> primary_;
 };
 
 std::vector<std::uint8_t> huffman_encode_block(std::span<const std::uint8_t> rle) {

@@ -83,10 +83,21 @@ public:
     [[nodiscard]] int bit();
     [[nodiscard]] bool exhausted() const;
 
+    /// Expose up to `want` upcoming bits MSB-first without consuming them
+    /// (refilling the internal buffer as needed); returns how many are
+    /// actually available — fewer than `want` only near end of stream.
+    /// `want` must be in [1, 32].
+    [[nodiscard]] int peek(int want, std::uint32_t& window);
+    /// Consume bits previously exposed by peek (count <= its return value).
+    void consume(int count) { buf_bits_ -= count; }
+
 private:
+    void fill();
+
     std::span<const std::uint8_t> bytes_;
-    std::size_t pos_ = 0;
-    int bit_pos_ = 0;
+    std::size_t pos_ = 0;       ///< next unread byte
+    std::uint64_t buf_ = 0;     ///< up to 64 buffered bits, MSB-first order
+    int buf_bits_ = 0;
 };
 
 /// Huffman code lengths for the given symbol frequencies (0 frequency =>

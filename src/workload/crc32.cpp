@@ -1,31 +1,62 @@
 #include "workload/crc32.hpp"
 
 #include <array>
+#include <cstring>
 
 namespace zerodeg::workload {
 
 namespace {
 
-constexpr std::array<std::uint32_t, 256> make_table() {
-    std::array<std::uint32_t, 256> table{};
+// Slicing-by-8: table[0] is the classic byte-at-a-time table; table[k]
+// gives the CRC of a byte followed by k zero bytes, letting update() fold
+// eight input bytes per iteration.  Same polynomial (reflected 0xEDB88320),
+// same values as the byte-at-a-time loop — just fewer dependent loads.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+    std::array<std::array<std::uint32_t, 256>, 8> tables{};
     for (std::uint32_t i = 0; i < 256; ++i) {
         std::uint32_t c = i;
         for (int k = 0; k < 8; ++k) {
             c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
     }
-    return table;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = tables[0][i];
+        for (std::size_t t = 1; t < 8; ++t) {
+            c = tables[0][c & 0xffu] ^ (c >> 8);
+            tables[t][i] = c;
+        }
+    }
+    return tables;
 }
 
-constexpr auto kTable = make_table();
+constexpr auto kTables = make_tables();
 
 }  // namespace
 
 void Crc32::update(std::span<const std::uint8_t> data) {
-    for (const std::uint8_t byte : data) {
-        crc_ = kTable[(crc_ ^ byte) & 0xffu] ^ (crc_ >> 8);
+    std::size_t i = 0;
+    std::uint32_t crc = crc_;
+    for (; i + 8 <= data.size(); i += 8) {
+        // Little-endian-agnostic: assemble the two words byte by byte.
+        const std::uint32_t lo = static_cast<std::uint32_t>(data[i]) |
+                                 static_cast<std::uint32_t>(data[i + 1]) << 8 |
+                                 static_cast<std::uint32_t>(data[i + 2]) << 16 |
+                                 static_cast<std::uint32_t>(data[i + 3]) << 24;
+        const std::uint32_t hi = static_cast<std::uint32_t>(data[i + 4]) |
+                                 static_cast<std::uint32_t>(data[i + 5]) << 8 |
+                                 static_cast<std::uint32_t>(data[i + 6]) << 16 |
+                                 static_cast<std::uint32_t>(data[i + 7]) << 24;
+        const std::uint32_t x = crc ^ lo;
+        crc = kTables[7][x & 0xffu] ^ kTables[6][(x >> 8) & 0xffu] ^
+              kTables[5][(x >> 16) & 0xffu] ^ kTables[4][(x >> 24) & 0xffu] ^
+              kTables[3][hi & 0xffu] ^ kTables[2][(hi >> 8) & 0xffu] ^
+              kTables[1][(hi >> 16) & 0xffu] ^ kTables[0][(hi >> 24) & 0xffu];
     }
+    for (; i < data.size(); ++i) {
+        crc = kTables[0][(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    }
+    crc_ = crc;
 }
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) {

@@ -48,8 +48,12 @@ JobResult LoadJob::run(faults::MemoryFaultModel& memory, bool ecc) {
     }
 
     // A corrupting flip: run the real pipeline and damage the buffer the way
-    // a flipped DRAM bit does — one bit, somewhere in the data pages.
-    std::vector<std::uint8_t> container = frost_compress(archive_, comp_config_);
+    // a flipped DRAM bit does — one bit, somewhere in the data pages.  The
+    // pipeline is deterministic (the clean path above already banks on it),
+    // so under cache_clean_runs the pre-damage buffer is a copy of the
+    // reference container rather than a fresh compression pass.
+    std::vector<std::uint8_t> container =
+        config_.cache_clean_runs ? reference_container_ : frost_compress(archive_, comp_config_);
     for (std::uint64_t i = 0; i < outcome.corrupting_flips; ++i) {
         // Flip within payload area (skip the 12-byte stream header so the
         // damage lands in a block, as the paper observed).

@@ -58,6 +58,31 @@ TEST(LintChecks, CTimeSpellings) {
     EXPECT_TRUE(lint_source("src/core/x.cpp", "auto t = clockobj.time(0);\n").empty());
 }
 
+TEST(LintChecks, BenchClockOnlyInBenchAndTools) {
+    const std::string src = "auto t0 = zerodeg::core::bench_clock::now();\n";
+    // Simulation code must not touch the benchmark timing seam.
+    EXPECT_EQ(ids_of(lint_source("src/experiment/x.cpp", src)),
+              std::vector<std::string>{"ZD013"});
+    // The sanctioned consumers: bench targets and tools.
+    EXPECT_TRUE(lint_source("bench/bench_perf_tick.cpp", src).empty());
+    EXPECT_TRUE(lint_source("tools/zerodeg_cli.cpp", src).empty());
+}
+
+TEST(LintChecks, BenchClockImplIsTheSanctionedSteadyClockRead) {
+    // The seam's own translation unit may read steady_clock (ZD003 exempt)
+    // and of course names bench_clock (ZD013 exempt).
+    const std::string src =
+        "auto n = std::chrono::steady_clock::now();\n"
+        "bench_clock::time_point t;\n";
+    EXPECT_TRUE(lint_source("src/core/bench_clock.cpp", src).empty());
+    EXPECT_TRUE(lint_source("src/core/bench_clock.hpp",
+                            "#pragma once\nclass bench_clock {};\n")
+                    .empty());
+    // Any other src/core file is still banned from both.
+    EXPECT_TRUE(has_id(lint_source("src/core/x.cpp", src), "ZD003"));
+    EXPECT_TRUE(has_id(lint_source("src/core/x.cpp", src), "ZD013"));
+}
+
 TEST(LintChecks, GetenvOnlyInTools) {
     const std::string src = "const char* v = std::getenv(\"ZERODEG_HOME\");\n";
     EXPECT_EQ(ids_of(lint_source("src/experiment/x.cpp", src)),

@@ -15,13 +15,14 @@ namespace {
 // Check table
 // ---------------------------------------------------------------------------
 
-constexpr std::array<CheckInfo, 14> kChecks{{
+constexpr std::array<CheckInfo, 15> kChecks{{
     {"ZD001", Severity::kError,
      "banned C RNG (rand/srand): unseeded, platform-varying, not stream-isolated"},
     {"ZD002", Severity::kError,
      "std::random_device: nondeterministic entropy breaks byte-identical replays"},
     {"ZD003", Severity::kError,
-     "wall-clock read (system/steady clock, time()) outside src/monitoring/"},
+     "wall-clock read (system/steady clock, time()) outside src/monitoring/ or the "
+     "core::bench_clock seam"},
     {"ZD004", Severity::kError, "getenv outside tools/: hidden environment input to a sweep"},
     {"ZD005", Severity::kError,
      "unordered container iteration in a function that writes CSV/report/journal bytes"},
@@ -37,6 +38,9 @@ constexpr std::array<CheckInfo, 14> kChecks{{
     {"ZD012", Severity::kError,
      "direct std::ofstream/fopen in a durable-writer module (src/experiment/, "
      "src/monitoring/): bypasses the core::io fault-injection seam"},
+    {"ZD013", Severity::kError,
+     "core::bench_clock used outside bench/ or tools/: the wall-clock timing seam is "
+     "benchmark-only"},
     {"ZD098", Severity::kError, "zerodeg-lint suppression without a reason string"},
     {"ZD099", Severity::kError, "zerodeg-lint suppression naming an unknown check id"},
 }};
@@ -402,6 +406,8 @@ struct PathTraits {
     bool in_core = false;        // src/core/: owns the RNG engines
     bool in_durable_module = false;  // src/experiment/ + src/monitoring/: every
                                      // durable write must use the core::io seam
+    bool in_bench = false;           // bench/: the one consumer of bench_clock
+    bool is_bench_clock_impl = false;  // src/core/bench_clock.*: the seam itself
 };
 
 [[nodiscard]] PathTraits classify(std::string_view path) {
@@ -412,6 +418,8 @@ struct PathTraits {
     t.in_core = path.find("src/core/") != std::string_view::npos;
     t.in_durable_module =
         t.in_monitoring || path.find("src/experiment/") != std::string_view::npos;
+    t.in_bench = path.rfind("bench/", 0) == 0 || path.find("/bench/") != std::string_view::npos;
+    t.is_bench_clock_impl = path.find("src/core/bench_clock.") != std::string_view::npos;
     return t;
 }
 
@@ -482,6 +490,9 @@ void check_banned_tokens(std::vector<Diagnostic>& out, std::string_view path,
          "reduction order must be fixed: use the ordered reduce in core/parallel.hpp"},
         {"std::execution::par", "ZD006", "std::execution::par",
          "parallelism goes through core::TaskPool with seed-sharded cells and ordered reduce"},
+        {"bench_clock", "ZD013", "core::bench_clock",
+         "benchmark timing lives under bench/ and tools/ only; simulation code must stay "
+         "wall-clock free"},
         {"std::execution::par_unseq", "ZD006", "std::execution::par_unseq",
          "parallelism goes through core::TaskPool with seed-sharded cells and ordered reduce"},
     };
@@ -489,9 +500,15 @@ void check_banned_tokens(std::vector<Diagnostic>& out, std::string_view path,
         const std::string& code = lines[i].code;
         std::vector<std::string_view> hit_ids;  // one diagnostic per id per line
         for (const Rule& r : rules) {
-            if (r.id == "ZD003" && traits.in_monitoring) continue;
+            if (r.id == "ZD003" && (traits.in_monitoring || traits.is_bench_clock_impl)) {
+                continue;  // bench_clock.cpp IS the sanctioned steady_clock read
+            }
             if (r.id == "ZD004" && traits.in_tools) continue;
             if (r.id == "ZD007" && traits.in_core) continue;
+            if (r.id == "ZD013" &&
+                (traits.in_bench || traits.in_tools || traits.is_bench_clock_impl)) {
+                continue;  // the seam and its sanctioned consumers
+            }
             std::size_t pos;
             if (r.token.find("::") != std::string_view::npos) {
                 pos = code.find(r.token);

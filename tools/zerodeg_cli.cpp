@@ -68,7 +68,7 @@ const std::map<std::string, std::set<std::string>> kAllowedFlags = {
     {"season",
      {"seed", "end", "trace", "export", "jobs", "checkpoint", "resume", "collector-retries",
       "collector-buffer", "inject-faults"}},
-    {"census", {"seeds", "jobs", "checkpoint", "resume", "inject-faults", "torture"}},
+    {"census", {"seeds", "jobs", "checkpoint", "resume", "inject-faults", "torture", "engine"}},
     {"prototype", {"seed"}},
 };
 
@@ -281,6 +281,26 @@ int cmd_census(const FlagMap& flags) {
     if (seeds == 0) throw core::InvalidArgument("--seeds must be positive");
     experiment::CensusPlan plan;
     plan.seeds = static_cast<std::size_t>(seeds);
+    // --engine selects the host-loop implementation; both produce
+    // byte-identical output (the per-object path is the differential
+    // reference), and the choice is invisible to checkpoint journals.
+    if (flags.count("engine")) {
+        const std::string& v = flags.at("engine");
+        experiment::TickEngine engine;
+        if (v == "batched") {
+            engine = experiment::TickEngine::kBatched;
+        } else if (v == "per-object") {
+            engine = experiment::TickEngine::kPerObject;
+        } else {
+            throw core::InvalidArgument("--engine must be 'batched' or 'per-object'");
+        }
+        plan.make_config = [engine](std::size_t, std::uint64_t seed) {
+            experiment::ExperimentConfig config;
+            config.master_seed = seed;
+            config.engine = engine;
+            return config;
+        };
+    }
     const std::size_t jobs = parse_jobs(flags);
 
     if (flags.count("torture")) {
@@ -348,8 +368,9 @@ void synopsis(std::ostream& out) {
            "            [--checkpoint FILE] [--resume] [--collector-retries N]\n"
            "            [--collector-buffer BYTES] [--inject-faults SEED]\n"
            "  census    [--seeds N] [--jobs N] [--checkpoint FILE] [--resume]\n"
-           "            [--inject-faults SEED] [--torture]\n"
-           "            (--jobs 0 = all hardware threads)\n"
+           "            [--inject-faults SEED] [--torture] [--engine batched|per-object]\n"
+           "            (--jobs 0 = all hardware threads; engines are byte-identical,\n"
+           "             per-object is the differential-test reference)\n"
            "  prototype [--seed N]\n"
            "exit codes: 0 ok, 1 runtime failure, 2 usage error\n";
 }
