@@ -7,7 +7,12 @@
 //      5184 ticks each) `--repeat R` times and keep the best wall time.
 //      Reported as cells/sec (census cells, i.e. seasons) and ticks/sec
 //      (seeds x ticks-per-season / best wall).
-//   2. Hazard kernel microbench: the batched HostHazardModel evaluation
+//   2. Traffic sweep: the same census under the request-serving workload
+//      (`--workload traffic` in the CLI) — the continuous-time PS queues,
+//      JSQ dispatch and SLO accounting dominate instead of the archive
+//      scheduler.  Reported as requests/sec (completed requests across all
+//      seeds / best wall).
+//   3. Hazard kernel microbench: the batched HostHazardModel evaluation
 //      over a 4096-slot SoA, reported as hazard-evals/sec.
 //
 // Results go to stdout for humans and to `--out FILE` (default
@@ -168,14 +173,44 @@ int main(int argc, char** argv) {
     const double cells_per_sec = static_cast<double>(opt.seeds) / best_wall;
     const double ticks_per_sec =
         static_cast<double>(opt.seeds) * static_cast<double>(ticks_per_season) / best_wall;
+
+    // The same sweep under the traffic workload: how fast the PS-queue
+    // event loop serves requests, end to end through the season coupling.
+    experiment::CensusPlan traffic_plan = plan;
+    traffic_plan.make_config = [&](std::size_t, std::uint64_t seed) {
+        experiment::ExperimentConfig config;
+        config.master_seed = seed;
+        config.engine = opt.engine;
+        config.workload = experiment::WorkloadKind::kTraffic;
+        return config;
+    };
+    double traffic_best_wall = 0.0;
+    experiment::CensusResult traffic_result;
+    for (int r = 0; r < opt.repeat; ++r) {
+        const auto t0 = bench_clock::now();
+        traffic_result = experiment::run_census(traffic_plan, opt.jobs);
+        const double secs = bench_clock::seconds_between(t0, bench_clock::now());
+        std::cout << "  traffic repeat " << (r + 1) << "/" << opt.repeat << ": " << num(secs)
+                  << " s\n";
+        if (r == 0 || secs < traffic_best_wall) traffic_best_wall = secs;
+    }
+    double requests_completed = 0.0;
+    for (const experiment::FaultCensus& c : traffic_result.censuses) {
+        requests_completed += static_cast<double>(c.requests_completed);
+    }
+    const double requests_per_sec = requests_completed / traffic_best_wall;
+
     const double hazard_rate = hazard_kernel_evals_per_sec(opt.repeat);
 
     std::cout << "  best wall:        " << num(best_wall) << " s\n"
               << "  cells/sec:        " << num(cells_per_sec) << "\n"
               << "  ticks/sec:        " << num(ticks_per_sec) << "\n"
+              << "  traffic requests/sec: " << num(requests_per_sec) << "\n"
               << "  hazard evals/sec: " << num(hazard_rate) << "\n"
               << "  mean system failures (sanity): "
-              << num(result.summary.mean_system_failures) << "\n";
+              << num(result.summary.mean_system_failures) << "\n"
+              << "  mean requests completed (sanity): "
+              << num(traffic_result.summary.mean_requests_completed) << "\n";
 
     // bench output is a scratch artifact, not simulation state, so a plain
     // ofstream (not the core::io durable seam) is appropriate here.
@@ -193,14 +228,18 @@ int main(int argc, char** argv) {
          << "    \"jobs\": " << opt.jobs << ",\n"
          << "    \"ticks_per_season\": " << ticks_per_season << ",\n"
          << "    \"mean_system_failures\": " << num(result.summary.mean_system_failures)
-         << "\n"
+         << ",\n"
+         << "    \"mean_requests_completed\": "
+         << num(traffic_result.summary.mean_requests_completed) << "\n"
          << "  },\n"
          << "  \"metrics\": {\n"
          << "    \"cells_per_sec\": " << num(cells_per_sec) << ",\n"
          << "    \"ticks_per_sec\": " << num(ticks_per_sec) << ",\n"
+         << "    \"traffic_requests_per_sec\": " << num(requests_per_sec) << ",\n"
          << "    \"hazard_evals_per_sec\": " << num(hazard_rate) << "\n"
          << "  },\n"
-         << "  \"wall_seconds_best\": " << num(best_wall) << "\n"
+         << "  \"wall_seconds_best\": " << num(best_wall) << ",\n"
+         << "  \"traffic_wall_seconds_best\": " << num(traffic_best_wall) << "\n"
          << "}\n";
     json.close();
     std::cout << "wrote " << opt.out << "\n";

@@ -16,6 +16,12 @@ double FaultCensus::fleet_failure_rate() const {
            static_cast<double>(total);
 }
 
+double FaultCensus::deadline_miss_fraction() const {
+    const std::uint64_t issued = requests_completed + requests_dropped;
+    if (issued == 0) return 0.0;
+    return static_cast<double>(deadline_misses) / static_cast<double>(issued);
+}
+
 double FaultCensus::page_fault_ratio() const {
     if (page_ops_non_ecc == 0) return 0.0;
     return static_cast<double>(wrong_hashes) / static_cast<double>(page_ops_non_ecc);
@@ -75,9 +81,13 @@ FaultCensus take_census(const ExperimentRunner& run) {
     census.load_runs = load.total_runs();
     census.wrong_hashes = load.total_wrong_hashes();
     census.page_ops = load.total_page_ops();
+    // all_stats() lookup rather than stats(): traffic seasons register no
+    // hosts with the archive scheduler, and absent hosts count zero.
+    const std::map<int, workload::HostLoadStats>& load_stats = load.all_stats();
     for (const hardware::HostRecord& rec : fleet.hosts()) {
         if (!rec.server->spec().ecc_memory) {
-            census.page_ops_non_ecc += load.stats(rec.server->id()).page_ops;
+            const auto it = load_stats.find(rec.server->id());
+            if (it != load_stats.end()) census.page_ops_non_ecc += it->second.page_ops;
         }
     }
     for (const workload::WrongHashIncident& inc : load.incidents()) {
@@ -86,6 +96,15 @@ FaultCensus take_census(const ExperimentRunner& run) {
         } else {
             ++census.wrong_hashes_basement;
         }
+    }
+
+    if (run.has_traffic()) {
+        const workload::SloTracker& slo = run.traffic().slo();
+        census.requests_completed = slo.completed();
+        census.requests_dropped = slo.dropped();
+        census.deadline_misses = slo.deadline_misses();
+        census.p99_sojourn_us =
+            static_cast<std::uint64_t>(slo.sojourn_percentile(99.0) * 1e6 + 0.5);
     }
     return census;
 }
@@ -103,6 +122,8 @@ CensusSummary summarize(const std::vector<FaultCensus>& censuses) {
         s.mean_wrong_hashes += static_cast<double>(c.wrong_hashes);
         s.mean_runs += static_cast<double>(c.load_runs);
         s.mean_page_fault_ratio += c.page_fault_ratio();
+        s.mean_requests_completed += static_cast<double>(c.requests_completed);
+        s.mean_deadline_miss_fraction += c.deadline_miss_fraction();
         if (c.sensor_incidents > 0) ++with_sensor;
         if (c.switch_failures > 0) ++with_switch;
     }
@@ -113,6 +134,8 @@ CensusSummary summarize(const std::vector<FaultCensus>& censuses) {
     s.mean_wrong_hashes /= n;
     s.mean_runs /= n;
     s.mean_page_fault_ratio /= n;
+    s.mean_requests_completed /= n;
+    s.mean_deadline_miss_fraction /= n;
     s.frac_runs_with_sensor_incident = static_cast<double>(with_sensor) / n;
     s.frac_runs_with_switch_failures = static_cast<double>(with_switch) / n;
     return s;

@@ -29,6 +29,15 @@ struct FaultCensus {
     /// paper's "one in 570 million" ratio (ECC hosts absorb their flips).
     std::uint64_t page_ops_non_ecc = 0;
 
+    /// Traffic-workload season accounting (all zero for archive seasons).
+    std::uint64_t requests_completed = 0;
+    std::uint64_t requests_dropped = 0;     ///< no operational host / host died
+    std::uint64_t deadline_misses = 0;      ///< slow completions + all drops
+    std::uint64_t p99_sojourn_us = 0;       ///< season-wide p99, microseconds
+
+    /// Deadline misses per issued request (completed + dropped).
+    [[nodiscard]] double deadline_miss_fraction() const;
+
     /// Fraction of tent hosts with >= 1 system failure (the paper's 5.6%:
     /// one of eighteen installed hosts).
     [[nodiscard]] double tent_failure_rate() const;
@@ -52,6 +61,8 @@ struct CensusSummary {
     double mean_page_fault_ratio = 0.0;
     double frac_runs_with_sensor_incident = 0.0;
     double frac_runs_with_switch_failures = 0.0;
+    double mean_requests_completed = 0.0;
+    double mean_deadline_miss_fraction = 0.0;
     std::size_t seeds = 0;
 };
 

@@ -16,6 +16,14 @@ const char* to_string(TickEngine engine) {
     throw core::InvalidArgument("to_string(TickEngine): bad enum value");
 }
 
+const char* to_string(WorkloadKind kind) {
+    switch (kind) {
+        case WorkloadKind::kArchive: return "archive";
+        case WorkloadKind::kTraffic: return "traffic";
+    }
+    throw core::InvalidArgument("to_string(WorkloadKind): bad enum value");
+}
+
 TimePoint next_operator_visit(TimePoint t, int operator_hour) {
     core::CivilDateTime c = t.to_civil();
     c.hour = operator_hour;
@@ -59,6 +67,29 @@ void validate(const ExperimentConfig& config) {
     }
     if (!config.weather_trace.empty() && config.weather_trace.size() < 2) {
         fail("weather_trace needs at least 2 samples to interpolate");
+    }
+    // Traffic knobs are validated even for archive seasons: the defaults are
+    // valid, so a rejection always points at a knob someone actually set.
+    if (config.traffic.service_rate <= 0.0) fail("traffic.service_rate must be positive");
+    if (config.traffic.mean_demand_seconds <= 0.0) {
+        fail("traffic.mean_demand_seconds must be positive");
+    }
+    if (config.traffic.deadline_seconds <= 0.0) fail("traffic.deadline_seconds must be positive");
+    if (config.traffic.open.base_rps <= 0.0) fail("traffic.open.base_rps must be positive");
+    if (config.traffic.open.diurnal_amplitude < 0.0 ||
+        config.traffic.open.diurnal_amplitude >= 1.0) {
+        fail("traffic.open.diurnal_amplitude must be in [0, 1)");
+    }
+    for (std::size_t i = 0; i < config.traffic.open.flash_crowds.size(); ++i) {
+        const workload::FlashCrowd& c = config.traffic.open.flash_crowds[i];
+        if (c.duration.count() <= 0 || c.multiplier < 1.0) {
+            fail("traffic.open.flash_crowds[" + std::to_string(i) +
+                 "] needs positive duration and multiplier >= 1");
+        }
+    }
+    if (config.traffic.closed.users < 1) fail("traffic.closed.users must be >= 1");
+    if (config.traffic.closed.think_seconds <= 0.0) {
+        fail("traffic.closed.think_seconds must be positive");
     }
 }
 
@@ -111,6 +142,25 @@ std::uint64_t fingerprint(const ExperimentConfig& config) {
     mix(h, static_cast<std::uint64_t>(config.load.target_blocks));
     mix(h, config.load.page_op_multiplier);
     mix(h, config.load.cache_clean_runs);
+
+    // Traffic workload: the kind selects the engine, the knobs shape it.
+    mix(h, static_cast<int>(config.workload));
+    mix(h, static_cast<int>(config.traffic.mode));
+    mix(h, config.traffic.open.base_rps);
+    mix(h, config.traffic.open.diurnal_amplitude);
+    mix(h, config.traffic.open.peak_hour);
+    mix(h, static_cast<std::uint64_t>(config.traffic.open.flash_crowds.size()));
+    for (const workload::FlashCrowd& c : config.traffic.open.flash_crowds) {
+        mix(h, c.start.seconds_since_epoch());
+        mix(h, c.duration.count());
+        mix(h, c.multiplier);
+    }
+    mix(h, config.traffic.closed.users);
+    mix(h, config.traffic.closed.think_seconds);
+    mix(h, config.traffic.mean_demand_seconds);
+    mix(h, config.traffic.service_rate);
+    mix(h, config.traffic.deadline_seconds);
+    mix(h, config.traffic.clone_across_split);
 
     // Weather script: the anchors/snaps define the campaign's climate; the
     // OU knobs shift every cell's sample path.

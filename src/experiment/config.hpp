@@ -13,6 +13,7 @@
 #include "weather/trace_io.hpp"
 #include "weather/weather_model.hpp"
 #include "workload/load_job.hpp"
+#include "workload/traffic.hpp"
 
 namespace zerodeg::experiment {
 
@@ -35,6 +36,14 @@ enum class TickEngine : int {
 };
 
 [[nodiscard]] const char* to_string(TickEngine engine);
+
+/// Which workload drives the fleet's CPUs and disks for the season.
+enum class WorkloadKind : int {
+    kArchive = 0,  ///< batch archival churn (scheduler.hpp): disk + memory
+    kTraffic = 1,  ///< request-serving traffic (traffic.hpp): CPU + latency
+};
+
+[[nodiscard]] const char* to_string(WorkloadKind kind);
 
 struct ExperimentConfig {
     std::uint64_t master_seed = 20100219;
@@ -87,6 +96,23 @@ struct ExperimentConfig {
     faults::ComponentFaultParams component_faults{};
     faults::MemoryFaultParams memory{};
     workload::LoadJobConfig load{};
+
+    /// Which workload the season runs.  kArchive keeps the paper's batch
+    /// churn; kTraffic swaps in the request-serving engine, whose per-tick
+    /// busy fractions drive cpu load (and so heat, and so hazard).
+    WorkloadKind workload = WorkloadKind::kArchive;
+    /// Default traffic season: open-loop at the request_gen defaults (sized
+    /// so the six-host early fleet sits near rho = 0.5), plus two flash
+    /// crowds that transiently push the by-then-larger fleet past saturation
+    /// — the backlog drains afterwards, showing up as deadline misses.
+    workload::TrafficConfig traffic = [] {
+        workload::TrafficConfig t;
+        t.open.flash_crowds = {
+            {TimePoint::from_civil({2010, 3, 1, 18, 0, 0}), Duration::hours(2), 4.0},
+            {TimePoint::from_civil({2010, 3, 20, 19, 0, 0}), Duration::hours(1), 3.0},
+        };
+        return t;
+    }();
 
     /// Operator behavior: crashed hosts are found and reset at the next
     /// weekday 10:00 (host #15 crashed Saturday 04:40 and was reset Monday).

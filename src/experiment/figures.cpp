@@ -9,6 +9,7 @@
 #include "experiment/parallel_census.hpp"
 #include "monitoring/outlier_filter.hpp"
 #include "monitoring/telemetry_io.hpp"
+#include "workload/slo.hpp"
 
 namespace zerodeg::experiment {
 
@@ -77,6 +78,11 @@ std::vector<std::string> export_figure_data(const ExperimentRunner& run,
     exports.push_back({directory + "/" + files.collection, [&run] {
                            return monitoring::render_collection_csv(run.collector());
                        }});
+    if (run.has_traffic()) {
+        exports.push_back({directory + "/" + files.traffic_slo, [&run] {
+                               return workload::render_slo_csv(run.traffic().slo());
+                           }});
+    }
 
     const SweepRunner runner(jobs);
     (void)runner.map(exports.size(), [&exports, &disk](std::size_t i) {

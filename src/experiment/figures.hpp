@@ -23,6 +23,9 @@ struct FigureFiles {
     std::string events = "events.log";
     std::string fault_log = "faults.log";
     std::string collection = "collection.csv";  ///< collector telemetry + attempt log
+    /// Per-tick latency/SLO aggregates; written only for traffic seasons
+    /// (run.has_traffic()), so archive exports keep their exact file set.
+    std::string traffic_slo = "traffic_slo.csv";
 };
 
 /// Write all figure series and logs of a finished run into `directory`

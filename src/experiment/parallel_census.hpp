@@ -81,7 +81,7 @@ struct CensusPlan {
 
 /// Harness-level incidents of a campaign — the operator's-eye view the
 /// paper reports as reboot walks to the tent.  Not part of FaultCensus (the
-/// journal's 17-integer record format is unchanged): a hung *harness* node
+/// journal's 21-integer record format is unchanged): a hung *harness* node
 /// is a property of one run's scheduling, not of the simulated season.
 struct CensusHarnessStats {
     std::size_t hung_cells = 0;  ///< watchdog cancellations (retries count again)

@@ -35,10 +35,16 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig config)
     tent_ = std::make_unique<thermal::TentModel>(config_.tent, initial.temperature);
     basement_ = std::make_unique<thermal::BasementModel>();
 
-    // Load: one job definition, per-host memory-fault streams.
+    // Load: one job definition, per-host memory-fault streams.  The
+    // scheduler is inert until hosts register, so it is constructed even
+    // for traffic seasons (its census stats then read zero).
     load_ = std::make_unique<workload::LoadScheduler>(
         sim_, workload::LoadJob(config_.load, config_.master_seed), config_.memory,
         config_.master_seed);
+    if (config_.workload == WorkloadKind::kTraffic) {
+        traffic_ = std::make_unique<workload::TrafficEngine>(config_.traffic,
+                                                             config_.master_seed, config_.start);
+    }
 
     // Network: a building switch (monitor + basement hosts), and the two
     // whining loaner switches in the tent.
@@ -117,11 +123,24 @@ void ExperimentRunner::register_host_with_services(hardware::HostRecord& rec) {
             core::RngStream{config_.master_seed,
                             "faults.components." + std::to_string(server->id())}));
 
-    workload::LoadScheduler::HostBinding load_binding;
-    load_binding.host_id = server->id();
-    load_binding.ecc = server->spec().ecc_memory;
-    load_binding.operational = [server] { return server->operational(); };
-    load_->add_host(std::move(load_binding), rec.install_date);
+    if (traffic_) {
+        // Traffic seasons drive the CPUs from request service instead of
+        // the archival churn.  Side membership for cloning is fixed at
+        // registration (the split is static; the mid-season replacement
+        // registers with its own tent placement).
+        workload::TrafficEngine::HostBinding tb;
+        tb.host_id = server->name();
+        tb.in_tent = rec.placement == hardware::Placement::kTent;
+        tb.operational = [server] { return server->operational(); };
+        tb.set_load = [server](double busy) { server->set_cpu_load(busy); };
+        traffic_->add_host(std::move(tb));
+    } else {
+        workload::LoadScheduler::HostBinding load_binding;
+        load_binding.host_id = server->id();
+        load_binding.ecc = server->spec().ecc_memory;
+        load_binding.operational = [server] { return server->operational(); };
+        load_->add_host(std::move(load_binding), rec.install_date);
+    }
 
     monitoring::Collector::HostBinding coll;
     coll.host_id = server->id();
@@ -141,6 +160,13 @@ void ExperimentRunner::register_host_with_services(hardware::HostRecord& rec) {
 
 void ExperimentRunner::tick() {
     const TimePoint now = sim_.now();
+
+    // Traffic is simulated over the interval that just elapsed, so the busy
+    // fractions it publishes are the cpu loads whose heat this tick's
+    // thermal step integrates (utilization -> power -> heat -> hazard).
+    // The first tick closes a zero-length interval and is skipped.
+    if (traffic_ && now > config_.start) traffic_->advance(now);
+
     const weather::WeatherSample outside = station_->observe_now();
 
     // Enclosures: equipment heat then thermal step.
@@ -186,7 +212,9 @@ void ExperimentRunner::host_pass_per_object(const TimePoint now,
 
         if (server.state() == hardware::RunState::kPoweredOff) {
             server.power_on(air.temperature);
-            server.set_cpu_load(0.3);  // the archival duty cycle, averaged
+            // Archive: the averaged archival duty cycle.  Traffic: idle
+            // until the engine publishes the first real busy fraction.
+            server.set_cpu_load(traffic_ ? 0.0 : 0.3);
             event_log_.record(now, LogLevel::kInfo, server.name(),
                               std::string("installed and powered on (") +
                                   hardware::to_string(rec.placement) + ")");
@@ -288,7 +316,9 @@ void ExperimentRunner::host_pass_batched(const TimePoint now,
         bool announce = false;
         if (server.state() == hardware::RunState::kPoweredOff) {
             server.power_on(air.temperature);
-            server.set_cpu_load(0.3);  // the archival duty cycle, averaged
+            // Archive: the averaged archival duty cycle.  Traffic: idle
+            // until the engine publishes the first real busy fraction.
+            server.set_cpu_load(traffic_ ? 0.0 : 0.3);
             announce = true;
         }
 

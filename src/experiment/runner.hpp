@@ -22,6 +22,7 @@
 #include "thermal/envelope.hpp"
 #include "weather/weather_station.hpp"
 #include "workload/scheduler.hpp"
+#include "workload/traffic.hpp"
 
 namespace zerodeg::experiment {
 
@@ -50,6 +51,10 @@ public:
     [[nodiscard]] const faults::FaultLog& fault_log() const { return fault_log_; }
     [[nodiscard]] const core::EventLog& event_log() const { return event_log_; }
     [[nodiscard]] const workload::LoadScheduler& load() const { return *load_; }
+    /// Request-serving workload; only present when config.workload is
+    /// kTraffic (check has_traffic() first).
+    [[nodiscard]] bool has_traffic() const { return traffic_ != nullptr; }
+    [[nodiscard]] const workload::TrafficEngine& traffic() const { return *traffic_; }
     [[nodiscard]] const monitoring::LascarLogger& tent_logger() const { return *tent_logger_; }
     [[nodiscard]] const monitoring::Collector& collector() const { return *collector_; }
     [[nodiscard]] const monitoring::Network& network() const { return net_; }
@@ -84,6 +89,7 @@ private:
     faults::FaultLog fault_log_;
     core::EventLog event_log_;
     std::unique_ptr<workload::LoadScheduler> load_;
+    std::unique_ptr<workload::TrafficEngine> traffic_;
     monitoring::Network net_;
     std::unique_ptr<monitoring::Collector> collector_;
     std::unique_ptr<monitoring::LascarLogger> tent_logger_;

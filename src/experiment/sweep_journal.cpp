@@ -20,8 +20,10 @@ namespace zerodeg::experiment {
 
 namespace {
 
-constexpr std::string_view kMagic = "zerodeg-sweep-journal v1";
-constexpr std::size_t kCensusFields = 17;
+// v2 widened the record from 17 to 21 integers (traffic-workload fields);
+// v1 journals fail the magic check cleanly rather than mis-parse.
+constexpr std::string_view kMagic = "zerodeg-sweep-journal v2";
+constexpr std::size_t kCensusFields = 21;
 
 /// FaultCensus <-> flat integer record, in declaration order.  The journal
 /// stores only these integers; summaries are re-folded from them, which is
@@ -43,7 +45,11 @@ std::array<std::uint64_t, kCensusFields> pack(const FaultCensus& c) {
             c.wrong_hashes_tent,
             c.wrong_hashes_basement,
             c.page_ops,
-            c.page_ops_non_ecc};
+            c.page_ops_non_ecc,
+            c.requests_completed,
+            c.requests_dropped,
+            c.deadline_misses,
+            c.p99_sojourn_us};
 }
 
 FaultCensus unpack(const std::array<std::uint64_t, kCensusFields>& f) {
@@ -65,6 +71,10 @@ FaultCensus unpack(const std::array<std::uint64_t, kCensusFields>& f) {
     c.wrong_hashes_basement = f[14];
     c.page_ops = f[15];
     c.page_ops_non_ecc = f[16];
+    c.requests_completed = f[17];
+    c.requests_dropped = f[18];
+    c.deadline_misses = f[19];
+    c.p99_sojourn_us = f[20];
     return c;
 }
 
@@ -87,7 +97,7 @@ std::uint64_t parse_hex(const std::string& field, std::size_t line_no) {
     return v;
 }
 
-/// "cell <index> <f1> ... <f17>" — the checksummed payload of one record.
+/// "cell <index> <f1> ... <f21>" — the checksummed payload of one record.
 std::string cell_payload(std::size_t index, const FaultCensus& census) {
     std::ostringstream out;
     out << "cell " << index;

@@ -15,8 +15,16 @@ namespace zerodeg::experiment {
 std::string render_census_table(const CensusResult& result, std::uint64_t base_seed) {
     std::ostringstream out;
     for (std::size_t i = 0; i < result.censuses.size(); ++i) {
-        out << "seed " << base_seed + i << ": " << result.censuses[i].system_failures
-            << " system failure(s), " << result.censuses[i].wrong_hashes << " wrong hash(es)\n";
+        const FaultCensus& c = result.censuses[i];
+        out << "seed " << base_seed + i << ": " << c.system_failures << " system failure(s), "
+            << c.wrong_hashes << " wrong hash(es)";
+        // Traffic columns appear only for traffic seasons, keeping archive
+        // output byte-identical to earlier releases.
+        if (c.requests_completed + c.requests_dropped > 0) {
+            out << ", " << c.requests_completed << " request(s) served, "
+                << fmt_pct(c.deadline_miss_fraction()) << " deadline misses";
+        }
+        out << '\n';
     }
     const CensusSummary& s = result.summary;
     out << "\nmean fleet failure rate: " << fmt_pct(s.mean_fleet_failure_rate)
@@ -25,6 +33,11 @@ std::string render_census_table(const CensusResult& result, std::uint64_t base_s
         << fmt(s.mean_runs, 0) << " runs\n"
         << "seasons with sensor incident: " << fmt_pct(s.frac_runs_with_sensor_incident, 0)
         << '\n';
+    if (s.mean_requests_completed > 0.0) {
+        out << "mean requests served/season: " << fmt(s.mean_requests_completed, 0)
+            << ", mean deadline-miss fraction: " << fmt_pct(s.mean_deadline_miss_fraction)
+            << '\n';
+    }
     // Harness-level incidents (hung nodes the watchdog rebooted) are part of
     // the printed record, like the paper's operator interventions — but the
     // line only appears when there were any, keeping fault-free output

@@ -1,0 +1,167 @@
+// CLI contract of the traffic workload: `--workload traffic|archive` flag
+// validation and exit codes, the traffic lines of season/census output, and
+// the chaos-path composition — traffic censuses under --inject-faults, the
+// crash-at-every-write torture harness, and the v2 journal format gate.
+// Runs the real `zerodeg` binary (ZERODEG_CLI_PATH), like test_cli_smoke.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli_test_util.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int run_cli(const std::string& args) {
+    return zerodeg::test::run_command(std::string(ZERODEG_CLI_PATH) + " " + args).exit_code;
+}
+
+zerodeg::test::CommandResult run_cli_capture(const std::string& args) {
+    return zerodeg::test::run_command(std::string(ZERODEG_CLI_PATH) + " " + args);
+}
+
+std::string slurp(const fs::path& p) {
+    std::ifstream in(p);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+fs::path temp_file(const std::string& name) {
+    fs::path p = fs::path(::testing::TempDir()) / name;
+    fs::remove(p);
+    return p;
+}
+
+TEST(CliTraffic, WorkloadFlagValidation) {
+    EXPECT_EQ(run_cli("season --workload banana"), 2);
+    EXPECT_EQ(run_cli("census --workload banana"), 2);
+    EXPECT_EQ(run_cli("season --workload"), 2);       // missing value
+    EXPECT_EQ(run_cli("weather --workload traffic"), 2);  // not a weather flag
+    // --clone only means something under the traffic workload.
+    EXPECT_EQ(run_cli("season --clone"), 2);
+    EXPECT_EQ(run_cli("season --workload archive --clone"), 2);
+    EXPECT_EQ(run_cli("census --clone"), 2);  // census has no cloning at all
+}
+
+TEST(CliTraffic, SeasonReportsTrafficLines) {
+    const auto r = run_cli_capture("season --workload traffic --end 2010-02-21");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("traffic workload"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("requests: "), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("p99 sojourn: "), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("mean utilization"), std::string::npos) << r.output;
+}
+
+TEST(CliTraffic, ClonedSeasonSaysSoAndCancelsClones) {
+    const auto r = run_cli_capture("season --workload traffic --clone --end 2010-02-21");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("cloned"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("clones cancelled"), std::string::npos) << r.output;
+    // With both split sides up the whole window, someone always lost a race.
+    EXPECT_EQ(r.output.find("clones cancelled 0\n"), std::string::npos) << r.output;
+}
+
+TEST(CliTraffic, ArchiveSeasonOutputStaysTrafficFree) {
+    // The archive season's report must not grow traffic lines: downstream
+    // parsers of the historical format keep working.
+    const auto r = run_cli_capture("season --end 2010-02-21");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_EQ(r.output.find("requests:"), std::string::npos) << r.output;
+    EXPECT_EQ(r.output.find("traffic:"), std::string::npos) << r.output;
+}
+
+TEST(CliTraffic, SeasonExportsTheSloCsv) {
+    const fs::path dir = fs::path(::testing::TempDir()) / "traffic_export";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const auto r = run_cli_capture("season --workload traffic --end 2010-02-21 --export " +
+                                   dir.string());
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    const std::string csv = slurp(dir / "traffic_slo.csv");
+    EXPECT_NE(csv.find("time,completed,dropped,deadline_misses,p50_s"), std::string::npos);
+    EXPECT_GT(csv.size(), 200u);  // header plus real tick rows
+
+    // Archive exports must not gain the file.
+    const fs::path dir2 = fs::path(::testing::TempDir()) / "archive_export";
+    fs::remove_all(dir2);
+    fs::create_directories(dir2);
+    ASSERT_EQ(run_cli("season --end 2010-02-20 --export " + dir2.string()), 0);
+    EXPECT_FALSE(fs::exists(dir2 / "traffic_slo.csv"));
+}
+
+TEST(CliTraffic, CensusAggregatesRequestsAcrossSeeds) {
+    const auto r =
+        run_cli_capture("census --workload traffic --seeds 2 --jobs 2 --end 2010-02-21");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("request(s) served"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("mean requests served/season"), std::string::npos) << r.output;
+
+    // And the archive census table stays traffic-free.
+    const auto archive = run_cli_capture("census --seeds 2 --end 2010-02-21");
+    EXPECT_EQ(archive.exit_code, 0) << archive.output;
+    EXPECT_EQ(archive.output.find("request(s) served"), std::string::npos) << archive.output;
+}
+
+TEST(CliTraffic, CheckpointRoundTripCarriesTrafficFields) {
+    const fs::path journal = temp_file("traffic.journal");
+    const std::string census =
+        "census --workload traffic --seeds 2 --end 2010-02-21 --checkpoint " + journal.string();
+    const auto first = run_cli_capture(census);
+    ASSERT_EQ(first.exit_code, 0) << first.output;
+    EXPECT_NE(slurp(journal).find("zerodeg-sweep-journal v2"), std::string::npos);
+
+    // A full resume replays every cell from the journal; the traffic columns
+    // must survive the round trip into an identical table.
+    const auto resumed = run_cli_capture(census + " --resume");
+    EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+    const std::size_t table_at = first.output.find("seed ");
+    const std::size_t resumed_table_at = resumed.output.find("seed ");
+    ASSERT_NE(table_at, std::string::npos);
+    ASSERT_NE(resumed_table_at, std::string::npos);
+    EXPECT_EQ(first.output.substr(table_at), resumed.output.substr(resumed_table_at));
+}
+
+TEST(CliTraffic, PreWideningJournalIsRejected) {
+    // A v1-format journal (17 census integers, before the traffic columns)
+    // must be refused outright — silently reading it would misalign fields.
+    const fs::path journal = temp_file("old_format.journal");
+    const std::string census = "census --seeds 2 --end 2010-02-21 --checkpoint " +
+                               journal.string();
+    ASSERT_EQ(run_cli(census), 0);
+    std::string text = slurp(journal);
+    const std::size_t magic = text.find("zerodeg-sweep-journal v2");
+    ASSERT_NE(magic, std::string::npos);
+    text.replace(magic, 24, "zerodeg-sweep-journal v1");
+    std::ofstream(journal, std::ios::trunc) << text;
+
+    EXPECT_EQ(run_cli(census + " --resume"), 1);
+}
+
+TEST(CliTraffic, InjectFaultsComposesWithTraffic) {
+    const fs::path journal = temp_file("traffic_inject.journal");
+    const auto r = run_cli_capture(
+        "census --workload traffic --seeds 2 --end 2010-02-21 --inject-faults 7 --checkpoint " +
+        journal.string());
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("fault injection:"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("request(s) served"), std::string::npos) << r.output;
+}
+
+TEST(CliTraffic, TortureCampaignPassesWithTraffic) {
+    // Crash the traffic campaign at every journal write point and require
+    // each resume to reproduce the uninterrupted table byte for byte — the
+    // widened (v2) record format has to survive every torn-write prefix.
+    const fs::path journal = temp_file("traffic_torture.journal");
+    const auto r = run_cli_capture("census --workload traffic --seeds 2 --end 2010-02-20" +
+                                   std::string(" --torture --checkpoint ") + journal.string());
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("-> PASS"), std::string::npos) << r.output;
+    EXPECT_EQ(r.output.find("FAIL"), std::string::npos) << r.output;
+}
+
+}  // namespace

@@ -93,6 +93,33 @@ TEST(GoldenClaims, WrongHashRatioOfTheSeasonNear570Million) {
     EXPECT_LT(ops_per_corruption, 570e6 * 2.0);
 }
 
+// --- Traffic workload: the default request-serving season -----------------
+
+TEST(GoldenClaims, DefaultTrafficSeasonGoldenNumbers) {
+    experiment::ExperimentConfig cfg;
+    cfg.workload = experiment::WorkloadKind::kTraffic;
+    const experiment::FaultCensus c = experiment::run_season_census(cfg);
+    // Exact pins at the default seed: the whole coupling chain is upstream
+    // of these numbers — arrival thinning, PS service, JSQ dispatch, host
+    // install/crash schedule, utilization -> heat -> hazard.  Any drift in
+    // any layer moves at least one.  Update ONLY for an intentional model
+    // change, and say so in EXPERIMENTS.md.
+    EXPECT_EQ(c.requests_completed, 787661u);
+    EXPECT_EQ(c.requests_dropped, 0u);
+    EXPECT_EQ(c.deadline_misses, 18625u);
+    EXPECT_EQ(c.p99_sojourn_us, 888624838u);
+    // The two default flash crowds transiently saturate the fleet; misses
+    // stay a small minority of the season's traffic.
+    EXPECT_NEAR(c.deadline_miss_fraction(), 0.024, 0.002);
+    // Faults under the traffic workload at the default seed: same fleet
+    // failure story as the archive season (one tent host).
+    EXPECT_EQ(c.system_failures, 1u);
+    EXPECT_EQ(c.switch_failures, 3u);
+    // The archive pipeline really was off: no batch runs, no hash checks.
+    EXPECT_EQ(c.load_runs, 0u);
+    EXPECT_EQ(c.wrong_hashes, 0u);
+}
+
 // --- Section 4.2.2: "around one in 570 million" --------------------------
 
 TEST(GoldenClaims, WrongHashRatioNearOneIn570Million) {

@@ -78,6 +78,10 @@ void expect_identical(const FaultCensus& a, const FaultCensus& b, std::size_t se
     EXPECT_EQ(a.wrong_hashes_basement, b.wrong_hashes_basement);
     EXPECT_EQ(a.page_ops, b.page_ops);
     EXPECT_EQ(a.page_ops_non_ecc, b.page_ops_non_ecc);
+    EXPECT_EQ(a.requests_completed, b.requests_completed);
+    EXPECT_EQ(a.requests_dropped, b.requests_dropped);
+    EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+    EXPECT_EQ(a.p99_sojourn_us, b.p99_sojourn_us);
 }
 
 /// Doubles compared for bit-identity, not closeness: memcmp of the value
@@ -96,6 +100,10 @@ void expect_identical(const CensusSummary& a, const CensusSummary& b) {
     expect_bitwise(a.mean_wrong_hashes, b.mean_wrong_hashes, "mean_wrong_hashes");
     expect_bitwise(a.mean_runs, b.mean_runs, "mean_runs");
     expect_bitwise(a.mean_page_fault_ratio, b.mean_page_fault_ratio, "mean_page_fault_ratio");
+    expect_bitwise(a.mean_requests_completed, b.mean_requests_completed,
+                   "mean_requests_completed");
+    expect_bitwise(a.mean_deadline_miss_fraction, b.mean_deadline_miss_fraction,
+                   "mean_deadline_miss_fraction");
     expect_bitwise(a.frac_runs_with_sensor_incident, b.frac_runs_with_sensor_incident,
                    "frac_runs_with_sensor_incident");
     expect_bitwise(a.frac_runs_with_switch_failures, b.frac_runs_with_switch_failures,

@@ -273,7 +273,16 @@ TEST(SweepJournal, TornTailLosingTheSeparatorIsStillRecovered) {
 
 TEST(SweepJournal, RejectsTruncatedHeader) {
     const fs::path path = journal_path("truncated");
-    spit(path, "zerodeg-sweep-journal v1\nbase_seed 7777\n");
+    spit(path, "zerodeg-sweep-journal v2\nbase_seed 7777\n");
+    EXPECT_THROW(SweepJournal(path, SweepJournalKey{7777, 1, 6}, /*resume=*/true),
+                 core::CorruptData);
+}
+
+TEST(SweepJournal, RejectsOldFormatVersion) {
+    // v1 journals (17-field records, before the traffic-workload columns)
+    // must fail the magic check up front instead of mis-parsing records.
+    const fs::path path = journal_path("v1magic");
+    spit(path, "zerodeg-sweep-journal v1\nbase_seed 7777\nconfig_hash 0000000000000001\ncells 6\n");
     EXPECT_THROW(SweepJournal(path, SweepJournalKey{7777, 1, 6}, /*resume=*/true),
                  core::CorruptData);
 }

@@ -8,13 +8,17 @@
 //   zerodeg season    [--seed N] [--end YYYY-MM-DD] [--trace FILE]
 //                     [--export DIR] [--jobs N] [--checkpoint FILE] [--resume]
 //                     [--collector-retries N] [--collector-buffer BYTES]
+//                     [--workload archive|traffic] [--clone]
 //       Run the paper's experiment season; print the census; optionally
 //       export figure CSVs (written in parallel with --jobs > 1).  With
 //       --checkpoint the finished census is journaled; --resume replays it
-//       without re-simulating.
+//       without re-simulating.  --workload traffic swaps the archival churn
+//       for the request-serving workload (utilization -> heat -> hazard);
+//       --clone duplicates each request across the tent/basement split.
 //
 //   zerodeg census    [--seeds N] [--jobs N] [--checkpoint FILE] [--resume]
 //                     [--inject-faults SEED] [--torture]
+//                     [--workload archive|traffic] [--end YYYY-MM-DD]
 //       Monte Carlo fault census over N seeds, sharded across N worker
 //       threads (--jobs 0 = one per hardware thread).  Output is
 //       byte-identical for every --jobs value — including a --resume run
@@ -37,6 +41,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 
@@ -60,15 +65,17 @@ using namespace zerodeg;
 using FlagMap = std::map<std::string, std::string>;
 
 /// Flags that take no value.
-const std::set<std::string> kBooleanFlags = {"full-year", "resume", "torture"};
+const std::set<std::string> kBooleanFlags = {"full-year", "resume", "torture", "clone"};
 
 /// Flags each subcommand accepts; anything else is a usage error.
 const std::map<std::string, std::set<std::string>> kAllowedFlags = {
     {"weather", {"seed", "full-year", "from", "to", "step-min"}},
     {"season",
      {"seed", "end", "trace", "export", "jobs", "checkpoint", "resume", "collector-retries",
-      "collector-buffer", "inject-faults"}},
-    {"census", {"seeds", "jobs", "checkpoint", "resume", "inject-faults", "torture", "engine"}},
+      "collector-buffer", "inject-faults", "workload", "clone"}},
+    {"census",
+     {"seeds", "jobs", "checkpoint", "resume", "inject-faults", "torture", "engine", "workload",
+      "end"}},
     {"prototype", {"seed"}},
 };
 
@@ -87,13 +94,19 @@ FlagMap parse_flags(const std::string& cmd, int argc, char** argv, int first) {
             throw core::InvalidArgument("--" + key + " is not a flag of 'zerodeg " + cmd + "'");
         }
         if (kBooleanFlags.contains(key)) {
-            flags[key] = "1";
+            // insert_or_assign instead of operator[]=: gcc 12's -Wrestrict
+            // false-positives on the inlined char* assignment.
+            flags.insert_or_assign(key, std::string("1"));
             continue;
         }
         if (i + 1 >= argc) {
             throw core::InvalidArgument("missing value for --" + key);
         }
-        flags[key] = argv[++i];
+        flags.insert_or_assign(key, std::string(argv[++i]));
+    }
+    if (flags.contains("clone") &&
+        (!flags.contains("workload") || flags.at("workload") != "traffic")) {
+        throw core::InvalidArgument("--clone needs --workload traffic");
     }
     if (flags.contains("resume") && !flags.contains("checkpoint")) {
         throw core::InvalidArgument("--resume needs --checkpoint <file> to resume from");
@@ -159,6 +172,16 @@ std::size_t parse_jobs(const FlagMap& flags) {
     return v == 0 ? core::TaskPool::hardware_workers() : static_cast<std::size_t>(v);
 }
 
+/// --workload value: which workload drives the season's fleet.
+experiment::WorkloadKind parse_workload(const FlagMap& flags) {
+    const auto it = flags.find("workload");
+    if (it == flags.end()) return experiment::WorkloadKind::kArchive;
+    if (it->second == "archive") return experiment::WorkloadKind::kArchive;
+    if (it->second == "traffic") return experiment::WorkloadKind::kTraffic;
+    throw core::InvalidArgument("--workload must be 'traffic' or 'archive', got '" + it->second +
+                                "'");
+}
+
 core::TimePoint parse_date(const std::string& s) {
     int y = 0, m = 0, d = 0;
     if (std::sscanf(s.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
@@ -204,6 +227,15 @@ void print_census(const experiment::FaultCensus& c) {
                   << experiment::fmt(1.0 / c.page_fault_ratio() / 1e6, 0)
                   << " million (paper: ~570 million)\n";
     }
+    // Traffic lines appear only for traffic seasons, keeping archive output
+    // byte-identical to earlier releases.
+    if (c.requests_completed + c.requests_dropped > 0) {
+        std::cout << "requests: " << c.requests_completed << " completed, " << c.requests_dropped
+                  << " dropped, deadline misses " << c.deadline_misses << " ("
+                  << experiment::fmt_pct(c.deadline_miss_fraction()) << ")\n"
+                  << "p99 sojourn: "
+                  << experiment::fmt(static_cast<double>(c.p99_sojourn_us) / 1e6, 2) << " s\n";
+    }
 }
 
 int cmd_season(const FlagMap& flags) {
@@ -222,6 +254,8 @@ int cmd_season(const FlagMap& flags) {
     if (retries == 0) throw core::InvalidArgument("--collector-retries must be >= 1");
     cfg.collector_retry.max_attempts = static_cast<int>(retries);
     cfg.collector_retry.buffer_capacity_bytes = flag_u64(flags, "collector-buffer", 0);
+    cfg.workload = parse_workload(flags);
+    cfg.traffic.clone_across_split = flags.count("clone") > 0;
     experiment::validate(cfg);
 
     // With --checkpoint the season runs as a 1-cell campaign whose journal
@@ -243,6 +277,10 @@ int cmd_season(const FlagMap& flags) {
     std::cout << "season " << cfg.start.date_string() << " .. " << cfg.end.date_string()
               << " (seed " << cfg.master_seed
               << (cfg.weather_trace.empty() ? ", synthetic weather" : ", trace-driven")
+              << (cfg.workload == experiment::WorkloadKind::kTraffic
+                      ? (cfg.traffic.clone_across_split ? ", traffic workload, cloned"
+                                                        : ", traffic workload")
+                      : "")
               << ")\n";
 
     if (journal && journal->complete()) {
@@ -260,6 +298,12 @@ int cmd_season(const FlagMap& flags) {
     if (journal) journal->record(0, census);
 
     print_census(census);
+    if (run.has_traffic()) {
+        std::cout << "traffic: mean utilization "
+                  << experiment::fmt_pct(run.traffic().mean_utilization()) << ", mean sojourn "
+                  << experiment::fmt(run.traffic().slo().mean_sojourn_seconds(), 2)
+                  << " s, clones cancelled " << run.traffic().clones_cancelled() << "\n";
+    }
     std::cout << "tent envelope: "
               << experiment::fmt_pct(run.tent_envelope().fraction_within())
               << " of the season inside ASHRAE-allowable\n";
@@ -284,9 +328,10 @@ int cmd_census(const FlagMap& flags) {
     // --engine selects the host-loop implementation; both produce
     // byte-identical output (the per-object path is the differential
     // reference), and the choice is invisible to checkpoint journals.
+    // --workload/--end reshape every cell's season the same way.
+    std::optional<experiment::TickEngine> engine;
     if (flags.count("engine")) {
         const std::string& v = flags.at("engine");
-        experiment::TickEngine engine;
         if (v == "batched") {
             engine = experiment::TickEngine::kBatched;
         } else if (v == "per-object") {
@@ -294,10 +339,17 @@ int cmd_census(const FlagMap& flags) {
         } else {
             throw core::InvalidArgument("--engine must be 'batched' or 'per-object'");
         }
-        plan.make_config = [engine](std::size_t, std::uint64_t seed) {
+    }
+    const experiment::WorkloadKind workload = parse_workload(flags);
+    std::optional<core::TimePoint> end;
+    if (flags.count("end")) end = parse_date(flags.at("end"));
+    if (engine || workload != experiment::WorkloadKind::kArchive || end) {
+        plan.make_config = [engine, workload, end](std::size_t, std::uint64_t seed) {
             experiment::ExperimentConfig config;
             config.master_seed = seed;
-            config.engine = engine;
+            if (engine) config.engine = *engine;
+            config.workload = workload;
+            if (end) config.end = *end;
             return config;
         };
     }
@@ -367,8 +419,10 @@ void synopsis(std::ostream& out) {
            "  season    [--seed N] [--end D] [--trace FILE] [--export DIR] [--jobs N]\n"
            "            [--checkpoint FILE] [--resume] [--collector-retries N]\n"
            "            [--collector-buffer BYTES] [--inject-faults SEED]\n"
+           "            [--workload archive|traffic] [--clone]\n"
            "  census    [--seeds N] [--jobs N] [--checkpoint FILE] [--resume]\n"
            "            [--inject-faults SEED] [--torture] [--engine batched|per-object]\n"
+           "            [--workload archive|traffic] [--end D]\n"
            "            (--jobs 0 = all hardware threads; engines are byte-identical,\n"
            "             per-object is the differential-test reference)\n"
            "  prototype [--seed N]\n"
