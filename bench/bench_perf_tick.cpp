@@ -14,6 +14,9 @@
 //      seeds / best wall).
 //   3. Hazard kernel microbench: the batched HostHazardModel evaluation
 //      over a 4096-slot SoA, reported as hazard-evals/sec.
+//   4. Frost codec microbench: compressing a deterministic 1 MiB corpus
+//      through the bzip2 stand-in (the load-generation hot loop), reported
+//      as MB/s of input compressed, with a roundtrip sanity check.
 //
 // Results go to stdout for humans and to `--out FILE` (default
 // BENCH_tick.json) as zerodeg-bench-tick/1 JSON for scripts/compare_bench.py,
@@ -35,6 +38,7 @@
 #include "experiment/config.hpp"
 #include "experiment/parallel_census.hpp"
 #include "faults/hazard.hpp"
+#include "workload/compressor.hpp"
 
 namespace {
 
@@ -136,6 +140,45 @@ double hazard_kernel_evals_per_sec(int repeat) {
     return best;
 }
 
+/// Frost-codec microbench: a deterministic, realistically compressible
+/// 1 MiB corpus (text-like alphabet with interspersed zero runs, the same
+/// flavour the load jobs archive) pushed through frost_compress.  Returns
+/// MB of *input* per second from the best repeat; aborts if the container
+/// stops roundtripping (a fast-but-wrong codec must fail the gate, not win
+/// it).
+double frost_codec_mb_per_sec(int repeat) {
+    namespace workload = zerodeg::workload;
+    constexpr std::size_t kCorpusBytes = 1 << 20;
+    constexpr int kItersPerRepeat = 4;
+    std::vector<std::uint8_t> corpus(kCorpusBytes);
+    for (std::size_t i = 0; i < kCorpusBytes; ++i) {
+        // Knuth-hash phase picks between a 19-letter alphabet and short
+        // zero runs: ~2:1 compressible, never degenerate.
+        const std::uint32_t h = static_cast<std::uint32_t>(i) * 2654435761u;
+        corpus[i] = (h >> 13) % 5 == 0 ? 0 : static_cast<std::uint8_t>('a' + (h >> 21) % 19);
+    }
+    const workload::CompressorConfig config;  // the load jobs' 16 KiB blocks
+    const std::vector<std::uint8_t> check = workload::frost_decompress(
+        workload::frost_compress(corpus, config));
+    if (check != corpus) {
+        std::cerr << "error: frost codec roundtrip failed on the bench corpus\n";
+        std::exit(1);
+    }
+    std::size_t sink = 0;
+    double best = 0.0;
+    for (int r = 0; r < repeat; ++r) {
+        const auto t0 = bench_clock::now();
+        for (int it = 0; it < kItersPerRepeat; ++it) {
+            sink += workload::frost_compress(corpus, config).size();
+        }
+        const double secs = bench_clock::seconds_between(t0, bench_clock::now());
+        const double rate = static_cast<double>(kCorpusBytes) * kItersPerRepeat / secs / 1e6;
+        if (rate > best) best = rate;
+    }
+    if (sink == 0) std::cerr << "";  // defeat dead-code elimination
+    return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -201,12 +244,14 @@ int main(int argc, char** argv) {
     const double requests_per_sec = requests_completed / traffic_best_wall;
 
     const double hazard_rate = hazard_kernel_evals_per_sec(opt.repeat);
+    const double frost_rate = frost_codec_mb_per_sec(opt.repeat);
 
     std::cout << "  best wall:        " << num(best_wall) << " s\n"
               << "  cells/sec:        " << num(cells_per_sec) << "\n"
               << "  ticks/sec:        " << num(ticks_per_sec) << "\n"
               << "  traffic requests/sec: " << num(requests_per_sec) << "\n"
               << "  hazard evals/sec: " << num(hazard_rate) << "\n"
+              << "  frost codec MB/s: " << num(frost_rate) << "\n"
               << "  mean system failures (sanity): "
               << num(result.summary.mean_system_failures) << "\n"
               << "  mean requests completed (sanity): "
@@ -236,7 +281,8 @@ int main(int argc, char** argv) {
          << "    \"cells_per_sec\": " << num(cells_per_sec) << ",\n"
          << "    \"ticks_per_sec\": " << num(ticks_per_sec) << ",\n"
          << "    \"traffic_requests_per_sec\": " << num(requests_per_sec) << ",\n"
-         << "    \"hazard_evals_per_sec\": " << num(hazard_rate) << "\n"
+         << "    \"hazard_evals_per_sec\": " << num(hazard_rate) << ",\n"
+         << "    \"frost_codec_mb_per_sec\": " << num(frost_rate) << "\n"
          << "  },\n"
          << "  \"wall_seconds_best\": " << num(best_wall) << ",\n"
          << "  \"traffic_wall_seconds_best\": " << num(traffic_best_wall) << "\n"

@@ -9,7 +9,10 @@
 #      gate for the task-pool / sharded-sweep engine
 #   3. the `resilience` + `chaos` labels rebuilt under ASan+UBSan — the gate
 #      for the journal/retry/error paths and the fault-injection/torture
-#      machinery (crash-at-every-write-point resume, watchdog cancellation)
+#      machinery (crash-at-every-write-point resume, watchdog cancellation,
+#      transport-fault and cross-process distributed-sweep torture) — plus a
+#      cross-process smoke: coordinator + 2 workers over a unix socket with
+#      a seeded FaultyTransport, merged journal byte-compared lossless/lossy
 #   4. a compose smoke: sanitizers + -Werror configured together must build
 #      (sanitizer instrumentation must not be broken by the warning gate)
 #   5. clang-tidy over the exported compile database, when clang-tidy exists
@@ -42,6 +45,35 @@ echo "=== [3/6] resilience + chaos labels under ASan+UBSan ===" >&2
 run cmake -B build-asan -S . -DZERODEG_SANITIZE=address,undefined
 run cmake --build build-asan -j "$JOBS"
 run ctest --test-dir build-asan -L 'resilience|chaos' --output-on-failure -j "$JOBS"
+
+# Distributed-torture smoke, cross-process: a real coordinator + 2 workers
+# (ASan+UBSan instrumented) over a unix socket, both worker links running a
+# deterministic FaultyTransport schedule.  The lossy campaign's merged
+# journal must be byte-identical to a lossless one.
+smoke="$(mktemp -d /tmp/zd_smoke.XXXXXX)"
+trap 'rm -rf "$smoke"' EXIT
+zd=./build-asan/tools/zerodeg
+for mode in lossless lossy; do
+    mkdir -p "$smoke/$mode"
+    faults=""
+    if [ "$mode" = lossy ]; then faults="--net-faults 20100219"; fi
+    run "$zd" sweep --coordinator --socket "$smoke/$mode/s.sock" \
+        --checkpoint "$smoke/$mode/merged.journal" --seeds 6 --synthetic \
+        --idle-timeout-ms 60000 >"$smoke/$mode/coord.log" &
+    coord=$!
+    for w in 0 1; do
+        run "$zd" sweep --worker "$w/2" --socket "$smoke/$mode/s.sock" \
+            --checkpoint "$smoke/$mode/w$w.journal" --seeds 6 --synthetic $faults \
+            >"$smoke/$mode/w$w.log" &
+    done
+    wait
+    if kill -0 "$coord" 2>/dev/null; then
+        echo "distributed smoke: coordinator still running" >&2
+        exit 1
+    fi
+done
+run cmp "$smoke/lossless/merged.journal" "$smoke/lossy/merged.journal"
+echo "distributed smoke: lossy and lossless campaigns merged byte-identically" >&2
 
 echo "=== [4/6] compose smoke: sanitize + werror together ===" >&2
 run cmake -B build-asan-werror -S . -DZERODEG_SANITIZE=address,undefined -DZERODEG_WERROR=ON

@@ -32,6 +32,7 @@ enum class ErrorCode {
     kStaleJournal,     ///< a checkpoint journal exists but belongs to a different campaign
     kTransient,        ///< retryable: the same operation may succeed shortly
     kCrash,            ///< simulated process death (fault injection); never retried
+    kDisconnected,     ///< a message-transport link is down (peer gone, switch dead)
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode code) {
@@ -43,6 +44,7 @@ enum class ErrorCode {
         case ErrorCode::kStaleJournal: return "stale-journal";
         case ErrorCode::kTransient: return "transient";
         case ErrorCode::kCrash: return "crash";
+        case ErrorCode::kDisconnected: return "disconnected";
         case ErrorCode::kUnknown: break;
     }
     return "unknown";

@@ -1,0 +1,388 @@
+#include "core/transport.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "core/rng.hpp"
+#include "core/watchdog.hpp"
+
+namespace zerodeg::core {
+
+const char* to_string(NetOp op) {
+    switch (op) {
+        case NetOp::kSend: return "send";
+        case NetOp::kRecv: return "recv";
+    }
+    return "?";
+}
+
+const char* to_string(NetFaultKind kind) {
+    switch (kind) {
+        case NetFaultKind::kDrop: return "drop";
+        case NetFaultKind::kDuplicate: return "duplicate";
+        case NetFaultKind::kReorder: return "reorder";
+        case NetFaultKind::kStall: return "stall";
+        case NetFaultKind::kDisconnect: return "disconnect";
+        case NetFaultKind::kCrash: return "crash";
+    }
+    return "?";
+}
+
+const char* to_string(NetCrashPhase phase) {
+    switch (phase) {
+        case NetCrashPhase::kBeforeOp: return "before-op";
+        case NetCrashPhase::kAfterOp: return "after-op";
+    }
+    return "?";
+}
+
+std::string InjectedNetFault::to_string() const {
+    return "op " + std::to_string(op_index) + ' ' + core::to_string(op) + ": " +
+           core::to_string(kind);
+}
+
+// --- loopback ---------------------------------------------------------------
+
+namespace {
+
+/// Shared state of one endpoint pair.  queue[i] holds frames sent BY
+/// endpoint i (so endpoint i receives from queue[1 - i]).
+struct PairState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::string> queue[2];
+    bool endpoint_closed[2] = {false, false};
+};
+
+class LoopbackTransport final : public Transport {
+public:
+    LoopbackTransport(std::shared_ptr<PairState> state, int me)
+        : state_(std::move(state)), me_(me) {}
+
+    ~LoopbackTransport() override { close(); }
+
+    void send(std::string_view frame) override {
+        std::lock_guard lock(state_->mutex);
+        if (state_->endpoint_closed[me_]) {
+            throw TransportClosed("send on a closed loopback endpoint");
+        }
+        if (state_->endpoint_closed[1 - me_]) {
+            throw TransportClosed("loopback peer has closed the link");
+        }
+        state_->queue[me_].emplace_back(frame);
+        state_->cv.notify_all();
+    }
+
+    bool try_recv(std::string& frame) override {
+        std::lock_guard lock(state_->mutex);
+        return pop_locked(frame);
+    }
+
+    bool recv_wait(std::string& frame, int timeout_ms) override {
+        std::unique_lock lock(state_->mutex);
+        const auto ready = [&] {
+            return !state_->queue[1 - me_].empty() || state_->endpoint_closed[me_] ||
+                   state_->endpoint_closed[1 - me_];
+        };
+        if (timeout_ms < 0) {
+            state_->cv.wait(lock, ready);
+        } else if (!state_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready)) {
+            return false;
+        }
+        return pop_locked(frame);
+    }
+
+    void close() override {
+        std::lock_guard lock(state_->mutex);
+        state_->endpoint_closed[me_] = true;
+        state_->cv.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const override {
+        std::lock_guard lock(state_->mutex);
+        return state_->endpoint_closed[me_] || state_->endpoint_closed[1 - me_];
+    }
+
+private:
+    /// Pop under the caller's lock; delivered frames outlive a peer close.
+    bool pop_locked(std::string& frame) {
+        if (!state_->queue[1 - me_].empty()) {
+            frame = std::move(state_->queue[1 - me_].front());
+            state_->queue[1 - me_].pop_front();
+            return true;
+        }
+        if (state_->endpoint_closed[me_]) {
+            throw TransportClosed("recv on a closed loopback endpoint");
+        }
+        if (state_->endpoint_closed[1 - me_]) {
+            throw TransportClosed("loopback peer has closed the link (queue drained)");
+        }
+        return false;
+    }
+
+    std::shared_ptr<PairState> state_;
+    int me_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> make_loopback_pair() {
+    auto state = std::make_shared<PairState>();
+    return {std::make_unique<LoopbackTransport>(state, 0),
+            std::make_unique<LoopbackTransport>(state, 1)};
+}
+
+struct LoopbackListener::State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::unique_ptr<Transport>> pending;
+    bool closed = false;
+};
+
+LoopbackListener::LoopbackListener() : state_(std::make_shared<State>()) {}
+
+LoopbackListener::~LoopbackListener() { close(); }
+
+std::unique_ptr<Transport> LoopbackListener::connect() {
+    auto [client, server] = make_loopback_pair();
+    {
+        std::lock_guard lock(state_->mutex);
+        if (state_->closed) {
+            throw TransportClosed("loopback listener is closed (coordinator gone)");
+        }
+        state_->pending.push_back(std::move(server));
+        state_->cv.notify_all();
+    }
+    return std::move(client);
+}
+
+std::unique_ptr<Transport> LoopbackListener::accept(int timeout_ms) {
+    std::unique_lock lock(state_->mutex);
+    const auto ready = [&] { return !state_->pending.empty() || state_->closed; };
+    if (timeout_ms < 0) {
+        state_->cv.wait(lock, ready);
+    } else if (timeout_ms > 0) {
+        if (!state_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready)) {
+            return nullptr;
+        }
+    }
+    if (state_->pending.empty()) return nullptr;
+    std::unique_ptr<Transport> link = std::move(state_->pending.front());
+    state_->pending.pop_front();
+    return link;
+}
+
+void LoopbackListener::close() {
+    std::deque<std::unique_ptr<Transport>> orphans;
+    {
+        std::lock_guard lock(state_->mutex);
+        state_->closed = true;
+        // Closing the pending server ends (outside the lock) wakes their
+        // clients with TransportClosed instead of leaving them waiting on a
+        // welcome that can never come.
+        orphans.swap(state_->pending);
+        state_->cv.notify_all();
+    }
+    for (const std::unique_ptr<Transport>& orphan : orphans) orphan->close();
+}
+
+// --- fault injection --------------------------------------------------------
+
+namespace {
+
+/// Same construction as core::io's fault_hash: stateless per-op decisions,
+/// so the schedule is a pure function of (seed, channel, message #) and
+/// never of thread interleaving or wall-clock timing.
+std::uint64_t net_fault_hash(std::uint64_t seed, std::size_t op, std::uint64_t channel) {
+    std::uint64_t state = seed ^ (static_cast<std::uint64_t>(op) * 0x9e3779b97f4a7c15ULL) ^
+                          (channel * 0xd1342543de82ef95ULL);
+    return splitmix64(state);
+}
+
+double net_fault_u01(std::uint64_t seed, std::size_t op, std::uint64_t channel) {
+    return static_cast<double>(net_fault_hash(seed, op, channel) >> 11) * 0x1.0p-53;
+}
+
+// Hash channels, one per independent decision about a message.  Offset well
+// clear of io.cpp's channels so composing FaultyFs and FaultyTransport with
+// one seed still gives independent schedules.
+constexpr std::uint64_t kChanDrop = 101;
+constexpr std::uint64_t kChanDup = 102;
+constexpr std::uint64_t kChanReorder = 103;
+constexpr std::uint64_t kChanNetStall = 104;
+constexpr std::uint64_t kChanDisconnect = 105;
+constexpr std::uint64_t kChanAckDrop = 106;
+
+}  // namespace
+
+FaultyTransport::FaultyTransport(TransportFaultPlan plan, std::string_view channel,
+                                 std::unique_ptr<Transport> inner)
+    : plan_(plan),
+      channel_seed_(plan.seed ^ fnv1a(channel)),
+      channel_(channel),
+      inner_(std::move(inner)) {
+    if (!inner_) throw InvalidArgument("FaultyTransport needs an inner transport");
+}
+
+FaultyTransport::~FaultyTransport() {
+    // Mirror ~LoopbackTransport: destruction hangs up, but without the
+    // fault machinery (a destroyed endpoint can't crash again).
+    try {
+        std::lock_guard lock(mutex_);
+        if (!crashed_) flush_held_locked();
+        inner_->close();
+    } catch (...) {  // NOLINT(bugprone-empty-catch): best-effort hangup
+    }
+}
+
+double FaultyTransport::fault_roll(std::size_t op, std::uint64_t fault_channel) const {
+    return net_fault_u01(channel_seed_, op, fault_channel);
+}
+
+void FaultyTransport::record(std::size_t op, NetOp kind, NetFaultKind fault) {
+    trace_.push_back(InjectedNetFault{op, kind, fault});
+}
+
+void FaultyTransport::throw_if_dead() const {
+    if (crashed_) {
+        throw SimulatedCrash("transport unreachable: simulated process crash already fired");
+    }
+}
+
+void FaultyTransport::crash(std::size_t op, NetOp kind) {
+    crashed_ = true;
+    trace_.push_back(InjectedNetFault{op, kind, NetFaultKind::kCrash});
+    inner_->close();  // the peer observes a hangup, exactly like a real death
+    throw SimulatedCrash("simulated process crash at transport " +
+                         std::string(core::to_string(kind)) + " op " + std::to_string(op) +
+                         " (" + core::to_string(plan_.crash_phase) + ", link '" + channel_ +
+                         "')");
+}
+
+void FaultyTransport::maybe_stall(std::size_t op, NetOp kind) {
+    if (plan_.stall_rate <= 0.0 || fault_roll(op, kChanNetStall) >= plan_.stall_rate) return;
+    record(op, kind, NetFaultKind::kStall);
+    for (std::size_t poll = 0; poll < plan_.max_stall_polls; ++poll) {
+        if (const CancelToken* token = current_cell_token(); token && token->cancelled()) {
+            throw TransientError("injected transport stall on '" + channel_ +
+                                 "' cancelled by watchdog after " + std::to_string(poll + 1) +
+                                 " polls (hung link)");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Unobserved hang: the frame eventually moves, like a congested path
+    // that recovered.  The stall stays in the fault trace either way.
+}
+
+void FaultyTransport::flush_held_locked() {
+    for (std::string& frame : held_) inner_->send(frame);
+    held_.clear();
+}
+
+void FaultyTransport::send(std::string_view frame) {
+    std::lock_guard lock(mutex_);
+    throw_if_dead();
+    const std::size_t op = send_ops_++;
+    if (op == plan_.crash_at_send && plan_.crash_phase == NetCrashPhase::kBeforeOp) {
+        crash(op, NetOp::kSend);
+    }
+    maybe_stall(op, NetOp::kSend);
+    if (plan_.disconnect_rate > 0.0 && fault_roll(op, kChanDisconnect) < plan_.disconnect_rate) {
+        record(op, NetOp::kSend, NetFaultKind::kDisconnect);
+        inner_->close();
+        throw TransportClosed("injected disconnect at send op " + std::to_string(op) +
+                              " on link '" + channel_ + "'");
+    }
+    if (plan_.drop_rate > 0.0 && fault_roll(op, kChanDrop) < plan_.drop_rate) {
+        record(op, NetOp::kSend, NetFaultKind::kDrop);
+        throw TransientError("injected frame drop at send op " + std::to_string(op) +
+                             " on link '" + channel_ + "' (frame not delivered; resend)");
+    }
+    if (plan_.reorder_rate > 0.0 && fault_roll(op, kChanReorder) < plan_.reorder_rate) {
+        // Hold this frame back; it ships right after the NEXT frame (or on
+        // close / before our next receive, so it can never ack-deadlock).
+        record(op, NetOp::kSend, NetFaultKind::kReorder);
+        held_.emplace_back(frame);
+    } else {
+        inner_->send(frame);
+        flush_held_locked();
+    }
+    if (plan_.dup_rate > 0.0 && fault_roll(op, kChanDup) < plan_.dup_rate) {
+        record(op, NetOp::kSend, NetFaultKind::kDuplicate);
+        inner_->send(frame);
+    }
+    if (op == plan_.crash_at_send && plan_.crash_phase == NetCrashPhase::kAfterOp) {
+        crash(op, NetOp::kSend);
+    }
+}
+
+bool FaultyTransport::deliver_one(std::string& frame, bool block, int timeout_ms) {
+    std::lock_guard lock(mutex_);
+    throw_if_dead();
+    // A frame held for reordering must not outwait a peer that is itself
+    // waiting on it: flush before we start listening.
+    if (!held_.empty() && !inner_->closed()) flush_held_locked();
+    const bool got =
+        block ? inner_->recv_wait(frame, timeout_ms) : inner_->try_recv(frame);
+    if (!got) return false;
+    const std::size_t op = recv_ops_++;  // counts delivered frames only
+    if (op == plan_.crash_at_recv && plan_.crash_phase == NetCrashPhase::kBeforeOp) {
+        crash(op, NetOp::kRecv);
+    }
+    maybe_stall(op, NetOp::kRecv);
+    if (plan_.ack_drop_rate > 0.0 && fault_roll(op, kChanAckDrop) < plan_.ack_drop_rate) {
+        // The frame evaporated between the wire and the application (a lost
+        // ack): the caller keeps waiting and its resend budget takes over.
+        record(op, NetOp::kRecv, NetFaultKind::kDrop);
+        frame.clear();
+        return false;
+    }
+    if (op == plan_.crash_at_recv && plan_.crash_phase == NetCrashPhase::kAfterOp) {
+        crash(op, NetOp::kRecv);
+    }
+    return true;
+}
+
+bool FaultyTransport::try_recv(std::string& frame) {
+    return deliver_one(frame, /*block=*/false, 0);
+}
+
+bool FaultyTransport::recv_wait(std::string& frame, int timeout_ms) {
+    return deliver_one(frame, /*block=*/true, timeout_ms);
+}
+
+void FaultyTransport::close() {
+    std::lock_guard lock(mutex_);
+    if (!crashed_) flush_held_locked();
+    inner_->close();
+}
+
+bool FaultyTransport::closed() const {
+    std::lock_guard lock(mutex_);
+    return crashed_ || inner_->closed();
+}
+
+std::size_t FaultyTransport::send_ops() const {
+    std::lock_guard lock(mutex_);
+    return send_ops_;
+}
+
+std::size_t FaultyTransport::recv_ops() const {
+    std::lock_guard lock(mutex_);
+    return recv_ops_;
+}
+
+std::vector<InjectedNetFault> FaultyTransport::fault_trace() const {
+    std::lock_guard lock(mutex_);
+    return trace_;
+}
+
+bool FaultyTransport::crashed() const {
+    std::lock_guard lock(mutex_);
+    return crashed_;
+}
+
+}  // namespace zerodeg::core

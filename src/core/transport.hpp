@@ -1,0 +1,253 @@
+// Message-transport seam for everything that crosses a process (or machine)
+// boundary: the distributed-sweep shard protocol, the coordinator's collector
+// service, and the netsim bridge that turns a dead loaner switch into a dead
+// link.
+//
+// The design mirrors core::io (decision 9): one small interface, a real
+// implementation, and a deterministic fault-injecting wrapper.
+//
+//   * Transport          — a bidirectional, ordered, reliable frame pipe.
+//                          send() ships one opaque frame; try_recv()/
+//                          recv_wait() yield whole frames in order.
+//   * LoopbackTransport  — in-process pair of endpoints over a shared queue
+//                          (make_loopback_pair / LoopbackListener), used by
+//                          tests and the in-process distributed torture.
+//   * UnixTransport      — AF_UNIX stream sockets with u32-LE length-prefix
+//                          framing (transport_unix.cpp; the only file in the
+//                          tree allowed to touch raw sockets — lint ZD014).
+//   * FaultyTransport    — wraps another Transport and injects deterministic,
+//                          seed-scheduled faults: drops, duplicates, reorders,
+//                          stalls, disconnects and crash points.  The fault
+//                          decision for message #k is a pure hash of
+//                          (seed, channel, k), never a sequential RNG stream,
+//                          so one seed yields one fault trace regardless of
+//                          --jobs or process count.
+//
+// Fault surfacing follows the io seam's taxonomy: a dropped frame surfaces at
+// the *sender* as core::TransientError ("the send timed out; resend"), a dead
+// link as core::TransportClosed (ErrorCode::kDisconnected — reconnect or
+// degrade, never blind-retry), and an injected crash as core::SimulatedCrash,
+// after which the FaultyTransport is dead: every later operation rethrows,
+// modelling a killed process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/io.hpp"
+
+namespace zerodeg::core {
+
+/// A message-transport link is down: the peer hung up, the listener was
+/// closed, or a FaultyTransport injected a disconnect.  Deliberately NOT a
+/// TransientError: the operation cannot succeed on this link — callers must
+/// reconnect or degrade to local buffering (the worker falls back to its
+/// SweepJournal), never blind-retry.
+class TransportClosed : public Error {
+public:
+    explicit TransportClosed(const std::string& what)
+        : Error(what, ErrorCode::kDisconnected) {}
+};
+
+/// A bidirectional, ordered frame pipe between exactly two endpoints.
+/// Frames are opaque byte strings; the transport neither inspects nor
+/// re-chunks them.  All methods are safe to call from multiple threads of
+/// one endpoint (sends are serialized; so are receives).
+class Transport {
+public:
+    virtual ~Transport() = default;
+
+    /// Ship one frame to the peer.  Throws TransportClosed when either end
+    /// has closed; a FaultyTransport may also throw TransientError (frame
+    /// dropped — resend) or SimulatedCrash.
+    virtual void send(std::string_view frame) = 0;
+
+    /// Pop the next pending frame into `frame` without blocking.  Returns
+    /// false when no frame is pending right now.  Throws TransportClosed
+    /// once the link is down AND every already-delivered frame has been
+    /// drained (in-flight frames are never silently discarded).
+    virtual bool try_recv(std::string& frame) = 0;
+
+    /// Block up to `timeout_ms` for the next frame (-1 = wait until a frame
+    /// arrives or the link dies).  Returns false on timeout; throws
+    /// TransportClosed as try_recv does.
+    virtual bool recv_wait(std::string& frame, int timeout_ms) = 0;
+
+    /// Close this endpoint.  Idempotent.  The peer's next blocked or future
+    /// operation throws TransportClosed (after draining delivered frames).
+    virtual void close() = 0;
+
+    /// True once close() was called on this endpoint or the peer is known
+    /// to be gone.
+    [[nodiscard]] virtual bool closed() const = 0;
+};
+
+/// Accepts inbound connections for a coordinator-style service.
+class Listener {
+public:
+    virtual ~Listener() = default;
+
+    /// Wait up to `timeout_ms` (0 = poll, -1 = forever) for one inbound
+    /// connection; nullptr on timeout or once the listener is closed.
+    [[nodiscard]] virtual std::unique_ptr<Transport> accept(int timeout_ms) = 0;
+
+    /// Stop accepting.  Pending un-accepted connections are closed so their
+    /// clients observe TransportClosed instead of hanging.  Idempotent.
+    virtual void close() = 0;
+};
+
+/// An in-process connected endpoint pair (worker end, coordinator end).
+[[nodiscard]] std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair();
+
+/// In-process Listener: connect() returns the client end and queues the
+/// server end for accept(), mirroring the Unix-socket flow closely enough
+/// that the distributed machinery cannot tell the difference.
+class LoopbackListener final : public Listener {
+public:
+    LoopbackListener();
+    ~LoopbackListener() override;
+
+    /// Connect a new client; throws TransportClosed once the listener closed.
+    /// Safe to call from any thread (worker threads dial the coordinator).
+    [[nodiscard]] std::unique_ptr<Transport> connect();
+
+    [[nodiscard]] std::unique_ptr<Transport> accept(int timeout_ms) override;
+    void close() override;
+
+private:
+    struct State;
+    std::shared_ptr<State> state_;
+};
+
+// --- Unix-domain sockets (transport_unix.cpp) ------------------------------
+
+/// Listen on an AF_UNIX stream socket at `socket_path` (unlinked first if a
+/// stale socket file exists).  Throws InvalidArgument when the path exceeds
+/// the platform's sun_path limit, IoError on socket/bind/listen failure.
+[[nodiscard]] std::unique_ptr<Listener> listen_unix(const std::filesystem::path& socket_path);
+
+/// Connect to the Unix socket at `socket_path`.  Throws TransportClosed when
+/// nobody is listening (the caller decides whether to retry, wait for the
+/// coordinator, or degrade), IoError on other socket failures.
+[[nodiscard]] std::unique_ptr<Transport> connect_unix(const std::filesystem::path& socket_path);
+
+// --- deterministic fault injection -----------------------------------------
+
+/// Which transport operation an op-index refers to.  Send and receive sides
+/// keep independent counters; receive ops count *delivered* frames (a poll
+/// that found nothing is not an op), so both schedules are pure functions of
+/// the message sequence, immune to timing.
+enum class NetOp { kSend, kRecv };
+[[nodiscard]] const char* to_string(NetOp op);
+
+/// What FaultyTransport did to a message.
+enum class NetFaultKind {
+    kDrop,        ///< frame vanished; sender sees TransientError, resends
+    kDuplicate,   ///< frame delivered twice (the at-least-once case)
+    kReorder,     ///< frame held back and delivered after its successor
+    kStall,       ///< op hung until cancelled or the poll cap ran out
+    kDisconnect,  ///< link cut; both ends see TransportClosed
+    kCrash,       ///< simulated process death at this op; SimulatedCrash
+};
+[[nodiscard]] const char* to_string(NetFaultKind kind);
+
+/// One injected fault, for the deterministic trace (same seed => same trace).
+struct InjectedNetFault {
+    std::size_t op_index = 0;
+    NetOp op = NetOp::kSend;
+    NetFaultKind kind = NetFaultKind::kDrop;
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// At which instant of the crash op the simulated process dies.
+enum class NetCrashPhase {
+    kBeforeOp,  ///< the frame never left / was never consumed
+    kAfterOp,   ///< the op fully completed, then the process died
+};
+[[nodiscard]] const char* to_string(NetCrashPhase phase);
+
+/// Deterministic fault schedule.  Rates are per-message probabilities,
+/// decided per (seed, channel, op#) by a pure hash — immune to thread order
+/// and to how many other links share the seed (each link gets its own
+/// channel string).
+struct TransportFaultPlan {
+    std::uint64_t seed = 1;
+    double drop_rate = 0.0;        ///< send-side frame loss
+    double dup_rate = 0.0;         ///< frame delivered twice
+    double reorder_rate = 0.0;     ///< frame swapped with its successor
+    double stall_rate = 0.0;       ///< hung op, cancellable via watchdog token
+    double ack_drop_rate = 0.0;    ///< recv-side frame loss (lost acks)
+    double disconnect_rate = 0.0;  ///< link cut mid-conversation
+
+    static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+    std::size_t crash_at_send = kNever;  ///< send op# at which the process dies
+    std::size_t crash_at_recv = kNever;  ///< delivered-frame op# likewise
+    NetCrashPhase crash_phase = NetCrashPhase::kBeforeOp;
+
+    /// Stall bail-out, as in FaultPlan: polls of the cell cancel token
+    /// (~1 ms apart) before the stall gives up on its own.
+    std::size_t max_stall_polls = 50;
+};
+
+/// Fault-injecting wrapper around another Transport.  Thread-safe; send and
+/// recv counters order operations deterministically per endpoint.
+class FaultyTransport final : public Transport {
+public:
+    /// `channel` names this link (e.g. "worker.3"): it is folded into the
+    /// hash so links sharing one plan get distinct but stable schedules.
+    FaultyTransport(TransportFaultPlan plan, std::string_view channel,
+                    std::unique_ptr<Transport> inner);
+    ~FaultyTransport() override;
+
+    void send(std::string_view frame) override;
+    bool try_recv(std::string& frame) override;
+    bool recv_wait(std::string& frame, int timeout_ms) override;
+    void close() override;
+    [[nodiscard]] bool closed() const override;
+
+    /// Send / delivered-frame operations seen so far (faulted or not).  After
+    /// a fault-free run these are the crash points a torture pass must cover.
+    [[nodiscard]] std::size_t send_ops() const;
+    [[nodiscard]] std::size_t recv_ops() const;
+
+    /// Every fault injected so far, ordered by injection time.  A pure
+    /// function of (plan, channel, message sequence).
+    [[nodiscard]] std::vector<InjectedNetFault> fault_trace() const;
+
+    /// True once the simulated crash fired; every operation now rethrows.
+    [[nodiscard]] bool crashed() const;
+
+    [[nodiscard]] const TransportFaultPlan& plan() const { return plan_; }
+
+private:
+    [[nodiscard]] double fault_roll(std::size_t op, std::uint64_t fault_channel) const;
+    void crash(std::size_t op, NetOp kind);
+    void maybe_stall(std::size_t op, NetOp kind);
+    void record(std::size_t op, NetOp kind, NetFaultKind fault);
+    void throw_if_dead() const;
+    /// Deliver the reorder-held frame, if any (also called before receives
+    /// and on close, so a held frame can never deadlock an ack wait).
+    void flush_held_locked();
+    [[nodiscard]] bool deliver_one(std::string& frame, bool block, int timeout_ms);
+
+    TransportFaultPlan plan_;
+    std::uint64_t channel_seed_ = 0;
+    std::string channel_;
+    std::unique_ptr<Transport> inner_;
+    mutable std::mutex mutex_;
+    std::size_t send_ops_ = 0;
+    std::size_t recv_ops_ = 0;
+    bool crashed_ = false;
+    std::vector<std::string> held_;  ///< frames delayed by a reorder fault
+    std::vector<InjectedNetFault> trace_;
+};
+
+}  // namespace zerodeg::core

@@ -1,0 +1,258 @@
+// AF_UNIX stream implementation of the core::transport seam.
+//
+// This file is the sanctioned home of raw socket syscalls (lint check ZD014
+// confines socket/pipe/process primitives to core/transport*): everything
+// above it speaks the Transport interface and cannot tell a Unix socket from
+// a loopback queue — which is exactly what lets the distributed torture run
+// the whole coordinator/worker protocol in-process, deterministically.
+//
+// Framing: each frame is a u32 little-endian byte count followed by the
+// payload.  The protocol layer on top adds its own checksums (shard_protocol
+// frames are checksummed like v2 journal records); the length prefix only
+// delimits.
+#include "core/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace zerodeg::core {
+
+namespace {
+
+/// Parachute against a garbled length prefix: no shard-protocol frame is
+/// remotely this large.
+constexpr std::uint32_t kMaxFrameBytes = 64u * 1024u * 1024u;
+
+std::string errno_text() {
+    return errno != 0 ? std::string(std::strerror(errno)) : std::string("unknown error");
+}
+
+class UnixTransport final : public Transport {
+public:
+    explicit UnixTransport(int fd) : fd_(fd) {}
+
+    ~UnixTransport() override {
+        close();
+        if (fd_ >= 0) ::close(fd_);
+    }
+
+    void send(std::string_view frame) override {
+        std::lock_guard lock(send_mutex_);
+        if (closed_.load()) throw TransportClosed("send on a closed unix-socket endpoint");
+        if (frame.size() > kMaxFrameBytes) {
+            throw InvalidArgument("frame of " + std::to_string(frame.size()) +
+                                  " bytes exceeds the transport limit");
+        }
+        const std::uint32_t n = static_cast<std::uint32_t>(frame.size());
+        char prefix[4] = {static_cast<char>(n & 0xff), static_cast<char>((n >> 8) & 0xff),
+                          static_cast<char>((n >> 16) & 0xff),
+                          static_cast<char>((n >> 24) & 0xff)};
+        send_all(prefix, sizeof prefix);
+        send_all(frame.data(), frame.size());
+    }
+
+    bool try_recv(std::string& frame) override {
+        std::lock_guard lock(recv_mutex_);
+        return recv_locked(frame, 0);
+    }
+
+    bool recv_wait(std::string& frame, int timeout_ms) override {
+        std::lock_guard lock(recv_mutex_);
+        return recv_locked(frame, timeout_ms);
+    }
+
+    void close() override {
+        // Lock-free on purpose: close() must be able to interrupt a peer
+        // thread blocked in poll() (shutdown wakes it with EOF).
+        if (!closed_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
+    }
+
+    [[nodiscard]] bool closed() const override { return closed_.load() || peer_gone_.load(); }
+
+private:
+    void send_all(const char* data, std::size_t size) {
+        std::size_t done = 0;
+        while (done < size) {
+            // MSG_NOSIGNAL: a vanished peer must surface as TransportClosed,
+            // not kill the worker with SIGPIPE.
+            const ssize_t sent = ::send(fd_, data + done, size - done, MSG_NOSIGNAL);
+            if (sent < 0) {
+                if (errno == EINTR) continue;
+                if (errno == EPIPE || errno == ECONNRESET) {
+                    peer_gone_.store(true);
+                    throw TransportClosed("unix-socket peer has closed the link: " +
+                                          errno_text());
+                }
+                throw IoError("unix-socket send failed: " + errno_text());
+            }
+            done += static_cast<std::size_t>(sent);
+        }
+    }
+
+    /// Receive one frame.  The timeout is per poll round, so a frame split
+    /// across packets may wait slightly longer than `timeout_ms` in total —
+    /// delimiting, not hard real-time, is the contract here.
+    bool recv_locked(std::string& frame, int timeout_ms) {
+        for (;;) {
+            if (extract_frame(frame)) return true;
+            if (closed_.load()) throw TransportClosed("recv on a closed unix-socket endpoint");
+            if (peer_gone_.load()) {
+                throw TransportClosed("unix-socket peer has closed the link (buffer drained)");
+            }
+            struct pollfd pfd{};
+            pfd.fd = fd_;
+            pfd.events = POLLIN;
+            const int n = ::poll(&pfd, 1, timeout_ms);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                throw IoError("unix-socket poll failed: " + errno_text());
+            }
+            if (n == 0) return false;  // timeout (or a try_recv poll)
+            char buf[1 << 16];
+            const ssize_t got = ::recv(fd_, buf, sizeof buf, 0);
+            if (got < 0) {
+                if (errno == EINTR) continue;
+                if (errno == ECONNRESET) {
+                    peer_gone_.store(true);
+                    continue;  // surfaces as TransportClosed above
+                }
+                throw IoError("unix-socket recv failed: " + errno_text());
+            }
+            if (got == 0) {
+                peer_gone_.store(true);  // orderly EOF; drain, then throw
+                continue;
+            }
+            buffer_.append(buf, static_cast<std::size_t>(got));
+        }
+    }
+
+    /// Peel one complete length-prefixed frame off the receive buffer.
+    bool extract_frame(std::string& frame) {
+        if (buffer_.size() < 4) return false;
+        const auto b = [&](std::size_t i) {
+            return static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[i]));
+        };
+        const std::uint32_t n = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+        if (n > kMaxFrameBytes) {
+            throw CorruptData("unix-socket framing damaged: implausible frame length " +
+                              std::to_string(n));
+        }
+        if (buffer_.size() < 4u + n) return false;
+        frame.assign(buffer_, 4, n);
+        buffer_.erase(0, 4u + n);
+        return true;
+    }
+
+    int fd_;
+    std::atomic<bool> closed_{false};
+    std::atomic<bool> peer_gone_{false};
+    std::mutex send_mutex_;
+    std::mutex recv_mutex_;
+    std::string buffer_;
+};
+
+/// Reject paths sun_path cannot hold instead of silently truncating.
+sockaddr_un unix_address(const std::filesystem::path& socket_path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string path = socket_path.string();
+    if (path.size() + 1 > sizeof addr.sun_path) {
+        throw InvalidArgument("unix socket path '" + path + "' exceeds the " +
+                              std::to_string(sizeof addr.sun_path - 1) +
+                              "-byte sun_path limit; use a shorter --socket path");
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+class UnixListener final : public Listener {
+public:
+    UnixListener(int fd, std::filesystem::path socket_path)
+        : fd_(fd), socket_path_(std::move(socket_path)) {}
+
+    ~UnixListener() override {
+        close();
+        if (fd_ >= 0) ::close(fd_);
+        ::unlink(socket_path_.string().c_str());
+    }
+
+    std::unique_ptr<Transport> accept(int timeout_ms) override {
+        for (;;) {
+            if (closed_.load()) return nullptr;
+            struct pollfd pfd{};
+            pfd.fd = fd_;
+            pfd.events = POLLIN;
+            const int n = ::poll(&pfd, 1, timeout_ms);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                throw IoError("unix-socket accept poll failed: " + errno_text());
+            }
+            if (n == 0) return nullptr;
+            const int conn = ::accept(fd_, nullptr, nullptr);
+            if (conn < 0) {
+                if (errno == EINTR) continue;
+                if (closed_.load()) return nullptr;
+                throw IoError("unix-socket accept failed: " + errno_text());
+            }
+            return std::make_unique<UnixTransport>(conn);
+        }
+    }
+
+    void close() override {
+        if (!closed_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
+    }
+
+private:
+    int fd_;
+    std::atomic<bool> closed_{false};
+    std::filesystem::path socket_path_;
+};
+
+}  // namespace
+
+std::unique_ptr<Listener> listen_unix(const std::filesystem::path& socket_path) {
+    const sockaddr_un addr = unix_address(socket_path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw IoError("cannot create unix socket: " + errno_text());
+    ::unlink(socket_path.string().c_str());  // a stale socket file is not an error
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+        const std::string why = errno_text();
+        ::close(fd);
+        throw IoError("cannot bind unix socket '" + socket_path.string() + "': " + why);
+    }
+    if (::listen(fd, 64) < 0) {
+        const std::string why = errno_text();
+        ::close(fd);
+        throw IoError("cannot listen on unix socket '" + socket_path.string() + "': " + why);
+    }
+    return std::make_unique<UnixListener>(fd, socket_path);
+}
+
+std::unique_ptr<Transport> connect_unix(const std::filesystem::path& socket_path) {
+    const sockaddr_un addr = unix_address(socket_path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw IoError("cannot create unix socket: " + errno_text());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+        const std::string why = errno_text();
+        const bool nobody_listening =
+            errno == ECONNREFUSED || errno == ENOENT || errno == ENOTCONN;
+        ::close(fd);
+        if (nobody_listening) {
+            throw TransportClosed("no coordinator listening on '" + socket_path.string() +
+                                  "': " + why);
+        }
+        throw IoError("cannot connect to unix socket '" + socket_path.string() + "': " + why);
+    }
+    return std::make_unique<UnixTransport>(fd);
+}
+
+}  // namespace zerodeg::core

@@ -1,0 +1,696 @@
+#include "experiment/distributed.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/io.hpp"
+#include "experiment/shard_protocol.hpp"
+#include "experiment/sweep_journal.hpp"
+#include "experiment/torture.hpp"
+
+namespace zerodeg::experiment {
+
+namespace fs = std::filesystem;
+
+std::vector<std::size_t> shard_cells(std::size_t cells, const ShardSpec& spec) {
+    if (spec.of == 0 || spec.shard >= spec.of) {
+        throw core::InvalidArgument("shard " + std::to_string(spec.shard) + " of " +
+                                    std::to_string(spec.of) + " is not a valid shard spec");
+    }
+    std::vector<std::size_t> owned;
+    for (std::size_t i = spec.shard; i < cells; i += spec.of) owned.push_back(i);
+    return owned;
+}
+
+ExperimentConfig cell_config(const CensusPlan& plan, std::size_t index) {
+    // Mirrors ParallelCensus::build_configs for a single cell: same seed
+    // derivation, same per-cell validation context.  Keeping these in step is
+    // what lets a worker's journal carry the full-campaign key.
+    const std::uint64_t seed = plan.base_seed + index;
+    ExperimentConfig cfg;
+    if (plan.make_config) {
+        cfg = plan.make_config(index, seed);
+    } else {
+        cfg.master_seed = seed;
+    }
+    core::with_context("census cell " + std::to_string(index), [&] { validate(cfg); });
+    return cfg;
+}
+
+FaultCensus run_cell(const CensusPlan& plan, const ExperimentConfig& config) {
+    return plan.run_cell ? plan.run_cell(config) : run_season_census(config);
+}
+
+namespace {
+
+/// Per-frame resend budget from the retry policy (>= 1 try always).
+int frame_attempts(const monitoring::CollectorRetryPolicy& retry) {
+    return retry.max_attempts < 1 ? 1 : retry.max_attempts;
+}
+
+}  // namespace
+
+WorkerReport run_worker(const CensusPlan& plan, const ShardSpec& spec,
+                        const fs::path& journal_path, std::unique_ptr<core::Transport> link,
+                        const WorkerOptions& opts) {
+    WorkerReport report;
+    report.shard = spec.shard;
+    report.of = spec.of;
+
+    const auto say = [&](const std::string& line) {
+        if (opts.log) opts.log("worker " + std::to_string(spec.shard) + ": " + line);
+    };
+
+    // The local journal carries the *full campaign* key: it is a valid (if
+    // partial) resume point for a plain local run of the whole sweep, and the
+    // coordinator can validate the HELLO against the identical key.
+    const SweepJournalKey key = ParallelCensus(plan, 1).journal_key();
+    SweepJournal journal(journal_path, key, opts.resume, opts.fs);
+
+    const std::vector<std::size_t> owned = shard_cells(plan.seeds, spec);
+    report.cells_owned = owned.size();
+
+    // Phase 1: simulate.  Every owned cell is durable in the local journal
+    // before a single byte hits the wire, so a death anywhere in phase 2
+    // resumes without re-simulating anything.
+    std::vector<std::size_t> missing;
+    for (std::size_t idx : owned) {
+        if (journal.find(idx)) {
+            ++report.cells_reused;
+        } else {
+            missing.push_back(idx);
+        }
+    }
+    if (!missing.empty()) {
+        const SweepRunner runner(opts.jobs);
+        (void)runner.map(
+            missing.size(),
+            [&](std::size_t k) {
+                const std::size_t idx = missing[k];
+                const FaultCensus census = run_cell(plan, cell_config(plan, idx));
+                journal.record(idx, census);
+                return census;
+            },
+            core::CellRetry{plan.cell_attempts});
+        report.cells_computed = missing.size();
+        say("simulated " + std::to_string(missing.size()) + " cells");
+    }
+
+    // Phase 2: stream.  Single-threaded, cells in index order, one frame in
+    // flight — the op sequence on the link replays deterministically, which
+    // is what lets the torture harness enumerate every send as a kill point.
+    std::set<std::size_t> acked;
+
+    const auto counted_send = [&](const std::string& frame) {
+        ++report.link_sends;
+        link->send(frame);
+    };
+
+    // Drain replies until `want` is acked or the wait times out.  Throws
+    // TransportClosed when the link dies and StaleJournal on a REJECT.
+    const auto await_ack = [&](std::size_t want, int timeout_ms) -> bool {
+        std::string bytes;
+        while (link->recv_wait(bytes, timeout_ms)) {
+            Frame frame;
+            try {
+                frame = decode_frame(bytes);
+            } catch (const core::CorruptData&) {
+                continue;  // damaged reply; the resend budget covers it
+            }
+            if (frame.type == FrameType::kAck) {
+                if (acked.insert(frame.ack_index).second) ++report.acked;
+                if (frame.ack_index == want) return true;
+            } else if (frame.type == FrameType::kReject) {
+                throw core::StaleJournal("coordinator rejected shard " +
+                                         std::to_string(spec.shard) + ": " + frame.reason);
+            }
+        }
+        return false;
+    };
+
+    // HELLO until WELCOME (bounded).  Throws TransportClosed / StaleJournal.
+    const std::string hello = encode_hello(ShardHello{key, spec.shard, spec.of});
+    const auto handshake = [&]() -> bool {
+        for (int attempt = 0; attempt < frame_attempts(opts.retry); ++attempt) {
+            try {
+                counted_send(hello);
+            } catch (const core::TransientError&) {
+                ++report.drops_absorbed;
+                continue;
+            }
+            std::string bytes;
+            while (link->recv_wait(bytes, opts.ack_timeout_ms)) {
+                Frame frame;
+                try {
+                    frame = decode_frame(bytes);
+                } catch (const core::CorruptData&) {
+                    continue;
+                }
+                if (frame.type == FrameType::kWelcome) {
+                    report.coordinator_reached = true;
+                    say("welcomed; coordinator holds " + std::to_string(frame.completed) +
+                        " cells");
+                    return true;
+                }
+                if (frame.type == FrameType::kReject) {
+                    throw core::StaleJournal("coordinator rejected shard " +
+                                             std::to_string(spec.shard) + ": " + frame.reason);
+                }
+            }
+        }
+        return false;
+    };
+
+    // (Re)connect and re-handshake.  Returns false once the budget or the
+    // factory gives out — the caller degrades to local-journal-only mode.
+    const auto reconnect = [&]() -> bool {
+        while (report.reconnects < opts.max_reconnects) {
+            ++report.reconnects;
+            std::unique_ptr<core::Transport> fresh = opts.reconnect ? opts.reconnect() : nullptr;
+            if (!fresh) return false;
+            link = std::move(fresh);
+            try {
+                if (handshake()) return true;
+            } catch (const core::TransportClosed&) {
+                // dead again; spend another reconnect
+            }
+        }
+        return false;
+    };
+
+    bool online = false;
+    if (link) {
+        try {
+            online = handshake();
+        } catch (const core::TransportClosed&) {
+            online = reconnect();
+        }
+    }
+
+    if (online) {
+        for (std::size_t idx : owned) {
+            if (acked.count(idx) != 0) continue;  // acks can arrive out of band
+            const FaultCensus* census = journal.find(idx);
+            const std::string frame = encode_cell(idx, *census);
+            bool delivered = false;
+            int attempt = 0;
+            while (attempt < frame_attempts(opts.retry) && !delivered) {
+                ++attempt;
+                try {
+                    bool sent = true;
+                    try {
+                        counted_send(frame);
+                        if (attempt > 1) ++report.resends;
+                    } catch (const core::TransientError&) {
+                        ++report.drops_absorbed;  // link ate it; charge the attempt
+                        sent = false;
+                    }
+                    if (sent && await_ack(idx, opts.ack_timeout_ms)) delivered = true;
+                } catch (const core::TransportClosed&) {
+                    if (!reconnect()) {
+                        online = false;
+                        break;
+                    }
+                    attempt = 0;  // fresh link: this cell gets a fresh budget
+                }
+            }
+            if (!online) break;
+            // An undelivered cell within an alive link (lost acks) just stays
+            // buffered; later cells still get their chance.
+        }
+    }
+
+    for (std::size_t idx : owned) {
+        if (acked.count(idx) == 0) {
+            ++report.buffered;
+            report.buffered_bytes += encode_cell(idx, *journal.find(idx)).size();
+        }
+    }
+    report.degraded = report.buffered > 0;
+    if (report.degraded) {
+        say("degraded: " + std::to_string(report.buffered) +
+            " cells buffered in the local journal");
+    }
+    if (link) link->close();
+    return report;
+}
+
+// ---------------------------------------------------------------------------
+// CoordinatorService
+
+struct CoordinatorService::Impl {
+    CensusPlan plan;
+    CoordinatorOptions opts;
+    SweepJournalKey campaign;
+    SweepJournal journal;
+    CoordinatorReport report;
+    std::atomic<bool> stop{false};
+
+    Impl(CensusPlan plan_in, fs::path path, CoordinatorOptions opts_in)
+        : plan(std::move(plan_in)),
+          opts(std::move(opts_in)),
+          campaign(ParallelCensus(plan, 1).journal_key()),
+          journal(std::move(path), campaign, opts.resume, opts.fs) {}
+};
+
+CoordinatorService::CoordinatorService(CensusPlan plan, fs::path journal_path,
+                                       CoordinatorOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(plan), std::move(journal_path), std::move(opts))) {}
+
+CoordinatorService::~CoordinatorService() = default;
+
+void CoordinatorService::request_stop() { impl_->stop.store(true); }
+
+const SweepJournalKey& CoordinatorService::key() const { return impl_->campaign; }
+
+bool CoordinatorService::complete() const { return impl_->journal.complete(); }
+
+std::size_t CoordinatorService::merged() const { return impl_->journal.completed(); }
+
+CensusResult CoordinatorService::result() const {
+    if (!impl_->journal.complete()) {
+        throw core::Error("coordinator journal '" + impl_->journal.path().string() + "' holds " +
+                          std::to_string(impl_->journal.completed()) + "/" +
+                          std::to_string(impl_->campaign.cells) + " cells; campaign incomplete");
+    }
+    CensusResult result;
+    result.censuses.reserve(impl_->campaign.cells);
+    for (std::size_t i = 0; i < impl_->campaign.cells; ++i) {
+        result.censuses.push_back(*impl_->journal.find(i));
+    }
+    result.summary = summarize(result.censuses);
+    return result;
+}
+
+CoordinatorReport CoordinatorService::serve(core::Listener& listener) {
+    using Phase = CoordinatorCrashPlan::Phase;
+    Impl& im = *impl_;
+    std::vector<std::unique_ptr<core::Transport>> links;
+
+    const auto say = [&](const std::string& line) {
+        if (im.opts.log) im.opts.log("coordinator: " + line);
+    };
+
+    // Planned process death: close everything a real kill would take down
+    // (peers must observe the loss), then unwind as SimulatedCrash.
+    const auto crash_check = [&](Phase phase, std::size_t frame_index) {
+        if (frame_index != im.opts.crash.crash_at_frame || phase != im.opts.crash.phase) return;
+        for (auto& link : links) link->close();
+        links.clear();
+        listener.close();
+        throw core::SimulatedCrash("coordinator killed handling frame " +
+                                   std::to_string(frame_index) + " (phase " +
+                                   std::to_string(static_cast<int>(phase)) + ")");
+    };
+
+    // Bounded reply: a faulty link may swallow sends as TransientError — the
+    // worker's resend covers an abandoned ack.  TransportClosed propagates.
+    const auto reply = [&](core::Transport& link, const std::string& frame) -> bool {
+        const int attempts = im.opts.reply_attempts < 1 ? 1 : im.opts.reply_attempts;
+        for (int attempt = 0; attempt < attempts; ++attempt) {
+            try {
+                link.send(frame);
+                return true;
+            } catch (const core::TransientError&) {
+                // swallowed; retry
+            }
+        }
+        return false;
+    };
+
+    const auto handle_frame = [&](core::Transport& link, const std::string& bytes) {
+        const std::size_t frame_index = im.report.frames++;
+        crash_check(Phase::kOnFrame, frame_index);
+        Frame frame;
+        try {
+            frame = decode_frame(bytes);
+            if (frame.type == FrameType::kCell && frame.cell.index >= im.campaign.cells) {
+                throw core::CorruptData("cell index " + std::to_string(frame.cell.index) +
+                                        " outside campaign of " +
+                                        std::to_string(im.campaign.cells));
+            }
+        } catch (const core::CorruptData& err) {
+            ++im.report.corrupt_frames;
+            say(std::string("rejecting corrupt frame: ") + err.what());
+            reply(link, encode_reject(err.what()));
+            return;
+        }
+        switch (frame.type) {
+            case FrameType::kHello: {
+                const bool match = frame.hello.key == im.campaign;
+                if (!match) ++im.report.rejected_hellos;
+                crash_check(Phase::kAfterRecord, frame_index);
+                if (match) {
+                    say("shard " + std::to_string(frame.hello.shard) + "/" +
+                        std::to_string(frame.hello.of) + " joined");
+                    reply(link, encode_welcome(im.journal.completed()));
+                } else {
+                    reply(link, encode_reject(
+                                    "campaign mismatch: coordinator serves base_seed " +
+                                    std::to_string(im.campaign.cells) + "-cell campaign " +
+                                    std::to_string(im.campaign.base_seed)));
+                }
+                crash_check(Phase::kAfterReply, frame_index);
+                break;
+            }
+            case FrameType::kCell: {
+                if (im.journal.find(frame.cell.index) != nullptr) {
+                    ++im.report.duplicates;  // replay after a loss: dedupe, re-ack
+                } else {
+                    im.journal.record(frame.cell.index, frame.cell.census);
+                    ++im.report.cells_recorded;
+                }
+                crash_check(Phase::kAfterRecord, frame_index);
+                if (reply(link, encode_ack(frame.cell.index))) ++im.report.acks_sent;
+                crash_check(Phase::kAfterReply, frame_index);
+                break;
+            }
+            case FrameType::kWelcome:
+            case FrameType::kReject:
+            case FrameType::kAck:
+                break;  // coordinator-to-worker frames echoed back; ignore
+        }
+    };
+
+    int idle_polls = 0;
+    while (true) {
+        if (im.stop.load()) break;
+        if (im.journal.complete()) {
+            im.report.completed = true;
+            break;
+        }
+
+        bool progress = false;
+        while (std::unique_ptr<core::Transport> fresh = listener.accept(0)) {
+            links.push_back(std::move(fresh));
+            ++im.report.links_accepted;
+            progress = true;
+        }
+
+        for (auto it = links.begin(); it != links.end();) {
+            bool dead = false;
+            try {
+                std::string bytes;
+                while ((*it)->try_recv(bytes)) {
+                    progress = true;
+                    handle_frame(**it, bytes);
+                }
+            } catch (const core::TransportClosed&) {
+                dead = true;
+            }
+            if (dead) {
+                ++im.report.links_dropped;
+                it = links.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        if (progress) {
+            idle_polls = 0;
+        } else {
+            if (links.empty() && im.opts.idle_give_up_polls > 0 &&
+                ++idle_polls >= im.opts.idle_give_up_polls) {
+                say("no workers; giving up at " + std::to_string(im.journal.completed()) + "/" +
+                    std::to_string(im.campaign.cells) + " cells");
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    }
+
+    im.report.completed = im.journal.complete();
+    for (auto& link : links) link->close();
+    return im.report;
+}
+
+// ---------------------------------------------------------------------------
+// In-process distributed harness
+
+fs::path merged_journal_path(const fs::path& scratch) { return scratch / "merged.journal"; }
+
+fs::path worker_journal_path(const fs::path& scratch, std::size_t shard) {
+    return scratch / ("worker-" + std::to_string(shard) + ".journal");
+}
+
+DistributedOutcome run_distributed(const CensusPlan& plan, const fs::path& scratch,
+                                   const DistributedOptions& opts) {
+    if (opts.workers == 0) throw core::InvalidArgument("a distributed run needs >= 1 worker");
+    fs::create_directories(scratch);
+
+    DistributedOutcome out;
+    out.workers.resize(opts.workers);
+    out.worker_crashed.assign(opts.workers, false);
+
+    CoordinatorOptions copts;
+    copts.resume = opts.resume;
+    copts.crash = opts.coordinator_crash;
+    copts.fs = opts.fs;
+    CoordinatorService service(plan, merged_journal_path(scratch), copts);
+
+    core::LoopbackListener listener;
+    std::exception_ptr coordinator_error;
+    std::thread coordinator([&] {
+        try {
+            out.coordinator = service.serve(listener);
+        } catch (const core::SimulatedCrash&) {
+            out.coordinator_crashed = true;
+        } catch (...) {
+            coordinator_error = std::current_exception();
+        }
+        // A finished (or dead) coordinator takes its socket down with it:
+        // blocked and future connects observe TransportClosed, not a hang.
+        listener.close();
+    });
+
+    // One worker pass over a possibly-faulty link.  Returns true if the
+    // planned link kill fired (SimulatedCrash); other failures propagate.
+    const auto run_one = [&](std::size_t shard, const core::TransportFaultPlan& faults,
+                             const std::string& channel, bool resume) -> bool {
+        WorkerOptions wopts;
+        wopts.jobs = opts.worker_jobs;
+        wopts.resume = resume;
+        wopts.retry = opts.retry;
+        wopts.ack_timeout_ms = opts.ack_timeout_ms;
+        wopts.fs = opts.fs;
+        wopts.reconnect = [&listener]() -> std::unique_ptr<core::Transport> {
+            // Reconnects are clean links: the fault plan modelled the first
+            // connection's network; a re-dial is the operator's fresh cable.
+            try {
+                return listener.connect();
+            } catch (const core::TransportClosed&) {
+                return nullptr;
+            }
+        };
+        std::unique_ptr<core::Transport> link;
+        try {
+            link = std::make_unique<core::FaultyTransport>(faults, channel, listener.connect());
+        } catch (const core::TransportClosed&) {
+            link = nullptr;  // coordinator already gone: offline mode
+        }
+        try {
+            out.workers[shard] = run_worker(plan, ShardSpec{shard, opts.workers},
+                                            worker_journal_path(scratch, shard), std::move(link),
+                                            wopts);
+            return false;
+        } catch (const core::SimulatedCrash&) {
+            return true;
+        }
+    };
+
+    std::vector<std::exception_ptr> worker_errors(opts.workers);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(opts.workers);
+        for (std::size_t w = 0; w < opts.workers; ++w) {
+            threads.emplace_back([&, w] {
+                try {
+                    const core::TransportFaultPlan faults = w < opts.worker_faults.size()
+                                                               ? opts.worker_faults[w]
+                                                               : core::TransportFaultPlan{};
+                    out.worker_crashed[w] =
+                        run_one(w, faults, "worker." + std::to_string(w), opts.resume);
+                } catch (...) {
+                    worker_errors[w] = std::current_exception();
+                }
+            });
+        }
+        for (std::thread& t : threads) t.join();
+    }
+
+    // The operator walks to the tent and reboots dead nodes: each crashed
+    // worker gets one clean-link rerun that resumes from its local journal.
+    if (opts.restart_crashed_workers) {
+        for (std::size_t w = 0; w < opts.workers; ++w) {
+            if (!out.worker_crashed[w] || worker_errors[w]) continue;
+            ++out.worker_restarts;
+            try {
+                (void)run_one(w, core::TransportFaultPlan{},
+                              "worker." + std::to_string(w) + ".restart", /*resume=*/true);
+            } catch (...) {
+                worker_errors[w] = std::current_exception();
+            }
+        }
+    }
+
+    service.request_stop();
+    coordinator.join();
+    if (coordinator_error) std::rethrow_exception(coordinator_error);
+    for (const std::exception_ptr& err : worker_errors) {
+        if (err) std::rethrow_exception(err);
+    }
+    if (out.coordinator.completed) out.result = service.result();
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process crash torture
+
+namespace {
+
+std::string slurp(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw core::IoError("cannot read '" + path.string() + "'");
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void scrub(const fs::path& dir) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+}
+
+}  // namespace
+
+DistributedTortureReport distributed_torture(const CensusPlan& plan, const fs::path& scratch,
+                                             const DistributedTortureOptions& opts,
+                                             std::ostream& log) {
+    using Phase = CoordinatorCrashPlan::Phase;
+    DistributedTortureReport report;
+    fs::create_directories(scratch);
+
+    // The uninterrupted local reference: rendered table + journal bytes.
+    const fs::path ref_dir = scratch / "reference";
+    scrub(ref_dir);
+    const ParallelCensus reference(plan, opts.jobs);
+    std::string ref_render;
+    std::string ref_journal_bytes;
+    {
+        SweepJournal journal(merged_journal_path(ref_dir), reference.journal_key(), false);
+        ref_render = render_census_table(reference.run(journal), plan.base_seed);
+        ref_journal_bytes = slurp(merged_journal_path(ref_dir));
+    }
+
+    DistributedOptions base;
+    base.workers = opts.workers;
+    base.worker_jobs = opts.jobs;
+    base.ack_timeout_ms = 2000;
+
+    const auto check = [&](const std::string& what, const fs::path& dir,
+                           const DistributedOutcome& outcome) {
+        if (!outcome.coordinator.completed) {
+            ++report.mismatches;
+            log << "MISMATCH " << what << ": campaign incomplete ("
+                << outcome.coordinator.cells_recorded << " cells recorded)\n";
+            return;
+        }
+        const std::string render = render_census_table(outcome.result, plan.base_seed);
+        const std::string journal_bytes = slurp(merged_journal_path(dir));
+        if (render != ref_render) {
+            ++report.mismatches;
+            log << "MISMATCH " << what << ": rendered census differs from reference\n";
+        }
+        if (journal_bytes != ref_journal_bytes) {
+            ++report.mismatches;
+            log << "MISMATCH " << what << ": merged journal bytes differ from reference\n";
+        }
+    };
+
+    // Counting run: a clean distributed campaign fixes the deterministic op
+    // schedule — every worker's send count and the coordinator's frame count
+    // become the kill points to enumerate.
+    const fs::path clean_dir = scratch / "clean";
+    scrub(clean_dir);
+    const DistributedOutcome clean = run_distributed(plan, clean_dir, base);
+    check("clean distributed run", clean_dir, clean);
+    std::vector<std::size_t> send_points;
+    for (const WorkerReport& worker : clean.workers) {
+        send_points.push_back(worker.link_sends);
+        report.worker_send_points += worker.link_sends;
+    }
+    report.coordinator_frames = clean.coordinator.frames;
+    log << "distributed torture: " << opts.workers << " workers, " << report.worker_send_points
+        << " worker send points, " << report.coordinator_frames << " coordinator frames\n";
+
+    // Kill each worker at every send op, both phases; the operator reboot
+    // (restart_crashed_workers) must converge on the reference bytes.
+    const fs::path kill_dir = scratch / "kill";
+    for (std::size_t w = 0; w < opts.workers; ++w) {
+        for (std::size_t op = 0; op < send_points[w]; ++op) {
+            for (const core::NetCrashPhase phase :
+                 {core::NetCrashPhase::kBeforeOp, core::NetCrashPhase::kAfterOp}) {
+                scrub(kill_dir);
+                DistributedOptions run = base;
+                run.restart_crashed_workers = true;
+                run.worker_faults.assign(opts.workers, core::TransportFaultPlan{});
+                run.worker_faults[w].crash_at_send = op;
+                run.worker_faults[w].crash_phase = phase;
+                const DistributedOutcome outcome = run_distributed(plan, kill_dir, run);
+                ++report.crash_points;
+                ++report.resumes;
+                const std::string what =
+                    "worker " + std::to_string(w) + " killed at send " + std::to_string(op) +
+                    (phase == core::NetCrashPhase::kBeforeOp ? " (before)" : " (after)");
+                if (opts.verbose) log << "  " << what << "\n";
+                if (!outcome.worker_crashed[w]) {
+                    ++report.mismatches;
+                    log << "MISMATCH " << what << ": planned kill never fired\n";
+                    continue;
+                }
+                check(what, kill_dir, outcome);
+            }
+        }
+    }
+
+    // Kill the coordinator at every frame, all three phases: die before
+    // anything durable, after the journal write but before the ack, and
+    // after the ack.  A second, clean run resumes the merged journal and the
+    // workers' local journals and must converge byte-identically.
+    for (std::size_t frame = 0; frame < report.coordinator_frames; ++frame) {
+        for (const Phase phase : {Phase::kOnFrame, Phase::kAfterRecord, Phase::kAfterReply}) {
+            scrub(kill_dir);
+            DistributedOptions run = base;
+            run.coordinator_crash.crash_at_frame = frame;
+            run.coordinator_crash.phase = phase;
+            const DistributedOutcome crashed = run_distributed(plan, kill_dir, run);
+            ++report.crash_points;
+            const std::string what = "coordinator killed at frame " + std::to_string(frame) +
+                                     " phase " + std::to_string(static_cast<int>(phase));
+            if (opts.verbose) log << "  " << what << "\n";
+            if (!crashed.coordinator_crashed) {
+                ++report.mismatches;
+                log << "MISMATCH " << what << ": planned kill never fired\n";
+                continue;
+            }
+            const DistributedOutcome resumed = run_distributed(plan, kill_dir, base);
+            ++report.resumes;
+            check(what + " + resume", kill_dir, resumed);
+        }
+    }
+
+    log << "distributed torture: " << report.crash_points << " kills, " << report.resumes
+        << " resumes, " << report.mismatches << " mismatches\n";
+    return report;
+}
+
+}  // namespace zerodeg::experiment

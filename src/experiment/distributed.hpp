@@ -1,0 +1,250 @@
+// Worker/coordinator execution of census sweeps over the transport seam.
+//
+// A campaign of `seeds` cells is sharded round-robin across `of` workers
+// (cell i belongs to shard i % of).  Each worker simulates its cells into a
+// *local* SweepJournal — durable before a single byte hits the wire — then
+// streams the finished records as checksummed CELL frames (shard_protocol)
+// to a coordinator, which journals them into the merged campaign journal and
+// acks.  Delivery is at-least-once with idempotent replay: a worker resends
+// unacked cells after drops, reconnects, or its own death (the local journal
+// has every payload); the coordinator dedupes by cell index.  The merged
+// journal is therefore byte-identical to an uninterrupted local run no
+// matter which process died when — the property distributed_torture pins by
+// killing the worker at every send point and the coordinator at every frame.
+//
+// Degradation: a worker that cannot reach (or re-reach) the coordinator does
+// not fail the campaign — it finishes its cells into the local journal and
+// reports them as buffered.  Re-running the worker once the coordinator is
+// back re-streams them without re-simulating anything.
+//
+// Everything here is deterministic given (plan, shard layout, fault seeds):
+// workers stream cells in index order and wait for each ack before sending
+// the next, so the sequence of transport operations — and hence the crash
+// points the torture harness enumerates — replays exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/transport.hpp"
+#include "experiment/parallel_census.hpp"
+#include "monitoring/retry_policy.hpp"
+
+namespace zerodeg::core {
+class FileSystem;
+}  // namespace zerodeg::core
+
+namespace zerodeg::experiment {
+
+/// Which slice of the campaign a worker owns: cells where
+/// index % of == shard.
+struct ShardSpec {
+    std::size_t shard = 0;
+    std::size_t of = 1;
+};
+
+/// The cell indices of `spec` within a campaign of `cells` cells, ascending.
+[[nodiscard]] std::vector<std::size_t> shard_cells(std::size_t cells, const ShardSpec& spec);
+
+/// The config of a single campaign cell, exactly as ParallelCensus would
+/// build it (same seed derivation, same per-cell validation context).
+[[nodiscard]] ExperimentConfig cell_config(const CensusPlan& plan, std::size_t index);
+
+/// One cell's unit of work: plan.run_cell if set, else run_season_census.
+[[nodiscard]] FaultCensus run_cell(const CensusPlan& plan, const ExperimentConfig& config);
+
+struct WorkerOptions {
+    std::size_t jobs = 1;  ///< fan-out for the local simulate phase
+    bool resume = true;    ///< reuse cells already in the local journal
+    /// Frame resend budget: a CELL frame gets max_attempts tries (sends
+    /// swallowed by the link or left unacked past the ack timeout count as
+    /// failed attempts).  The backoff fields are not waited out in wall time
+    /// — the ack timeout itself is the pacing — but max_attempts is honoured
+    /// exactly, so a zero-retry policy (max_attempts = 1) sends each frame
+    /// once and buffers on the first loss.
+    monitoring::CollectorRetryPolicy retry{.max_attempts = 4};
+    /// How long to wait for an ack before charging a resend attempt.
+    /// -1 would block forever; keep it finite so lost acks are survivable.
+    int ack_timeout_ms = 2000;
+    /// Called to (re)establish the coordinator link after TransportClosed.
+    /// May return nullptr ("coordinator is gone") to trigger degraded mode.
+    std::function<std::unique_ptr<core::Transport>()> reconnect;
+    int max_reconnects = 3;           ///< reconnect budget per worker run
+    core::FileSystem* fs = nullptr;   ///< local journal I/O seam
+    std::function<void(const std::string&)> log;  ///< optional progress lines
+};
+
+struct WorkerReport {
+    std::size_t shard = 0;
+    std::size_t of = 1;
+    std::size_t cells_owned = 0;
+    std::size_t cells_computed = 0;  ///< simulated fresh this run
+    std::size_t cells_reused = 0;    ///< found in the local journal
+    std::size_t link_sends = 0;      ///< every send() issued on the link
+    std::size_t resends = 0;         ///< CELL frames sent beyond the first try
+    std::size_t drops_absorbed = 0;  ///< sends swallowed by the faulty link
+    std::size_t acked = 0;           ///< ACK frames heard (dedup by index)
+    std::size_t buffered = 0;        ///< cells journaled locally but never acked
+    std::uint64_t buffered_bytes = 0;  ///< wire bytes of those unacked records
+    int reconnects = 0;
+    bool coordinator_reached = false;  ///< handshake completed at least once
+    bool degraded = false;  ///< finished without the coordinator holding every cell
+};
+
+/// Run one worker: simulate the shard's missing cells into the local journal
+/// at `journal_path` (opened with the *full-campaign* key, so the file is a
+/// valid resume point for a local run too), then stream them over `link`.
+/// `link` may be nullptr: offline mode, simulate + journal only.  Throws
+/// core::StaleJournal if the coordinator rejects the handshake, and lets
+/// core::SimulatedCrash propagate (the torture harness's kill switch).
+[[nodiscard]] WorkerReport run_worker(const CensusPlan& plan, const ShardSpec& spec,
+                                      const std::filesystem::path& journal_path,
+                                      std::unique_ptr<core::Transport> link,
+                                      const WorkerOptions& opts = {});
+
+/// Deterministic kill schedule for the coordinator, by global frame number.
+struct CoordinatorCrashPlan {
+    static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+    /// Crash while handling the Nth frame received (0-based, counted across
+    /// all links in arrival order).
+    std::size_t crash_at_frame = kNever;
+    /// Where in the handling of that frame to die:
+    enum class Phase {
+        kOnFrame,      ///< frame decoded, nothing durable yet
+        kAfterRecord,  ///< journal updated (or hello validated), no reply sent
+        kAfterReply,   ///< reply (ack/welcome) already on the wire
+    };
+    Phase phase = Phase::kOnFrame;
+};
+
+struct CoordinatorOptions {
+    bool resume = true;
+    CoordinatorCrashPlan crash;
+    /// Give up waiting for workers after this many consecutive idle polls
+    /// with *no live links* while the journal is still incomplete.  0 =
+    /// wait until request_stop().
+    int idle_give_up_polls = 0;
+    /// Bounded tries for each reply frame swallowed as TransientError by a
+    /// faulty link before the ack is abandoned (the worker will resend).
+    int reply_attempts = 4;
+    core::FileSystem* fs = nullptr;
+    std::function<void(const std::string&)> log;
+};
+
+struct CoordinatorReport {
+    std::size_t frames = 0;          ///< frames received (all types, all links)
+    std::size_t cells_recorded = 0;  ///< fresh cells journaled
+    std::size_t duplicates = 0;      ///< CELL frames deduped by index
+    std::size_t acks_sent = 0;
+    std::size_t rejected_hellos = 0;
+    std::size_t corrupt_frames = 0;  ///< frames that failed decode (rejected)
+    std::size_t links_accepted = 0;
+    std::size_t links_dropped = 0;  ///< links that died mid-conversation
+    bool completed = false;         ///< merged journal holds every cell
+};
+
+/// The collector service: accepts worker links from a Listener, journals
+/// streamed cells into the merged campaign journal, acks, dedupes replays.
+/// Single-threaded: serve() multiplexes links by polling, and returns when
+/// the journal is complete, request_stop() is called, or the idle budget
+/// runs out with no links.  A CoordinatorCrashPlan kill throws
+/// core::SimulatedCrash out of serve() with all links closed, so peers
+/// observe a real process death.
+class CoordinatorService {
+public:
+    CoordinatorService(CensusPlan plan, std::filesystem::path journal_path,
+                       CoordinatorOptions opts = {});
+
+    /// Blocks serving workers on `listener`.  Returns the report; throws
+    /// core::SimulatedCrash on a planned kill.
+    CoordinatorReport serve(core::Listener& listener);
+
+    /// Thread-safe: ask a blocked serve() to wind down at its next poll.
+    void request_stop();
+
+    [[nodiscard]] const SweepJournalKey& key() const;
+    [[nodiscard]] bool complete() const;
+    [[nodiscard]] std::size_t merged() const;  ///< cells already in the journal
+
+    /// The campaign result assembled from the merged journal.  Requires
+    /// complete() — throws core::Error otherwise.
+    [[nodiscard]] CensusResult result() const;
+
+    ~CoordinatorService();
+    CoordinatorService(const CoordinatorService&) = delete;
+    CoordinatorService& operator=(const CoordinatorService&) = delete;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// In-process distributed campaign: one coordinator thread + `workers`
+/// worker threads over loopback links, every link wrapped in a
+/// FaultyTransport.  This is the harness run_distributed-based tests and the
+/// torture campaign drive; the CLI wires the same pieces over unix sockets.
+struct DistributedOptions {
+    std::size_t workers = 2;
+    std::size_t worker_jobs = 1;
+    bool resume = true;
+    /// Per-worker link fault plans; missing entries get a clean plan.
+    std::vector<core::TransportFaultPlan> worker_faults;
+    CoordinatorCrashPlan coordinator_crash;
+    monitoring::CollectorRetryPolicy retry{.max_attempts = 4};
+    int ack_timeout_ms = 250;  ///< loopback acks are instant; keep kills fast
+    /// Restart a worker that died to a planned link crash, once, over a
+    /// clean link — the torture harness's "operator reboots the node".
+    bool restart_crashed_workers = false;
+    core::FileSystem* fs = nullptr;  ///< journal I/O seam for every process
+};
+
+struct DistributedOutcome {
+    CoordinatorReport coordinator;
+    std::vector<WorkerReport> workers;     ///< final report per shard
+    std::vector<bool> worker_crashed;      ///< planned link kill fired
+    std::size_t worker_restarts = 0;
+    bool coordinator_crashed = false;
+    CensusResult result;  ///< valid when coordinator.completed
+};
+
+/// Journal layout under a scratch directory.
+[[nodiscard]] std::filesystem::path merged_journal_path(const std::filesystem::path& scratch);
+[[nodiscard]] std::filesystem::path worker_journal_path(const std::filesystem::path& scratch,
+                                                        std::size_t shard);
+
+[[nodiscard]] DistributedOutcome run_distributed(const CensusPlan& plan,
+                                                 const std::filesystem::path& scratch,
+                                                 const DistributedOptions& opts = {});
+
+/// Cross-process crash torture: enumerate every worker send point and every
+/// coordinator frame from a clean counting run, then kill each process at
+/// each point (both crash phases for workers, all three for the
+/// coordinator), resume, and byte-compare the merged journal and rendered
+/// census table against the uninterrupted reference.
+struct DistributedTortureOptions {
+    std::size_t workers = 2;
+    std::size_t jobs = 1;
+    bool verbose = false;
+};
+
+struct DistributedTortureReport {
+    std::size_t worker_send_points = 0;  ///< send ops enumerated across workers
+    std::size_t coordinator_frames = 0;
+    std::size_t crash_points = 0;  ///< kills actually exercised
+    std::size_t resumes = 0;
+    std::size_t mismatches = 0;
+    [[nodiscard]] bool passed() const { return mismatches == 0 && crash_points > 0; }
+};
+
+[[nodiscard]] DistributedTortureReport distributed_torture(const CensusPlan& plan,
+                                                           const std::filesystem::path& scratch,
+                                                           const DistributedTortureOptions& opts,
+                                                           std::ostream& log);
+
+}  // namespace zerodeg::experiment

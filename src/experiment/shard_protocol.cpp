@@ -1,0 +1,167 @@
+#include "experiment/shard_protocol.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace zerodeg::experiment {
+
+namespace {
+
+constexpr std::string_view kMagic = "zdsp1";
+
+std::string hex16(std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::uint64_t parse_hex(const std::string& field) {
+    if (field.empty() || field[0] == '-' || field[0] == '+') {
+        throw core::CorruptData("frame: expected a hex word, got '" + field + "'");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(field.c_str(), &end, 16);
+    if (end != field.c_str() + field.size() || errno == ERANGE) {
+        throw core::CorruptData("frame: expected a hex word, got '" + field + "'");
+    }
+    return v;
+}
+
+std::uint64_t parse_u64(const std::string& field, const char* what) {
+    if (field.empty() || field[0] == '-' || field[0] == '+') {
+        throw core::CorruptData(std::string("frame: bad ") + what + " '" + field + "'");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(field.c_str(), &end, 10);
+    if (end != field.c_str() + field.size() || errno == ERANGE) {
+        throw core::CorruptData(std::string("frame: bad ") + what + " '" + field + "'");
+    }
+    return v;
+}
+
+/// payload -> "payload <fnv1a-hex16>", the same sealing journal records use.
+std::string seal(const std::string& payload) {
+    return payload + ' ' + hex16(core::fnv1a(payload));
+}
+
+}  // namespace
+
+const char* to_string(FrameType type) {
+    switch (type) {
+        case FrameType::kHello: return "hello";
+        case FrameType::kWelcome: return "welcome";
+        case FrameType::kReject: return "reject";
+        case FrameType::kCell: return "cell";
+        case FrameType::kAck: return "ack";
+    }
+    return "?";
+}
+
+std::string encode_hello(const ShardHello& hello) {
+    std::ostringstream out;
+    out << kMagic << " hello " << hello.key.base_seed << ' ' << hex16(hello.key.config_hash)
+        << ' ' << hello.key.cells << ' ' << hello.shard << ' ' << hello.of;
+    return seal(out.str());
+}
+
+std::string encode_welcome(std::size_t completed) {
+    return seal(std::string(kMagic) + " welcome " + std::to_string(completed));
+}
+
+std::string encode_reject(std::string_view reason) {
+    return seal(std::string(kMagic) + " reject " + std::string(reason));
+}
+
+std::string encode_cell(std::size_t index, const FaultCensus& census) {
+    return seal(std::string(kMagic) + " cell " + encode_cell_record(index, census));
+}
+
+std::string encode_ack(std::size_t index) {
+    return seal(std::string(kMagic) + " ack " + std::to_string(index));
+}
+
+Frame decode_frame(std::string_view bytes) {
+    const std::string row(bytes);
+    const std::size_t sep = row.rfind(' ');
+    if (sep == std::string::npos) {
+        throw core::CorruptData("malformed frame '" + row + "' (no checksum)");
+    }
+    const std::string payload = row.substr(0, sep);
+    if (core::fnv1a(payload) != parse_hex(row.substr(sep + 1))) {
+        throw core::CorruptData("frame checksum mismatch on '" + row + "'");
+    }
+
+    std::istringstream ss(payload);
+    std::string magic, type;
+    ss >> magic >> type;
+    if (magic != kMagic) {
+        throw core::CorruptData("unknown frame magic '" + magic +
+                                "' (speaking a different protocol version?)");
+    }
+
+    Frame frame;
+    const auto no_trailing = [&] {
+        std::string junk;
+        if (ss >> junk) {
+            throw core::CorruptData("trailing junk '" + junk + "' in " + type + " frame");
+        }
+    };
+    const auto next = [&](const char* what) {
+        std::string token;
+        if (!(ss >> token)) {
+            throw core::CorruptData(std::string("truncated ") + type + " frame (missing " +
+                                    what + ")");
+        }
+        return token;
+    };
+
+    if (type == "hello") {
+        frame.type = FrameType::kHello;
+        frame.hello.key.base_seed = parse_u64(next("base_seed"), "base_seed");
+        frame.hello.key.config_hash = parse_hex(next("config_hash"));
+        frame.hello.key.cells = static_cast<std::size_t>(parse_u64(next("cells"), "cells"));
+        frame.hello.shard = static_cast<std::size_t>(parse_u64(next("shard"), "shard"));
+        frame.hello.of = static_cast<std::size_t>(parse_u64(next("of"), "of"));
+        no_trailing();
+        if (frame.hello.of == 0 || frame.hello.shard >= frame.hello.of) {
+            throw core::CorruptData("hello frame names shard " +
+                                    std::to_string(frame.hello.shard) + " of " +
+                                    std::to_string(frame.hello.of));
+        }
+    } else if (type == "welcome") {
+        frame.type = FrameType::kWelcome;
+        frame.completed = static_cast<std::size_t>(parse_u64(next("completed"), "completed"));
+        no_trailing();
+    } else if (type == "reject") {
+        frame.type = FrameType::kReject;
+        // The reason is free text: everything after "zdsp1 reject ".
+        const std::string prefix = std::string(kMagic) + " reject ";
+        frame.reason = payload.size() > prefix.size() ? payload.substr(prefix.size()) : "";
+    } else if (type == "cell") {
+        frame.type = FrameType::kCell;
+        // The embedded record line is the journal's own checksummed format;
+        // decode_cell_record re-verifies it independently of the frame seal.
+        const std::string prefix = std::string(kMagic) + " cell ";
+        if (payload.size() <= prefix.size()) {
+            throw core::CorruptData("truncated cell frame (no record)");
+        }
+        frame.cell = decode_cell_record(payload.substr(prefix.size()));
+    } else if (type == "ack") {
+        frame.type = FrameType::kAck;
+        frame.ack_index = static_cast<std::size_t>(parse_u64(next("index"), "index"));
+        no_trailing();
+    } else {
+        throw core::CorruptData("unknown frame type '" + type + "'");
+    }
+    return frame;
+}
+
+}  // namespace zerodeg::experiment

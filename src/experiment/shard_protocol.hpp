@@ -1,0 +1,68 @@
+// The worker/coordinator wire protocol of distributed sweeps ("zdsp1").
+//
+// Frames are text, checksummed exactly like v2 journal records: the payload
+// followed by a fnv1a hex16 word, so damage anywhere (a bit flip, a torn
+// buffer, a hostile edit) fails loudly as CorruptData before any field is
+// trusted.  The transport layer underneath (core/transport.hpp) adds length
+// prefixes; this layer adds meaning and integrity.
+//
+//   HELLO    worker -> coordinator   "I shard <shard>/<of> of the campaign
+//                                    (base_seed, config_hash, cells)."
+//   WELCOME  coordinator -> worker   "Same campaign; I already hold
+//                                    <completed> cells — stream yours."
+//   REJECT   coordinator -> worker   "Different campaign (or damaged
+//                                    frame); go away: <reason>."
+//   CELL     worker -> coordinator   One finished cell, embedding the
+//                                    journal's own checksummed record line
+//                                    verbatim — the coordinator persists
+//                                    bit-for-bit what a local run would.
+//   ACK      coordinator -> worker   "Cell <index> is durably journaled."
+//
+// Delivery contract: at-least-once with idempotent replay.  A worker resends
+// any unacked CELL (after drops, reconnects or its own death — its local
+// journal has every payload); the coordinator dedupes by cell index, so
+// duplicates are harmless and the merged journal converges on the same bytes
+// as an uninterrupted local campaign.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "experiment/sweep_journal.hpp"
+
+namespace zerodeg::experiment {
+
+enum class FrameType { kHello, kWelcome, kReject, kCell, kAck };
+[[nodiscard]] const char* to_string(FrameType type);
+
+/// The HELLO handshake: which campaign, and which shard of it.
+struct ShardHello {
+    SweepJournalKey key;
+    std::size_t shard = 0;  ///< this worker's shard index, 0-based
+    std::size_t of = 1;     ///< total shard count
+};
+
+/// One decoded frame; `type` selects which fields are meaningful.
+struct Frame {
+    FrameType type = FrameType::kAck;
+    ShardHello hello;           ///< kHello
+    std::size_t completed = 0;  ///< kWelcome: cells the coordinator already holds
+    std::string reason;         ///< kReject
+    CellRecord cell;            ///< kCell
+    std::size_t ack_index = 0;  ///< kAck
+};
+
+[[nodiscard]] std::string encode_hello(const ShardHello& hello);
+[[nodiscard]] std::string encode_welcome(std::size_t completed);
+[[nodiscard]] std::string encode_reject(std::string_view reason);
+/// Embeds encode_cell_record(index, census) verbatim.
+[[nodiscard]] std::string encode_cell(std::size_t index, const FaultCensus& census);
+[[nodiscard]] std::string encode_ack(std::size_t index);
+
+/// Verify the frame checksum, then parse.  Throws core::CorruptData on any
+/// damage (checksum, magic, grammar, a bad embedded cell record).
+[[nodiscard]] Frame decode_frame(std::string_view bytes);
+
+}  // namespace zerodeg::experiment

@@ -107,6 +107,53 @@ std::string cell_payload(std::size_t index, const FaultCensus& census) {
 
 }  // namespace
 
+std::string encode_cell_record(std::size_t index, const FaultCensus& census) {
+    const std::string payload = cell_payload(index, census);
+    return payload + ' ' + hex16(core::fnv1a(payload));
+}
+
+CellRecord decode_cell_record(std::string_view line, std::size_t cells_limit) {
+    const std::string row(line);
+    // Checksum first, fields after: nothing inside the payload is trusted
+    // until the bytes have verified (same discipline as SweepJournal::load).
+    const std::size_t sep = row.rfind(' ');
+    if (sep == std::string::npos) {
+        throw core::CorruptData("malformed cell record '" + row + "' (no checksum)");
+    }
+    const std::string payload = row.substr(0, sep);
+    const std::uint64_t want = parse_hex(row.substr(sep + 1), 0);
+    if (core::fnv1a(payload) != want) {
+        throw core::CorruptData("cell record checksum mismatch on '" + row + "'");
+    }
+
+    std::istringstream ss(payload);
+    std::string tag, token;
+    ss >> tag;
+    if (tag != "cell") {
+        throw core::ParseError("expected a 'cell' record, got '" + tag + "'");
+    }
+    if (!(ss >> token)) throw core::ParseError("cell record missing its index");
+    const std::uint64_t index = core::parse_csv_u64(token, 0);
+    if (cells_limit > 0 && index >= cells_limit) {
+        throw core::CorruptData("cell index " + std::to_string(index) +
+                                " out of range (campaign has " + std::to_string(cells_limit) +
+                                " cells)");
+    }
+    std::array<std::uint64_t, kCensusFields> fields{};
+    for (std::size_t k = 0; k < kCensusFields; ++k) {
+        if (!(ss >> token)) {
+            throw core::ParseError("record for cell " + std::to_string(index) + " has " +
+                                   std::to_string(k) + " of " + std::to_string(kCensusFields) +
+                                   " census fields");
+        }
+        fields[k] = core::parse_csv_u64(token, 0);
+    }
+    if (ss >> token) {
+        throw core::ParseError("trailing junk in record for cell " + std::to_string(index));
+    }
+    return CellRecord{static_cast<std::size_t>(index), unpack(fields)};
+}
+
 SweepJournal::SweepJournal(std::filesystem::path path, SweepJournalKey key, bool resume,
                            core::FileSystem* fs)
     : path_(std::move(path)), key_(key), fs_(fs ? fs : &core::real_fs()) {
@@ -269,8 +316,7 @@ void SweepJournal::rewrite() const {
     out << "config_hash " << hex16(key_.config_hash) << '\n';
     out << "cells " << key_.cells << '\n';
     for (const auto& [index, census] : cells_) {
-        const std::string payload = cell_payload(index, census);
-        out << payload << ' ' << hex16(core::fnv1a(payload)) << '\n';
+        out << encode_cell_record(index, census) << '\n';
     }
     // Crash-safe tmp+rename through the io seam; injected transient faults
     // (short write, ENOSPC, refused rename) restart the sequence, bounded.

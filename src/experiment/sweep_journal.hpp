@@ -50,7 +50,28 @@ struct SweepJournalKey {
     std::uint64_t base_seed = 0;
     std::uint64_t config_hash = 0;  ///< combined fingerprint of every cell's config
     std::size_t cells = 0;
+
+    [[nodiscard]] bool operator==(const SweepJournalKey& other) const = default;
 };
+
+/// One parsed cell record — the unit both the journal file and the shard
+/// protocol's CELL frames traffic in.
+struct CellRecord {
+    std::size_t index = 0;
+    FaultCensus census;
+};
+
+/// "cell <index> <f1> ... <f21> <fnv1a-hex16>" — one complete, checksummed
+/// cell-record line.  Shared verbatim between the journal file and the shard
+/// protocol (experiment/shard_protocol.hpp), so a cell streamed from a worker
+/// is bit-for-bit the journal record the coordinator persists.
+[[nodiscard]] std::string encode_cell_record(std::size_t index, const FaultCensus& census);
+
+/// Parse and verify one cell-record line.  Throws core::CorruptData when the
+/// checksum is missing, unparseable or wrong, core::ParseError on grammar
+/// damage inside a checksum-verified payload, and core::CorruptData when
+/// `cells_limit` > 0 and the index is not below it.
+[[nodiscard]] CellRecord decode_cell_record(std::string_view line, std::size_t cells_limit = 0);
 
 class SweepJournal {
 public:

@@ -106,4 +106,40 @@ std::size_t Network::ports_used(std::size_t switch_index) const {
     return it == port_use_.end() ? 0 : it->second;
 }
 
+NetworkGatedTransport::NetworkGatedTransport(const Network& net, int local, int peer,
+                                             std::unique_ptr<core::Transport> inner)
+    : net_(&net), local_(local), peer_(peer), inner_(std::move(inner)) {
+    if (!inner_) throw core::InvalidArgument("NetworkGatedTransport: null inner transport");
+}
+
+void NetworkGatedTransport::require_path() const {
+    if (!net_->path_up(local_, peer_)) {
+        throw core::TransportClosed("link " + std::to_string(local_) + "<->" +
+                                    std::to_string(peer_) +
+                                    ": no operational switch path (dead switch?)");
+    }
+}
+
+void NetworkGatedTransport::send(std::string_view frame) {
+    require_path();
+    inner_->send(frame);
+}
+
+bool NetworkGatedTransport::try_recv(std::string& frame) {
+    // Already-delivered frames drain even across a dead switch.
+    if (inner_->try_recv(frame)) return true;
+    require_path();
+    return false;
+}
+
+bool NetworkGatedTransport::recv_wait(std::string& frame, int timeout_ms) {
+    if (inner_->try_recv(frame)) return true;
+    require_path();
+    return inner_->recv_wait(frame, timeout_ms);
+}
+
+void NetworkGatedTransport::close() { inner_->close(); }
+
+bool NetworkGatedTransport::closed() const { return inner_->closed(); }
+
 }  // namespace zerodeg::monitoring

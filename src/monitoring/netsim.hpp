@@ -14,6 +14,7 @@
 
 #include "core/error.hpp"
 #include "core/sim_time.hpp"
+#include "core/transport.hpp"
 #include "hardware/network_switch.hpp"
 
 namespace zerodeg::monitoring {
@@ -58,6 +59,42 @@ private:
 
     /// Path from a switch to the root as a list of switch indices.
     [[nodiscard]] std::vector<std::size_t> path_to_root(std::size_t sw) const;
+};
+
+/// Bridges the simulated topology into the core::transport seam: every
+/// operation on the wrapped Transport first consults
+/// Network::path_up(local, peer), and a dead switch on the path surfaces as
+/// core::TransportClosed — exactly how the distributed-sweep machinery sees a
+/// hung-up peer.  The collector therefore observes a dead loaner switch as a
+/// telemetry gap (degrade, buffer, retry next sweep), never as a host
+/// failure, which is the paper's observed failure mode.
+///
+/// Frames the peer delivered *before* the switch died stay readable (they
+/// already sit in the local receive buffer, like kernel socket buffers); only
+/// new traffic is cut.  Swapping the switch (Network::replace_switch) brings
+/// the same link back — the transport itself holds no failure state.
+class NetworkGatedTransport final : public core::Transport {
+public:
+    /// @param net   must outlive the transport
+    /// @param local this endpoint's node id on `net`
+    /// @param peer  the remote endpoint's node id
+    NetworkGatedTransport(const Network& net, int local, int peer,
+                          std::unique_ptr<core::Transport> inner);
+
+    void send(std::string_view frame) override;
+    bool try_recv(std::string& frame) override;
+    bool recv_wait(std::string& frame, int timeout_ms) override;
+    void close() override;
+    [[nodiscard]] bool closed() const override;
+
+private:
+    /// Throws core::TransportClosed when the tree path is down.
+    void require_path() const;
+
+    const Network* net_;
+    int local_;
+    int peer_;
+    std::unique_ptr<core::Transport> inner_;
 };
 
 }  // namespace zerodeg::monitoring

@@ -194,6 +194,102 @@ TEST(CollectorRetry, BoundedBufferDropsOldestAndAccountsIt) {
     EXPECT_TRUE(saw_capped);
 }
 
+TEST(CollectorRetry, BufferExactlyFullCollectsEverythingWithoutDrops) {
+    Rig rig;
+    CollectorRetryPolicy p;
+    p.buffer_capacity_bytes = 4096;
+    Collector coll(rig.sim, rig.net, 1000, Duration::minutes(20), p);
+    bool up = true;
+    Collector::HostBinding b;
+    b.host_id = 1;
+    b.reachable = [&up] { return up; };
+    // Exactly the buffer capacity pending, then exactly one byte over: the
+    // drop accounting must kick in at capacity + 1, not at capacity.
+    std::uint64_t pending = p.buffer_capacity_bytes;
+    b.pending_bytes = [&pending](TimePoint) { return pending; };
+    rig.net.attach({1, "host-01"}, rig.tent);
+    coll.add_host(std::move(b), rig.sim.now());
+
+    rig.sim.run_until(rig.sim.now() + Duration::minutes(1));  // sweep at t=0
+    EXPECT_EQ(coll.stats(1).bytes, p.buffer_capacity_bytes);
+    EXPECT_EQ(coll.stats(1).dropped_bytes, 0u);
+
+    pending = p.buffer_capacity_bytes + 1;
+    rig.sim.run_until(rig.sim.now() + Duration::minutes(20));  // sweep at t=20
+    const HostCollectionStats& st = coll.stats(1);
+    EXPECT_EQ(st.successes, 2u);
+    EXPECT_EQ(st.bytes, 2 * p.buffer_capacity_bytes);  // capped both times
+    EXPECT_EQ(st.dropped_bytes, 1u);                   // the single overflow byte
+}
+
+TEST(CollectorRetry, DroppedBytesAccumulateAcrossOutagesAndResume) {
+    Rig rig;
+    CollectorRetryPolicy p;
+    p.buffer_capacity_bytes = 4096;
+    Collector coll(rig.sim, rig.net, 1000, Duration::minutes(20), p);
+    const TimePoint install = rig.sim.now();
+    bool up = true;
+    Collector::HostBinding b;
+    b.host_id = 1;
+    b.reachable = [&up] { return up; };
+    // The host produces 1 byte/second since the last successful collection,
+    // so conservation is checkable: collected + dropped == elapsed seconds.
+    b.pending_bytes = [&rig](TimePoint since) {
+        return static_cast<std::uint64_t>((rig.sim.now() - since).count());
+    };
+    rig.net.attach({1, "host-01"}, rig.tent);
+    coll.add_host(std::move(b), rig.sim.now());
+
+    // Outage #1: ~3 h dark, buffer overflows, service resumes.
+    rig.sim.run_until(rig.sim.now() + Duration::minutes(1));
+    up = false;
+    rig.sim.run_until(rig.sim.now() + Duration::hours(3));
+    up = true;
+    rig.sim.run_until(rig.sim.now() + Duration::minutes(21));
+    const std::uint64_t dropped_after_first = coll.stats(1).dropped_bytes;
+    EXPECT_GT(dropped_after_first, 0u);
+
+    // Outage #2: the counter keeps accumulating — resume must not reset or
+    // double-count the first outage's losses.
+    up = false;
+    rig.sim.run_until(rig.sim.now() + Duration::hours(2));
+    up = true;
+    rig.sim.run_until(rig.sim.now() + Duration::minutes(21));
+
+    const HostCollectionStats& st = coll.stats(1);
+    EXPECT_GT(st.dropped_bytes, dropped_after_first);
+    // Conservation across both outages: every byte the host produced up to
+    // its last successful collection was either collected or accounted as
+    // dropped, never both and never neither.
+    const std::uint64_t produced =
+        static_cast<std::uint64_t>((st.last_success - install).count());
+    EXPECT_EQ(st.bytes + st.dropped_bytes, produced);
+    EXPECT_EQ(coll.total_dropped_bytes(), st.dropped_bytes);
+}
+
+TEST(CollectorRetry, ZeroRetryConfigurationNeverSchedulesBackoff) {
+    Rig rig;
+    // max_attempts = 1 is the paper's zero-retry mode: the backoff knobs are
+    // dormant, so even unusable values must not trip validation...
+    CollectorRetryPolicy p;
+    p.max_attempts = 1;
+    p.base_backoff = Duration::seconds(0);
+    p.backoff_factor = 0.0;
+    Collector coll(rig.sim, rig.net, 1000, Duration::minutes(20), p);
+    bool up = false;
+    rig.net.attach({1, "host-01"}, rig.tent);
+    coll.add_host(simple_host(1, &up), rig.sim.now());
+
+    // ...and a host that is down for three sweeps gets exactly one attempt
+    // per sweep — no backoff chain ever forms.
+    rig.sim.run_until(rig.sim.now() + Duration::minutes(59));
+    const HostCollectionStats& st = coll.stats(1);
+    EXPECT_EQ(st.attempts, 3u);
+    EXPECT_EQ(st.retries, 0u);
+    EXPECT_EQ(coll.total_retries(), 0u);
+    for (const CollectionAttempt& a : coll.log()) EXPECT_FALSE(a.retry);
+}
+
 TEST(CollectorRetry, UnknownHostDiagnosticNamesTheHost) {
     Rig rig;
     Collector coll(rig.sim, rig.net, 1000);

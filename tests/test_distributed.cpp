@@ -1,0 +1,245 @@
+// Worker/coordinator sweeps over the transport seam: sharding, offline
+// degradation, convergence to byte-identical output for any worker count and
+// any FaultyTransport seed, and the cross-process crash torture (kill the
+// worker at every send, the coordinator at every frame, resume, compare).
+#include "experiment/distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/transport.hpp"
+#include "experiment/sweep_journal.hpp"
+#include "experiment/torture.hpp"
+
+namespace zerodeg::experiment {
+namespace {
+
+namespace fs = std::filesystem;
+
+CensusPlan synthetic_plan(std::size_t seeds, std::uint64_t base_seed = 42) {
+    CensusPlan plan;
+    plan.base_seed = base_seed;
+    plan.seeds = seeds;
+    plan.run_cell = [](const ExperimentConfig& cfg) { return synthetic_census(cfg); };
+    return plan;
+}
+
+fs::path scratch_dir(const std::string& name) {
+    const fs::path dir = fs::path(::testing::TempDir()) / ("distributed_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::string slurp(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::string local_reference_render(const CensusPlan& plan) {
+    return render_census_table(run_census(plan, 1), plan.base_seed);
+}
+
+TEST(ShardCells, RoundRobinPartitionIsDisjointAndComplete) {
+    std::vector<bool> seen(10, false);
+    for (std::size_t w = 0; w < 3; ++w) {
+        for (std::size_t idx : shard_cells(10, ShardSpec{w, 3})) {
+            ASSERT_LT(idx, 10u);
+            EXPECT_FALSE(seen[idx]) << "cell " << idx << " owned twice";
+            seen[idx] = true;
+        }
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_TRUE(seen[i]) << "cell " << i << " unowned";
+    }
+    EXPECT_THROW((void)shard_cells(10, ShardSpec{3, 3}), core::InvalidArgument);
+    EXPECT_THROW((void)shard_cells(10, ShardSpec{0, 0}), core::InvalidArgument);
+}
+
+TEST(RunWorker, OfflineModeJournalsLocallyAndResumes) {
+    const CensusPlan plan = synthetic_plan(5);
+    const fs::path dir = scratch_dir("offline");
+
+    const WorkerReport first =
+        run_worker(plan, ShardSpec{0, 2}, worker_journal_path(dir, 0), nullptr);
+    EXPECT_EQ(first.cells_owned, 3u);  // cells 0, 2, 4
+    EXPECT_EQ(first.cells_computed, 3u);
+    EXPECT_EQ(first.buffered, 3u);
+    EXPECT_GT(first.buffered_bytes, 0u);
+    EXPECT_TRUE(first.degraded);
+    EXPECT_FALSE(first.coordinator_reached);
+
+    // A re-run finds every cell in the local journal: durable before wire.
+    const WorkerReport second =
+        run_worker(plan, ShardSpec{0, 2}, worker_journal_path(dir, 0), nullptr);
+    EXPECT_EQ(second.cells_reused, 3u);
+    EXPECT_EQ(second.cells_computed, 0u);
+}
+
+TEST(RunDistributed, MatchesTheLocalRunByteForByte) {
+    const CensusPlan plan = synthetic_plan(5);
+    const fs::path dir = scratch_dir("matches_local");
+
+    DistributedOptions opts;
+    opts.workers = 2;
+    const DistributedOutcome out = run_distributed(plan, dir, opts);
+
+    EXPECT_TRUE(out.coordinator.completed);
+    EXPECT_EQ(out.coordinator.cells_recorded, 5u);
+    EXPECT_EQ(out.coordinator.links_accepted, 2u);
+    EXPECT_FALSE(out.coordinator_crashed);
+    for (const WorkerReport& w : out.workers) {
+        EXPECT_TRUE(w.coordinator_reached);
+        EXPECT_FALSE(w.degraded);
+        EXPECT_EQ(w.buffered, 0u);
+    }
+    EXPECT_EQ(render_census_table(out.result, plan.base_seed), local_reference_render(plan));
+
+    // The merged journal is byte-identical to a local journaled campaign.
+    const fs::path ref = dir / "local-reference.journal";
+    const ParallelCensus census(plan, 1);
+    SweepJournal journal(ref, census.journal_key(), false);
+    (void)census.run(journal);
+    EXPECT_EQ(slurp(merged_journal_path(dir)), slurp(ref));
+}
+
+TEST(RunDistributed, WorkerCountIsInvisibleInTheOutput) {
+    const CensusPlan plan = synthetic_plan(7);
+    const std::string reference = local_reference_render(plan);
+    for (std::size_t workers : {1u, 2u, 3u}) {
+        const fs::path dir = scratch_dir("workers_" + std::to_string(workers));
+        DistributedOptions opts;
+        opts.workers = workers;
+        const DistributedOutcome out = run_distributed(plan, dir, opts);
+        ASSERT_TRUE(out.coordinator.completed) << workers << " workers";
+        EXPECT_EQ(render_census_table(out.result, plan.base_seed), reference)
+            << workers << " workers";
+    }
+}
+
+TEST(RunDistributed, LossyLinksConvergeViaResendAndDedupe) {
+    const CensusPlan plan = synthetic_plan(6);
+    const std::string reference = local_reference_render(plan);
+    // Several fault seeds, all lossy in every way at once: drops charge the
+    // resend budget, duplicates exercise coordinator dedupe, reorders and
+    // dropped acks force replays.  The output must never notice.
+    for (const std::uint64_t seed : {7u, 19u, 1001u}) {
+        const fs::path dir = scratch_dir("lossy_" + std::to_string(seed));
+        DistributedOptions opts;
+        opts.workers = 2;
+        opts.retry.max_attempts = 8;
+        opts.ack_timeout_ms = 100;  // dropped acks should charge resends fast
+        core::TransportFaultPlan faults;
+        faults.seed = seed;
+        faults.drop_rate = 0.15;
+        faults.dup_rate = 0.15;
+        faults.reorder_rate = 0.1;
+        faults.ack_drop_rate = 0.1;
+        opts.worker_faults.assign(opts.workers, faults);
+        const DistributedOutcome out = run_distributed(plan, dir, opts);
+        ASSERT_TRUE(out.coordinator.completed) << "seed " << seed;
+        EXPECT_EQ(render_census_table(out.result, plan.base_seed), reference)
+            << "seed " << seed;
+        const std::size_t churn = out.coordinator.duplicates + out.workers[0].drops_absorbed +
+                                  out.workers[0].resends + out.workers[1].drops_absorbed +
+                                  out.workers[1].resends;
+        EXPECT_GT(churn, 0u) << "seed " << seed << ": the fault plan injected nothing";
+    }
+}
+
+TEST(RunDistributed, DisconnectedWorkerReconnectsAndFinishes) {
+    const CensusPlan plan = synthetic_plan(6);
+    const fs::path dir = scratch_dir("reconnect");
+    DistributedOptions opts;
+    opts.workers = 2;
+    core::TransportFaultPlan faults;
+    faults.seed = 5;
+    faults.disconnect_rate = 0.35;  // the first link will not survive
+    opts.worker_faults = {faults};  // worker 1 keeps a clean link
+    const DistributedOutcome out = run_distributed(plan, dir, opts);
+    ASSERT_TRUE(out.coordinator.completed);
+    EXPECT_EQ(render_census_table(out.result, plan.base_seed), local_reference_render(plan));
+    EXPECT_GT(out.workers[0].reconnects, 0);
+    EXPECT_GT(out.coordinator.links_accepted, 2u);  // the re-dial shows up
+}
+
+TEST(RunDistributed, ZeroRetryPolicyBuffersOnFirstLoss) {
+    const CensusPlan plan = synthetic_plan(6);
+    const fs::path dir = scratch_dir("zero_retry");
+    DistributedOptions opts;
+    opts.workers = 1;
+    opts.retry.max_attempts = 1;  // the paper's collector: one attempt, no retry
+    core::TransportFaultPlan faults;
+    faults.seed = 3;
+    faults.drop_rate = 0.4;
+    opts.worker_faults = {faults};
+    const DistributedOutcome out = run_distributed(plan, dir, opts);
+    // Some cells were swallowed and never resent — but none were lost: every
+    // one is in the worker's local journal, reported as buffered.
+    EXPECT_FALSE(out.coordinator.completed);
+    EXPECT_GT(out.workers[0].buffered, 0u);
+    EXPECT_TRUE(out.workers[0].degraded);
+    EXPECT_EQ(out.workers[0].resends, 0u);
+
+    // A later clean re-run (the coordinator came back) drains the buffer.
+    DistributedOptions clean;
+    clean.workers = 1;
+    const DistributedOutcome drained = run_distributed(plan, dir, clean);
+    ASSERT_TRUE(drained.coordinator.completed);
+    EXPECT_EQ(drained.workers[0].cells_computed, 0u);  // nothing re-simulated
+    EXPECT_EQ(render_census_table(drained.result, plan.base_seed), local_reference_render(plan));
+}
+
+TEST(RunDistributed, ForeignCampaignHelloIsRejectedAsStale) {
+    const CensusPlan coordinator_plan = synthetic_plan(4, 42);
+    const CensusPlan worker_plan = synthetic_plan(4, 43);  // different campaign
+    const fs::path dir = scratch_dir("stale");
+
+    CoordinatorOptions copts;
+    CoordinatorService service(coordinator_plan, merged_journal_path(dir), copts);
+    core::LoopbackListener listener;
+    std::thread coordinator([&] {
+        try {
+            (void)service.serve(listener);
+        } catch (...) {
+        }
+        listener.close();
+    });
+
+    EXPECT_THROW((void)run_worker(worker_plan, ShardSpec{0, 1}, worker_journal_path(dir, 0),
+                                  listener.connect()),
+                 core::StaleJournal);
+    service.request_stop();
+    coordinator.join();
+}
+
+// The headline property: kill the worker at every send point and the
+// coordinator at every frame (every phase), resume, and the merged campaign
+// is byte-identical to the uninterrupted run.
+TEST(DistributedTorture, EveryCrashPointResumesByteIdentically) {
+    const CensusPlan plan = synthetic_plan(4);
+    const fs::path dir = scratch_dir("torture");
+    std::ostringstream log;
+    DistributedTortureOptions opts;
+    opts.workers = 2;
+    const DistributedTortureReport report = distributed_torture(plan, dir, opts, log);
+    EXPECT_TRUE(report.passed()) << log.str();
+    EXPECT_EQ(report.mismatches, 0u) << log.str();
+    // 2 workers x (1 hello + 2 cells) sends, and 2 hellos + 4 cells frames.
+    EXPECT_EQ(report.worker_send_points, 6u) << log.str();
+    EXPECT_EQ(report.coordinator_frames, 6u) << log.str();
+    EXPECT_EQ(report.crash_points, 2 * 6 + 3 * 6) << log.str();
+}
+
+}  // namespace
+}  // namespace zerodeg::experiment

@@ -90,6 +90,40 @@ TEST(LintChecks, GetenvOnlyInTools) {
     EXPECT_TRUE(lint_source("tools/zerodeg_cli.cpp", src).empty());
 }
 
+TEST(LintChecks, RawIpcOnlyInTheTransportSeam) {
+    const std::string calls =
+        "int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);\n"
+        "FILE* p = popen(\"ls\", \"r\");\n"
+        "int fds[2]; pipe(fds);\n";
+    // Three lines, three findings — anywhere but the seam's own files.
+    EXPECT_EQ(ids_of(lint_source("src/experiment/x.cpp", calls)),
+              (std::vector<std::string>{"ZD014", "ZD014", "ZD014"}));
+    EXPECT_TRUE(has_id(lint_source("tools/zerodeg_cli.cpp", calls), "ZD014"));
+    EXPECT_TRUE(has_id(lint_source("tests/test_x.cpp", calls), "ZD014"));
+    // The seam's implementation files are the sanctioned home.
+    EXPECT_TRUE(lint_source("src/core/transport_unix.cpp", calls).empty());
+    EXPECT_TRUE(lint_source("src/core/transport.cpp", calls).empty());
+}
+
+TEST(LintChecks, RawIpcMatchesCallSpellingsNotNames) {
+    // Variables, members and string literals that merely mention sockets are
+    // fine — only the primitives themselves are banned.
+    const std::string benign =
+        "std::string socket = flags.at(\"socket\");\n"
+        "auto link = core::connect_unix(socket_path);\n"
+        "out << \"AF_UNIX path too long\";\n"
+        "void socket_banner();\n";
+    EXPECT_TRUE(lint_source("src/experiment/x.cpp", benign).empty());
+    // The sockaddr types are banned by token, call or no call.
+    EXPECT_TRUE(has_id(lint_source("src/experiment/x.cpp", "struct sockaddr_un addr;\n"),
+                       "ZD014"));
+    // And a reasoned suppression still works, as for every other check.
+    EXPECT_TRUE(lint_source("src/experiment/x.cpp",
+                            "int fd = socket(2, 1, 0);  "
+                            "// zerodeg-lint: allow(ZD014): legacy probe\n")
+                    .empty());
+}
+
 TEST(LintChecks, UnorderedIterationFeedingWriterIsAnError) {
     const std::string src =
         "#include <unordered_map>\n"

@@ -119,6 +119,52 @@ TEST(Netsim, Validation) {
     EXPECT_THROW(net.replace_switch(99, good("z")), core::InvalidArgument);
 }
 
+// The transport bridge: a dying loaner switch must look like a hung-up peer
+// (core::TransportClosed), never like a host failure — the paper's observed
+// failure mode, telemetry gaps in the collection path.
+TEST(NetsimTransportBridge, DeadSwitchSurfacesAsTransportClosed) {
+    Network net;
+    const std::size_t root = net.add_switch(good("building", 24));
+    const std::size_t tent = net.add_switch(defective("tent", 5));
+    net.uplink(tent, root);
+    net.attach({100, "monitor"}, root);
+    net.attach({1, "host-01"}, tent);
+
+    auto [monitor_end, host_end] = core::make_loopback_pair();
+    NetworkGatedTransport monitor_link(net, 100, 1, std::move(monitor_end));
+    NetworkGatedTransport host_link(net, 1, 100, std::move(host_end));
+
+    // Healthy path: frames flow both ways.
+    monitor_link.send("poll");
+    std::string frame;
+    ASSERT_TRUE(host_link.try_recv(frame));
+    EXPECT_EQ(frame, "poll");
+    host_link.send("md5sums #1");
+
+    while (net.switch_at(tent).operational()) net.step(Duration::hours(1));
+
+    // A frame delivered before the switch died still drains (it already sat
+    // in the local buffer) — only new traffic is cut.
+    ASSERT_TRUE(monitor_link.try_recv(frame));
+    EXPECT_EQ(frame, "md5sums #1");
+    EXPECT_THROW(monitor_link.send("poll"), core::TransportClosed);
+    EXPECT_THROW(host_link.send("md5sums #2"), core::TransportClosed);
+    EXPECT_THROW((void)monitor_link.try_recv(frame), core::TransportClosed);
+    EXPECT_THROW((void)host_link.recv_wait(frame, 0), core::TransportClosed);
+
+    // Swapping the switch restores the very same link: no transport-side
+    // failure state survives the repair.
+    net.replace_switch(tent, good("tent-new"));
+    monitor_link.send("poll");
+    ASSERT_TRUE(host_link.recv_wait(frame, 1000));
+    EXPECT_EQ(frame, "poll");
+}
+
+TEST(NetsimTransportBridge, RejectsNullInnerTransport) {
+    Network net;
+    EXPECT_THROW(NetworkGatedTransport(net, 1, 2, nullptr), core::InvalidArgument);
+}
+
 TEST(Netsim, DisjointTreesUnreachable) {
     Network net;
     const std::size_t a = net.add_switch(good("a"));

@@ -1,0 +1,352 @@
+// The core::transport seam: loopback pairs, Unix-socket endpoints and the
+// deterministic FaultyTransport (the network twin of FaultyFs) — same seed,
+// same fault trace, regardless of timing; drops surface at the sender,
+// disconnects as TransportClosed, crashes as SimulatedCrash and stay fatal.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/io.hpp"
+#include "core/transport.hpp"
+
+namespace zerodeg::core {
+namespace {
+
+TEST(Loopback, FramesArriveInOrderBothWays) {
+    auto [a, b] = make_loopback_pair();
+    a->send("one");
+    a->send("two");
+    b->send("reply");
+    std::string frame;
+    ASSERT_TRUE(b->try_recv(frame));
+    EXPECT_EQ(frame, "one");
+    ASSERT_TRUE(b->try_recv(frame));
+    EXPECT_EQ(frame, "two");
+    EXPECT_FALSE(b->try_recv(frame));
+    ASSERT_TRUE(a->recv_wait(frame, 1000));
+    EXPECT_EQ(frame, "reply");
+}
+
+TEST(Loopback, PeerCloseDrainsThenThrows) {
+    auto [a, b] = make_loopback_pair();
+    a->send("last words");
+    a->close();
+    std::string frame;
+    ASSERT_TRUE(b->try_recv(frame));  // in-flight frames are never discarded
+    EXPECT_EQ(frame, "last words");
+    EXPECT_THROW(static_cast<void>(b->try_recv(frame)), TransportClosed);
+    EXPECT_THROW(b->send("into the void"), TransportClosed);
+    try {
+        b->send("x");
+        FAIL() << "expected TransportClosed";
+    } catch (const TransportClosed& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kDisconnected);
+    }
+}
+
+TEST(Loopback, RecvWaitTimesOutWithoutTraffic) {
+    auto [a, b] = make_loopback_pair();
+    std::string frame;
+    EXPECT_FALSE(b->recv_wait(frame, 10));
+    (void)a;
+}
+
+TEST(Loopback, RecvWaitWakesOnCrossThreadSend) {
+    auto [a, b] = make_loopback_pair();
+    std::thread sender([&a] { a->send("wake up"); });
+    std::string frame;
+    EXPECT_TRUE(b->recv_wait(frame, 10000));
+    EXPECT_EQ(frame, "wake up");
+    sender.join();
+}
+
+TEST(LoopbackListener, ConnectThenAcceptYieldsAConnectedPair) {
+    LoopbackListener listener;
+    auto client = listener.connect();
+    auto server = listener.accept(1000);
+    ASSERT_NE(server, nullptr);
+    client->send("hello");
+    std::string frame;
+    ASSERT_TRUE(server->recv_wait(frame, 1000));
+    EXPECT_EQ(frame, "hello");
+    EXPECT_EQ(listener.accept(0), nullptr);  // nothing else pending
+}
+
+TEST(LoopbackListener, CloseOrphansPendingClientsWithTransportClosed) {
+    LoopbackListener listener;
+    auto client = listener.connect();  // never accepted
+    listener.close();
+    std::string frame;
+    EXPECT_THROW(static_cast<void>(client->recv_wait(frame, 1000)), TransportClosed);
+    EXPECT_THROW(static_cast<void>(listener.connect()), TransportClosed);
+}
+
+// --- Unix sockets -----------------------------------------------------------
+
+std::filesystem::path short_socket_path(const char* tag) {
+    // sun_path is ~108 bytes; TempDir can blow that, /tmp does not.
+    return std::filesystem::path("/tmp") /
+           ("zdt_" + std::string(tag) + "_" + std::to_string(::getpid()) + ".sock");
+}
+
+TEST(UnixTransport, RoundTripOverARealSocket) {
+    const auto path = short_socket_path("rt");
+    auto listener = listen_unix(path);
+    auto client = connect_unix(path);
+    auto server = listener->accept(2000);
+    ASSERT_NE(server, nullptr);
+
+    client->send("ping");
+    client->send(std::string(100000, 'x'));  // bigger than one recv() gulp
+    std::string frame;
+    ASSERT_TRUE(server->recv_wait(frame, 2000));
+    EXPECT_EQ(frame, "ping");
+    ASSERT_TRUE(server->recv_wait(frame, 2000));
+    EXPECT_EQ(frame.size(), 100000u);
+    server->send("pong");
+    ASSERT_TRUE(client->recv_wait(frame, 2000));
+    EXPECT_EQ(frame, "pong");
+
+    client->close();
+    EXPECT_THROW(static_cast<void>(server->recv_wait(frame, 2000)), TransportClosed);
+}
+
+TEST(UnixTransport, ConnectWithoutListenerSaysDisconnected) {
+    const auto path = short_socket_path("nolisten");
+    std::filesystem::remove(path);
+    EXPECT_THROW(static_cast<void>(connect_unix(path)), TransportClosed);
+}
+
+TEST(UnixTransport, OverlongSocketPathIsRejectedUpFront) {
+    const std::filesystem::path path = "/tmp/" + std::string(200, 'p');
+    EXPECT_THROW(static_cast<void>(listen_unix(path)), InvalidArgument);
+    EXPECT_THROW(static_cast<void>(connect_unix(path)), InvalidArgument);
+}
+
+TEST(UnixTransport, EmptyFramesSurviveFraming) {
+    const auto path = short_socket_path("empty");
+    auto listener = listen_unix(path);
+    auto client = connect_unix(path);
+    auto server = listener->accept(2000);
+    ASSERT_NE(server, nullptr);
+    client->send("");
+    client->send("after-empty");
+    std::string frame = "sentinel";
+    ASSERT_TRUE(server->recv_wait(frame, 2000));
+    EXPECT_EQ(frame, "");
+    ASSERT_TRUE(server->recv_wait(frame, 2000));
+    EXPECT_EQ(frame, "after-empty");
+}
+
+// --- FaultyTransport --------------------------------------------------------
+
+TransportFaultPlan rates(std::uint64_t seed, double drop, double dup, double reorder,
+                         double disconnect = 0.0) {
+    TransportFaultPlan plan;
+    plan.seed = seed;
+    plan.drop_rate = drop;
+    plan.dup_rate = dup;
+    plan.reorder_rate = reorder;
+    plan.disconnect_rate = disconnect;
+    return plan;
+}
+
+/// Push `n` frames through a faulty link (absorbing injected drops the way a
+/// resending sender would) and return the receive order.
+std::vector<std::string> pump(FaultyTransport& tx, Transport& rx, int n) {
+    for (int i = 0; i < n; ++i) {
+        const std::string frame = "m" + std::to_string(i);
+        for (int attempt = 0; attempt < 64; ++attempt) {
+            try {
+                tx.send(frame);
+                break;
+            } catch (const TransientError&) {
+                // dropped: resend, like the worker's retry budget
+            }
+        }
+    }
+    tx.close();  // flushes any reorder-held tail frame
+    std::vector<std::string> got;
+    std::string frame;
+    try {
+        while (rx.recv_wait(frame, 100)) got.push_back(frame);
+    } catch (const TransportClosed&) {
+        // drained
+    }
+    return got;
+}
+
+TEST(FaultyTransport, CleanPlanIsInvisible) {
+    auto [a, b] = make_loopback_pair();
+    FaultyTransport faulty(TransportFaultPlan{}, "clean", std::move(a));
+    const std::vector<std::string> got = pump(faulty, *b, 5);
+    ASSERT_EQ(got.size(), 5u);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], "m" + std::to_string(i));
+    EXPECT_EQ(faulty.send_ops(), 5u);
+    EXPECT_TRUE(faulty.fault_trace().empty());
+}
+
+TEST(FaultyTransport, SameSeedSameFaultTrace) {
+    const auto trace_of = [](std::uint64_t seed) {
+        auto [a, b] = make_loopback_pair();
+        FaultyTransport faulty(rates(seed, 0.2, 0.15, 0.15), "worker.0", std::move(a));
+        (void)pump(faulty, *b, 40);
+        std::string out;
+        for (const InjectedNetFault& f : faulty.fault_trace()) out += f.to_string() + "\n";
+        return out;
+    };
+    const std::string a = trace_of(7);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, trace_of(7));  // bit-for-bit repeatable
+    EXPECT_NE(a, trace_of(8));  // and actually seed-dependent
+}
+
+TEST(FaultyTransport, ChannelNameDecorrelatesLinksSharingOnePlan) {
+    const auto trace_of = [](const char* channel) {
+        auto [a, b] = make_loopback_pair();
+        FaultyTransport faulty(rates(7, 0.2, 0.1, 0.1), channel, std::move(a));
+        (void)pump(faulty, *b, 40);
+        std::string out;
+        for (const InjectedNetFault& f : faulty.fault_trace()) out += f.to_string() + "\n";
+        return out;
+    };
+    EXPECT_NE(trace_of("worker.0"), trace_of("worker.1"));
+}
+
+TEST(FaultyTransport, DroppedFramesResurfaceViaResend) {
+    auto [a, b] = make_loopback_pair();
+    FaultyTransport faulty(rates(21, 0.35, 0.0, 0.0), "droppy", std::move(a));
+    const std::vector<std::string> got = pump(faulty, *b, 30);
+    // Resends absorb every drop: all 30 frames arrive, in order, exactly once.
+    ASSERT_EQ(got.size(), 30u);
+    for (int i = 0; i < 30; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], "m" + std::to_string(i));
+    bool saw_drop = false;
+    for (const InjectedNetFault& f : faulty.fault_trace()) {
+        saw_drop = saw_drop || f.kind == NetFaultKind::kDrop;
+    }
+    EXPECT_TRUE(saw_drop) << "a 35% drop rate over 30 sends injected nothing";
+}
+
+TEST(FaultyTransport, DuplicatesAndReordersAreDeliveredNotLost) {
+    auto [a, b] = make_loopback_pair();
+    FaultyTransport faulty(rates(5, 0.0, 0.3, 0.3), "dupey", std::move(a));
+    const std::vector<std::string> got = pump(faulty, *b, 30);
+    EXPECT_GE(got.size(), 30u);  // duplicates only add
+    std::vector<int> seen(30, 0);
+    for (const std::string& f : got) seen[static_cast<std::size_t>(std::stoi(f.substr(1)))]++;
+    for (int i = 0; i < 30; ++i) EXPECT_GE(seen[static_cast<std::size_t>(i)], 1) << "m" << i << " lost";
+    bool out_of_order = false;
+    for (std::size_t i = 1; i < got.size(); ++i) {
+        if (got[i] < got[i - 1]) out_of_order = true;
+    }
+    EXPECT_TRUE(out_of_order) << "a 30% reorder rate left every frame in order";
+}
+
+TEST(FaultyTransport, DisconnectClosesBothViews) {
+    auto [a, b] = make_loopback_pair();
+    FaultyTransport faulty(rates(3, 0.0, 0.0, 0.0, 0.4), "cutme", std::move(a));
+    bool disconnected = false;
+    for (int i = 0; i < 50 && !disconnected; ++i) {
+        try {
+            faulty.send("m" + std::to_string(i));
+        } catch (const TransportClosed&) {
+            disconnected = true;
+        }
+    }
+    ASSERT_TRUE(disconnected);
+    EXPECT_TRUE(faulty.closed());
+    // Both ends now observe the cut (after draining).
+    std::string frame;
+    try {
+        while (b->try_recv(frame)) {
+        }
+        FAIL() << "expected TransportClosed";
+    } catch (const TransportClosed&) {
+    }
+}
+
+TEST(FaultyTransport, CrashAtSendIsFatalAndSticky) {
+    auto [a, b] = make_loopback_pair();
+    TransportFaultPlan plan;
+    plan.crash_at_send = 2;
+    plan.crash_phase = NetCrashPhase::kBeforeOp;
+    FaultyTransport faulty(plan, "victim", std::move(a));
+    faulty.send("m0");
+    faulty.send("m1");
+    EXPECT_THROW(faulty.send("m2"), SimulatedCrash);
+    EXPECT_TRUE(faulty.crashed());
+    EXPECT_THROW(faulty.send("m3"), SimulatedCrash);  // dead is dead
+    std::string frame;
+    EXPECT_THROW(static_cast<void>(faulty.try_recv(frame)), SimulatedCrash);
+    // kBeforeOp: the crashing frame never left.
+    std::vector<std::string> got;
+    try {
+        while (b->try_recv(frame)) got.push_back(frame);
+    } catch (const TransportClosed&) {
+    }
+    EXPECT_EQ(got, (std::vector<std::string>{"m0", "m1"}));
+}
+
+TEST(FaultyTransport, CrashAfterOpShipsTheFrameFirst) {
+    auto [a, b] = make_loopback_pair();
+    TransportFaultPlan plan;
+    plan.crash_at_send = 1;
+    plan.crash_phase = NetCrashPhase::kAfterOp;
+    FaultyTransport faulty(plan, "victim", std::move(a));
+    faulty.send("m0");
+    EXPECT_THROW(faulty.send("m1"), SimulatedCrash);
+    std::string frame;
+    std::vector<std::string> got;
+    try {
+        while (b->try_recv(frame)) got.push_back(frame);
+    } catch (const TransportClosed&) {
+    }
+    EXPECT_EQ(got, (std::vector<std::string>{"m0", "m1"}));
+}
+
+TEST(FaultyTransport, AckDropEatsDeliveredFrames) {
+    auto [a, b] = make_loopback_pair();
+    TransportFaultPlan plan;
+    plan.seed = 11;
+    plan.ack_drop_rate = 0.5;
+    FaultyTransport faulty(plan, "deaf", std::move(b));
+    for (int i = 0; i < 20; ++i) a->send("ack" + std::to_string(i));
+    std::string frame;
+    std::size_t heard = 0;
+    // A dropped delivery surfaces as a timeout (false), so a real caller
+    // keeps polling on its resend budget; 40 bounded rounds drain all 20.
+    for (int round = 0; round < 40; ++round) {
+        if (faulty.recv_wait(frame, 10)) ++heard;
+    }
+    EXPECT_LT(heard, 20u);  // some acks evaporated
+    EXPECT_GT(heard, 0u);
+    EXPECT_EQ(faulty.recv_ops(), 20u);  // but every delivery was an op
+}
+
+TEST(FaultyTransport, ReorderedTailFrameIsFlushedBeforeAWaitingRecv) {
+    // The deadlock guard: the LAST frame gets held for reordering, then the
+    // sender waits for a reply that can only come once the frame arrives.
+    auto [a, b] = make_loopback_pair();
+    TransportFaultPlan plan;
+    plan.reorder_rate = 1.0;  // hold every frame
+    FaultyTransport faulty(plan, "straggler", std::move(a));
+    faulty.send("request");  // held, not yet delivered
+    std::string frame;
+    std::thread echo([&b] {
+        std::string f;
+        if (b->recv_wait(f, 5000)) b->send("reply:" + f);
+    });
+    // recv_wait must flush the held frame before blocking, or both sides wait.
+    ASSERT_TRUE(faulty.recv_wait(frame, 5000));
+    EXPECT_EQ(frame, "reply:request");
+    echo.join();
+}
+
+}  // namespace
+}  // namespace zerodeg::core

@@ -15,7 +15,7 @@ namespace {
 // Check table
 // ---------------------------------------------------------------------------
 
-constexpr std::array<CheckInfo, 15> kChecks{{
+constexpr std::array<CheckInfo, 16> kChecks{{
     {"ZD001", Severity::kError,
      "banned C RNG (rand/srand): unseeded, platform-varying, not stream-isolated"},
     {"ZD002", Severity::kError,
@@ -41,6 +41,9 @@ constexpr std::array<CheckInfo, 15> kChecks{{
     {"ZD013", Severity::kError,
      "core::bench_clock used outside bench/ or tools/: the wall-clock timing seam is "
      "benchmark-only"},
+    {"ZD014", Severity::kError,
+     "raw socket/pipe/process primitive outside src/core/transport*: cross-process I/O "
+     "must ride the core::Transport seam so FaultyTransport and the torture cover it"},
     {"ZD098", Severity::kError, "zerodeg-lint suppression without a reason string"},
     {"ZD099", Severity::kError, "zerodeg-lint suppression naming an unknown check id"},
 }};
@@ -408,6 +411,8 @@ struct PathTraits {
                                      // durable write must use the core::io seam
     bool in_bench = false;           // bench/: the one consumer of bench_clock
     bool is_bench_clock_impl = false;  // src/core/bench_clock.*: the seam itself
+    bool is_transport_impl = false;    // src/core/transport*: the one place raw
+                                       // sockets/pipes are legal (ZD014)
 };
 
 [[nodiscard]] PathTraits classify(std::string_view path) {
@@ -420,6 +425,7 @@ struct PathTraits {
         t.in_monitoring || path.find("src/experiment/") != std::string_view::npos;
     t.in_bench = path.rfind("bench/", 0) == 0 || path.find("/bench/") != std::string_view::npos;
     t.is_bench_clock_impl = path.find("src/core/bench_clock.") != std::string_view::npos;
+    t.is_transport_impl = path.find("src/core/transport") != std::string_view::npos;
     return t;
 }
 
@@ -550,6 +556,57 @@ void check_banned_tokens(std::vector<Diagnostic>& out, std::string_view path,
             emit(out, path, i + 1, "ZD006", "OpenMP reduction is banned here",
                  "reduction order must be fixed: use the ordered reduce in core/parallel.hpp",
                  lines);
+        }
+    }
+}
+
+/// ZD014: raw cross-process primitives — BSD sockets, pipes, popen, fork/exec
+/// — are legal only inside src/core/transport* (the seam's own
+/// implementation).  Everywhere else they escape FaultyTransport's fault
+/// schedules and the cross-process torture, exactly as a raw ofstream
+/// escapes the core::io seam (ZD012).  Call-spelling matching (`socket(`,
+/// `pipe(`, ...) keeps variables like `socket_path` and flags like
+/// `--socket` (a string literal, blanked by the lexer) out of scope.
+void check_raw_ipc(std::vector<Diagnostic>& out, std::string_view path,
+                   const std::vector<Line>& lines, const PathTraits& traits) {
+    if (traits.is_transport_impl) return;
+    // Functions: the token must be followed directly by '('.
+    static constexpr std::array<std::string_view, 15> kCalls{
+        "socket",  "socketpair", "pipe",  "pipe2", "mkfifo", "popen",  "pclose", "fork",
+        "vfork",   "execv",      "execve", "execvp", "execl",  "execlp", "execle",
+    };
+    // Types/constants: any token-boundary use counts.
+    static constexpr std::array<std::string_view, 5> kNames{
+        "AF_UNIX", "AF_INET", "SOCK_STREAM", "sockaddr_un", "sockaddr_in",
+    };
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& code = lines[i].code;
+        bool hit = false;
+        for (const std::string_view fn : kCalls) {
+            for (std::size_t pos = find_token(code, fn); pos != std::string_view::npos;
+                 pos = find_token(code, fn, pos + 1)) {
+                if (pos + fn.size() < code.size() && code[pos + fn.size()] == '(') {
+                    emit(out, path, i + 1, "ZD014",
+                         "raw " + std::string(fn) + "() outside the transport seam",
+                         "open links via core::transport (connect_unix / listen_unix / "
+                         "make_loopback_pair) so fault injection and the cross-process "
+                         "torture cover this I/O",
+                         lines);
+                    hit = true;
+                    break;
+                }
+            }
+            if (hit) break;
+        }
+        if (hit) continue;
+        for (const std::string_view name : kNames) {
+            if (!has_token(code, name)) continue;
+            emit(out, path, i + 1, "ZD014",
+                 "raw socket identifier '" + std::string(name) + "' outside the transport seam",
+                 "socket-level details belong to src/core/transport_unix.cpp; talk to peers "
+                 "through the core::Transport interface",
+                 lines);
+            break;
         }
     }
 }
@@ -726,6 +783,7 @@ std::vector<Diagnostic> lint_source(std::string_view path, std::string_view cont
 
     std::vector<Diagnostic> all;
     check_banned_tokens(all, path, lines, traits);
+    check_raw_ipc(all, path, lines, traits);
     check_durable_writer_seam(all, path, lines, traits);
     check_unordered_iteration(all, path, lines);
     check_header_hygiene(all, path, lines, traits);

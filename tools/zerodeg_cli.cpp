@@ -17,7 +17,7 @@
 //       --clone duplicates each request across the tent/basement split.
 //
 //   zerodeg census    [--seeds N] [--jobs N] [--checkpoint FILE] [--resume]
-//                     [--inject-faults SEED] [--torture]
+//                     [--inject-faults SEED] [--torture] [--synthetic]
 //                     [--workload archive|traffic] [--end YYYY-MM-DD]
 //       Monte Carlo fault census over N seeds, sharded across N worker
 //       threads (--jobs 0 = one per hardware thread).  Output is
@@ -27,6 +27,25 @@
 //       filesystem; --torture crashes the campaign at every journal write
 //       point and proves each resume byte-identical (needs --checkpoint).
 //
+//   zerodeg sweep     --coordinator --socket PATH --checkpoint FILE
+//                     [--seeds N] [--resume] [--idle-timeout-ms N] [...]
+//   zerodeg sweep     --worker I/K --socket PATH --checkpoint FILE
+//                     [--seeds N] [--jobs N] [--net-faults SEED] [...]
+//       Distributed census: the coordinator listens on a unix socket and
+//       journals cells streamed by worker processes into the merged
+//       --checkpoint; each worker owns the campaign cells with
+//       index % K == I, simulates them into its own local --checkpoint
+//       (durable before any networking), then streams checksummed CELL
+//       frames and resends until acked.  Delivery is at-least-once with
+//       dedupe by cell index, so the merged journal — and the census the
+//       coordinator prints — is byte-identical to a local `zerodeg census`
+//       run no matter which process died when.  A worker that cannot reach
+//       the coordinator degrades gracefully: cells stay buffered in its
+//       local journal and a re-run streams them without re-simulating.
+//       --net-faults injects a deterministic seed-scheduled fault plan
+//       (drops, duplicates, reorders, dropped acks) into the worker's link.
+//       --synthetic swaps real seasons for fast deterministic cells.
+//
 //   zerodeg prototype [--seed N]
 //       The Feb 12-15 prototype weekend.
 //
@@ -35,6 +54,7 @@
 //
 // Exit codes: 0 success, 1 runtime failure (I/O, corrupt input, ...),
 // 2 usage error (unknown subcommand/flag, malformed value).
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -44,11 +64,14 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "core/csv.hpp"
 #include "core/error.hpp"
 #include "core/io.hpp"
+#include "core/transport.hpp"
 #include "experiment/census.hpp"
+#include "experiment/distributed.hpp"
 #include "experiment/figures.hpp"
 #include "experiment/parallel_census.hpp"
 #include "experiment/prototype.hpp"
@@ -65,7 +88,8 @@ using namespace zerodeg;
 using FlagMap = std::map<std::string, std::string>;
 
 /// Flags that take no value.
-const std::set<std::string> kBooleanFlags = {"full-year", "resume", "torture", "clone"};
+const std::set<std::string> kBooleanFlags = {"full-year", "resume",      "torture",
+                                             "clone",     "coordinator", "synthetic"};
 
 /// Flags each subcommand accepts; anything else is a usage error.
 const std::map<std::string, std::set<std::string>> kAllowedFlags = {
@@ -75,7 +99,10 @@ const std::map<std::string, std::set<std::string>> kAllowedFlags = {
       "collector-buffer", "inject-faults", "workload", "clone"}},
     {"census",
      {"seeds", "jobs", "checkpoint", "resume", "inject-faults", "torture", "engine", "workload",
-      "end"}},
+      "end", "synthetic"}},
+    {"sweep",
+     {"coordinator", "worker", "socket", "checkpoint", "seeds", "jobs", "engine", "workload",
+      "end", "resume", "net-faults", "synthetic", "idle-timeout-ms"}},
     {"prototype", {"seed"}},
 };
 
@@ -320,7 +347,12 @@ int cmd_season(const FlagMap& flags) {
     return 0;
 }
 
-int cmd_census(const FlagMap& flags) {
+/// The campaign axes `census` and `sweep` share: --seeds, --engine,
+/// --workload, --end (plus sweep's --synthetic fast cells).  Both commands
+/// building the plan the same way is what gives the coordinator's merged
+/// journal the same campaign key a local census would use, so checkpoints
+/// move freely between local and distributed runs.
+experiment::CensusPlan census_plan_from_flags(const FlagMap& flags) {
     const std::uint64_t seeds = flag_u64(flags, "seeds", 10);
     if (seeds == 0) throw core::InvalidArgument("--seeds must be positive");
     experiment::CensusPlan plan;
@@ -353,6 +385,15 @@ int cmd_census(const FlagMap& flags) {
             return config;
         };
     }
+    // Fast deterministic cells for smoke runs; the journal's config hash
+    // cannot see a run_cell override, so never mix --synthetic and real
+    // checkpoints (same contract as CensusPlan::run_cell documents).
+    if (flags.count("synthetic")) plan.run_cell = experiment::synthetic_census;
+    return plan;
+}
+
+int cmd_census(const FlagMap& flags) {
+    const experiment::CensusPlan plan = census_plan_from_flags(flags);
     const std::size_t jobs = parse_jobs(flags);
 
     if (flags.count("torture")) {
@@ -397,6 +438,131 @@ int cmd_census(const FlagMap& flags) {
     return 0;
 }
 
+/// "--worker I/K" -> ShardSpec{I, K}; validated here so a bad spec is a
+/// usage error (exit 2), not a runtime failure.
+experiment::ShardSpec parse_shard(const std::string& value) {
+    const std::size_t slash = value.find('/');
+    if (slash == std::string::npos) {
+        throw core::InvalidArgument("--worker wants I/K (e.g. 0/2), got '" + value + "'");
+    }
+    experiment::ShardSpec spec;
+    try {
+        spec.shard = static_cast<std::size_t>(core::parse_csv_u64(value.substr(0, slash)));
+        spec.of = static_cast<std::size_t>(core::parse_csv_u64(value.substr(slash + 1)));
+    } catch (const core::Error&) {
+        throw core::InvalidArgument("--worker wants I/K (e.g. 0/2), got '" + value + "'");
+    }
+    if (spec.of == 0 || spec.shard >= spec.of) {
+        throw core::InvalidArgument("--worker " + value + " is not a valid shard (need I < K)");
+    }
+    return spec;
+}
+
+int cmd_sweep_coordinator(const FlagMap& flags, const experiment::CensusPlan& plan) {
+    experiment::CoordinatorOptions opts;
+    opts.resume = flags.count("resume") > 0;
+    // --idle-timeout-ms bounds how long the coordinator waits with *no*
+    // connected workers before giving up on an incomplete campaign (serve
+    // polls every ~1ms when idle).  0 = wait until the campaign completes.
+    const std::uint64_t idle_ms = flag_u64(flags, "idle-timeout-ms", 0);
+    opts.idle_give_up_polls = static_cast<int>(idle_ms);
+    experiment::CoordinatorService service(plan, flags.at("checkpoint"), opts);
+
+    const std::unique_ptr<core::Listener> listener = core::listen_unix(flags.at("socket"));
+    std::cout << "coordinator: campaign of " << plan.seeds << " cells on " << flags.at("socket")
+              << " (" << service.merged() << " already merged)\n";
+    const experiment::CoordinatorReport report = service.serve(*listener);
+    std::cout << "coordinator: " << report.frames << " frames from " << report.links_accepted
+              << " worker link(s); " << report.cells_recorded << " cells recorded, "
+              << report.duplicates << " duplicate(s) deduped, " << report.acks_sent
+              << " acks\n";
+    if (!report.completed) {
+        std::cout << "campaign incomplete: " << plan.seeds - report.cells_recorded
+                  << " cell(s) never arrived (workers still hold them in their local "
+                     "journals)\n";
+        return 1;
+    }
+    std::cout << experiment::render_census_table(service.result(), plan.base_seed);
+    return 0;
+}
+
+int cmd_sweep_worker(const FlagMap& flags, const experiment::CensusPlan& plan) {
+    const experiment::ShardSpec spec = parse_shard(flags.at("worker"));
+    const std::string socket = flags.at("socket");
+
+    // Bounded connect-wait: the coordinator may not be listening yet (shell
+    // scripts start both concurrently).  ~5s of 50ms retries, then nullptr —
+    // run_worker degrades to local-journal-only mode, never fails the cells.
+    const auto dial = [socket]() -> std::unique_ptr<core::Transport> {
+        for (int attempt = 0; attempt < 100; ++attempt) {
+            try {
+                return core::connect_unix(socket);
+            } catch (const core::TransportClosed&) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            }
+        }
+        return nullptr;
+    };
+
+    experiment::WorkerOptions opts;
+    opts.jobs = parse_jobs(flags);
+    opts.resume = true;  // local cells are always worth reusing
+    opts.reconnect = dial;
+    opts.log = [](const std::string& line) { std::cerr << line << '\n'; };
+
+    std::unique_ptr<core::Transport> link = dial();
+    if (link && flags.count("net-faults")) {
+        // A deterministic lossy link: same seed, same fault schedule.  The
+        // resend/ack/dedupe machinery must make it invisible in the output.
+        core::TransportFaultPlan faults;
+        faults.seed = flag_u64(flags, "net-faults", 1);
+        faults.drop_rate = 0.1;
+        faults.dup_rate = 0.1;
+        faults.reorder_rate = 0.05;
+        faults.ack_drop_rate = 0.05;
+        link = std::make_unique<core::FaultyTransport>(
+            faults, "worker." + std::to_string(spec.shard), std::move(link));
+        opts.retry.max_attempts = 8;  // lossy link: a deeper resend budget
+    }
+
+    const experiment::WorkerReport report =
+        run_worker(plan, spec, flags.at("checkpoint"), std::move(link), opts);
+    std::cout << "worker " << report.shard << "/" << report.of << ": " << report.cells_owned
+              << " cells owned, " << report.cells_computed << " simulated, "
+              << report.cells_reused << " reused, " << report.acked << " acked";
+    if (report.resends + report.drops_absorbed > 0) {
+        std::cout << " (" << report.drops_absorbed << " drop(s), " << report.resends
+                  << " resend(s))";
+    }
+    std::cout << '\n';
+    if (report.degraded) {
+        std::cout << "worker " << report.shard << "/" << report.of
+                  << ": degraded — coordinator unreachable; " << report.buffered
+                  << " cell(s) buffered in " << flags.at("checkpoint")
+                  << " (re-run to stream them)\n";
+    }
+    return 0;
+}
+
+int cmd_sweep(const FlagMap& flags) {
+    const bool coordinator = flags.count("coordinator") > 0;
+    const bool worker = flags.count("worker") > 0;
+    if (coordinator == worker) {
+        throw core::InvalidArgument(
+            "zerodeg sweep needs exactly one of --coordinator or --worker I/K");
+    }
+    if (!flags.count("socket")) {
+        throw core::InvalidArgument("zerodeg sweep needs --socket PATH (a unix socket)");
+    }
+    if (!flags.count("checkpoint")) {
+        throw core::InvalidArgument(
+            "zerodeg sweep needs --checkpoint FILE (merged journal for the coordinator, "
+            "local journal for a worker)");
+    }
+    const experiment::CensusPlan plan = census_plan_from_flags(flags);
+    return coordinator ? cmd_sweep_coordinator(flags, plan) : cmd_sweep_worker(flags, plan);
+}
+
 int cmd_prototype(const FlagMap& flags) {
     experiment::PrototypeConfig cfg;
     cfg.master_seed = flag_u64(flags, "seed", cfg.master_seed);
@@ -414,7 +580,7 @@ int cmd_prototype(const FlagMap& flags) {
 }
 
 void synopsis(std::ostream& out) {
-    out << "usage: zerodeg <weather|season|census|prototype|help> [--flags]\n"
+    out << "usage: zerodeg <weather|season|census|sweep|prototype|help> [--flags]\n"
            "  weather   [--seed N] [--full-year] [--from D] [--to D] [--step-min M]\n"
            "  season    [--seed N] [--end D] [--trace FILE] [--export DIR] [--jobs N]\n"
            "            [--checkpoint FILE] [--resume] [--collector-retries N]\n"
@@ -422,9 +588,15 @@ void synopsis(std::ostream& out) {
            "            [--workload archive|traffic] [--clone]\n"
            "  census    [--seeds N] [--jobs N] [--checkpoint FILE] [--resume]\n"
            "            [--inject-faults SEED] [--torture] [--engine batched|per-object]\n"
-           "            [--workload archive|traffic] [--end D]\n"
+           "            [--workload archive|traffic] [--end D] [--synthetic]\n"
            "            (--jobs 0 = all hardware threads; engines are byte-identical,\n"
            "             per-object is the differential-test reference)\n"
+           "  sweep     --coordinator --socket PATH --checkpoint FILE [--seeds N]\n"
+           "            [--resume] [--idle-timeout-ms N]\n"
+           "  sweep     --worker I/K --socket PATH --checkpoint FILE [--seeds N]\n"
+           "            [--jobs N] [--net-faults SEED]\n"
+           "            (both sweep modes: [--engine batched|per-object]\n"
+           "             [--workload archive|traffic] [--end D] [--synthetic])\n"
            "  prototype [--seed N]\n"
            "exit codes: 0 ok, 1 runtime failure, 2 usage error\n";
 }
@@ -447,6 +619,17 @@ int cmd_help() {
            "                        point, resume each time, and require output\n"
            "                        byte-identical to an uninterrupted run.  Needs\n"
            "                        --checkpoint as scratch; exit 1 on any mismatch.\n"
+           "\ndistributed sweeps (zerodeg sweep):\n"
+           "  Start one --coordinator and K --worker I/K processes sharing a unix\n"
+           "  --socket.  Workers simulate their cells into their own local journal\n"
+           "  first (durable before any networking), then stream checksummed cell\n"
+           "  frames; the coordinator journals, acks, and dedupes replays, so the\n"
+           "  merged --checkpoint is byte-identical to a local census run no matter\n"
+           "  which process died when.  An unreachable coordinator degrades the\n"
+           "  worker to local buffering; re-running the worker later streams the\n"
+           "  buffered cells without re-simulating.  --net-faults SEED makes the\n"
+           "  worker's link deterministically lossy (drops, duplicates, reorders,\n"
+           "  dropped acks) — the output must not change.\n"
            "\nresuming from a damaged checkpoint (--resume):\n"
            "  exit 0  a torn tail record (crash mid-append) is dropped with a warning\n"
            "          on stderr, truncated away on disk, and its cell re-simulated;\n"
@@ -474,6 +657,7 @@ int main(int argc, char** argv) {
         if (cmd == "weather") return cmd_weather(flags);
         if (cmd == "season") return cmd_season(flags);
         if (cmd == "census") return cmd_census(flags);
+        if (cmd == "sweep") return cmd_sweep(flags);
         return cmd_prototype(flags);
     } catch (const core::InvalidArgument& e) {
         // Usage errors print one line + the synopsis and exit 2.

@@ -18,6 +18,11 @@
 //      stall fault; the core::Watchdog must cancel it, the CellRetry budget
 //      must absorb the retry, and the campaign must still produce the
 //      reference output while reporting the hung nodes.
+//   4. Distributed torture: shard the campaign across --workers worker
+//      processes streaming cells to a coordinator over faulty transports;
+//      kill each worker at every send point and the coordinator at every
+//      frame (every crash phase), resume, and require the merged journal
+//      and rendered census byte-identical to an uninterrupted local run.
 //
 // --cells trivial (default) drives the journal machinery with synthetic
 // deterministic cells (milliseconds per campaign); --cells season runs
@@ -38,6 +43,7 @@
 #include "core/rng.hpp"
 #include "core/sim_time.hpp"
 #include "experiment/config.hpp"
+#include "experiment/distributed.hpp"
 #include "experiment/figures.hpp"
 #include "experiment/parallel_census.hpp"
 #include "experiment/runner.hpp"
@@ -51,9 +57,11 @@ using namespace zerodeg;
 struct Options {
     std::size_t seeds = 3;
     std::size_t jobs = 0;  ///< 0 = run the acceptance pair {1, 8}
+    std::size_t workers = 2;
     bool season_cells = false;
     bool skip_export = false;
     bool skip_watchdog = false;
+    bool skip_distributed = false;
     bool verbose = false;
     fs::path scratch;
 };
@@ -230,13 +238,33 @@ bool watchdog_torture(const Options& opt, std::size_t jobs) {
     return ok;
 }
 
+/// Cross-process crash torture: kill worker and coordinator at every
+/// transport operation; every resumed campaign must converge byte-identically.
+bool distributed_scenario(const Options& opt) {
+    std::cout << "== distributed torture (" << opt.workers << " workers, "
+              << (opt.season_cells ? "season" : "trivial") << " cells) ==\n";
+    experiment::DistributedTortureOptions topt;
+    topt.workers = opt.workers;
+    topt.jobs = 1;
+    topt.verbose = opt.verbose;
+    const experiment::DistributedTortureReport report = experiment::distributed_torture(
+        make_plan(opt), opt.scratch / "distributed", topt, std::cout);
+    std::cout << "  " << report.worker_send_points << " worker send points, "
+              << report.coordinator_frames << " coordinator frames, " << report.crash_points
+              << " kills, " << report.resumes << " resumes, " << report.mismatches
+              << " mismatches -> " << (report.passed() ? "PASS" : "FAIL") << '\n';
+    return report.passed();
+}
+
 int usage() {
-    std::cerr << "usage: zerodeg_torture [--seeds N] [--jobs N] [--cells trivial|season]\n"
-                 "                       [--scratch DIR] [--skip-export] [--skip-watchdog]\n"
-                 "                       [--verbose]\n"
-                 "  --jobs N   torture only that worker count (default: both 1 and 8)\n"
-                 "  --cells    trivial = fast synthetic cells (default); season = real\n"
-                 "             one-week seasons through the full simulation stack\n"
+    std::cerr << "usage: zerodeg_torture [--seeds N] [--jobs N] [--workers N]\n"
+                 "                       [--cells trivial|season] [--scratch DIR]\n"
+                 "                       [--skip-export] [--skip-watchdog]\n"
+                 "                       [--skip-distributed] [--verbose]\n"
+                 "  --jobs N    torture only that worker count (default: both 1 and 8)\n"
+                 "  --workers N shards of the distributed scenario (default: 2)\n"
+                 "  --cells     trivial = fast synthetic cells (default); season = real\n"
+                 "              one-week seasons through the full simulation stack\n"
                  "exit codes: 0 all scenarios passed, 1 torture failure, 2 usage error\n";
     return 2;
 }
@@ -263,12 +291,17 @@ Options parse_options(int argc, char** argv) {
                                             "'");
             }
             opt.season_cells = (kind == "season");
+        } else if (arg == "--workers") {
+            opt.workers = static_cast<std::size_t>(std::stoull(value()));
+            if (opt.workers == 0) throw core::InvalidArgument("--workers must be positive");
         } else if (arg == "--scratch") {
             opt.scratch = value();
         } else if (arg == "--skip-export") {
             opt.skip_export = true;
         } else if (arg == "--skip-watchdog") {
             opt.skip_watchdog = true;
+        } else if (arg == "--skip-distributed") {
+            opt.skip_distributed = true;
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else {
@@ -300,6 +333,7 @@ int main(int argc, char** argv) {
         for (const std::size_t jobs : jobs_list) ok = census_torture(opt, jobs) && ok;
         if (!opt.skip_export) ok = export_torture(opt) && ok;
         if (!opt.skip_watchdog) ok = watchdog_torture(opt, jobs_list.back()) && ok;
+        if (!opt.skip_distributed) ok = distributed_scenario(opt) && ok;
 
         std::cout << (ok ? "torture: ALL SCENARIOS PASSED\n" : "torture: FAILURES (see above)\n");
         return ok ? 0 : 1;
