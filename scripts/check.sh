@@ -5,18 +5,23 @@
 #   1. hardened build (-DZERODEG_WERROR=ON: -Wconversion -Wshadow ... -Werror)
 #      + the full ctest suite, which includes the `lint` label
 #      (tools/zerodeg_lint over the tree + the checker's own unit tests)
-#   2. the `parallel` label rebuilt under ThreadSanitizer — the data-race
+#   2. the whole-project analyzer in the WERROR tree: include-graph layering
+#      (ZD015), RNG-stream collisions (ZD016), ErrorCode discards (ZD017),
+#      float reductions (ZD018), stale suppressions (ZD097) — JSON findings
+#      for a stable diffable failure summary, and build/include_graph.dot
+#      left behind as a reviewable artifact
+#   3. the `parallel` label rebuilt under ThreadSanitizer — the data-race
 #      gate for the task-pool / sharded-sweep engine
-#   3. the `resilience` + `chaos` labels rebuilt under ASan+UBSan — the gate
+#   4. the `resilience` + `chaos` labels rebuilt under ASan+UBSan — the gate
 #      for the journal/retry/error paths and the fault-injection/torture
 #      machinery (crash-at-every-write-point resume, watchdog cancellation,
 #      transport-fault and cross-process distributed-sweep torture) — plus a
 #      cross-process smoke: coordinator + 2 workers over a unix socket with
 #      a seeded FaultyTransport, merged journal byte-compared lossless/lossy
-#   4. a compose smoke: sanitizers + -Werror configured together must build
+#   5. a compose smoke: sanitizers + -Werror configured together must build
 #      (sanitizer instrumentation must not be broken by the warning gate)
-#   5. clang-tidy over the exported compile database, when clang-tidy exists
-#   6. the perf gate: bench_perf_tick in a Release tree (build-bench/) with
+#   6. clang-tidy over the exported compile database, when clang-tidy exists
+#   7. the perf gate: bench_perf_tick in a Release tree (build-bench/) with
 #      fixed seeds/repeats, compared against BENCH_baseline.json by
 #      scripts/compare_bench.py — any metric >25% below baseline fails; a
 #      missing baseline is recorded on the first run
@@ -31,17 +36,24 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 run() { echo "+ $*" >&2; "$@"; }
 
-echo "=== [1/6] hardened warnings + full test suite ===" >&2
+echo "=== [1/7] hardened warnings + full test suite ===" >&2
 run cmake -B build -S . -DZERODEG_WERROR=ON
 run cmake --build build -j "$JOBS"
 run ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/6] parallel label under ThreadSanitizer ===" >&2
+echo "=== [2/7] whole-project analyzer (layering / streams / discards) ===" >&2
+run ./build/tools/zerodeg_lint --project --root . \
+    --baseline tools/lint/baseline.txt \
+    --graph-dot build/include_graph.dot \
+    --format=json --error-on-new
+echo "project analyzer: build/include_graph.dot written (render with: dot -Tsvg)" >&2
+
+echo "=== [3/7] parallel label under ThreadSanitizer ===" >&2
 run cmake -B build-tsan -S . -DZERODEG_SANITIZE=thread
 run cmake --build build-tsan -j "$JOBS"
 run ctest --test-dir build-tsan -L parallel --output-on-failure -j "$JOBS"
 
-echo "=== [3/6] resilience + chaos labels under ASan+UBSan ===" >&2
+echo "=== [4/7] resilience + chaos labels under ASan+UBSan ===" >&2
 run cmake -B build-asan -S . -DZERODEG_SANITIZE=address,undefined
 run cmake --build build-asan -j "$JOBS"
 run ctest --test-dir build-asan -L 'resilience|chaos' --output-on-failure -j "$JOBS"
@@ -75,11 +87,11 @@ done
 run cmp "$smoke/lossless/merged.journal" "$smoke/lossy/merged.journal"
 echo "distributed smoke: lossy and lossless campaigns merged byte-identically" >&2
 
-echo "=== [4/6] compose smoke: sanitize + werror together ===" >&2
+echo "=== [5/7] compose smoke: sanitize + werror together ===" >&2
 run cmake -B build-asan-werror -S . -DZERODEG_SANITIZE=address,undefined -DZERODEG_WERROR=ON
 run cmake --build build-asan-werror -j "$JOBS" --target zerodeg_core zerodeg_lint
 
-echo "=== [5/6] clang-tidy (optional) ===" >&2
+echo "=== [6/7] clang-tidy (optional) ===" >&2
 if command -v clang-tidy >/dev/null 2>&1; then
     # compile_commands.json was exported by step 1's configure.
     mapfile -t sources < <(git ls-files 'src/**/*.cpp' 'tools/**/*.cpp')
@@ -88,7 +100,7 @@ else
     echo "clang-tidy not installed; skipping (config: .clang-tidy)" >&2
 fi
 
-echo "=== [6/6] perf gate: bench_perf_tick vs BENCH_baseline.json ===" >&2
+echo "=== [7/7] perf gate: bench_perf_tick vs BENCH_baseline.json ===" >&2
 run cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build-bench -j "$JOBS" --target bench_perf_tick
 run ./build-bench/bench/bench_perf_tick --seeds 4 --repeat 3 --jobs 1 --out build-bench/BENCH_tick.json

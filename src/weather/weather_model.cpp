@@ -57,27 +57,21 @@ WeatherConfig helsinki_full_year_config() {
     return cfg;
 }
 
-namespace {
-
-core::RngStream stream(std::uint64_t seed, const char* name) {
-    return core::RngStream{seed, name};
-}
-
-}  // namespace
-
+// Stream names are spelled at each construction site (not forwarded through
+// a helper) so the whole-project RNG-stream audit (ZD016) can key them.
 WeatherModel::WeatherModel(WeatherConfig config, std::uint64_t master_seed)
     : config_(std::move(config)),
       synoptic_(0.0, config_.synoptic_sigma.value(), config_.synoptic_tau,
-                stream(master_seed, "weather.synoptic")),
+                core::RngStream{master_seed, "weather.synoptic"}),
       jitter_(0.0, config_.jitter_sigma.value(), config_.jitter_tau,
-              stream(master_seed, "weather.jitter")),
+              core::RngStream{master_seed, "weather.jitter"}),
       depression_(config_.depression_mean, config_.depression_sigma, config_.depression_tau, 0.1,
-                  25.0, stream(master_seed, "weather.depression")),
+                  25.0, core::RngStream{master_seed, "weather.depression"}),
       wind_(config_.wind_mean, config_.wind_sigma, config_.wind_tau, 0.0, 30.0,
-            stream(master_seed, "weather.wind")),
+            core::RngStream{master_seed, "weather.wind"}),
       cloud_(config_.cloud_mean, config_.cloud_sigma, config_.cloud_tau, 0.0, 1.0,
-             stream(master_seed, "weather.cloud")),
-      precip_rng_(stream(master_seed, "weather.precip")) {
+             core::RngStream{master_seed, "weather.cloud"}),
+      precip_rng_(core::RngStream{master_seed, "weather.precip"}) {
     if (config_.anchors.size() < 2) {
         throw core::InvalidArgument("WeatherModel: need at least two climatology anchors");
     }

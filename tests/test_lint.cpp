@@ -1,16 +1,20 @@
 // Unit tests for tools/lint — one synthetic snippet per check id, plus the
-// suppression grammar, the meta checks (ZD098/ZD099) and the baseline
-// round-trip.  These drive the checker API directly; the tree-wide gate is
-// the separate `lint_tree` CTest (tools/CMakeLists.txt).
+// suppression grammar, the meta checks (ZD097/ZD098/ZD099), the baseline
+// round-trip, and the whole-project pass (ZD015–ZD018) driven over in-memory
+// fixture trees.  These exercise the checker API directly; the tree-wide
+// gates are the separate `lint_tree`/`lint_project` CTests
+// (tools/CMakeLists.txt).
 #include "lint/lint.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/error.hpp"
+#include "lint/project.hpp"
 
 namespace zerodeg::lint {
 namespace {
@@ -385,6 +389,34 @@ TEST(LintApi, CheckTableIsConsistent) {
     }
 }
 
+TEST(LintSuppressions, StaleAllowanceIsFlaggedZD097) {
+    // The line no longer triggers ZD002 (the random_device is gone), so the
+    // reasoned waiver is stale and must fail rather than rot silently.
+    const std::string src =
+        "int x = 1;  // zerodeg-lint: allow(ZD002): was an entropy probe once\n";
+    const auto diags = lint_source("src/core/x.cpp", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].id, "ZD097");
+    EXPECT_EQ(diags[0].severity, Severity::kError);
+}
+
+TEST(LintSuppressions, InUseAllowanceIsNotStale) {
+    // Same waiver, but the line really does trigger ZD002: no ZD097.
+    const std::string src =
+        "void f() { std::random_device rd; }  "
+        "// zerodeg-lint: allow(ZD002): synthetic example exercising entropy plumbing\n";
+    EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(LintSuppressions, ProjectCheckAllowancesAreLeftToTheProjectPass) {
+    // The per-file pass cannot know whether ZD016 fires on this line — only
+    // the whole-project pass sees the other files — so no ZD097 here.
+    const std::string src =
+        "auto s = core::RngStream{seed, \"x\"};  "
+        "// zerodeg-lint: allow(ZD016): shared with the paired model on purpose\n";
+    EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
 TEST(LintApi, FormatDiagnosticShape) {
     const auto diags = lint_source("src/faults/x.cpp", "int f() { return std::rand(); }\n");
     ASSERT_EQ(diags.size(), 1u);
@@ -393,6 +425,264 @@ TEST(LintApi, FormatDiagnosticShape) {
     EXPECT_NE(text.find("[ZD001]"), std::string::npos);
     EXPECT_NE(text.find("[error]"), std::string::npos);
     EXPECT_NE(text.find("hint:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-project pass (tools/lint/project.hpp) on in-memory fixture trees.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] ProjectModel make_model(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+    ProjectModel model;
+    for (const auto& [path, content] : files) model.files.push_back(scan_file(path, content));
+    resolve_includes(model);
+    return model;
+}
+
+[[nodiscard]] std::vector<std::string> project_ids(const ProjectModel& model) {
+    std::vector<std::string> ids;
+    for (const Diagnostic& d : analyze_project(model).diagnostics) ids.push_back(d.id);
+    return ids;
+}
+
+TEST(LintProject, ModuleOfClassifiesPaths) {
+    EXPECT_EQ(module_of("src/core/rng.hpp"), "core");
+    EXPECT_EQ(module_of("src/weather/weather_model.cpp"), "weather");
+    EXPECT_EQ(module_of("tools/lint/main.cpp"), "tools");
+    EXPECT_EQ(module_of("bench/bench_perf_tick.cpp"), "bench");
+    EXPECT_EQ(module_of("tests/test_lint.cpp"), "tests");
+    EXPECT_EQ(module_of("examples/workload_pipeline.cpp"), "");
+}
+
+TEST(LintProject, LayerViolationCoreIncludingExperimentIsZD015) {
+    const auto model = make_model({
+        {"src/core/bad.hpp", "#pragma once\n#include \"experiment/runner.hpp\"\n"},
+        {"src/experiment/runner.hpp", "#pragma once\n"},
+    });
+    const auto report = analyze_project(model);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].id, "ZD015");
+    EXPECT_EQ(report.diagnostics[0].file, "src/core/bad.hpp");
+    EXPECT_EQ(report.diagnostics[0].line, 2u);
+    EXPECT_TRUE(report.graph.illegal.at("core").count("experiment") != 0);
+}
+
+TEST(LintProject, AllowedEdgesAreClean) {
+    // hardware -> thermal -> weather -> core is the declared layering.
+    const auto model = make_model({
+        {"src/core/units.hpp", "#pragma once\n"},
+        {"src/weather/model.hpp", "#pragma once\n#include \"core/units.hpp\"\n"},
+        {"src/thermal/rc.hpp", "#pragma once\n#include \"weather/model.hpp\"\n"},
+        {"src/hardware/server.hpp", "#pragma once\n#include \"thermal/rc.hpp\"\n"},
+        {"tests/test_server.cpp", "#include \"hardware/server.hpp\"\n"},
+    });
+    EXPECT_TRUE(analyze_project(model).diagnostics.empty());
+}
+
+TEST(LintProject, IncludeCycleIsZD015) {
+    const auto model = make_model({
+        {"src/core/a.hpp", "#pragma once\n#include \"core/b.hpp\"\n"},
+        {"src/core/b.hpp", "#pragma once\n#include \"core/a.hpp\"\n"},
+    });
+    const auto report = analyze_project(model);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].id, "ZD015");
+    EXPECT_NE(report.diagnostics[0].message.find("cycle"), std::string::npos);
+    ASSERT_EQ(report.graph.cycles.size(), 1u);
+    EXPECT_EQ(report.graph.cycles[0].size(), 2u);
+}
+
+TEST(LintProject, UndeclaredSrcModuleIsZD015) {
+    // A new src/ subsystem must be added to the layer table deliberately.
+    const auto model = make_model({
+        {"src/core/units.hpp", "#pragma once\n"},
+        {"src/quantum/solver.hpp", "#pragma once\n#include \"core/units.hpp\"\n"},
+    });
+    const auto report = analyze_project(model);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].id, "ZD015");
+    EXPECT_NE(report.diagnostics[0].message.find("not declared"), std::string::npos);
+}
+
+TEST(LintProject, StreamCollisionAcrossFilesIsZD016) {
+    const auto model = make_model({
+        {"src/weather/w.cpp",
+         "void f(std::uint64_t seed) { auto s = core::RngStream{seed, \"shared\"}; }\n"},
+        {"src/faults/g.cpp",
+         "void g(std::uint64_t seed) { core::RngStream s(seed, \"shared\"); }\n"},
+    });
+    // Both ends of the collision are reported so either site can be renamed.
+    EXPECT_EQ(project_ids(model), (std::vector<std::string>{"ZD016", "ZD016"}));
+}
+
+TEST(LintProject, StreamReuseWithinOneOwningFileIsFine) {
+    const auto model = make_model({
+        {"src/weather/w.cpp",
+         "void f(std::uint64_t seed) {\n"
+         "  auto a = core::RngStream{seed, \"wind\"};\n"
+         "  auto b = core::RngStream{seed, \"wind\"};\n"
+         "}\n"},
+    });
+    EXPECT_TRUE(analyze_project(model).diagnostics.empty());
+}
+
+TEST(LintProject, MultilineStreamConstructionIsStillKeyed) {
+    // clang-format wraps long constructions; the literal lands on the next
+    // line but belongs to the same balanced span.
+    const auto model = make_model({
+        {"src/experiment/r.cpp",
+         "void f(std::uint64_t seed) {\n"
+         "  auto s = core::RngStream{seed,\n"
+         "                           \"switch.spare\"};\n"
+         "}\n"},
+        {"src/hardware/h.cpp",
+         "void g(std::uint64_t seed) { core::RngStream s(seed, \"switch.spare\"); }\n"},
+    });
+    EXPECT_EQ(project_ids(model), (std::vector<std::string>{"ZD016", "ZD016"}));
+}
+
+TEST(LintProject, TestStreamNamesDoNotCollide) {
+    // tests/ reuse throwaway names ("m", "p") by design; only src/ competes
+    // for the global stream namespace.
+    const auto model = make_model({
+        {"tests/test_a.cpp", "void f() { core::RngStream s(1, \"m\"); }\n"},
+        {"tests/test_b.cpp", "void g() { core::RngStream s(1, \"m\"); }\n"},
+    });
+    EXPECT_TRUE(analyze_project(model).diagnostics.empty());
+}
+
+TEST(LintProject, DiscardedErrorCodeCallIsZD017) {
+    const auto model = make_model({
+        {"src/monitoring/collector.hpp",
+         "#pragma once\n[[nodiscard]] ErrorCode flush_buffer(int attempts);\n"},
+        {"src/experiment/runner.cpp",
+         "void run() {\n"
+         "  flush_buffer(3);\n"
+         "  const auto rc = flush_buffer(3);\n"
+         "  if (flush_buffer(3) != ErrorCode::kOk) { return; }\n"
+         "}\n"},
+    });
+    const auto report = analyze_project(model);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].id, "ZD017");
+    EXPECT_EQ(report.diagnostics[0].line, 2u);  // only the bare statement
+    EXPECT_NE(report.diagnostics[0].message.find("flush_buffer"), std::string::npos);
+}
+
+TEST(LintProject, MemberCallDiscardIsAlsoZD017) {
+    const auto model = make_model({
+        {"src/core/error.hpp", "#pragma once\n[[nodiscard]] ErrorCode code() const;\n"},
+        {"src/experiment/x.cpp", "void f(const Error& e) { e.code(); }\n"},
+    });
+    EXPECT_EQ(project_ids(model), (std::vector<std::string>{"ZD017"}));
+}
+
+TEST(LintProject, UnknownCalleesAreNotZD017) {
+    const auto model = make_model({
+        {"src/core/error.hpp", "#pragma once\n[[nodiscard]] ErrorCode code() const;\n"},
+        {"src/experiment/x.cpp", "void f() { log_line(); cleanup_scratch(); }\n"},
+    });
+    EXPECT_TRUE(analyze_project(model).diagnostics.empty());
+}
+
+TEST(LintProject, FloatAccumulateOutsideParallelSeamIsZD018) {
+    const auto model = make_model({
+        {"src/energy/pue.cpp",
+         "double f(const std::vector<double>& v) {\n"
+         "  return std::accumulate(v.begin(), v.end(), 0.0);\n"
+         "}\n"},
+    });
+    const auto report = analyze_project(model);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].id, "ZD018");
+    EXPECT_EQ(report.diagnostics[0].line, 2u);
+}
+
+TEST(LintProject, ParallelSeamAndIntegerAccumulateAreExempt) {
+    const auto model = make_model({
+        // The ordered-reduce seam itself may spell the primitive.
+        {"src/core/parallel.hpp",
+         "#pragma once\n"
+         "double reduce(const std::vector<double>& v) {\n"
+         "  return std::accumulate(v.begin(), v.end(), 0.0);\n"
+         "}\n"},
+        // Integer accumulation is associative: fine anywhere.
+        {"src/energy/count.cpp",
+         "long f(const std::vector<long>& v) {\n"
+         "  return std::accumulate(v.begin(), v.end(), 0L);\n"
+         "}\n"},
+        // A project method merely *named* accumulate is not the primitive.
+        {"src/faults/census.cpp", "void g() { stats.accumulate(1.5); }\n"},
+    });
+    EXPECT_TRUE(analyze_project(model).diagnostics.empty());
+}
+
+TEST(LintProject, ReasonedSuppressionSilencesProjectChecks) {
+    const auto model = make_model({
+        {"src/weather/w.cpp",
+         "void f(std::uint64_t seed) { auto s = core::RngStream{seed, \"shared\"}; }  "
+         "// zerodeg-lint: allow(ZD016): twin models share draws by design\n"},
+        {"src/faults/g.cpp",
+         "void g(std::uint64_t seed) { core::RngStream s(seed, \"shared\"); }  "
+         "// zerodeg-lint: allow(ZD016): twin models share draws by design\n"},
+    });
+    EXPECT_TRUE(analyze_project(model).diagnostics.empty());
+}
+
+TEST(LintProject, StaleProjectSuppressionIsZD097) {
+    // The waiver names ZD016 but nothing collides: the project pass (the
+    // only pass that can judge project ids) reports it stale.
+    const auto model = make_model({
+        {"src/weather/w.cpp",
+         "void f(std::uint64_t seed) { auto s = core::RngStream{seed, \"only\"}; }  "
+         "// zerodeg-lint: allow(ZD016): leftover from a renamed twin\n"},
+    });
+    const auto report = analyze_project(model);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].id, "ZD097");
+}
+
+TEST(LintProject, DotExportNamesModulesAndColorsIllegalEdges) {
+    const auto model = make_model({
+        {"src/core/bad.hpp", "#pragma once\n#include \"experiment/runner.hpp\"\n"},
+        {"src/experiment/runner.hpp", "#pragma once\n#include \"core/bad.hpp\"\n"},
+    });
+    const auto report = analyze_project(model);
+    const std::string dot = render_dot(report.graph);
+    EXPECT_EQ(dot.rfind("digraph zerodeg_layers {", 0), 0u);
+    EXPECT_NE(dot.find("\"core\" -> \"experiment\""), std::string::npos);
+    EXPECT_NE(dot.find("color=red"), std::string::npos);
+    EXPECT_EQ(dot.back(), '\n');
+
+    const std::string summary = render_architecture_report(report.graph);
+    EXPECT_NE(summary.find("fan-out"), std::string::npos);
+    EXPECT_NE(summary.find("include cycles: 1"), std::string::npos);
+}
+
+TEST(LintProject, TreeLayerDagMatchesTheDesignDoc) {
+    const auto& dag = layer_dag();
+    EXPECT_TRUE(dag.at("core").empty());
+    EXPECT_TRUE(dag.at("hardware").count("thermal") != 0);
+    EXPECT_TRUE(dag.at("experiment").count("monitoring") != 0);
+    // Nothing may depend on experiment (it is the top of the src/ stack).
+    for (const auto& [module, deps] : dag) {
+        if (module == "experiment") continue;
+        EXPECT_EQ(deps.count("experiment"), 0u) << module;
+    }
+}
+
+TEST(LintApi, JsonDiagnosticShapeAndEscaping) {
+    Diagnostic d;
+    d.file = "src/core/x.cpp";
+    d.line = 3;
+    d.id = "ZD001";
+    d.severity = Severity::kError;
+    d.message = "bad \"quote\" and\nnewline";
+    const std::string json = format_diagnostic_json(d);
+    EXPECT_EQ(json.rfind("{\"file\":\"src/core/x.cpp\",\"line\":3,\"id\":\"ZD001\"", 0), 0u);
+    EXPECT_NE(json.find("\\\"quote\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    EXPECT_EQ(json.find("hint"), std::string::npos);  // empty hint omitted
 }
 
 }  // namespace

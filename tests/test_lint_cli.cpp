@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <system_error>
 
@@ -43,6 +45,7 @@ protected:
     }
 
     void write_source(const std::string& rel, const std::string& content) {
+        fs::create_directories((root_ / rel).parent_path());
         std::ofstream(root_ / rel) << content;
     }
 
@@ -108,6 +111,105 @@ TEST_F(LintCli, ReasonlessSuppressionIsNeverBaselinable) {
                  " --error-on-new");
     EXPECT_EQ(r.exit_code, 1) << r.output;
     EXPECT_NE(r.output.find("[ZD098]"), std::string::npos) << r.output;
+}
+
+TEST_F(LintCli, ProjectModeFlagsLayerViolationAndCycle) {
+    // core reaching up into experiment, plus a two-header cycle: both ZD015.
+    write_source("src/core/bad.hpp",
+                 "#pragma once\n#include \"experiment/runner.hpp\"\n");
+    write_source("src/experiment/runner.hpp", "#pragma once\n");
+    write_source("src/core/loop_a.hpp", "#pragma once\n#include \"core/loop_b.hpp\"\n");
+    write_source("src/core/loop_b.hpp", "#pragma once\n#include \"core/loop_a.hpp\"\n");
+    const CliResult r = run_lint("--project --root " + root_.string() + " --error-on-new");
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("[ZD015]"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("crosses a layer boundary"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("include cycle: src/core/loop_a.hpp -> src/core/loop_b.hpp"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST_F(LintCli, ProjectModeFlagsStreamCollisionAcrossSubsystems) {
+    write_source("src/weather/w.cpp",
+                 "void f(unsigned long long seed) {\n"
+                 "  auto s = core::RngStream{seed, \"shared.stream\"};\n"
+                 "}\n");
+    write_source("src/faults/g.cpp",
+                 "void g(unsigned long long seed) {\n"
+                 "  core::RngStream s(seed, \"shared.stream\");\n"
+                 "}\n");
+    const CliResult r = run_lint("--project --root " + root_.string() + " --error-on-new");
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("[ZD016]"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("shared.stream"), std::string::npos) << r.output;
+}
+
+TEST_F(LintCli, ProjectModeCleanTreePrintsArchitectureReport) {
+    write_source("src/core/units.hpp", "#pragma once\n");
+    write_source("src/weather/model.hpp", "#pragma once\n#include \"core/units.hpp\"\n");
+    const CliResult r = run_lint("--project --root " + root_.string() + " --error-on-new");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("module graph"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("include cycles: 0"), std::string::npos) << r.output;
+}
+
+TEST_F(LintCli, GraphDotWritesWellFormedGraphviz) {
+    write_source("src/core/units.hpp", "#pragma once\n");
+    write_source("src/weather/model.hpp", "#pragma once\n#include \"core/units.hpp\"\n");
+    const fs::path dot_path = root_ / "include_graph.dot";
+    // --graph-dot implies --project; no explicit flag needed.
+    const CliResult r =
+        run_lint("--root " + root_.string() + " --graph-dot " + dot_path.string());
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    std::ifstream in(dot_path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string dot = ss.str();
+    EXPECT_EQ(dot.rfind("digraph zerodeg_layers {", 0), 0u) << dot;
+    EXPECT_NE(dot.find("\"weather\" -> \"core\";"), std::string::npos) << dot;
+    EXPECT_EQ(dot.substr(dot.size() - 2), "}\n") << dot;
+    // Every line inside the braces is a node, an edge, or an attribute —
+    // quote-balanced so Graphviz parses it without errors.
+    EXPECT_EQ(std::count(dot.begin(), dot.end(), '"') % 2, 0) << dot;
+}
+
+TEST_F(LintCli, JsonFormatIsStableAndMachineReadable) {
+    write_source("src/experiment/bad.cpp",
+                 "unsigned seed() { return std::random_device{}(); }\n");
+    const CliResult r =
+        run_lint("--root " + root_.string() + " --format=json --error-on-new");
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_EQ(r.output.rfind("{\"files_scanned\":1,\"errors\":1,\"warnings\":0", 0), 0u)
+        << r.output;
+    EXPECT_NE(r.output.find("\"id\":\"ZD002\""), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("\"file\":\"src/experiment/bad.cpp\""), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"line\":1"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("\"severity\":\"error\""), std::string::npos) << r.output;
+}
+
+TEST_F(LintCli, ChangedModeLintsOnlyTheFilesOnStdin) {
+    // Two files with findings; only the one named on stdin is scanned —
+    // the pre-commit fast path: git diff --name-only | zerodeg_lint --changed.
+    write_source("src/experiment/bad_a.cpp", "int a() { return rand(); }\n");
+    write_source("src/experiment/bad_b.cpp", "int b() { return rand(); }\n");
+    const CliResult r = zerodeg::test::run_command(
+        "printf 'src/experiment/bad_a.cpp\\nsrc/experiment/gone.cpp\\nREADME.md\\n' | " +
+        std::string(ZERODEG_LINT_PATH) + " --changed --root " + root_.string() +
+        " --error-on-new");
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("bad_a.cpp"), std::string::npos) << r.output;
+    EXPECT_EQ(r.output.find("bad_b.cpp"), std::string::npos) << r.output;
+    // Deleted files in the diff and non-C++ paths are skipped silently.
+    EXPECT_NE(r.output.find("1 files"), std::string::npos) << r.output;
+}
+
+TEST_F(LintCli, ChangedPlusProjectIsAUsageError) {
+    const CliResult r = zerodeg::test::run_command(
+        "printf '' | " + std::string(ZERODEG_LINT_PATH) + " --changed --project --root " +
+        root_.string());
+    EXPECT_EQ(r.exit_code, 2) << r.output;
 }
 
 TEST_F(LintCli, ListChecksPrintsTheTable) {

@@ -7,6 +7,7 @@
 
 #include "core/error.hpp"
 #include "core/rng.hpp"  // fnv1a — same fingerprint primitive the RNG streams use
+#include "lint/scan.hpp"
 
 namespace zerodeg::lint {
 namespace {
@@ -15,7 +16,7 @@ namespace {
 // Check table
 // ---------------------------------------------------------------------------
 
-constexpr std::array<CheckInfo, 16> kChecks{{
+constexpr std::array<CheckInfo, 21> kChecks{{
     {"ZD001", Severity::kError,
      "banned C RNG (rand/srand): unseeded, platform-varying, not stream-isolated"},
     {"ZD002", Severity::kError,
@@ -44,211 +45,20 @@ constexpr std::array<CheckInfo, 16> kChecks{{
     {"ZD014", Severity::kError,
      "raw socket/pipe/process primitive outside src/core/transport*: cross-process I/O "
      "must ride the core::Transport seam so FaultyTransport and the torture cover it"},
+    {"ZD015", Severity::kError,
+     "[project] include edge violates the layer DAG, or an include cycle exists"},
+    {"ZD016", Severity::kError,
+     "[project] RNG stream-name literal reused across files: correlated randomness"},
+    {"ZD017", Severity::kError,
+     "[project] bare-statement call discards a known ErrorCode-returning function"},
+    {"ZD018", Severity::kError,
+     "[project] non-associative float reduction (std::accumulate/std::reduce over "
+     "floating accumulators) outside the core/parallel.hpp ordered-reduce seam"},
+    {"ZD097", Severity::kError,
+     "zerodeg-lint suppression whose line no longer triggers the allowed check"},
     {"ZD098", Severity::kError, "zerodeg-lint suppression without a reason string"},
     {"ZD099", Severity::kError, "zerodeg-lint suppression naming an unknown check id"},
 }};
-
-[[nodiscard]] bool is_ident_char(char c) {
-    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Position of `token` in `code` at an identifier boundary (the characters
-/// adjacent to the match are not identifier characters), or npos.
-[[nodiscard]] std::size_t find_token(std::string_view code, std::string_view token,
-                                     std::size_t from = 0) {
-    for (std::size_t pos = code.find(token, from); pos != std::string_view::npos;
-         pos = code.find(token, pos + 1)) {
-        const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
-        const std::size_t end = pos + token.size();
-        const bool right_ok = end >= code.size() || !is_ident_char(code[end]);
-        if (left_ok && right_ok) return pos;
-    }
-    return std::string_view::npos;
-}
-
-[[nodiscard]] bool has_token(std::string_view code, std::string_view token) {
-    return find_token(code, token) != std::string_view::npos;
-}
-
-[[nodiscard]] std::string strip_ws(std::string_view s) {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s)
-        if (std::isspace(static_cast<unsigned char>(c)) == 0) out += c;
-    return out;
-}
-
-// ---------------------------------------------------------------------------
-// Lexing: blank comments and literal contents so checks only see code
-// ---------------------------------------------------------------------------
-
-struct Line {
-    std::string raw;      ///< original text
-    std::string code;     ///< comments and string/char literal bodies blanked
-    std::string comment;  ///< the inverse: only comment text kept (suppressions
-                          ///< live here — never in string literals)
-};
-
-/// Split `content` into lines with comments and literal interiors replaced by
-/// spaces.  Handles //, /*...*/ (multi-line), "..." with escapes, '...', and
-/// R"delim(...)delim" raw strings.  Keeping the blanked text the same length
-/// as the source keeps every column aligned with the original.
-[[nodiscard]] std::vector<Line> lex(std::string_view content) {
-    enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-    State state = State::kCode;
-    std::string raw_delim;  // for raw strings: ")delim\""
-
-    std::vector<Line> lines;
-    std::string raw, code, comment;
-    const auto flush = [&] {
-        lines.push_back({raw, code, comment});
-        raw.clear();
-        code.clear();
-        comment.clear();
-    };
-
-    for (std::size_t i = 0; i < content.size(); ++i) {
-        const char c = content[i];
-        const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-        if (c == '\n') {
-            if (state == State::kLineComment) state = State::kCode;
-            flush();
-            continue;
-        }
-        raw += c;
-        switch (state) {
-            case State::kCode:
-                if (c == '/' && next == '/') {
-                    state = State::kLineComment;
-                    code += ' ';
-                    comment += ' ';
-                } else if (c == '/' && next == '*') {
-                    state = State::kBlockComment;
-                    code += ' ';
-                    comment += ' ';
-                } else if (c == 'R' && next == '"' &&
-                           (i == 0 || !is_ident_char(content[i - 1]))) {
-                    // R"delim( ... )delim"
-                    std::size_t open = content.find('(', i + 2);
-                    if (open == std::string_view::npos) open = content.size();
-                    raw_delim = ")";
-                    raw_delim += std::string(content.substr(i + 2, open - (i + 2)));
-                    raw_delim += '"';
-                    state = State::kRawString;
-                    code += ' ';
-                    comment += ' ';
-                } else if (c == '"') {
-                    state = State::kString;
-                    code += ' ';
-                    comment += ' ';
-                } else if (c == '\'' && (i == 0 || !is_ident_char(content[i - 1]))) {
-                    // A quote after an identifier char is a digit separator
-                    // (1'000'000), not a char literal.
-                    state = State::kChar;
-                    code += ' ';
-                    comment += ' ';
-                } else {
-                    code += c;
-                    comment += ' ';
-                }
-                break;
-            case State::kLineComment:
-                code += ' ';
-                comment += c;
-                break;
-            case State::kBlockComment:
-                code += ' ';
-                comment += c;
-                if (c == '*' && next == '/') {
-                    state = State::kCode;
-                    raw += '/';
-                    code += ' ';
-                    comment += ' ';
-                    ++i;
-                }
-                break;
-            case State::kString:
-            case State::kChar:
-                code += ' ';
-                comment += ' ';
-                if (c == '\\' && next != '\0' && next != '\n') {
-                    raw += next;
-                    code += ' ';
-                    comment += ' ';
-                    ++i;
-                } else if ((state == State::kString && c == '"') ||
-                           (state == State::kChar && c == '\'')) {
-                    state = State::kCode;
-                }
-                break;
-            case State::kRawString:
-                code += ' ';
-                comment += ' ';
-                if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
-                    for (std::size_t k = 1; k < raw_delim.size(); ++k) {
-                        raw += content[i + k];
-                        code += ' ';
-                        comment += ' ';
-                    }
-                    i += raw_delim.size() - 1;
-                    state = State::kCode;
-                }
-                break;
-        }
-    }
-    flush();
-    return lines;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions: `// zerodeg-lint: allow(ZD003): reason`
-// ---------------------------------------------------------------------------
-
-struct Suppression {
-    std::size_t comment_line = 0;  ///< 1-based line holding the comment
-    std::size_t target_line = 0;   ///< line the allowance applies to
-    std::vector<std::string> ids;
-    bool has_reason = false;
-};
-
-[[nodiscard]] std::vector<Suppression> parse_suppressions(const std::vector<Line>& lines) {
-    std::vector<Suppression> out;
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-        // Only the comment channel counts (a suppression spelled inside a
-        // string literal is data, not an allowance), and the marker must
-        // *begin* the comment — prose that merely mentions the syntax
-        // ("append `// zerodeg-lint: ...` to the line") is documentation.
-        const std::string& comment = lines[i].comment;
-        const std::size_t marker = comment.find("zerodeg-lint:");
-        if (marker == std::string::npos) continue;
-        const bool at_start = std::all_of(comment.begin(), comment.begin() + marker, [](char c) {
-            return std::isspace(static_cast<unsigned char>(c)) != 0 || c == '/' || c == '*';
-        });
-        if (!at_start) continue;
-        Suppression s;
-        s.comment_line = i + 1;
-        // Comment alone on its line applies to the next line; trailing
-        // comment applies to its own line.
-        s.target_line = strip_ws(lines[i].code).empty() ? i + 2 : i + 1;
-        const std::size_t open = comment.find("allow(", marker);
-        if (open == std::string::npos) continue;
-        const std::size_t close = comment.find(')', open);
-        if (close == std::string::npos) continue;
-        std::string id_list = comment.substr(open + 6, close - (open + 6));
-        std::stringstream ss(id_list);
-        std::string id;
-        while (std::getline(ss, id, ',')) {
-            id = strip_ws(id);
-            if (!id.empty()) s.ids.push_back(id);
-        }
-        // Mandatory reason: non-empty text after a ':' following the ')'.
-        const std::size_t colon = comment.find(':', close);
-        s.has_reason =
-            colon != std::string::npos && !strip_ws(comment.substr(colon + 1)).empty();
-        out.push_back(std::move(s));
-    }
-    return out;
-}
 
 // ---------------------------------------------------------------------------
 // ZD005 support: function regions and unordered-container tracking
@@ -440,7 +250,7 @@ void emit(std::vector<Diagnostic>& out, std::string_view path, std::size_t line,
         if (c.id == id) d.severity = c.severity;
     d.message = std::move(message);
     d.hint = std::move(hint);
-    if (line >= 1 && line <= lines.size()) d.fingerprint = core::fnv1a(strip_ws(lines[line - 1].raw));
+    d.fingerprint = line_fingerprint(lines, line);
     out.push_back(std::move(d));
 }
 
@@ -777,8 +587,16 @@ bool is_known_check(std::string_view id) {
     return false;
 }
 
+bool is_project_check(std::string_view id) {
+    return id == "ZD015" || id == "ZD016" || id == "ZD017" || id == "ZD018";
+}
+
+bool is_baselinable_check(std::string_view id) {
+    return id != "ZD097" && id != "ZD098" && id != "ZD099";
+}
+
 std::vector<Diagnostic> lint_source(std::string_view path, std::string_view content) {
-    const std::vector<Line> lines = lex(content);
+    const std::vector<Line> lines = lex(content).lines;
     const PathTraits traits = classify(path);
 
     std::vector<Diagnostic> all;
@@ -812,6 +630,22 @@ std::vector<Diagnostic> lint_source(std::string_view path, std::string_view cont
                 emit(out, path, s.comment_line, "ZD099",
                      "suppression names unknown check id '" + id + "'",
                      "run zerodeg_lint --list-checks for the valid ids", lines);
+                continue;
+            }
+            // ZD097: a reasoned allowance for a per-file check that its
+            // target line no longer triggers is a stale waiver.  Project-mode
+            // ids (ZD015-ZD018) are judged by the project analyzer, which is
+            // the only pass that can see whether they fire.
+            if (!s.has_reason || is_project_check(id)) continue;
+            const bool used = std::any_of(all.begin(), all.end(), [&](const Diagnostic& d) {
+                return d.line == s.target_line && d.id == id;
+            });
+            if (!used) {
+                emit(out, path, s.comment_line, "ZD097",
+                     "suppression allows " + id + " but its line no longer triggers that check",
+                     "delete the stale `allow(" + id + ")` (or re-point it at the offending "
+                     "line) so waivers cannot outlive the code they excused",
+                     lines);
             }
         }
     }
@@ -889,6 +723,43 @@ std::string format_diagnostic(const Diagnostic& d) {
     std::string out = d.file + ":" + std::to_string(d.line) + ": [" + d.id + "][" +
                       to_string(d.severity) + "] " + d.message;
     if (!d.hint.empty()) out += "\n    hint: " + d.hint;
+    return out;
+}
+
+namespace {
+[[nodiscard]] std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static const char* digits = "0123456789abcdef";
+                    out += "\\u00";
+                    out += digits[(c >> 4) & 0xF];
+                    out += digits[c & 0xF];
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+}  // namespace
+
+std::string format_diagnostic_json(const Diagnostic& d) {
+    std::string out = "{\"file\":\"" + json_escape(d.file) + "\",";
+    out += "\"line\":" + std::to_string(d.line) + ",";
+    out += "\"id\":\"" + json_escape(d.id) + "\",";
+    out += "\"severity\":\"" + std::string(to_string(d.severity)) + "\",";
+    out += "\"message\":\"" + json_escape(d.message) + "\"";
+    if (!d.hint.empty()) out += ",\"hint\":\"" + json_escape(d.hint) + "\"";
+    out += "}";
     return out;
 }
 

@@ -18,6 +18,7 @@
 
 #include "core/error.hpp"
 #include "lint/lint.hpp"
+#include "lint/project.hpp"
 
 namespace fs = std::filesystem;
 using zerodeg::lint::Baseline;
@@ -36,6 +37,16 @@ options:
   --baseline FILE    accepted pre-existing findings (see --write-baseline)
   --error-on-new     exit 1 on error-severity findings not in the baseline
   --write-baseline   rewrite the --baseline file from current findings
+  --project          also run the whole-project pass (include-graph layering
+                     ZD015, RNG-stream collisions ZD016, ErrorCode discards
+                     ZD017, float reductions ZD018); always scans the full
+                     tree regardless of subdir arguments
+  --graph-dot FILE   write the module include graph as Graphviz dot
+                     (implies --project)
+  --format=FMT       output format: human (default) or json
+  --changed          lint only the files named on stdin, one path per line
+                     (fast pre-commit mode: git diff --name-only | ... );
+                     incompatible with --project
   --list-checks      print the check table and exit
   -h, --help         this text
 
@@ -45,9 +56,13 @@ subdirs default to: src bench tools tests
 struct Options {
     std::string root = ".";
     std::string baseline_path;
+    std::string graph_dot_path;
+    std::string format = "human";
     bool error_on_new = false;
     bool write_baseline = false;
     bool list_checks = false;
+    bool project = false;
+    bool changed = false;
     std::vector<std::string> subdirs;
 };
 
@@ -75,6 +90,22 @@ struct Options {
             opt.write_baseline = true;
         } else if (arg == "--list-checks") {
             opt.list_checks = true;
+        } else if (arg == "--project") {
+            opt.project = true;
+        } else if (arg == "--graph-dot") {
+            const char* v = need_value("--graph-dot");
+            if (v == nullptr) return false;
+            opt.graph_dot_path = v;
+            opt.project = true;
+        } else if (arg == "--changed") {
+            opt.changed = true;
+        } else if (arg.rfind("--format=", 0) == 0) {
+            opt.format = arg.substr(9);
+            if (opt.format != "human" && opt.format != "json") {
+                std::cerr << "zerodeg_lint: unknown format '" << opt.format
+                          << "' (expected human or json)\n";
+                return false;
+            }
         } else if (arg == "-h" || arg == "--help") {
             std::cout << kUsage;
             std::exit(0);
@@ -84,6 +115,11 @@ struct Options {
         } else {
             opt.subdirs.push_back(arg);
         }
+    }
+    if (opt.project && opt.changed) {
+        std::cerr << "zerodeg_lint: --changed is a per-file fast path; the project-mode "
+                     "checks only make sense over the full tree (drop one of the two)\n";
+        return false;
     }
     if (opt.subdirs.empty()) opt.subdirs = {"src", "bench", "tools", "tests"};
     return true;
@@ -107,6 +143,24 @@ struct Options {
         }
     }
     std::sort(files.begin(), files.end());
+    return files;
+}
+
+/// --changed: paths read from stdin (one per line, as printed by
+/// `git diff --name-only`), filtered to lintable files that exist under the
+/// root.  Vanished files (deletions in the diff) are skipped silently.
+[[nodiscard]] std::vector<std::string> collect_changed_files(const Options& opt) {
+    std::vector<std::string> files;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty() || !lintable(line)) continue;
+        const std::string normal = fs::path(line).lexically_normal().generic_string();
+        if (!fs::is_regular_file(fs::path(opt.root) / normal)) continue;
+        files.push_back(normal);
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
     return files;
 }
 
@@ -145,22 +199,44 @@ int main(int argc, char** argv) {
         std::vector<Diagnostic> fresh;  // not covered by the baseline
         std::size_t baselined = 0;
         std::size_t files_scanned = 0;
-        for (const std::string& file : collect_files(opt)) {
+        const auto gate = [&](Diagnostic& d) {
+            // Meta findings (rotten suppressions) are never baselined: an
+            // unexplained, unknown-id or stale allowance must always fail.
+            if (zerodeg::lint::is_baselinable_check(d.id) && baseline.contains(d)) {
+                ++baselined;
+                return;
+            }
+            fresh.push_back(std::move(d));
+        };
+
+        const std::vector<std::string> files =
+            opt.changed ? collect_changed_files(opt) : collect_files(opt);
+        for (const std::string& file : files) {
             ++files_scanned;
             const std::string content =
                 zerodeg::core::with_context("reading " + file,
                                             [&] { return read_file(fs::path(opt.root) / file); });
-            for (Diagnostic& d : zerodeg::lint::lint_source(file, content)) {
-                // Meta findings (rotten suppressions) are never baselined:
-                // an unexplained or unknown-id allowance must always fail.
-                const bool baselinable = d.id != "ZD098" && d.id != "ZD099";
-                if (baselinable && baseline.contains(d)) {
-                    ++baselined;
-                    continue;
-                }
-                fresh.push_back(std::move(d));
+            for (Diagnostic& d : zerodeg::lint::lint_source(file, content)) gate(d);
+        }
+
+        std::string architecture_report;
+        if (opt.project) {
+            const zerodeg::lint::ProjectModel model = zerodeg::lint::build_project_model(
+                fs::path(opt.root), {"src", "tools", "bench", "tests"});
+            zerodeg::lint::ProjectReport report = zerodeg::lint::analyze_project(model);
+            for (Diagnostic& d : report.diagnostics) gate(d);
+            architecture_report = render_architecture_report(report.graph);
+            if (!opt.graph_dot_path.empty()) {
+                std::ofstream dot(opt.graph_dot_path, std::ios::binary | std::ios::trunc);
+                if (!dot) throw zerodeg::IoError("cannot write " + opt.graph_dot_path);
+                dot << render_dot(report.graph);
             }
         }
+        std::sort(fresh.begin(), fresh.end(), [](const Diagnostic& a, const Diagnostic& b) {
+            if (a.file != b.file) return a.file < b.file;
+            if (a.line != b.line) return a.line < b.line;
+            return a.id < b.id;
+        });
 
         if (opt.write_baseline) {
             if (opt.baseline_path.empty()) {
@@ -169,7 +245,7 @@ int main(int argc, char** argv) {
             }
             Baseline rewritten;
             for (const Diagnostic& d : fresh) {
-                if (d.id != "ZD098" && d.id != "ZD099") rewritten.add(d);
+                if (zerodeg::lint::is_baselinable_check(d.id)) rewritten.add(d);
             }
             std::ofstream out(opt.baseline_path, std::ios::binary | std::ios::trunc);
             if (!out) throw zerodeg::IoError("cannot write " + opt.baseline_path);
@@ -182,12 +258,23 @@ int main(int argc, char** argv) {
 
         std::size_t errors = 0;
         std::size_t warnings = 0;
-        for (const Diagnostic& d : fresh) {
-            (d.severity == Severity::kError ? errors : warnings) += 1;
-            std::cout << format_diagnostic(d) << "\n";
+        for (const Diagnostic& d : fresh) (d.severity == Severity::kError ? errors : warnings) += 1;
+
+        if (opt.format == "json") {
+            std::cout << "{\"files_scanned\":" << files_scanned << ",\"errors\":" << errors
+                      << ",\"warnings\":" << warnings << ",\"baselined\":" << baselined
+                      << ",\"findings\":[";
+            for (std::size_t i = 0; i < fresh.size(); ++i) {
+                if (i != 0) std::cout << ",";
+                std::cout << "\n  " << format_diagnostic_json(fresh[i]);
+            }
+            std::cout << (fresh.empty() ? "" : "\n") << "]}\n";
+        } else {
+            for (const Diagnostic& d : fresh) std::cout << format_diagnostic(d) << "\n";
+            if (!architecture_report.empty()) std::cout << architecture_report;
+            std::cout << "zerodeg_lint: " << files_scanned << " files, " << errors << " error(s), "
+                      << warnings << " warning(s), " << baselined << " baselined\n";
         }
-        std::cout << "zerodeg_lint: " << files_scanned << " files, " << errors << " error(s), "
-                  << warnings << " warning(s), " << baselined << " baselined\n";
         return (opt.error_on_new && errors > 0) ? 1 : 0;
     } catch (const zerodeg::Error& e) {
         std::cerr << "zerodeg_lint: [" << to_string(e.code()) << "] " << e.what() << "\n";

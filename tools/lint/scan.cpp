@@ -1,0 +1,218 @@
+#include "lint/scan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "core/rng.hpp"  // fnv1a — same fingerprint primitive the RNG streams use
+
+namespace zerodeg::lint {
+
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::size_t find_token(std::string_view code, std::string_view token, std::size_t from) {
+    for (std::size_t pos = code.find(token, from); pos != std::string_view::npos;
+         pos = code.find(token, pos + 1)) {
+        const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+        const std::size_t end = pos + token.size();
+        const bool right_ok = end >= code.size() || !is_ident_char(code[end]);
+        if (left_ok && right_ok) return pos;
+    }
+    return std::string_view::npos;
+}
+
+bool has_token(std::string_view code, std::string_view token) {
+    return find_token(code, token) != std::string_view::npos;
+}
+
+std::string strip_ws(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s)
+        if (std::isspace(static_cast<unsigned char>(c)) == 0) out += c;
+    return out;
+}
+
+std::uint64_t line_fingerprint(const std::vector<Line>& lines, std::size_t line) {
+    if (line < 1 || line > lines.size()) return 0;
+    return core::fnv1a(strip_ws(lines[line - 1].raw));
+}
+
+LexedSource lex(std::string_view content) {
+    enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+    State state = State::kCode;
+    std::string raw_delim;  // for raw strings: ")delim\""
+
+    LexedSource out;
+    std::string raw, code, comment;
+    StringLiteral current;  // literal being accumulated (kString/kRawString)
+    const auto flush = [&] {
+        out.lines.push_back({raw, code, comment});
+        raw.clear();
+        code.clear();
+        comment.clear();
+    };
+    const auto begin_literal = [&] {
+        current.line = out.lines.size() + 1;
+        current.col = raw.size();
+        current.text.clear();
+    };
+
+    for (std::size_t i = 0; i < content.size(); ++i) {
+        const char c = content[i];
+        const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+        if (c == '\n') {
+            if (state == State::kLineComment) state = State::kCode;
+            if (state == State::kRawString) current.text += '\n';
+            flush();
+            continue;
+        }
+        raw += c;
+        switch (state) {
+            case State::kCode:
+                if (c == '/' && next == '/') {
+                    state = State::kLineComment;
+                    code += ' ';
+                    comment += ' ';
+                } else if (c == '/' && next == '*') {
+                    state = State::kBlockComment;
+                    code += ' ';
+                    comment += ' ';
+                } else if (c == 'R' && next == '"' &&
+                           (i == 0 || !is_ident_char(content[i - 1]))) {
+                    // R"delim( ... )delim"
+                    std::size_t open = content.find('(', i + 2);
+                    if (open == std::string_view::npos) open = content.size();
+                    raw_delim.clear();
+                    raw_delim += ')';
+                    raw_delim += std::string(content.substr(i + 2, open - (i + 2)));
+                    raw_delim += '"';
+                    state = State::kRawString;
+                    raw.pop_back();  // let begin_literal see the column of 'R'
+                    begin_literal();
+                    raw += c;
+                    code += ' ';
+                    comment += ' ';
+                } else if (c == '"') {
+                    state = State::kString;
+                    raw.pop_back();
+                    begin_literal();
+                    raw += c;
+                    code += ' ';
+                    comment += ' ';
+                } else if (c == '\'' && (i == 0 || !is_ident_char(content[i - 1]))) {
+                    // A quote after an identifier char is a digit separator
+                    // (1'000'000), not a char literal.
+                    state = State::kChar;
+                    code += ' ';
+                    comment += ' ';
+                } else {
+                    code += c;
+                    comment += ' ';
+                }
+                break;
+            case State::kLineComment:
+                code += ' ';
+                comment += c;
+                break;
+            case State::kBlockComment:
+                code += ' ';
+                comment += c;
+                if (c == '*' && next == '/') {
+                    state = State::kCode;
+                    raw += '/';
+                    code += ' ';
+                    comment += ' ';
+                    ++i;
+                }
+                break;
+            case State::kString:
+            case State::kChar:
+                code += ' ';
+                comment += ' ';
+                if (c == '\\' && next != '\0' && next != '\n') {
+                    if (state == State::kString) {
+                        current.text += c;
+                        current.text += next;
+                    }
+                    raw += next;
+                    code += ' ';
+                    comment += ' ';
+                    ++i;
+                } else if ((state == State::kString && c == '"') ||
+                           (state == State::kChar && c == '\'')) {
+                    if (state == State::kString) out.literals.push_back(current);
+                    state = State::kCode;
+                } else if (state == State::kString) {
+                    current.text += c;
+                }
+                break;
+            case State::kRawString:
+                code += ' ';
+                comment += ' ';
+                if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+                    for (std::size_t k = 1; k < raw_delim.size(); ++k) {
+                        raw += content[i + k];
+                        code += ' ';
+                        comment += ' ';
+                    }
+                    i += raw_delim.size() - 1;
+                    state = State::kCode;
+                    // Trim the "delim( prefix the accumulator picked up: the
+                    // body starts after the first '('.
+                    const std::size_t body = current.text.find('(');
+                    current.text =
+                        body == std::string::npos ? std::string() : current.text.substr(body + 1);
+                    out.literals.push_back(current);
+                } else {
+                    current.text += c;
+                }
+                break;
+        }
+    }
+    flush();
+    return out;
+}
+
+std::vector<Suppression> parse_suppressions(const std::vector<Line>& lines) {
+    std::vector<Suppression> out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        // Only the comment channel counts (a suppression spelled inside a
+        // string literal is data, not an allowance), and the marker must
+        // *begin* the comment — prose that merely mentions the syntax
+        // ("append `// zerodeg-lint: ...` to the line") is documentation.
+        const std::string& comment = lines[i].comment;
+        const std::size_t marker = comment.find("zerodeg-lint:");
+        if (marker == std::string::npos) continue;
+        const bool at_start = std::all_of(comment.begin(), comment.begin() + marker, [](char c) {
+            return std::isspace(static_cast<unsigned char>(c)) != 0 || c == '/' || c == '*';
+        });
+        if (!at_start) continue;
+        Suppression s;
+        s.comment_line = i + 1;
+        // Comment alone on its line applies to the next line; trailing
+        // comment applies to its own line.
+        s.target_line = strip_ws(lines[i].code).empty() ? i + 2 : i + 1;
+        const std::size_t open = comment.find("allow(", marker);
+        if (open == std::string::npos) continue;
+        const std::size_t close = comment.find(')', open);
+        if (close == std::string::npos) continue;
+        std::string id_list = comment.substr(open + 6, close - (open + 6));
+        std::stringstream ss(id_list);
+        std::string id;
+        while (std::getline(ss, id, ',')) {
+            id = strip_ws(id);
+            if (!id.empty()) s.ids.push_back(id);
+        }
+        // Mandatory reason: non-empty text after a ':' following the ')'.
+        const std::size_t colon = comment.find(':', close);
+        s.has_reason =
+            colon != std::string::npos && !strip_ws(comment.substr(colon + 1)).empty();
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+}  // namespace zerodeg::lint

@@ -1,0 +1,75 @@
+// Shared lexing layer for zerodeg_lint: the three-channel line lexer, token
+// helpers, the suppression grammar, and the line fingerprint.
+//
+// Both passes of the checker build on this: the per-file checks
+// (tools/lint/lint.cpp) and the whole-project analyzer
+// (tools/lint/project.cpp) must see the exact same notion of "code" —
+// comments and string/char literal interiors blanked, columns aligned with
+// the original text — or a construct could be banned in one pass and
+// invisible to the other.  The lexer additionally records every string
+// literal it blanks (line, column, contents), which is how the project pass
+// harvests RNG stream names without re-tokenising.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zerodeg::lint {
+
+struct Line {
+    std::string raw;      ///< original text
+    std::string code;     ///< comments and string/char literal bodies blanked
+    std::string comment;  ///< the inverse: only comment text kept (suppressions
+                          ///< live here — never in string literals)
+};
+
+/// A string literal blanked out of the code channel.  `line` is 1-based,
+/// `col` is the 0-based column of the opening quote (raw strings: of the
+/// `R`), and `text` is the uninterpreted body — escapes are kept as spelled,
+/// which is exact enough for name-collision keying.
+struct StringLiteral {
+    std::size_t line = 0;
+    std::size_t col = 0;
+    std::string text;
+};
+
+struct LexedSource {
+    std::vector<Line> lines;
+    std::vector<StringLiteral> literals;  ///< in source order
+};
+
+/// Split `content` into lines with comments and literal interiors replaced by
+/// spaces.  Handles //, /*...*/ (multi-line), "..." with escapes, '...', and
+/// R"delim(...)delim" raw strings.  Keeping the blanked text the same length
+/// as the source keeps every column aligned with the original.
+[[nodiscard]] LexedSource lex(std::string_view content);
+
+[[nodiscard]] bool is_ident_char(char c);
+
+/// Position of `token` in `code` at an identifier boundary (the characters
+/// adjacent to the match are not identifier characters), or npos.
+[[nodiscard]] std::size_t find_token(std::string_view code, std::string_view token,
+                                     std::size_t from = 0);
+
+[[nodiscard]] bool has_token(std::string_view code, std::string_view token);
+
+[[nodiscard]] std::string strip_ws(std::string_view s);
+
+/// FNV-1a of the whitespace-stripped raw text of 1-based `line` — the
+/// baseline key, stable across unrelated edits that shift line numbers.
+/// Returns 0 for out-of-range lines.
+[[nodiscard]] std::uint64_t line_fingerprint(const std::vector<Line>& lines, std::size_t line);
+
+/// One `// zerodeg-lint: allow(ZDxxx[, ZDyyy]): reason` comment.
+struct Suppression {
+    std::size_t comment_line = 0;  ///< 1-based line holding the comment
+    std::size_t target_line = 0;   ///< line the allowance applies to
+    std::vector<std::string> ids;
+    bool has_reason = false;
+};
+
+[[nodiscard]] std::vector<Suppression> parse_suppressions(const std::vector<Line>& lines);
+
+}  // namespace zerodeg::lint
