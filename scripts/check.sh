@@ -15,9 +15,11 @@
 #   4. the `resilience` + `chaos` labels rebuilt under ASan+UBSan — the gate
 #      for the journal/retry/error paths and the fault-injection/torture
 #      machinery (crash-at-every-write-point resume, watchdog cancellation,
-#      transport-fault and cross-process distributed-sweep torture) — plus a
-#      cross-process smoke: coordinator + 2 workers over a unix socket with
-#      a seeded FaultyTransport, merged journal byte-compared lossless/lossy
+#      transport-fault and cross-process distributed-sweep torture) — plus
+#      cross-process smokes: coordinator + 2 workers over a unix socket with
+#      a seeded FaultyTransport, merged journal byte-compared lossless/lossy,
+#      and a lease-mode campaign where one worker is SIGKILLed permanently
+#      and the survivor must absorb its lease byte-identically
 #   5. a compose smoke: sanitizers + -Werror configured together must build
 #      (sanitizer instrumentation must not be broken by the warning gate)
 #   6. clang-tidy over the exported compile database, when clang-tidy exists
@@ -86,6 +88,30 @@ for mode in lossless lossy; do
 done
 run cmp "$smoke/lossless/merged.journal" "$smoke/lossy/merged.journal"
 echo "distributed smoke: lossy and lossless campaigns merged byte-identically" >&2
+
+# Kill-a-worker smoke: two lease-mode workers, one SIGKILLed permanently
+# mid-campaign.  Whatever the kill lands on (handshake, held lease, or after
+# the victim already finished), the coordinator must not wedge: the orphaned
+# lease is reassigned to the survivor and the merged journal is still
+# byte-identical to the lossless run above.
+mkdir -p "$smoke/killed"
+run "$zd" sweep --coordinator --socket "$smoke/killed/s.sock" \
+    --checkpoint "$smoke/killed/merged.journal" --seeds 6 --synthetic \
+    --idle-timeout-ms 60000 >"$smoke/killed/coord.log" &
+coord=$!
+"$zd" sweep --worker --socket "$smoke/killed/s.sock" \
+    --checkpoint "$smoke/killed/victim.journal" --seeds 6 --synthetic \
+    >"$smoke/killed/victim.log" 2>&1 &
+victim=$!
+sleep 0.1
+kill -KILL "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+run "$zd" sweep --worker --socket "$smoke/killed/s.sock" \
+    --checkpoint "$smoke/killed/survivor.journal" --seeds 6 --synthetic \
+    >"$smoke/killed/survivor.log"
+wait "$coord"
+run cmp "$smoke/lossless/merged.journal" "$smoke/killed/merged.journal"
+echo "distributed smoke: campaign survived a SIGKILLed worker byte-identically" >&2
 
 echo "=== [5/7] compose smoke: sanitize + werror together ===" >&2
 run cmake -B build-asan-werror -S . -DZERODEG_SANITIZE=address,undefined -DZERODEG_WERROR=ON

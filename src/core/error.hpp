@@ -33,6 +33,7 @@ enum class ErrorCode {
     kTransient,        ///< retryable: the same operation may succeed shortly
     kCrash,            ///< simulated process death (fault injection); never retried
     kDisconnected,     ///< a message-transport link is down (peer gone, switch dead)
+    kLeaseExpired,     ///< a work lease ran out: the holder missed its deadline
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode code) {
@@ -45,6 +46,7 @@ enum class ErrorCode {
         case ErrorCode::kTransient: return "transient";
         case ErrorCode::kCrash: return "crash";
         case ErrorCode::kDisconnected: return "disconnected";
+        case ErrorCode::kLeaseExpired: return "lease-expired";
         case ErrorCode::kUnknown: break;
     }
     return "unknown";
@@ -144,6 +146,15 @@ public:
     explicit TransientError(const std::string& what) : Error(what, ErrorCode::kTransient) {}
 };
 
+/// A work lease expired: its holder missed the protocol-op deadline (or its
+/// link died) and the coordinator has withdrawn the grant.  Raised to the
+/// operator when expiries pile up into a poison-cell quarantine — a campaign
+/// whose result would silently omit cells must fail loudly instead.
+class LeaseExpired : public Error {
+public:
+    explicit LeaseExpired(const std::string& what) : Error(what, ErrorCode::kLeaseExpired) {}
+};
+
 }  // namespace zerodeg::core
 
 namespace zerodeg {
@@ -154,6 +165,7 @@ using core::Error;
 using core::ErrorCode;
 using core::InvalidArgument;
 using core::IoError;
+using core::LeaseExpired;
 using core::ParseError;
 using core::StaleJournal;
 using core::TransientError;

@@ -323,8 +323,16 @@ bool FaultyTransport::deliver_one(std::string& frame, bool block, int timeout_ms
     std::lock_guard lock(mutex_);
     throw_if_dead();
     // A frame held for reordering must not outwait a peer that is itself
-    // waiting on it: flush before we start listening.
-    if (!held_.empty() && !inner_->closed()) flush_held_locked();
+    // waiting on it: flush before we start listening.  The closed() check
+    // races with the peer's own hangup — losing that race must not mask
+    // frames the peer already delivered (they drain before TransportClosed).
+    if (!held_.empty() && !inner_->closed()) {
+        try {
+            flush_held_locked();
+        } catch (const TransportClosed&) {
+            held_.clear();  // peer gone; nothing will ever read these
+        }
+    }
     const bool got =
         block ? inner_->recv_wait(frame, timeout_ms) : inner_->try_recv(frame);
     if (!got) return false;
@@ -356,7 +364,13 @@ bool FaultyTransport::recv_wait(std::string& frame, int timeout_ms) {
 
 void FaultyTransport::close() {
     std::lock_guard lock(mutex_);
-    if (!crashed_) flush_held_locked();
+    if (!crashed_) {
+        try {
+            flush_held_locked();
+        } catch (const TransportClosed&) {
+            held_.clear();  // the peer hung up first; a held frame is just lost
+        }
+    }
     inner_->close();
 }
 

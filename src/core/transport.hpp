@@ -139,6 +139,28 @@ private:
 /// coordinator, or degrade), IoError on other socket failures.
 [[nodiscard]] std::unique_ptr<Transport> connect_unix(const std::filesystem::path& socket_path);
 
+// --- local process spawning (transport_unix.cpp) ---------------------------
+
+/// A child process started by spawn_process.  Movable handle; wait_process
+/// reaps it.  Destroying an un-reaped handle abandons the child (it is not
+/// killed), so always pair spawn with wait.
+struct SpawnedProcess {
+    long long pid = -1;
+    [[nodiscard]] bool valid() const { return pid > 0; }
+};
+
+/// Fork+exec `argv` (argv[0] resolved via PATH), sharing this process's
+/// stdio.  Lives in the transport seam because process primitives, like raw
+/// sockets, are confined there (lint ZD014) — `zerodeg sweep
+/// --spawn-workers N` uses it to launch local workers.  Throws
+/// InvalidArgument on an empty argv, IoError when fork fails.
+[[nodiscard]] SpawnedProcess spawn_process(const std::vector<std::string>& argv);
+
+/// Block until the child exits; returns its exit code (128+signal when it
+/// died on a signal).  Returns -1 for an invalid handle.  The handle is
+/// invalidated, so a second wait is a safe no-op.
+int wait_process(SpawnedProcess& child);
+
 // --- deterministic fault injection -----------------------------------------
 
 /// Which transport operation an op-index refers to.  Send and receive sides

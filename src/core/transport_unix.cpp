@@ -15,6 +15,7 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -23,6 +24,7 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace zerodeg::core {
 
@@ -253,6 +255,41 @@ std::unique_ptr<Transport> connect_unix(const std::filesystem::path& socket_path
         throw IoError("cannot connect to unix socket '" + socket_path.string() + "': " + why);
     }
     return std::make_unique<UnixTransport>(fd);
+}
+
+SpawnedProcess spawn_process(const std::vector<std::string>& argv) {
+    if (argv.empty() || argv[0].empty()) {
+        throw InvalidArgument("spawn_process: argv must name a program");
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& arg : argv) cargv.push_back(const_cast<char*>(arg.c_str()));
+    cargv.push_back(nullptr);
+    const pid_t pid = ::fork();
+    if (pid < 0) throw IoError("spawn_process: fork failed: " + errno_text());
+    if (pid == 0) {
+        // Child: the parent's argv strings were copied by fork, so the
+        // pointers stay valid up to exec.  On exec failure, exit with the
+        // shell's "command not found" code — the parent sees it via wait.
+        ::execvp(cargv[0], cargv.data());
+        ::_exit(127);
+    }
+    return SpawnedProcess{static_cast<long long>(pid)};
+}
+
+int wait_process(SpawnedProcess& child) {
+    if (!child.valid()) return -1;
+    const pid_t pid = static_cast<pid_t>(child.pid);
+    child.pid = -1;
+    int status = 0;
+    for (;;) {
+        if (::waitpid(pid, &status, 0) >= 0) break;
+        if (errno == EINTR) continue;
+        throw IoError("wait_process: waitpid failed: " + errno_text());
+    }
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+    return -1;
 }
 
 }  // namespace zerodeg::core

@@ -1,26 +1,40 @@
 // Worker/coordinator execution of census sweeps over the transport seam.
 //
-// A campaign of `seeds` cells is sharded round-robin across `of` workers
-// (cell i belongs to shard i % of).  Each worker simulates its cells into a
+// Scheduling is pull-based lease assignment: workers ask the coordinator for
+// work (a HEARTBEAT carrying no lease id), the coordinator grants a LEASE
+// over the lowest unassigned cell indices, the worker simulates them into a
 // *local* SweepJournal — durable before a single byte hits the wire — then
 // streams the finished records as checksummed CELL frames (shard_protocol)
-// to a coordinator, which journals them into the merged campaign journal and
-// acks.  Delivery is at-least-once with idempotent replay: a worker resends
-// unacked cells after drops, reconnects, or its own death (the local journal
-// has every payload); the coordinator dedupes by cell index.  The merged
-// journal is therefore byte-identical to an uninterrupted local run no
-// matter which process died when — the property distributed_torture pins by
-// killing the worker at every send point and the coordinator at every frame.
+// to the coordinator, which journals them into the merged campaign journal
+// and acks.  Delivery is at-least-once with idempotent replay: a worker
+// resends unacked cells after drops, reconnects, or its own death (the local
+// journal has every payload); the coordinator dedupes by cell index.
 //
-// Degradation: a worker that cannot reach (or re-reach) the coordinator does
-// not fail the campaign — it finishes its cells into the local journal and
-// reports them as buffered.  Re-running the worker once the coordinator is
-// back re-streams them without re-simulating anything.
+// Liveness is deterministic: lease deadlines are counted in coordinator
+// protocol ops (frames handled), never in wall time — the same pure
+// hash-of-(seed, channel, op#) clock discipline FaultyTransport uses.  A
+// lease holder that stays silent for `lease_deadline_ops` ops (while other
+// workers' chatter advances the clock) is declared permanently dead: its
+// link is closed, its unfinished cells return to the pool and are granted to
+// survivors.  A dead *link* (EOF, netsim switch death) fails the lease
+// immediately.  A returning "zombie" worker streams its stale local journal
+// first; the dedupe path absorbs every late cell, so the merged journal is
+// byte-identical to an uninterrupted local run no matter which process died
+// when — the property distributed_torture pins, including permanent-death
+// schedules that kill a worker forever at every send op.
 //
-// Everything here is deterministic given (plan, shard layout, fault seeds):
-// workers stream cells in index order and wait for each ack before sending
-// the next, so the sequence of transport operations — and hence the crash
-// points the torture harness enumerates — replays exactly.
+// Poison-cell quarantine: a cell whose lease fails under kMaxLeaseAttempts
+// *distinct* workers is assumed to kill whoever touches it.  It is journaled
+// as a `poison` record (holding the slot so the campaign resolves instead of
+// wedging) and reported loudly; CoordinatorService::result() then throws
+// core::LeaseExpired rather than hand back a table with holes.
+//
+// Compatibility spelling: a ShardSpec with of > 0 still names the historic
+// static `cell % of` shard.  Online it behaves exactly like a lease worker —
+// it pre-simulates its shard durably, streams it, then pulls leases for
+// whatever remains — and offline it degrades to simulating the static shard
+// into the local journal, reporting the cells as buffered.  Re-running the
+// worker once the coordinator is back re-streams them without re-simulating.
 #pragma once
 
 #include <cstddef>
@@ -42,14 +56,20 @@ class FileSystem;
 
 namespace zerodeg::experiment {
 
-/// Which slice of the campaign a worker owns: cells where
-/// index % of == shard.
+/// A lease that fails under this many distinct workers marks its cell as
+/// poison: quarantined, reported, never granted again.
+inline constexpr std::size_t kMaxLeaseAttempts = 3;
+
+/// Which slice of the campaign a worker owns.  `of > 0`: the static shard of
+/// cells where index % of == shard.  `of == 0`: lease mode — no static
+/// ownership, the coordinator assigns work; `shard` is just a label.
 struct ShardSpec {
     std::size_t shard = 0;
     std::size_t of = 1;
 };
 
 /// The cell indices of `spec` within a campaign of `cells` cells, ascending.
+/// Requires a static spec (of > 0).
 [[nodiscard]] std::vector<std::size_t> shard_cells(std::size_t cells, const ShardSpec& spec);
 
 /// The config of a single campaign cell, exactly as ParallelCensus would
@@ -66,11 +86,13 @@ struct WorkerOptions {
     /// swallowed by the link or left unacked past the ack timeout count as
     /// failed attempts).  The backoff fields are not waited out in wall time
     /// — the ack timeout itself is the pacing — but max_attempts is honoured
-    /// exactly, so a zero-retry policy (max_attempts = 1) sends each frame
-    /// once and buffers on the first loss.
+    /// exactly.  Note a cell undelivered within one lease is not lost: the
+    /// coordinator re-grants the lease on the worker's next pull, so even a
+    /// zero-retry policy converges while the link stays alive.
     monitoring::CollectorRetryPolicy retry{.max_attempts = 4};
-    /// How long to wait for an ack before charging a resend attempt.
-    /// -1 would block forever; keep it finite so lost acks are survivable.
+    /// How long to wait for an ack (or the next lease) before charging a
+    /// resend attempt / sending the next pull.  -1 would block forever; keep
+    /// it finite so lost frames are survivable.
     int ack_timeout_ms = 2000;
     /// Called to (re)establish the coordinator link after TransportClosed.
     /// May return nullptr ("coordinator is gone") to trigger degraded mode.
@@ -82,10 +104,12 @@ struct WorkerOptions {
 
 struct WorkerReport {
     std::size_t shard = 0;
-    std::size_t of = 1;
-    std::size_t cells_owned = 0;
+    std::size_t of = 1;              ///< 0 = lease mode
+    std::size_t cells_owned = 0;     ///< static shard size, or distinct cells touched
     std::size_t cells_computed = 0;  ///< simulated fresh this run
     std::size_t cells_reused = 0;    ///< found in the local journal
+    std::size_t leases_held = 0;     ///< LEASE grants processed
+    std::size_t heartbeats_sent = 0;
     std::size_t link_sends = 0;      ///< every send() issued on the link
     std::size_t resends = 0;         ///< CELL frames sent beyond the first try
     std::size_t drops_absorbed = 0;  ///< sends swallowed by the faulty link
@@ -94,15 +118,19 @@ struct WorkerReport {
     std::uint64_t buffered_bytes = 0;  ///< wire bytes of those unacked records
     int reconnects = 0;
     bool coordinator_reached = false;  ///< handshake completed at least once
-    bool degraded = false;  ///< finished without the coordinator holding every cell
+    bool done_received = false;        ///< coordinator declared the campaign resolved
+    bool degraded = false;  ///< finished with unacked cells and no DONE
 };
 
-/// Run one worker: simulate the shard's missing cells into the local journal
-/// at `journal_path` (opened with the *full-campaign* key, so the file is a
-/// valid resume point for a local run too), then stream them over `link`.
-/// `link` may be nullptr: offline mode, simulate + journal only.  Throws
-/// core::StaleJournal if the coordinator rejects the handshake, and lets
-/// core::SimulatedCrash propagate (the torture harness's kill switch).
+/// Run one worker: pull leases over `link` (see the file comment for the
+/// static-shard compatibility spelling), simulating granted cells into the
+/// local journal at `journal_path` — opened with the *full-campaign* key, so
+/// the file is a valid resume point for a local run too — and streaming them
+/// until the coordinator sends DONE.  `link` may be nullptr: offline mode,
+/// simulate + journal only (static specs only; a lease worker has nothing to
+/// do offline).  Throws core::StaleJournal if the coordinator rejects the
+/// handshake, and lets core::SimulatedCrash propagate (the torture
+/// harness's kill switch).
 [[nodiscard]] WorkerReport run_worker(const CensusPlan& plan, const ShardSpec& spec,
                                       const std::filesystem::path& journal_path,
                                       std::unique_ptr<core::Transport> link,
@@ -117,8 +145,8 @@ struct CoordinatorCrashPlan {
     /// Where in the handling of that frame to die:
     enum class Phase {
         kOnFrame,      ///< frame decoded, nothing durable yet
-        kAfterRecord,  ///< journal updated (or hello validated), no reply sent
-        kAfterReply,   ///< reply (ack/welcome) already on the wire
+        kAfterRecord,  ///< journal/lease state updated, no reply sent
+        kAfterReply,   ///< reply (ack/welcome/lease) already on the wire
     };
     Phase phase = Phase::kOnFrame;
 };
@@ -126,13 +154,26 @@ struct CoordinatorCrashPlan {
 struct CoordinatorOptions {
     bool resume = true;
     CoordinatorCrashPlan crash;
-    /// Give up waiting for workers after this many consecutive idle polls
-    /// with *no live links* while the journal is still incomplete.  0 =
-    /// wait until request_stop().
+    /// Give up after this many consecutive idle polls — polls that accepted
+    /// no link and handled no valid frame — while the journal is still
+    /// unresolved.  0 = wait until request_stop().  Any valid frame resets
+    /// the budget: a slow-simulating but heartbeating worker keeps the
+    /// coordinator alive (corrupt frames do not).
     int idle_give_up_polls = 0;
     /// Bounded tries for each reply frame swallowed as TransientError by a
-    /// faulty link before the ack is abandoned (the worker will resend).
+    /// faulty link before the reply is abandoned (the worker's own resend or
+    /// re-pull covers the loss).
     int reply_attempts = 4;
+    /// Cells per lease grant.
+    std::size_t lease_chunk = 4;
+    /// A lease holder silent for this many coordinator protocol ops (frames
+    /// handled, across all links) is declared permanently dead and its lease
+    /// reassigned.  Counted in ops, not wall time: a lone slow worker can
+    /// never expire (nothing advances the clock), only a worker that stays
+    /// silent while the rest of the campaign makes progress.
+    std::uint64_t lease_deadline_ops = 1024;
+    /// Distinct failed holders after which a cell is quarantined as poison.
+    std::size_t max_lease_attempts = kMaxLeaseAttempts;
     core::FileSystem* fs = nullptr;
     std::function<void(const std::string&)> log;
 };
@@ -142,18 +183,25 @@ struct CoordinatorReport {
     std::size_t cells_recorded = 0;  ///< fresh cells journaled
     std::size_t duplicates = 0;      ///< CELL frames deduped by index
     std::size_t acks_sent = 0;
+    std::size_t leases_granted = 0;  ///< fresh LEASE grants (re-sends excluded)
+    std::size_t leases_expired = 0;  ///< leases withdrawn (deadline or dead link)
+    std::size_t heartbeats = 0;
+    std::size_t progress_frames = 0;
     std::size_t rejected_hellos = 0;
     std::size_t corrupt_frames = 0;  ///< frames that failed decode (rejected)
     std::size_t links_accepted = 0;
     std::size_t links_dropped = 0;  ///< links that died mid-conversation
+    std::size_t quarantined = 0;    ///< poison cells in the merged journal
+    bool resolved = false;          ///< every cell recorded or quarantined
     bool completed = false;         ///< merged journal holds every cell
 };
 
-/// The collector service: accepts worker links from a Listener, journals
-/// streamed cells into the merged campaign journal, acks, dedupes replays.
-/// Single-threaded: serve() multiplexes links by polling, and returns when
-/// the journal is complete, request_stop() is called, or the idle budget
-/// runs out with no links.  A CoordinatorCrashPlan kill throws
+/// The campaign supervisor: accepts worker links from a Listener, grants
+/// leases, journals streamed cells into the merged campaign journal, acks,
+/// dedupes replays, reassigns the leases of dead workers and quarantines
+/// poison cells.  Single-threaded: serve() multiplexes links by polling, and
+/// returns when the campaign resolves, request_stop() is called, or the idle
+/// budget runs out.  A CoordinatorCrashPlan kill throws
 /// core::SimulatedCrash out of serve() with all links closed, so peers
 /// observe a real process death.
 class CoordinatorService {
@@ -171,9 +219,12 @@ public:
     [[nodiscard]] const SweepJournalKey& key() const;
     [[nodiscard]] bool complete() const;
     [[nodiscard]] std::size_t merged() const;  ///< cells already in the journal
+    [[nodiscard]] std::size_t quarantined() const;  ///< poison cells held
 
     /// The campaign result assembled from the merged journal.  Requires
-    /// complete() — throws core::Error otherwise.
+    /// complete(): throws core::LeaseExpired when poison cells were
+    /// quarantined (the table would have holes), core::Error when simply
+    /// incomplete.
     [[nodiscard]] CensusResult result() const;
 
     ~CoordinatorService();
@@ -186,7 +237,7 @@ private:
 };
 
 /// In-process distributed campaign: one coordinator thread + `workers`
-/// worker threads over loopback links, every link wrapped in a
+/// lease-mode worker threads over loopback links, every link wrapped in a
 /// FaultyTransport.  This is the harness run_distributed-based tests and the
 /// torture campaign drive; the CLI wires the same pieces over unix sockets.
 struct DistributedOptions {
@@ -198,15 +249,20 @@ struct DistributedOptions {
     CoordinatorCrashPlan coordinator_crash;
     monitoring::CollectorRetryPolicy retry{.max_attempts = 4};
     int ack_timeout_ms = 250;  ///< loopback acks are instant; keep kills fast
+    std::size_t lease_chunk = 2;
+    std::uint64_t lease_deadline_ops = 1024;
+    std::size_t max_lease_attempts = kMaxLeaseAttempts;
     /// Restart a worker that died to a planned link crash, once, over a
     /// clean link — the torture harness's "operator reboots the node".
+    /// Without it the survivors absorb the dead worker's lease and the
+    /// campaign still completes (permanent-death torture).
     bool restart_crashed_workers = false;
     core::FileSystem* fs = nullptr;  ///< journal I/O seam for every process
 };
 
 struct DistributedOutcome {
     CoordinatorReport coordinator;
-    std::vector<WorkerReport> workers;     ///< final report per shard
+    std::vector<WorkerReport> workers;     ///< final report per worker
     std::vector<bool> worker_crashed;      ///< planned link kill fired
     std::size_t worker_restarts = 0;
     bool coordinator_crashed = false;
@@ -224,9 +280,20 @@ struct DistributedOutcome {
 
 /// Cross-process crash torture: enumerate every worker send point and every
 /// coordinator frame from a clean counting run, then kill each process at
-/// each point (both crash phases for workers, all three for the
-/// coordinator), resume, and byte-compare the merged journal and rendered
-/// census table against the uninterrupted reference.
+/// each point.  Three matrices plus a poison scenario:
+///   * transient worker kills — the operator reboots the node
+///     (restart_crashed_workers) and the campaign converges;
+///   * permanent worker kills — no reboot; the survivors must absorb the
+///     dead worker's lease (needs >= 2 workers);
+///   * coordinator kills at every frame, all three phases, resumed by a
+///     second clean run;
+///   * a poison cell every worker crashes on — quarantine must engage and
+///     the campaign must resolve with exactly that cell poisoned.
+/// Every completed campaign is byte-compared (merged journal + rendered
+/// census table) against an uninterrupted local reference.  Lease schedules
+/// vary with thread interleaving, so a planned kill op that a given run
+/// never reaches is checked as a clean campaign instead of counted as a
+/// failure (`unfired_kills` reports how many).
 struct DistributedTortureOptions {
     std::size_t workers = 2;
     std::size_t jobs = 1;
@@ -236,10 +303,15 @@ struct DistributedTortureOptions {
 struct DistributedTortureReport {
     std::size_t worker_send_points = 0;  ///< send ops enumerated across workers
     std::size_t coordinator_frames = 0;
-    std::size_t crash_points = 0;  ///< kills actually exercised
+    std::size_t crash_points = 0;      ///< kills scheduled (fired or not)
+    std::size_t permanent_kills = 0;   ///< permanent-death schedules exercised
+    std::size_t unfired_kills = 0;     ///< schedules the run never reached
+    std::size_t quarantine_checks = 0; ///< poison scenarios that engaged quarantine
     std::size_t resumes = 0;
     std::size_t mismatches = 0;
-    [[nodiscard]] bool passed() const { return mismatches == 0 && crash_points > 0; }
+    [[nodiscard]] bool passed() const {
+        return mismatches == 0 && crash_points > 0 && quarantine_checks > 0;
+    }
 };
 
 [[nodiscard]] DistributedTortureReport distributed_torture(const CensusPlan& plan,

@@ -61,6 +61,10 @@ const char* to_string(FrameType type) {
         case FrameType::kReject: return "reject";
         case FrameType::kCell: return "cell";
         case FrameType::kAck: return "ack";
+        case FrameType::kLease: return "lease";
+        case FrameType::kHeartbeat: return "heartbeat";
+        case FrameType::kProgress: return "progress";
+        case FrameType::kDone: return "done";
     }
     return "?";
 }
@@ -86,6 +90,31 @@ std::string encode_cell(std::size_t index, const FaultCensus& census) {
 
 std::string encode_ack(std::size_t index) {
     return seal(std::string(kMagic) + " ack " + std::to_string(index));
+}
+
+std::string encode_lease(const Lease& lease) {
+    if (lease.cells.empty()) {
+        throw core::InvalidArgument("a lease must cover at least one cell");
+    }
+    std::ostringstream out;
+    out << kMagic << " lease " << lease.id << ' ' << lease.deadline_ops << ' '
+        << lease.cells.size();
+    for (const std::size_t cell : lease.cells) out << ' ' << cell;
+    return seal(out.str());
+}
+
+std::string encode_heartbeat(std::uint64_t lease_id) {
+    return seal(std::string(kMagic) + " heartbeat " + std::to_string(lease_id));
+}
+
+std::string encode_progress(std::uint64_t lease_id, std::size_t done, std::size_t of) {
+    return seal(std::string(kMagic) + " progress " + std::to_string(lease_id) + ' ' +
+                std::to_string(done) + ' ' + std::to_string(of));
+}
+
+std::string encode_done(std::size_t completed, std::size_t quarantined) {
+    return seal(std::string(kMagic) + " done " + std::to_string(completed) + ' ' +
+                std::to_string(quarantined));
 }
 
 Frame decode_frame(std::string_view bytes) {
@@ -131,7 +160,9 @@ Frame decode_frame(std::string_view bytes) {
         frame.hello.shard = static_cast<std::size_t>(parse_u64(next("shard"), "shard"));
         frame.hello.of = static_cast<std::size_t>(parse_u64(next("of"), "of"));
         no_trailing();
-        if (frame.hello.of == 0 || frame.hello.shard >= frame.hello.of) {
+        // of == 0 is the lease-mode hello (no static shard claimed); a
+        // *static* hello naming an out-of-range shard is still nonsense.
+        if (frame.hello.of != 0 && frame.hello.shard >= frame.hello.of) {
             throw core::CorruptData("hello frame names shard " +
                                     std::to_string(frame.hello.shard) + " of " +
                                     std::to_string(frame.hello.of));
@@ -157,6 +188,44 @@ Frame decode_frame(std::string_view bytes) {
     } else if (type == "ack") {
         frame.type = FrameType::kAck;
         frame.ack_index = static_cast<std::size_t>(parse_u64(next("index"), "index"));
+        no_trailing();
+    } else if (type == "lease") {
+        frame.type = FrameType::kLease;
+        frame.lease.id = parse_u64(next("id"), "id");
+        frame.lease.deadline_ops = parse_u64(next("deadline_ops"), "deadline_ops");
+        const auto count = static_cast<std::size_t>(parse_u64(next("count"), "count"));
+        if (count == 0) {
+            throw core::CorruptData("lease frame grants zero cells");
+        }
+        frame.lease.cells.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            const auto cell = static_cast<std::size_t>(parse_u64(next("cell"), "cell"));
+            if (!frame.lease.cells.empty() && cell <= frame.lease.cells.back()) {
+                throw core::CorruptData("lease frame cells not strictly ascending");
+            }
+            frame.lease.cells.push_back(cell);
+        }
+        no_trailing();
+    } else if (type == "heartbeat") {
+        frame.type = FrameType::kHeartbeat;
+        frame.lease_id = parse_u64(next("lease_id"), "lease_id");
+        no_trailing();
+    } else if (type == "progress") {
+        frame.type = FrameType::kProgress;
+        frame.lease_id = parse_u64(next("lease_id"), "lease_id");
+        frame.progress_done = static_cast<std::size_t>(parse_u64(next("done"), "done"));
+        frame.progress_of = static_cast<std::size_t>(parse_u64(next("of"), "of"));
+        no_trailing();
+        if (frame.progress_done > frame.progress_of) {
+            throw core::CorruptData("progress frame reports " +
+                                    std::to_string(frame.progress_done) + "/" +
+                                    std::to_string(frame.progress_of) + " cells");
+        }
+    } else if (type == "done") {
+        frame.type = FrameType::kDone;
+        frame.completed = static_cast<std::size_t>(parse_u64(next("completed"), "completed"));
+        frame.quarantined =
+            static_cast<std::size_t>(parse_u64(next("quarantined"), "quarantined"));
         no_trailing();
     } else {
         throw core::CorruptData("unknown frame type '" + type + "'");

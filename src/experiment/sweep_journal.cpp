@@ -277,8 +277,9 @@ void SweepJournal::load() {
         std::istringstream ss(payload);
         std::string tag, token;
         ss >> tag;
-        if (tag != "cell") {
-            throw core::ParseError("expected a 'cell' record, got '" + tag + "'", line_no);
+        if (tag != "cell" && tag != "poison") {
+            throw core::ParseError("expected a 'cell' or 'poison' record, got '" + tag + "'",
+                                   line_no);
         }
         if (!(ss >> token)) throw core::ParseError("record missing cell index", line_no);
         const std::uint64_t index = core::parse_csv_u64(token, line_no);
@@ -287,9 +288,32 @@ void SweepJournal::load() {
                                     std::to_string(index) + " out of range (campaign has " +
                                     std::to_string(key_.cells) + " cells)");
         }
-        if (cells_.count(static_cast<std::size_t>(index))) {
+        if (cells_.count(static_cast<std::size_t>(index)) ||
+            quarantined_.count(static_cast<std::size_t>(index))) {
             throw core::CorruptData("line " + std::to_string(line_no) + ": duplicate cell " +
                                     std::to_string(index));
+        }
+        if (tag == "poison") {
+            // "poison <index> <attempts> <reason...>": the reason is free
+            // text, everything after the attempts word.
+            if (!(ss >> token)) {
+                throw core::ParseError("poison record for cell " + std::to_string(index) +
+                                           " missing its attempt count",
+                                       line_no);
+            }
+            QuarantineRecord q;
+            q.attempts = static_cast<std::size_t>(core::parse_csv_u64(token, line_no));
+            std::string reason;
+            std::getline(ss, reason);
+            if (!reason.empty() && reason.front() == ' ') reason.erase(0, 1);
+            if (reason.empty()) {
+                throw core::ParseError("poison record for cell " + std::to_string(index) +
+                                           " missing its reason",
+                                       line_no);
+            }
+            q.reason = std::move(reason);
+            quarantined_.emplace(static_cast<std::size_t>(index), std::move(q));
+            continue;
         }
         std::array<std::uint64_t, kCensusFields> fields{};
         for (std::size_t k = 0; k < kCensusFields; ++k) {
@@ -318,6 +342,13 @@ void SweepJournal::rewrite() const {
     for (const auto& [index, census] : cells_) {
         out << encode_cell_record(index, census) << '\n';
     }
+    // Poison records after the data, both in index order: the file's bytes
+    // depend only on the journal's final contents, never on arrival order.
+    for (const auto& [index, q] : quarantined_) {
+        const std::string payload =
+            "poison " + std::to_string(index) + ' ' + std::to_string(q.attempts) + ' ' + q.reason;
+        out << payload << ' ' << hex16(core::fnv1a(payload)) << '\n';
+    }
     // Crash-safe tmp+rename through the io seam; injected transient faults
     // (short write, ENOSPC, refused rename) restart the sequence, bounded.
     io_retries_ += core::replace_file_atomic(*fs_, path_, out.str(), core::IoRetryPolicy{4},
@@ -332,6 +363,24 @@ void SweepJournal::record(std::size_t index, const FaultCensus& census) {
     }
     std::lock_guard lock(mutex_);
     cells_.insert_or_assign(index, census);
+    quarantined_.erase(index);  // real data heals a quarantined slot
+    rewrite();
+}
+
+void SweepJournal::quarantine(std::size_t index, std::size_t attempts,
+                              const std::string& reason) {
+    if (index >= key_.cells) {
+        throw core::InvalidArgument("SweepJournal::quarantine: cell index " +
+                                    std::to_string(index) + " out of range (campaign has " +
+                                    std::to_string(key_.cells) + " cells)");
+    }
+    if (reason.empty() || reason.find('\n') != std::string::npos) {
+        throw core::InvalidArgument(
+            "SweepJournal::quarantine: reason must be one non-empty line");
+    }
+    std::lock_guard lock(mutex_);
+    if (cells_.count(index)) return;  // data already landed; nothing to hold
+    quarantined_.insert_or_assign(index, QuarantineRecord{attempts, reason});
     rewrite();
 }
 

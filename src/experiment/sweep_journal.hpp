@@ -29,6 +29,13 @@
 // record is skipped with a warning on stderr and truncated off the file —
 // the cell is simply re-simulated — while damage anywhere else, and a
 // header naming a different campaign (StaleJournal), still fail loudly.
+//
+// Besides `cell` records a journal may carry `poison` records: cells the
+// distributed supervisor quarantined after their lease expired under too
+// many distinct workers.  A poison record holds a slot (so the campaign can
+// resolve without wedging) but never data; a real cell record arriving later
+// (e.g. from a returning zombie worker) replaces the poison entry, keeping
+// the file byte-identical to a healthy campaign's.
 #pragma once
 
 #include <cstddef>
@@ -36,6 +43,7 @@
 #include <filesystem>
 #include <map>
 #include <mutex>
+#include <string>
 
 #include "experiment/census.hpp"
 
@@ -59,6 +67,13 @@ struct SweepJournalKey {
 struct CellRecord {
     std::size_t index = 0;
     FaultCensus census;
+};
+
+/// Why a cell sits in quarantine instead of holding data: how many distinct
+/// workers lost their lease over it, and the supervisor's one-line reason.
+struct QuarantineRecord {
+    std::size_t attempts = 0;
+    std::string reason;
 };
 
 /// "cell <index> <f1> ... <f21> <fnv1a-hex16>" — one complete, checksummed
@@ -96,6 +111,13 @@ public:
     /// past this cell.
     void record(std::size_t index, const FaultCensus& census);
 
+    /// Quarantine a poisoned cell: persist a `poison` record holding its
+    /// slot.  A later record() for the same index replaces the quarantine
+    /// with real data (a zombie worker's late delivery heals the journal);
+    /// quarantining a cell that already holds data is a no-op.  Thread-safe
+    /// like record().  `reason` must be a single line.
+    void quarantine(std::size_t index, std::size_t attempts, const std::string& reason);
+
     /// The recorded census for `index`, or nullptr if that cell has not
     /// completed.  Call from the coordinating thread before the fan-out
     /// starts — not concurrently with record().
@@ -103,6 +125,18 @@ public:
 
     [[nodiscard]] std::size_t completed() const { return cells_.size(); }
     [[nodiscard]] bool complete() const { return cells_.size() == key_.cells; }
+
+    /// Quarantined cells, by index.  Disjoint from the completed cells by
+    /// construction.  Read from the coordinating thread.
+    [[nodiscard]] const std::map<std::size_t, QuarantineRecord>& quarantined() const {
+        return quarantined_;
+    }
+
+    /// Every cell accounted for — completed or quarantined.  A resolved but
+    /// incomplete campaign has holes and must be reported loudly.
+    [[nodiscard]] bool resolved() const {
+        return cells_.size() + quarantined_.size() == key_.cells;
+    }
     [[nodiscard]] const SweepJournalKey& key() const { return key_; }
     [[nodiscard]] const std::filesystem::path& path() const { return path_; }
 
@@ -122,6 +156,7 @@ private:
     SweepJournalKey key_;
     core::FileSystem* fs_;
     std::map<std::size_t, FaultCensus> cells_;  ///< ordered: file stays in index order
+    std::map<std::size_t, QuarantineRecord> quarantined_;  ///< poisoned cells, no data
     std::size_t recovered_tail_ = 0;
     mutable int io_retries_ = 0;
     mutable std::mutex mutex_;

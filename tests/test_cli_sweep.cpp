@@ -77,6 +77,64 @@ TEST(CliSweep, UsageErrors) {
     EXPECT_EQ(run_cli("sweep --worker 0/2 --socket /tmp/x --checkpoint /tmp/y --torture")
                   .exit_code,
               2);  // census-only flag
+    EXPECT_EQ(run_cli("sweep --worker --spawn-workers 2 --socket /tmp/x --checkpoint /tmp/y")
+                  .exit_code,
+              2);  // spawning is the coordinator's job
+}
+
+TEST(CliSweep, BareWorkerPullsLeases) {
+    const fs::path dir = short_scratch("lease");
+    const std::string socket = (dir / "sweep.sock").string();
+    const std::string common = "--seeds 5 --synthetic";
+
+    zerodeg::test::CommandResult coord;
+    std::thread coordinator([&] {
+        coord = run_cli("sweep --coordinator --socket " + socket + " --checkpoint " +
+                        (dir / "merged.journal").string() + " --idle-timeout-ms 30000 " + common);
+    });
+    const auto worker = run_cli("sweep --worker --socket " + socket + " --checkpoint " +
+                                (dir / "w0.journal").string() + " " + common);
+    coordinator.join();
+    ASSERT_EQ(coord.exit_code, 0) << coord.output;
+    ASSERT_EQ(worker.exit_code, 0) << worker.output;
+    // The worker asked for work instead of owning a static shard...
+    EXPECT_NE(worker.output.find("lease mode"), std::string::npos) << worker.output;
+    // ...and the coordinator granted leases and still prints the exact
+    // local-census table.
+    EXPECT_NE(coord.output.find("lease(s) granted"), std::string::npos) << coord.output;
+    const auto local = run_cli("census " + common);
+    ASSERT_EQ(local.exit_code, 0) << local.output;
+    EXPECT_NE(coord.output.find(local.output), std::string::npos)
+        << "coordinator output:\n"
+        << coord.output << "\nlocal census output:\n"
+        << local.output;
+    fs::remove_all(dir);
+}
+
+TEST(CliSweep, SpawnWorkersRunsTheWholeCampaignInOneCommand) {
+    const fs::path dir = short_scratch("spawn");
+    const std::string common = "--seeds 6 --synthetic";
+
+    const auto result =
+        run_cli("sweep --coordinator --socket " + (dir / "sweep.sock").string() +
+                " --checkpoint " + (dir / "merged.journal").string() +
+                " --idle-timeout-ms 30000 --spawn-workers 2 " + common);
+    ASSERT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("spawned 2 local worker(s)"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("lease(s) granted"), std::string::npos) << result.output;
+
+    const auto local = run_cli("census " + common);
+    ASSERT_EQ(local.exit_code, 0) << local.output;
+    EXPECT_NE(result.output.find(local.output), std::string::npos)
+        << "coordinator output:\n"
+        << result.output << "\nlocal census output:\n"
+        << local.output;
+
+    // Each spawned worker journals locally next to the merged checkpoint.
+    EXPECT_TRUE(fs::exists(dir / "merged.journal.worker0"));
+    EXPECT_TRUE(fs::exists(dir / "merged.journal.worker1"));
+    fs::remove_all(dir);
 }
 
 TEST(CliSweep, DistributedCampaignMatchesLocalCensusByteForByte) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 namespace zerodeg::core {
 namespace {
 
@@ -12,12 +14,23 @@ TEST(Error, CarriesCode) {
     EXPECT_EQ(CorruptData("x").code(), ErrorCode::kCorruptData);
     EXPECT_EQ(ParseError("x").code(), ErrorCode::kParse);
     EXPECT_EQ(TransientError("x").code(), ErrorCode::kTransient);
+    EXPECT_EQ(LeaseExpired("x").code(), ErrorCode::kLeaseExpired);
 }
 
 TEST(Error, CodeNames) {
     EXPECT_STREQ(to_string(ErrorCode::kTransient), "transient");
     EXPECT_STREQ(to_string(ErrorCode::kStaleJournal), "stale-journal");
+    EXPECT_STREQ(to_string(ErrorCode::kLeaseExpired), "lease-expired");
     EXPECT_STREQ(to_string(ErrorCode::kUnknown), "unknown");
+}
+
+TEST(Error, LeaseExpiredIsAPlainErrorNotCorruptData) {
+    // The supervisor reports a quarantined campaign by *throwing* this from
+    // result(); it must never be swallowed by corrupt-frame handling (which
+    // catches CorruptData — the trap StaleJournal deliberately sits in).
+    static_assert(std::is_base_of_v<Error, LeaseExpired>);
+    static_assert(!std::is_base_of_v<CorruptData, LeaseExpired>);
+    EXPECT_STREQ(LeaseExpired("cell 3 quarantined").what(), "cell 3 quarantined");
 }
 
 TEST(Error, ContextChainsOutermostFirst) {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/error.hpp"
 #include "core/rng.hpp"
@@ -71,13 +72,80 @@ TEST(ShardProtocol, CellEmbedsTheJournalRecordVerbatim) {
     EXPECT_EQ(encode_cell(frame.cell.index, frame.cell.census), wire);
 }
 
-TEST(ShardProtocol, AnySingleCharacterFlipIsCaught) {
-    const std::string wire = encode_ack(3);
-    for (std::size_t i = 0; i < wire.size(); ++i) {
-        std::string bent = wire;
-        bent[i] = bent[i] == 'x' ? 'y' : 'x';
-        if (bent == wire) continue;  // flip was a no-op
-        EXPECT_THROW((void)decode_frame(bent), core::CorruptData) << "flip at offset " << i;
+TEST(ShardProtocol, LeaseRoundTrips) {
+    Lease lease;
+    lease.id = 42;
+    lease.deadline_ops = 512;
+    lease.cells = {3, 4, 9};
+    const Frame frame = decode_frame(encode_lease(lease));
+    ASSERT_EQ(frame.type, FrameType::kLease);
+    EXPECT_EQ(frame.lease.id, 42u);
+    EXPECT_EQ(frame.lease.deadline_ops, 512u);
+    EXPECT_EQ(frame.lease.cells, (std::vector<std::size_t>{3, 4, 9}));
+}
+
+TEST(ShardProtocol, HeartbeatProgressDoneRoundTrip) {
+    Frame frame = decode_frame(encode_heartbeat(kNoLease));
+    ASSERT_EQ(frame.type, FrameType::kHeartbeat);
+    EXPECT_EQ(frame.lease_id, kNoLease);  // the pull request
+
+    frame = decode_frame(encode_heartbeat(7));
+    ASSERT_EQ(frame.type, FrameType::kHeartbeat);
+    EXPECT_EQ(frame.lease_id, 7u);  // in-lease liveness
+
+    frame = decode_frame(encode_progress(7, 2, 5));
+    ASSERT_EQ(frame.type, FrameType::kProgress);
+    EXPECT_EQ(frame.lease_id, 7u);
+    EXPECT_EQ(frame.progress_done, 2u);
+    EXPECT_EQ(frame.progress_of, 5u);
+
+    frame = decode_frame(encode_done(10, 2));
+    ASSERT_EQ(frame.type, FrameType::kDone);
+    EXPECT_EQ(frame.completed, 10u);
+    EXPECT_EQ(frame.quarantined, 2u);
+}
+
+TEST(ShardProtocol, LeaseValidation) {
+    EXPECT_THROW((void)encode_lease(Lease{}), core::InvalidArgument);  // no cells
+    const auto reseal = [](const std::string& payload) {
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "%016llx",
+                      static_cast<unsigned long long>(core::fnv1a(payload)));
+        return payload + ' ' + buf;
+    };
+    // Cells must be strictly ascending; the count must match and be > 0.
+    EXPECT_THROW((void)decode_frame(reseal("zdsp1 lease 1 64 2 5 5")), core::CorruptData);
+    EXPECT_THROW((void)decode_frame(reseal("zdsp1 lease 1 64 2 5 3")), core::CorruptData);
+    EXPECT_THROW((void)decode_frame(reseal("zdsp1 lease 1 64 0")), core::CorruptData);
+    // A progress frame cannot claim more done than granted.
+    EXPECT_THROW((void)decode_frame(reseal("zdsp1 progress 1 6 5")), core::CorruptData);
+}
+
+TEST(ShardProtocol, AnySingleCharacterFlipIsCaughtForEveryFrameKind) {
+    Lease lease;
+    lease.id = 8;
+    lease.deadline_ops = 128;
+    lease.cells = {0, 2};
+    const std::string frames[] = {
+        encode_hello(ShardHello{sample_key(), 1, 2}),
+        encode_welcome(3),
+        encode_reject("campaign mismatch"),
+        encode_cell(4, sample_census(99)),
+        encode_ack(3),
+        encode_lease(lease),
+        encode_heartbeat(kNoLease),
+        encode_heartbeat(8),
+        encode_progress(8, 1, 2),
+        encode_done(12, 1),
+    };
+    for (const std::string& wire : frames) {
+        for (std::size_t i = 0; i < wire.size(); ++i) {
+            std::string bent = wire;
+            bent[i] = bent[i] == 'x' ? 'y' : 'x';
+            if (bent == wire) continue;  // flip was a no-op
+            EXPECT_THROW((void)decode_frame(bent), core::CorruptData)
+                << "flip at offset " << i << " of '" << wire << "'";
+        }
     }
 }
 
@@ -103,11 +171,13 @@ TEST(ShardProtocol, HelloNamingAnImpossibleShardIsRejected) {
                       static_cast<unsigned long long>(core::fnv1a(payload)));
         return payload + ' ' + buf;
     };
-    // shard >= of, and of == 0.
+    // shard >= of is impossible for a static shard...
     EXPECT_THROW((void)decode_frame(reseal("zdsp1 hello 1 0000000000000001 4 5 5")),
                  core::CorruptData);
-    EXPECT_THROW((void)decode_frame(reseal("zdsp1 hello 1 0000000000000001 4 0 0")),
-                 core::CorruptData);
+    // ...but of == 0 is the lease-mode spelling (shard is just a label).
+    const Frame lease_mode = decode_frame(reseal("zdsp1 hello 1 0000000000000001 4 0 0"));
+    ASSERT_EQ(lease_mode.type, FrameType::kHello);
+    EXPECT_EQ(lease_mode.hello.of, 0u);
 }
 
 TEST(ShardProtocol, TamperedEmbeddedCellRecordIsCaughtByTheInnerChecksum) {

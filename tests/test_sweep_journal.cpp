@@ -416,5 +416,87 @@ INSTANTIATE_TEST_SUITE_P(Jobs, JournalResume, ::testing::Values<std::size_t>(1, 
                              return "jobs" + std::to_string(param_info.param);
                          });
 
+FaultCensus marker_census(std::uint64_t tag) {
+    FaultCensus census;
+    census.load_runs = tag;
+    census.system_failures = tag + 1;
+    return census;
+}
+
+TEST(PoisonRecords, QuarantineHoldsASlotAndRoundTripsThroughResume) {
+    const fs::path path = journal_path("poison_roundtrip");
+    const SweepJournalKey key{kBaseSeed, 0x5eed, 3};
+    {
+        SweepJournal journal(path, key);
+        journal.record(0, marker_census(10));
+        journal.quarantine(2, 3, "lease-expired under 3 distinct workers");
+        EXPECT_EQ(journal.completed(), 1u);
+        EXPECT_FALSE(journal.complete());
+        EXPECT_FALSE(journal.resolved());  // cell 1 still unaccounted for
+        journal.record(1, marker_census(11));
+        EXPECT_TRUE(journal.resolved());  // every slot held...
+        EXPECT_FALSE(journal.complete());  // ...but the table has a hole
+    }
+    SweepJournal resumed(path, key, /*resume=*/true);
+    EXPECT_EQ(resumed.completed(), 2u);
+    EXPECT_TRUE(resumed.resolved());
+    EXPECT_FALSE(resumed.complete());
+    ASSERT_EQ(resumed.quarantined().size(), 1u);
+    EXPECT_EQ(resumed.quarantined().at(2).attempts, 3u);
+    EXPECT_EQ(resumed.quarantined().at(2).reason, "lease-expired under 3 distinct workers");
+}
+
+TEST(PoisonRecords, LateRealDataHealsAQuarantinedSlotByteIdentically) {
+    const SweepJournalKey key{kBaseSeed, 0x5eed, 2};
+    const fs::path healed_path = journal_path("poison_healed");
+    {
+        SweepJournal journal(healed_path, key);
+        journal.record(0, marker_census(20));
+        journal.quarantine(1, 3, "lease-expired under 3 distinct workers");
+        // The zombie's late delivery: real data replaces the poison record.
+        journal.record(1, marker_census(21));
+        EXPECT_TRUE(journal.quarantined().empty());
+        EXPECT_TRUE(journal.complete());
+    }
+    const fs::path clean_path = journal_path("poison_never");
+    {
+        SweepJournal journal(clean_path, key);
+        journal.record(0, marker_census(20));
+        journal.record(1, marker_census(21));
+    }
+    EXPECT_EQ(slurp(healed_path), slurp(clean_path));
+}
+
+TEST(PoisonRecords, QuarantineNeverDisplacesRealData) {
+    const SweepJournalKey key{kBaseSeed, 0x5eed, 2};
+    const fs::path path = journal_path("poison_vs_data");
+    SweepJournal journal(path, key);
+    journal.record(0, marker_census(30));
+    journal.quarantine(0, 5, "a very late expiry");
+    EXPECT_TRUE(journal.quarantined().empty());
+    ASSERT_NE(journal.find(0), nullptr);
+    EXPECT_EQ(journal.find(0)->load_runs, 30u);
+    // And the arguments are validated like record()'s.
+    EXPECT_THROW(journal.quarantine(9, 1, "out of range"), core::InvalidArgument);
+    EXPECT_THROW(journal.quarantine(1, 1, ""), core::InvalidArgument);
+    EXPECT_THROW(journal.quarantine(1, 1, "two\nlines"), core::InvalidArgument);
+}
+
+TEST(PoisonRecords, TamperedPoisonRecordIsRejectedOnResume) {
+    const SweepJournalKey key{kBaseSeed, 0x5eed, 3};
+    const fs::path path = journal_path("poison_tampered");
+    {
+        SweepJournal journal(path, key);
+        journal.quarantine(0, 3, "lease-expired");
+        journal.quarantine(1, 3, "lease-expired");  // keeps record 0 off the tail
+    }
+    std::string text = slurp(path);
+    const std::size_t pos = text.find("poison 0 3");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos + std::strlen("poison 0 ")] = '7';  // bend attempts; checksum now wrong
+    spit(path, text);
+    EXPECT_THROW(SweepJournal(path, key, /*resume=*/true), core::CorruptData);
+}
+
 }  // namespace
 }  // namespace zerodeg::experiment

@@ -28,20 +28,28 @@
 //       point and proves each resume byte-identical (needs --checkpoint).
 //
 //   zerodeg sweep     --coordinator --socket PATH --checkpoint FILE
-//                     [--seeds N] [--resume] [--idle-timeout-ms N] [...]
-//   zerodeg sweep     --worker I/K --socket PATH --checkpoint FILE
+//                     [--seeds N] [--resume] [--idle-timeout-ms N]
+//                     [--spawn-workers N] [...]
+//   zerodeg sweep     --worker [I/K] --socket PATH --checkpoint FILE
 //                     [--seeds N] [--jobs N] [--net-faults SEED] [...]
-//       Distributed census: the coordinator listens on a unix socket and
-//       journals cells streamed by worker processes into the merged
-//       --checkpoint; each worker owns the campaign cells with
-//       index % K == I, simulates them into its own local --checkpoint
-//       (durable before any networking), then streams checksummed CELL
-//       frames and resends until acked.  Delivery is at-least-once with
-//       dedupe by cell index, so the merged journal — and the census the
-//       coordinator prints — is byte-identical to a local `zerodeg census`
-//       run no matter which process died when.  A worker that cannot reach
-//       the coordinator degrades gracefully: cells stay buffered in its
-//       local journal and a re-run streams them without re-simulating.
+//       Distributed census: the coordinator listens on a unix socket,
+//       grants pull-based leases over cell ranges, and journals cells
+//       streamed by worker processes into the merged --checkpoint.  A bare
+//       --worker runs in lease mode: it asks for work, simulates granted
+//       cells into its own local --checkpoint (durable before any
+//       networking), streams checksummed CELL frames, and resends until
+//       acked.  `--worker I/K` is the compatibility spelling: the static
+//       `index % K == I` shard is pre-simulated durably first, then the
+//       worker follows the same lease flow (offline it degrades to
+//       buffering the shard locally).  Delivery is at-least-once with
+//       dedupe by cell index, and a dead worker's lease is reassigned to
+//       survivors, so the merged journal — and the census the coordinator
+//       prints — is byte-identical to a local `zerodeg census` run no
+//       matter which process died when, as long as one worker survives.
+//       A cell that kills every worker that touches it is quarantined as
+//       poison and reported loudly (coordinator exits 1).
+//       --spawn-workers N launches N local lease-mode workers as child
+//       processes sharing the campaign flags and waits for them.
 //       --net-faults injects a deterministic seed-scheduled fault plan
 //       (drops, duplicates, reorders, dropped acks) into the worker's link.
 //       --synthetic swaps real seasons for fast deterministic cells.
@@ -65,6 +73,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/csv.hpp"
 #include "core/error.hpp"
@@ -102,7 +111,7 @@ const std::map<std::string, std::set<std::string>> kAllowedFlags = {
       "end", "synthetic"}},
     {"sweep",
      {"coordinator", "worker", "socket", "checkpoint", "seeds", "jobs", "engine", "workload",
-      "end", "resume", "net-faults", "synthetic", "idle-timeout-ms"}},
+      "end", "resume", "net-faults", "synthetic", "idle-timeout-ms", "spawn-workers"}},
     {"prototype", {"seed"}},
 };
 
@@ -124,6 +133,13 @@ FlagMap parse_flags(const std::string& cmd, int argc, char** argv, int first) {
             // insert_or_assign instead of operator[]=: gcc 12's -Wrestrict
             // false-positives on the inlined char* assignment.
             flags.insert_or_assign(key, std::string("1"));
+            continue;
+        }
+        // --worker's value is optional: bare `--worker` is lease mode, the
+        // I/K value is the static-shard compatibility spelling.
+        if (key == "worker" &&
+            (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+            flags.insert_or_assign(key, std::string());
             continue;
         }
         if (i + 1 >= argc) {
@@ -438,12 +454,15 @@ int cmd_census(const FlagMap& flags) {
     return 0;
 }
 
-/// "--worker I/K" -> ShardSpec{I, K}; validated here so a bad spec is a
+/// Bare "--worker" -> lease mode (ShardSpec{0, 0}); "--worker I/K" ->
+/// the static shard ShardSpec{I, K}.  Validated here so a bad spec is a
 /// usage error (exit 2), not a runtime failure.
 experiment::ShardSpec parse_shard(const std::string& value) {
+    if (value.empty()) return experiment::ShardSpec{0, 0};
     const std::size_t slash = value.find('/');
     if (slash == std::string::npos) {
-        throw core::InvalidArgument("--worker wants I/K (e.g. 0/2), got '" + value + "'");
+        throw core::InvalidArgument("--worker wants I/K (e.g. 0/2) or no value for lease mode, "
+                                    "got '" + value + "'");
     }
     experiment::ShardSpec spec;
     try {
@@ -458,32 +477,87 @@ experiment::ShardSpec parse_shard(const std::string& value) {
     return spec;
 }
 
+/// The argv for one spawned lease-mode worker: the campaign flags are
+/// forwarded verbatim so its journal key matches the coordinator's.
+std::vector<std::string> spawned_worker_argv(const FlagMap& flags, std::size_t index) {
+    std::vector<std::string> argv = {"/proc/self/exe", "sweep", "--worker", "--socket",
+                                     flags.at("socket"), "--checkpoint",
+                                     flags.at("checkpoint") + ".worker" + std::to_string(index)};
+    for (const char* forwarded :
+         {"seeds", "jobs", "engine", "workload", "end", "net-faults"}) {
+        const auto it = flags.find(forwarded);
+        if (it == flags.end()) continue;
+        argv.push_back("--" + it->first);
+        argv.push_back(it->second);
+    }
+    if (flags.count("synthetic")) argv.push_back("--synthetic");
+    return argv;
+}
+
 int cmd_sweep_coordinator(const FlagMap& flags, const experiment::CensusPlan& plan) {
     experiment::CoordinatorOptions opts;
     opts.resume = flags.count("resume") > 0;
-    // --idle-timeout-ms bounds how long the coordinator waits with *no*
-    // connected workers before giving up on an incomplete campaign (serve
-    // polls every ~1ms when idle).  0 = wait until the campaign completes.
+    // --idle-timeout-ms bounds how long the coordinator waits while hearing
+    // nothing at all — no fresh link, no valid frame (serve polls every ~1ms
+    // when idle; any valid frame, heartbeats included, resets the budget).
+    // 0 = wait until the campaign resolves or every worker is silent.
     const std::uint64_t idle_ms = flag_u64(flags, "idle-timeout-ms", 0);
     opts.idle_give_up_polls = static_cast<int>(idle_ms);
+    // Lease chatter (grants, expiries, quarantines, progress/ETA) goes to
+    // stderr so stdout stays the byte-stable census surface.
+    opts.log = [](const std::string& line) { std::cerr << line << '\n'; };
     experiment::CoordinatorService service(plan, flags.at("checkpoint"), opts);
 
     const std::unique_ptr<core::Listener> listener = core::listen_unix(flags.at("socket"));
     std::cout << "coordinator: campaign of " << plan.seeds << " cells on " << flags.at("socket")
               << " (" << service.merged() << " already merged)\n";
+
+    // --spawn-workers: launch N local lease-mode workers (via the transport
+    // seam's process spawner) once the socket is listening, serve them, then
+    // reap.  Each gets its own local journal next to the merged one.
+    std::vector<core::SpawnedProcess> children;
+    if (flags.count("spawn-workers")) {
+        const std::uint64_t n = flag_u64(flags, "spawn-workers", 0);
+        if (n == 0) throw core::InvalidArgument("--spawn-workers must be positive");
+        for (std::uint64_t i = 0; i < n; ++i) {
+            children.push_back(core::spawn_process(spawned_worker_argv(flags, i)));
+        }
+        std::cerr << "coordinator: spawned " << n << " local worker(s)\n";
+    }
+
     const experiment::CoordinatorReport report = service.serve(*listener);
+
+    int worker_failures = 0;
+    for (core::SpawnedProcess& child : children) {
+        if (core::wait_process(child) != 0) ++worker_failures;
+    }
+    if (worker_failures > 0) {
+        std::cerr << "coordinator: " << worker_failures << " spawned worker(s) exited with "
+                     "a failure\n";
+    }
+
     std::cout << "coordinator: " << report.frames << " frames from " << report.links_accepted
               << " worker link(s); " << report.cells_recorded << " cells recorded, "
               << report.duplicates << " duplicate(s) deduped, " << report.acks_sent
               << " acks\n";
+    if (report.leases_granted > 0) {
+        std::cout << "coordinator: " << report.leases_granted << " lease(s) granted, "
+                  << report.leases_expired << " expired/reassigned\n";
+    }
+    if (report.quarantined > 0) {
+        std::cout << "POISON: " << report.quarantined << " cell(s) quarantined — every lease "
+                     "over them died under " << experiment::kMaxLeaseAttempts
+                  << " distinct workers; the campaign resolved but the census has holes\n";
+        return 1;
+    }
     if (!report.completed) {
-        std::cout << "campaign incomplete: " << plan.seeds - report.cells_recorded
+        std::cout << "campaign incomplete: " << plan.seeds - service.merged()
                   << " cell(s) never arrived (workers still hold them in their local "
                      "journals)\n";
         return 1;
     }
     std::cout << experiment::render_census_table(service.result(), plan.base_seed);
-    return 0;
+    return worker_failures > 0 ? 1 : 0;
 }
 
 int cmd_sweep_worker(const FlagMap& flags, const experiment::CensusPlan& plan) {
@@ -527,9 +601,15 @@ int cmd_sweep_worker(const FlagMap& flags, const experiment::CensusPlan& plan) {
 
     const experiment::WorkerReport report =
         run_worker(plan, spec, flags.at("checkpoint"), std::move(link), opts);
-    std::cout << "worker " << report.shard << "/" << report.of << ": " << report.cells_owned
-              << " cells owned, " << report.cells_computed << " simulated, "
-              << report.cells_reused << " reused, " << report.acked << " acked";
+    if (report.of == 0) {
+        std::cout << "worker (lease mode): " << report.leases_held << " lease(s) held, "
+                  << report.cells_computed << " simulated, " << report.cells_reused
+                  << " reused, " << report.acked << " acked";
+    } else {
+        std::cout << "worker " << report.shard << "/" << report.of << ": " << report.cells_owned
+                  << " cells owned, " << report.cells_computed << " simulated, "
+                  << report.cells_reused << " reused, " << report.acked << " acked";
+    }
     if (report.resends + report.drops_absorbed > 0) {
         std::cout << " (" << report.drops_absorbed << " drop(s), " << report.resends
                   << " resend(s))";
@@ -549,7 +629,10 @@ int cmd_sweep(const FlagMap& flags) {
     const bool worker = flags.count("worker") > 0;
     if (coordinator == worker) {
         throw core::InvalidArgument(
-            "zerodeg sweep needs exactly one of --coordinator or --worker I/K");
+            "zerodeg sweep needs exactly one of --coordinator or --worker [I/K]");
+    }
+    if (flags.count("spawn-workers") && !coordinator) {
+        throw core::InvalidArgument("--spawn-workers belongs to the --coordinator side");
     }
     if (!flags.count("socket")) {
         throw core::InvalidArgument("zerodeg sweep needs --socket PATH (a unix socket)");
@@ -592,9 +675,11 @@ void synopsis(std::ostream& out) {
            "            (--jobs 0 = all hardware threads; engines are byte-identical,\n"
            "             per-object is the differential-test reference)\n"
            "  sweep     --coordinator --socket PATH --checkpoint FILE [--seeds N]\n"
-           "            [--resume] [--idle-timeout-ms N]\n"
-           "  sweep     --worker I/K --socket PATH --checkpoint FILE [--seeds N]\n"
+           "            [--resume] [--idle-timeout-ms N] [--spawn-workers N]\n"
+           "  sweep     --worker [I/K] --socket PATH --checkpoint FILE [--seeds N]\n"
            "            [--jobs N] [--net-faults SEED]\n"
+           "            (bare --worker pulls leases; I/K is the static-shard\n"
+           "             compatibility spelling)\n"
            "            (both sweep modes: [--engine batched|per-object]\n"
            "             [--workload archive|traffic] [--end D] [--synthetic])\n"
            "  prototype [--seed N]\n"
@@ -620,16 +705,23 @@ int cmd_help() {
            "                        byte-identical to an uninterrupted run.  Needs\n"
            "                        --checkpoint as scratch; exit 1 on any mismatch.\n"
            "\ndistributed sweeps (zerodeg sweep):\n"
-           "  Start one --coordinator and K --worker I/K processes sharing a unix\n"
-           "  --socket.  Workers simulate their cells into their own local journal\n"
-           "  first (durable before any networking), then stream checksummed cell\n"
-           "  frames; the coordinator journals, acks, and dedupes replays, so the\n"
-           "  merged --checkpoint is byte-identical to a local census run no matter\n"
-           "  which process died when.  An unreachable coordinator degrades the\n"
-           "  worker to local buffering; re-running the worker later streams the\n"
-           "  buffered cells without re-simulating.  --net-faults SEED makes the\n"
-           "  worker's link deterministically lossy (drops, duplicates, reorders,\n"
-           "  dropped acks) — the output must not change.\n"
+           "  Start one --coordinator and N bare --worker processes sharing a unix\n"
+           "  --socket (or let the coordinator --spawn-workers N itself).  Workers\n"
+           "  pull leases: the coordinator grants cell ranges, workers simulate\n"
+           "  them into their own local journal first (durable before any\n"
+           "  networking), then stream checksummed cell frames; the coordinator\n"
+           "  journals, acks, and dedupes replays, so the merged --checkpoint is\n"
+           "  byte-identical to a local census run no matter which process died\n"
+           "  when — a dead worker's lease is reassigned to the survivors\n"
+           "  (liveness is counted in protocol ops, never wall clocks).  A cell\n"
+           "  that kills every worker that touches it is quarantined as poison\n"
+           "  and the coordinator exits 1, loudly.  `--worker I/K` keeps the old\n"
+           "  static shard: it is pre-simulated durably, then the worker joins\n"
+           "  the same lease flow; offline it degrades to local buffering and a\n"
+           "  re-run streams the buffered cells without re-simulating.\n"
+           "  --net-faults SEED makes the worker's link deterministically lossy\n"
+           "  (drops, duplicates, reorders, dropped acks) — the output must not\n"
+           "  change.\n"
            "\nresuming from a damaged checkpoint (--resume):\n"
            "  exit 0  a torn tail record (crash mid-append) is dropped with a warning\n"
            "          on stderr, truncated away on disk, and its cell re-simulated;\n"

@@ -251,8 +251,10 @@ bool distributed_scenario(const Options& opt) {
         make_plan(opt), opt.scratch / "distributed", topt, std::cout);
     std::cout << "  " << report.worker_send_points << " worker send points, "
               << report.coordinator_frames << " coordinator frames, " << report.crash_points
-              << " kills, " << report.resumes << " resumes, " << report.mismatches
-              << " mismatches -> " << (report.passed() ? "PASS" : "FAIL") << '\n';
+              << " kills (" << report.permanent_kills << " permanent, " << report.unfired_kills
+              << " unfired), " << report.resumes << " resumes, " << report.quarantine_checks
+              << " quarantine checks, " << report.mismatches << " mismatches -> "
+              << (report.passed() ? "PASS" : "FAIL") << '\n';
     return report.passed();
 }
 
